@@ -1,0 +1,45 @@
+//! E11 — distributed update vs centralized and acyclic baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_baselines::{acyclic_update, centralized_update};
+use p2p_bench::experiments::run_workload;
+use p2p_core::config::UpdateMode;
+use p2p_topology::{NodeId, Topology};
+use p2p_workload::{build_system, Distribution, WorkloadConfig};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_baselines");
+    group.sample_size(10);
+    let cfg = WorkloadConfig {
+        topology: Topology::Tree {
+            branching: 2,
+            depth: 3,
+        },
+        records_per_node: 30,
+        distribution: Distribution::Disjoint,
+        seed: 42,
+    };
+    group.bench_with_input(
+        BenchmarkId::from_parameter("distributed_tree15"),
+        &cfg,
+        |b, cfg| b.iter(|| run_workload(cfg, UpdateMode::Eager, true)),
+    );
+    // Shared inputs for the baselines.
+    let sys = build_system(&cfg).unwrap().build().unwrap();
+    let initial = sys.snapshot().0;
+    let rules = sys.rules().clone();
+    group.bench_function("centralized_tree15", |b| {
+        b.iter(|| {
+            centralized_update(&initial, &rules, NodeId(0), 64)
+                .unwrap()
+                .1
+        })
+    });
+    group.bench_function("acyclic_tree15", |b| {
+        b.iter(|| acyclic_update(&initial, &rules, 64).unwrap().1)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E6 — delta-optimization ablation: full answers vs deltas on overlapping
+//! data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_bench::experiments::run_workload;
+use p2p_core::config::UpdateMode;
+use p2p_topology::Topology;
+use p2p_workload::{Distribution, WorkloadConfig};
+
+fn bench_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_delta");
+    group.sample_size(10);
+    let cfg = WorkloadConfig {
+        topology: Topology::Tree {
+            branching: 2,
+            depth: 3,
+        },
+        records_per_node: 50,
+        distribution: Distribution::OverlapNeighbors { percent: 50 },
+        seed: 42,
+    };
+    for delta in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new(
+                "tree_overlap50",
+                if delta { "delta_on" } else { "delta_off" },
+            ),
+            &delta,
+            |b, &delta| b.iter(|| run_workload(&cfg, UpdateMode::Eager, delta)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E4 — execution time vs depth for trees and layered DAGs (the paper's
+//! "execution time is linear with respect to the depth of the structure").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_bench::experiments::run_workload;
+use p2p_core::config::UpdateMode;
+use p2p_topology::Topology;
+use p2p_workload::{Distribution, WorkloadConfig};
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_depth");
+    group.sample_size(10);
+    for depth in [1u32, 2, 4, 6, 8] {
+        let cfg = WorkloadConfig {
+            topology: Topology::Tree {
+                branching: 1,
+                depth,
+            },
+            records_per_node: 30,
+            distribution: Distribution::Disjoint,
+            seed: 42,
+        };
+        group.bench_with_input(BenchmarkId::new("chain", depth), &cfg, |b, cfg| {
+            b.iter(|| run_workload(cfg, UpdateMode::Eager, true))
+        });
+    }
+    for layers in [2u32, 4, 6, 8] {
+        let cfg = WorkloadConfig {
+            topology: Topology::LayeredDag {
+                layers,
+                width: 3,
+                fanout: 2,
+            },
+            records_per_node: 30,
+            distribution: Distribution::Disjoint,
+            seed: 42,
+        };
+        group.bench_with_input(BenchmarkId::new("layered", layers - 1), &cfg, |b, cfg| {
+            b.iter(|| run_workload(cfg, UpdateMode::Eager, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth);
+criterion_main!(benches);

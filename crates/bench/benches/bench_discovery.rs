@@ -1,0 +1,56 @@
+//! E10 — topology-discovery cost per family and size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_topology::Topology;
+use p2p_workload::{build_system, Distribution, WorkloadConfig};
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_discovery");
+    group.sample_size(10);
+    let cases = [
+        (
+            "tree15",
+            Topology::Tree {
+                branching: 2,
+                depth: 3,
+            },
+        ),
+        (
+            "tree31",
+            Topology::Tree {
+                branching: 2,
+                depth: 4,
+            },
+        ),
+        (
+            "layered16",
+            Topology::LayeredDag {
+                layers: 4,
+                width: 4,
+                fanout: 2,
+            },
+        ),
+        ("clique6", Topology::Clique { n: 6 }),
+        ("ring8", Topology::Ring { n: 8 }),
+    ];
+    for (name, topology) in cases {
+        let cfg = WorkloadConfig {
+            topology,
+            records_per_node: 1,
+            distribution: Distribution::Disjoint,
+            seed: 42,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut sys = build_system(cfg).unwrap().build().unwrap();
+                let report = sys.run_discovery();
+                assert!(report.outcome.quiescent);
+                report.messages
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

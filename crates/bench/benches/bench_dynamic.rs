@@ -1,0 +1,49 @@
+//! E8 — dynamic-change runs: update sessions absorbing `addLink` /
+//! `deleteLink` scripts mid-flight (Theorem 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_core::dynamic::ChangeScript;
+use p2p_core::system::P2PSystemBuilder;
+use p2p_net::SimTime;
+use p2p_relational::Value;
+
+fn build() -> P2PSystemBuilder {
+    let mut b = P2PSystemBuilder::new();
+    b.add_node_with_schema(0, "a(x: int, y: int).").unwrap();
+    b.add_node_with_schema(1, "b(x: int, y: int).").unwrap();
+    b.add_node_with_schema(2, "c(x: int, y: int).").unwrap();
+    b.add_rule("r0", "B:b(X,Y) => A:a(X,Y)").unwrap();
+    for i in 0..50i64 {
+        b.insert(1, "b", vec![Value::Int(i), Value::Int(i + 1)])
+            .unwrap();
+        b.insert(2, "c", vec![Value::Int(100 + i), Value::Int(i)])
+            .unwrap();
+    }
+    b
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_dynamic");
+    group.sample_size(10);
+    for ops in [1usize, 3, 6] {
+        group.bench_with_input(BenchmarkId::new("ops", ops), &ops, |b, &ops| {
+            b.iter(|| {
+                let mut sys = build().build().unwrap();
+                let mut script = ChangeScript::new();
+                for k in 0..ops {
+                    let add = sys
+                        .make_add_link(&format!("rx{k}"), "C:c(X,Y) => A:a(X,Y)")
+                        .unwrap();
+                    script.push(SimTime::from_millis(2 + k as u64), add);
+                }
+                let report = sys.run_update_with_script(&script);
+                assert!(report.outcome.quiescent);
+                report.messages
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E5 — eager (asynchronous) vs rounds (synchronous) update modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_bench::experiments::run_workload;
+use p2p_core::config::UpdateMode;
+use p2p_topology::Topology;
+use p2p_workload::{Distribution, WorkloadConfig};
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_modes");
+    group.sample_size(10);
+    let topologies = [
+        (
+            "tree",
+            Topology::Tree {
+                branching: 2,
+                depth: 3,
+            },
+        ),
+        ("ring", Topology::Ring { n: 6 }),
+        ("clique", Topology::Clique { n: 4 }),
+    ];
+    for (name, topology) in topologies {
+        let cfg = WorkloadConfig {
+            topology,
+            records_per_node: 30,
+            distribution: Distribution::Disjoint,
+            seed: 42,
+        };
+        for (mode, mode_name) in [(UpdateMode::Eager, "eager"), (UpdateMode::Rounds, "rounds")] {
+            group.bench_with_input(
+                BenchmarkId::new(mode_name, name),
+                &(cfg, mode),
+                |b, (cfg, mode)| b.iter(|| run_workload(cfg, *mode, true)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the relational substrate: conjunctive-query joins,
+//! the restricted-chase guard, and homomorphism checks. These bound the
+//! per-node processing cost model used by the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_relational::chase::{apply_rule_local, ChaseConfig, ChaseState};
+use p2p_relational::hom::contained_modulo_nulls;
+use p2p_relational::query::{evaluate, parse_atom, parse_query};
+use p2p_relational::{Database, DatabaseSchema, NullFactory, Value};
+
+fn db_with_chain(n: i64) -> Database {
+    let mut db =
+        Database::new(DatabaseSchema::parse("b(x: int, y: int). c(x: int, y: int).").unwrap());
+    for i in 0..n {
+        db.insert_values("b", vec![Value::Int(i), Value::Int(i + 1)])
+            .unwrap();
+    }
+    db
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relational_join");
+    for n in [100i64, 1_000, 5_000] {
+        let db = db_with_chain(n);
+        let q = parse_query("q(X, Z) :- b(X, Y), b(Y, Z)").unwrap();
+        group.bench_with_input(BenchmarkId::new("two_hop", n), &db, |bch, db| {
+            bch.iter(|| evaluate(&q, db).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relational_chase");
+    for n in [100i64, 1_000] {
+        group.bench_with_input(BenchmarkId::new("copy_rule", n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut db = db_with_chain(n);
+                let mut nulls = NullFactory::new(0);
+                let mut st = ChaseState::new();
+                let cfg = ChaseConfig::default();
+                let body = parse_query("q(X, Y) :- b(X, Y)").unwrap();
+                let head = vec![parse_atom("c(X, Y)").unwrap()];
+                apply_rule_local(&mut db, &body.atoms, &[], &head, &mut nulls, &mut st, &cfg)
+                    .unwrap()
+                    .inserted
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relational_hom");
+    for n in [100i64, 1_000] {
+        let a = db_with_chain(n);
+        let b = db_with_chain(n);
+        group.bench_with_input(BenchmarkId::new("ground_containment", n), &n, |bch, _| {
+            bch.iter(|| contained_modulo_nulls(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join, bench_chase, bench_hom);
+criterion_main!(benches);

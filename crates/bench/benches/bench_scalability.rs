@@ -1,0 +1,75 @@
+//! E3/E7 — scalability over network size, per topology family and data
+//! distribution (paper Section 5 preliminary experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_bench::experiments::run_workload;
+use p2p_core::config::UpdateMode;
+use p2p_topology::Topology;
+use p2p_workload::{Distribution, WorkloadConfig};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_scalability");
+    group.sample_size(10);
+    let cases = [
+        (
+            "tree",
+            Topology::Tree {
+                branching: 2,
+                depth: 2,
+            },
+        ),
+        (
+            "tree",
+            Topology::Tree {
+                branching: 2,
+                depth: 3,
+            },
+        ),
+        (
+            "tree",
+            Topology::Tree {
+                branching: 2,
+                depth: 4,
+            },
+        ),
+        (
+            "layered",
+            Topology::LayeredDag {
+                layers: 4,
+                width: 2,
+                fanout: 2,
+            },
+        ),
+        (
+            "layered",
+            Topology::LayeredDag {
+                layers: 4,
+                width: 4,
+                fanout: 2,
+            },
+        ),
+        ("clique", Topology::Clique { n: 3 }),
+        ("clique", Topology::Clique { n: 5 }),
+    ];
+    for (family, topology) in cases {
+        for (dist, dname) in [
+            (Distribution::Disjoint, "disjoint"),
+            (Distribution::OverlapNeighbors { percent: 50 }, "overlap50"),
+        ] {
+            let cfg = WorkloadConfig {
+                topology,
+                records_per_node: 30,
+                distribution: dist,
+                seed: 42,
+            };
+            let id = BenchmarkId::new(format!("{family}/{dname}"), topology.node_count());
+            group.bench_with_input(id, &cfg, |b, cfg| {
+                b.iter(|| run_workload(cfg, UpdateMode::Eager, true))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

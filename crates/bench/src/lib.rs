@@ -1,0 +1,16 @@
+//! # p2p-bench
+//!
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (see EXPERIMENTS.md at the workspace root for the index and
+//! the recorded outputs). The [`experiments`] module contains one function
+//! per experiment; the `repro` binary prints them all; the Criterion benches
+//! under `benches/` time the same functions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{RunPoint, Scale};
+pub use table::{linear_fit, Table};

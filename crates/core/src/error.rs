@@ -1,0 +1,81 @@
+//! Errors for the core crate.
+
+use p2p_topology::NodeId;
+use std::fmt;
+
+/// Result alias.
+pub type CoreResult<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised while building or running a P2P system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A rule references a node name/id that was never declared.
+    UnknownNode(String),
+    /// Two nodes were declared with the same id.
+    DuplicateNode(NodeId),
+    /// Two rules share a name.
+    DuplicateRule(String),
+    /// The rule has no body atoms or no head atoms.
+    MalformedRule(String),
+    /// A rule's head and body name the same node (Definition 2 requires
+    /// distinct indices).
+    SelfRule(String),
+    /// A rule head atom is not qualified and no default head node was given.
+    UnresolvedHead(String),
+    /// The rule failed validation against a node schema.
+    SchemaViolation {
+        /// The offending rule.
+        rule: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The rule set is not weakly acyclic and the configuration demands it.
+    NotWeaklyAcyclic {
+        /// A description of one offending cycle.
+        witness: String,
+    },
+    /// An error bubbled up from the relational engine.
+    Relational(p2p_relational::Error),
+    /// The run hit the simulator's event budget without quiescing.
+    Diverged {
+        /// Deliveries processed before giving up.
+        delivered: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            CoreError::DuplicateNode(n) => write!(f, "node {n} declared twice"),
+            CoreError::DuplicateRule(r) => write!(f, "rule `{r}` declared twice"),
+            CoreError::MalformedRule(r) => write!(f, "malformed rule `{r}`"),
+            CoreError::SelfRule(r) => {
+                write!(f, "rule `{r}` has head and body at the same node")
+            }
+            CoreError::UnresolvedHead(r) => write!(
+                f,
+                "rule `{r}` has an unqualified head atom and no default head node"
+            ),
+            CoreError::SchemaViolation { rule, detail } => {
+                write!(f, "rule `{rule}` violates a schema: {detail}")
+            }
+            CoreError::NotWeaklyAcyclic { witness } => {
+                write!(f, "rule set is not weakly acyclic: {witness}")
+            }
+            CoreError::Relational(e) => write!(f, "relational error: {e}"),
+            CoreError::Diverged { delivered } => write!(
+                f,
+                "network did not quiesce within the event budget ({delivered} deliveries)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<p2p_relational::Error> for CoreError {
+    fn from(e: p2p_relational::Error) -> Self {
+        CoreError::Relational(e)
+    }
+}

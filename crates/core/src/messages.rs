@@ -1,0 +1,349 @@
+//! Protocol messages.
+//!
+//! Message kinds reuse the paper's names where one exists (`requestNodes`,
+//! `Query`, `Answer` — see Figure 1); the wire-size estimates drive the
+//! byte accounting and bandwidth-aware latency of `p2p-net`.
+
+use crate::dynamic::ChangeOp;
+use crate::rule::{BodyPart, CoordinationRule, RuleId};
+use crate::stats::PeerStats;
+use p2p_net::Wire;
+use p2p_relational::value::NullId;
+use p2p_relational::Tuple;
+use p2p_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Rows shipped in an answer: bindings of a body part's variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnswerRows {
+    /// Variable names, defining the column order of `rows`.
+    pub vars: Vec<Arc<str>>,
+    /// One tuple per satisfying assignment.
+    pub rows: Vec<Tuple>,
+    /// Chase depths of labeled nulls occurring in `rows` (receivers feed
+    /// these into their own chase state so the depth safety valve is global).
+    pub null_depths: Vec<(NullId, u32)>,
+}
+
+impl AnswerRows {
+    /// Approximate serialized size.
+    pub fn wire_size(&self) -> usize {
+        8 + self.vars.len() * 8
+            + self.rows.iter().map(Tuple::wire_size).sum::<usize>()
+            + self.null_depths.len() * 12
+    }
+}
+
+/// All messages exchanged by peers (and by the external driver with the
+/// super-peer).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ProtocolMsg {
+    // ---------------- driver → super-peer commands ----------------
+    /// Kick off topology discovery (algorithm A1).
+    StartDiscovery,
+    /// Kick off a global update session.
+    StartUpdate {
+        /// Session epoch (increases across re-runs).
+        epoch: u32,
+    },
+    /// Kick off a **query-dependent** update (Section 5: the prototype
+    /// "supports both global and query-dependent updates handling"): the
+    /// receiving node refreshes only the data its own dependency paths can
+    /// reach, via pure A4 query propagation — no flood, no other roots.
+    StartScopedUpdate {
+        /// Session epoch.
+        epoch: u32,
+    },
+    /// Apply one dynamic network change (Section 4). The super-peer routes
+    /// the resulting `addRule`/`deleteRule` notification to the head node.
+    ApplyChange {
+        /// The change operation.
+        change: ChangeOp,
+    },
+    /// Ask every peer for its statistics (flooded; peers reply with
+    /// [`ProtocolMsg::StatsReport`] straight to the super-peer).
+    CollectStats,
+    /// Reset statistics at all peers (flooded).
+    ResetStats,
+    /// Replace the coordination rules of the whole network from a rule file
+    /// read by the super-peer (Section 5: "one peer can change the network
+    /// topology at runtime"). Flooded; every peer picks out the rules
+    /// relevant to it.
+    BroadcastRules {
+        /// The full new rule set.
+        rules: Vec<CoordinationRule>,
+    },
+
+    // ---------------- topology discovery (A1–A3) ----------------
+    /// `requestNodes(IDs, IDo)`: sender asks the recipient to explore on
+    /// behalf of `owner`.
+    RequestNodes {
+        /// The node on whose behalf discovery runs (`IDo`).
+        owner: NodeId,
+    },
+    /// `processAnswer(...)`: dependency edges discovered so far, plus the
+    /// answering node's discovery state.
+    DiscoveryAnswer {
+        /// Owner this answer serves.
+        owner: NodeId,
+        /// Dependency edges known to the answerer.
+        edges: BTreeSet<(NodeId, NodeId)>,
+        /// Answerer's `state_d == closed`.
+        closed: bool,
+        /// This branch of the exploration is exhausted.
+        finished: bool,
+    },
+    /// Owner's final broadcast: discovery is complete network-wide, every
+    /// participant may close and compute its maximal dependency paths.
+    DiscoveryClosed,
+
+    // ---------------- update, eager mode (A4–A6) ----------------
+    /// Global update request flooded along pipes (see
+    /// [`crate::config::Initiation::Flood`]).
+    UpdateFlood {
+        /// Update session epoch.
+        epoch: u32,
+    },
+    /// `Query(IDs, Q, SN)`: the head node of `rule` asks a body node for its
+    /// fragment's extension, subscribing itself for deltas.
+    Query {
+        /// Update session epoch.
+        epoch: u32,
+        /// The rule this query serves.
+        rule: RuleId,
+        /// The fragment to evaluate (atoms + pushed-down constraints).
+        part: BodyPart,
+        /// The dependency path the request travelled (the paper's `SN`).
+        sn: Vec<NodeId>,
+    },
+    /// `Answer(ID, QA, SN, state)`: fragment extension (delta or full).
+    Answer {
+        /// Update session epoch.
+        epoch: u32,
+        /// The rule being answered.
+        rule: RuleId,
+        /// The bindings.
+        rows: AnswerRows,
+        /// Sender's `state_u == closed` at send time — the paper's
+        /// completeness flag feeding the per-rule closure criterion.
+        complete: bool,
+        /// Sender re-opened after a dynamic change: the recipient must
+        /// invalidate the completeness it recorded for this rule.
+        reopen: bool,
+    },
+    /// Head node dropped the rule (dynamic `deleteLink`); the body node
+    /// removes the subscription.
+    Unsubscribe {
+        /// Update session epoch.
+        epoch: u32,
+        /// Rule whose subscription dies.
+        rule: RuleId,
+    },
+    /// Root's fix-point broadcast: the diffusing computation terminated;
+    /// everyone still open closes (`ClosedBy::RootBroadcast`).
+    Fixpoint {
+        /// Update session epoch.
+        epoch: u32,
+        /// Broadcast generation (re-broadcasts happen when dynamic changes
+        /// re-open and re-quiesce the same epoch).
+        generation: u32,
+    },
+    /// Dijkstra–Scholten acknowledgement (control plane).
+    Ack,
+
+    // ---------------- update, rounds mode ----------------
+    /// Round `round` begins: flooded along pipes, building the echo tree.
+    RoundStart {
+        /// Round number (1-based within an epoch).
+        round: u32,
+    },
+    /// Echo to the flood parent: this subtree is done with the round.
+    RoundEcho {
+        /// Round number.
+        round: u32,
+        /// Whether anything was inserted in the subtree this round.
+        dirty: bool,
+    },
+    /// Per-rule fragment query within a round.
+    WaveQuery {
+        /// Round number.
+        round: u32,
+        /// Rule served.
+        rule: RuleId,
+        /// Fragment to evaluate.
+        part: BodyPart,
+    },
+    /// Fragment extension for a round.
+    WaveAnswer {
+        /// Round number.
+        round: u32,
+        /// Rule served.
+        rule: RuleId,
+        /// Full bindings as of the answerer's current state.
+        rows: AnswerRows,
+    },
+    /// Clean-round broadcast: fix-point reached, close everywhere.
+    RoundsClosed {
+        /// Total rounds executed.
+        rounds: u32,
+    },
+
+    // ---------------- dynamic changes (Section 4) ----------------
+    /// `addRule(i, j, rule, id)` notification to the head node.
+    AddRule {
+        /// The new rule (already carrying its network-unique id).
+        rule: CoordinationRule,
+    },
+    /// `deleteRule(i, j, id)` notification to the head node.
+    DeleteRule {
+        /// The rule to drop.
+        rule: RuleId,
+    },
+
+    // ---------------- statistics ----------------
+    /// A peer's statistics, sent to the super-peer on `CollectStats`.
+    StatsReport {
+        /// The peer's counters.
+        stats: PeerStats,
+    },
+}
+
+impl ProtocolMsg {
+    /// True iff the message belongs to the eager update's diffusing
+    /// computation and must be tracked by Dijkstra–Scholten.
+    pub fn is_basic(&self) -> bool {
+        matches!(
+            self,
+            ProtocolMsg::UpdateFlood { .. }
+                | ProtocolMsg::Query { .. }
+                | ProtocolMsg::Answer { .. }
+                | ProtocolMsg::Unsubscribe { .. }
+                | ProtocolMsg::AddRule { .. }
+                | ProtocolMsg::DeleteRule { .. }
+        )
+    }
+}
+
+impl Wire for ProtocolMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            ProtocolMsg::StartDiscovery
+            | ProtocolMsg::StartUpdate { .. }
+            | ProtocolMsg::StartScopedUpdate { .. }
+            | ProtocolMsg::CollectStats
+            | ProtocolMsg::ResetStats
+            | ProtocolMsg::DiscoveryClosed
+            | ProtocolMsg::UpdateFlood { .. }
+            | ProtocolMsg::Fixpoint { .. }
+            | ProtocolMsg::Ack
+            | ProtocolMsg::RoundStart { .. }
+            | ProtocolMsg::RoundEcho { .. }
+            | ProtocolMsg::RoundsClosed { .. }
+            | ProtocolMsg::Unsubscribe { .. }
+            | ProtocolMsg::DeleteRule { .. } => 16,
+            ProtocolMsg::ApplyChange { change } => 16 + change.wire_size(),
+            ProtocolMsg::BroadcastRules { rules } => {
+                16 + rules.iter().map(CoordinationRule::wire_size).sum::<usize>()
+            }
+            ProtocolMsg::RequestNodes { .. } => 20,
+            ProtocolMsg::DiscoveryAnswer { edges, .. } => 24 + edges.len() * 8,
+            ProtocolMsg::Query { part, sn, .. } => 24 + part.atoms.len() * 16 + sn.len() * 4,
+            ProtocolMsg::Answer { rows, .. } => 24 + rows.wire_size(),
+            ProtocolMsg::WaveQuery { part, .. } => 24 + part.atoms.len() * 16,
+            ProtocolMsg::WaveAnswer { rows, .. } => 24 + rows.wire_size(),
+            ProtocolMsg::AddRule { rule } => 16 + rule.wire_size(),
+            ProtocolMsg::StatsReport { stats } => 16 + stats.wire_size(),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            ProtocolMsg::StartDiscovery => "StartDiscovery",
+            ProtocolMsg::StartUpdate { .. } => "StartUpdate",
+            ProtocolMsg::StartScopedUpdate { .. } => "StartScopedUpdate",
+            ProtocolMsg::ApplyChange { .. } => "ApplyChange",
+            ProtocolMsg::CollectStats => "CollectStats",
+            ProtocolMsg::ResetStats => "ResetStats",
+            ProtocolMsg::BroadcastRules { .. } => "BroadcastRules",
+            ProtocolMsg::RequestNodes { .. } => "requestNodes",
+            ProtocolMsg::DiscoveryAnswer { .. } => "processAnswer",
+            ProtocolMsg::DiscoveryClosed => "DiscoveryClosed",
+            ProtocolMsg::UpdateFlood { .. } => "UpdateFlood",
+            ProtocolMsg::Query { .. } => "Query",
+            ProtocolMsg::Answer { .. } => "Answer",
+            ProtocolMsg::Unsubscribe { .. } => "Unsubscribe",
+            ProtocolMsg::Fixpoint { .. } => "Fixpoint",
+            ProtocolMsg::Ack => "Ack",
+            ProtocolMsg::RoundStart { .. } => "RoundStart",
+            ProtocolMsg::RoundEcho { .. } => "RoundEcho",
+            ProtocolMsg::WaveQuery { .. } => "WaveQuery",
+            ProtocolMsg::WaveAnswer { .. } => "WaveAnswer",
+            ProtocolMsg::RoundsClosed { .. } => "RoundsClosed",
+            ProtocolMsg::AddRule { .. } => "addRule",
+            ProtocolMsg::DeleteRule { .. } => "deleteRule",
+            ProtocolMsg::StatsReport { .. } => "StatsReport",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_relational::Value;
+
+    #[test]
+    fn basic_classification() {
+        assert!(ProtocolMsg::UpdateFlood { epoch: 1 }.is_basic());
+        assert!(!ProtocolMsg::Ack.is_basic());
+        assert!(!ProtocolMsg::Fixpoint {
+            epoch: 1,
+            generation: 0
+        }
+        .is_basic());
+        assert!(!ProtocolMsg::RequestNodes { owner: NodeId(0) }.is_basic());
+        assert!(!ProtocolMsg::RoundStart { round: 1 }.is_basic());
+    }
+
+    #[test]
+    fn answer_size_scales_with_rows() {
+        let empty = ProtocolMsg::Answer {
+            epoch: 1,
+            rule: RuleId(0),
+            rows: AnswerRows::default(),
+            complete: false,
+            reopen: false,
+        };
+        let full = ProtocolMsg::Answer {
+            epoch: 1,
+            rule: RuleId(0),
+            rows: AnswerRows {
+                vars: vec![Arc::from("X")],
+                rows: (0..10).map(|i| Tuple::new(vec![Value::Int(i)])).collect(),
+                null_depths: vec![],
+            },
+            complete: false,
+            reopen: false,
+        };
+        assert!(full.wire_size() > empty.wire_size() + 80);
+    }
+
+    #[test]
+    fn kinds_match_paper_names() {
+        assert_eq!(
+            ProtocolMsg::RequestNodes { owner: NodeId(0) }.kind(),
+            "requestNodes"
+        );
+        assert_eq!(
+            ProtocolMsg::DiscoveryAnswer {
+                owner: NodeId(0),
+                edges: BTreeSet::new(),
+                closed: false,
+                finished: false
+            }
+            .kind(),
+            "processAnswer"
+        );
+    }
+}

@@ -1,0 +1,528 @@
+//! The eager (asynchronous) distributed update — algorithms A4–A6 of the
+//! paper with subscription-based re-answering.
+//!
+//! Data plane: the head node of each rule sends `Query` to the rule's body
+//! nodes (carrying the fragment and the `SN` path, A4); a queried node
+//! answers with its fragment's current extension and **subscribes** the
+//! asker (the paper's `owner` array); every time a node's local database
+//! grows it re-answers all its subscribers (A5's trailing `foreach`), with
+//! deltas when the delta optimization is on. Loops quiesce because answers
+//! only flow when they carry something new — the paper's "node N stops
+//! propagating a result set R iff N is contained in the path … and there is
+//! no new data in R".
+//!
+//! Closure: answers carry the sender's `state_u` (A5's completeness flag);
+//! a node closes bottom-up when all its rules' fragments are complete (the
+//! `Rules` flag criterion of Lemma 1), which resolves all of any acyclic
+//! region. Cyclic regions cannot self-certify this way; there the
+//! super-peer's Dijkstra–Scholten detector (see
+//! [`crate::termination`]) observes global quiescence and broadcasts
+//! `Fixpoint`, standing in for the paper's maximal-dependency-path flags
+//! (DESIGN.md §3, substitution 3).
+
+use crate::messages::ProtocolMsg;
+use crate::peer::DbPeer;
+use crate::rule::{BodyPart, RuleId};
+use crate::stats::ClosedBy;
+use p2p_net::Context;
+use p2p_relational::Tuple;
+use p2p_topology::NodeId;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// Progress of one rule fragment at the head node.
+#[derive(Debug, Clone, Default)]
+pub struct PartProgress {
+    /// Fragment variables (column order of `rows`).
+    pub vars: Vec<Arc<str>>,
+    /// Accumulated extension, in arrival order.
+    pub rows: Vec<Tuple>,
+    /// Fast membership for `rows`.
+    pub row_set: HashSet<Tuple>,
+    /// The body node reported `state_u == closed` (paper's rule flag).
+    pub complete: bool,
+    /// At least one answer arrived.
+    pub received: bool,
+}
+
+/// A subscription served to a rule's head node (body side).
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    /// The fragment to evaluate for this subscriber.
+    pub part: BodyPart,
+    /// Rows already shipped (delta base).
+    pub sent: HashSet<Tuple>,
+    /// Whether the last answer carried `complete = true`.
+    pub sent_complete: bool,
+}
+
+/// Eager-mode update session state.
+#[derive(Debug, Clone, Default)]
+pub struct EagerState {
+    /// Session epoch.
+    pub epoch: u32,
+    /// A session is in progress (or finished) at this node.
+    pub active: bool,
+    /// The start-request flood passed through here.
+    pub flood_seen: bool,
+    /// `state_u == closed`.
+    pub closed: bool,
+    /// Per-(rule, body node) fragment progress.
+    pub parts: BTreeMap<(RuleId, NodeId), PartProgress>,
+    /// Subscriptions served, keyed by (subscriber, rule).
+    pub subs: BTreeMap<(NodeId, RuleId), Subscription>,
+    /// Highest fix-point broadcast generation processed.
+    pub fixpoint_gen: u32,
+    /// A dynamic change touched this node (rule added/removed here, or a
+    /// reopen reached it). From then on the per-rule-flags early closure is
+    /// disabled for the epoch: a dynamically created dependency cycle would
+    /// otherwise let close/reopen notification waves chase each other around
+    /// the ring forever (each member re-closing on its predecessor's stale
+    /// completeness). Closure then comes from the root's fix-point
+    /// broadcast, which is always sound.
+    pub suppress_flag_closure: bool,
+}
+
+impl DbPeer {
+    /// Starts (or joins) the update session for `epoch`. `sn_base` is the
+    /// path of the query that caused the node to join (empty when joining
+    /// via flood or as the initiator). Returns true if a new session began.
+    pub(crate) fn begin_epoch(
+        &mut self,
+        epoch: u32,
+        ctx: &mut Context<ProtocolMsg>,
+        sn_base: &[NodeId],
+    ) -> bool {
+        if self.upd.active && self.upd.epoch >= epoch {
+            return false;
+        }
+        self.upd = EagerState {
+            epoch,
+            active: true,
+            flood_seen: false,
+            closed: self.rules.is_empty(),
+            parts: BTreeMap::new(),
+            subs: BTreeMap::new(),
+            fixpoint_gen: 0,
+            suppress_flag_closure: false,
+        };
+        if self.upd.closed {
+            // A node with no rules is trivially at its fix-point.
+            self.stats.closed_by = ClosedBy::RulesFlags;
+        } else {
+            self.stats.closed_by = ClosedBy::Open;
+        }
+        let rules: Vec<_> = self.rules.values().cloned().collect();
+        for rule in &rules {
+            for part in &rule.parts {
+                self.upd.parts.insert(
+                    (rule.id, part.node),
+                    PartProgress {
+                        vars: part.vars.clone(),
+                        ..Default::default()
+                    },
+                );
+            }
+        }
+        self.issue_queries(&rules, ctx, sn_base);
+        true
+    }
+
+    fn issue_queries(
+        &mut self,
+        rules: &[crate::rule::CoordinationRule],
+        ctx: &mut Context<ProtocolMsg>,
+        sn_base: &[NodeId],
+    ) {
+        let mut sn = sn_base.to_vec();
+        sn.push(self.id);
+        let epoch = self.upd.epoch;
+        for rule in rules {
+            for part in &rule.parts {
+                self.stats.queries_sent += 1;
+                self.send_basic(
+                    ctx,
+                    part.node,
+                    ProtocolMsg::Query {
+                        epoch,
+                        rule: rule.id,
+                        part: part.clone(),
+                        sn: sn.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Handles the flooded global update request.
+    pub(crate) fn on_update_flood(
+        &mut self,
+        from: NodeId,
+        epoch: u32,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        if self.upd.active && epoch < self.upd.epoch {
+            return;
+        }
+        self.add_pipe(from);
+        self.begin_epoch(epoch, ctx, &[]);
+        if !self.upd.flood_seen {
+            self.upd.flood_seen = true;
+            for p in self.pipes.clone() {
+                if p != from {
+                    self.send_basic(ctx, p, ProtocolMsg::UpdateFlood { epoch });
+                }
+            }
+        }
+    }
+
+    /// A4 — `Query(IDs, Q, SN)`.
+    pub(crate) fn on_query(
+        &mut self,
+        from: NodeId,
+        epoch: u32,
+        rule: RuleId,
+        part: BodyPart,
+        sn: Vec<NodeId>,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        self.stats.queries_received += 1;
+        if self.upd.active && epoch < self.upd.epoch {
+            return;
+        }
+        self.add_pipe(from);
+        // Joining via a query = A4's forwarding: our own queries extend SN.
+        self.begin_epoch(epoch, ctx, &sn);
+
+        if self.upd.subs.contains_key(&(from, rule)) {
+            self.stats.duplicate_queries += 1;
+        }
+        let mut sub = Subscription {
+            part,
+            sent: HashSet::new(),
+            sent_complete: false,
+        };
+        let rows = self.eval_part_local(&sub.part.clone(), ctx);
+        let complete = self.upd.closed;
+        let ship: Vec<Tuple> = rows.clone();
+        sub.sent.extend(rows);
+        sub.sent_complete = complete;
+        self.stats.answers_sent += 1;
+        self.stats.rows_shipped += ship.len() as u64;
+        let payload = self.make_answer_rows(&sub.part.vars.clone(), ship);
+        self.upd.subs.insert((from, rule), sub);
+        self.send_basic(
+            ctx,
+            from,
+            ProtocolMsg::Answer {
+                epoch,
+                rule,
+                rows: payload,
+                complete,
+                reopen: false,
+            },
+        );
+    }
+
+    /// A5 — `Answer(ID, QA, SN, state)`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_answer(
+        &mut self,
+        from: NodeId,
+        epoch: u32,
+        rule: RuleId,
+        rows: crate::messages::AnswerRows,
+        complete: bool,
+        reopen: bool,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        self.stats.answers_received += 1;
+        if !self.upd.active || epoch != self.upd.epoch {
+            return;
+        }
+        self.absorb_null_depths(&rows);
+        let Some(part) = self.upd.parts.get_mut(&(rule, from)) else {
+            // The rule was deleted while the answer was in flight.
+            return;
+        };
+        let first = !part.received;
+        part.received = true;
+        let mut grew = false;
+        for t in rows.rows {
+            if part.row_set.insert(t.clone()) {
+                part.rows.push(t);
+                grew = true;
+            }
+        }
+        if reopen {
+            part.complete = false;
+            self.upd.suppress_flag_closure = true;
+            self.reopen_if_closed(ctx);
+        } else if complete {
+            part.complete = true;
+        }
+        if grew || first {
+            let inserted = self.recompute_rule(rule);
+            if inserted > 0 {
+                // New local facts: cascade to subscribers (A5's trailing
+                // `foreach node ∈ π₁(owner)`).
+                self.reopen_if_closed(ctx);
+                self.push_deltas(ctx);
+            }
+        }
+        self.maybe_close_by_rules(ctx);
+    }
+
+    /// A6 applied to one rule: joins accumulated fragments and chases.
+    pub(crate) fn recompute_rule(&mut self, rule_id: RuleId) -> usize {
+        let Some(rule) = self.rules.get(&rule_id) else {
+            return 0;
+        };
+        let mut parts = Vec::with_capacity(rule.parts.len());
+        for part in &rule.parts {
+            let Some(progress) = self.upd.parts.get(&(rule_id, part.node)) else {
+                return 0;
+            };
+            if !progress.received {
+                return 0;
+            }
+            parts.push(crate::joins::VarRows {
+                vars: progress.vars.clone(),
+                rows: progress.rows.clone(),
+            });
+        }
+        self.apply_rule(rule_id, parts)
+    }
+
+    /// Re-answers subscribers whose fragment result changed.
+    pub(crate) fn push_deltas(&mut self, ctx: &mut Context<ProtocolMsg>) {
+        let keys: Vec<(NodeId, RuleId)> = self.upd.subs.keys().copied().collect();
+        let epoch = self.upd.epoch;
+        for key in keys {
+            let part = self.upd.subs[&key].part.clone();
+            let rows = self.eval_part_local(&part, ctx);
+            let closed = self.upd.closed;
+            let Some(sub) = self.upd.subs.get_mut(&key) else {
+                continue;
+            };
+            let delta: Vec<Tuple> = rows
+                .iter()
+                .filter(|t| !sub.sent.contains(*t))
+                .cloned()
+                .collect();
+            let completeness_news = closed && !sub.sent_complete;
+            if delta.is_empty() && !completeness_news {
+                continue;
+            }
+            sub.sent.extend(rows.iter().cloned());
+            sub.sent_complete = closed;
+            let ship = if self.config.delta_optimization {
+                delta
+            } else {
+                rows
+            };
+            self.stats.answers_sent += 1;
+            self.stats.rows_shipped += ship.len() as u64;
+            let payload = self.make_answer_rows(&part.vars, ship);
+            self.send_basic(
+                ctx,
+                key.0,
+                ProtocolMsg::Answer {
+                    epoch,
+                    rule: key.1,
+                    rows: payload,
+                    complete: closed,
+                    reopen: false,
+                },
+            );
+        }
+    }
+
+    /// Lemma 1's `Rules` criterion: every fragment of every rule reported
+    /// final data.
+    pub(crate) fn maybe_close_by_rules(&mut self, ctx: &mut Context<ProtocolMsg>) {
+        if self.upd.closed || !self.upd.active || self.upd.suppress_flag_closure {
+            return;
+        }
+        let all_complete = self
+            .rules
+            .values()
+            .flat_map(|r| r.parts.iter().map(move |p| (r.id, p.node)))
+            .all(|key| {
+                self.upd
+                    .parts
+                    .get(&key)
+                    .map(|p| p.complete)
+                    .unwrap_or(false)
+            });
+        if all_complete {
+            self.close(ClosedBy::RulesFlags, ctx);
+        }
+    }
+
+    /// Sets `state_u = closed` and (unless closed by the terminal broadcast,
+    /// after which nobody is listening) ships final completeness answers.
+    pub(crate) fn close(&mut self, by: ClosedBy, ctx: &mut Context<ProtocolMsg>) {
+        self.upd.closed = true;
+        self.stats.closed_by = by;
+        if by != ClosedBy::RootBroadcast {
+            self.push_deltas(ctx);
+        }
+    }
+
+    /// Re-opens after a dynamic change (or defensively when data arrives
+    /// post-closure) and cascades the invalidation to subscribers.
+    pub(crate) fn reopen_if_closed(&mut self, ctx: &mut Context<ProtocolMsg>) {
+        if !self.upd.closed {
+            return;
+        }
+        self.upd.closed = false;
+        self.upd.suppress_flag_closure = true;
+        self.stats.reopened += 1;
+        self.stats.closed_by = ClosedBy::Open;
+        let epoch = self.upd.epoch;
+        let keys: Vec<(NodeId, RuleId)> = self.upd.subs.keys().copied().collect();
+        for key in keys {
+            // Only subscribers that saw `complete = true` hold stale
+            // completeness to invalidate.
+            let needs_reopen = match self.upd.subs.get_mut(&key) {
+                Some(sub) if sub.sent_complete => {
+                    sub.sent_complete = false;
+                    true
+                }
+                _ => false,
+            };
+            if !needs_reopen {
+                continue;
+            }
+            self.stats.answers_sent += 1;
+            self.send_basic(
+                ctx,
+                key.0,
+                ProtocolMsg::Answer {
+                    epoch,
+                    rule: key.1,
+                    rows: Default::default(),
+                    complete: false,
+                    reopen: true,
+                },
+            );
+        }
+    }
+
+    /// Fix-point broadcast from the super-peer.
+    pub(crate) fn on_fixpoint(&mut self, epoch: u32, generation: u32) {
+        if !self.upd.active {
+            // The session never reached this node (no pipes connect it to
+            // the super-peer's component). A rule-less node is trivially at
+            // its fix-point and may close; a node *with* rules in a
+            // disconnected component genuinely was not updated and must
+            // stay open (Lemma 1: closed ⇔ fix-point reached *here*).
+            if self.rules.is_empty() {
+                self.upd = EagerState {
+                    epoch,
+                    active: true,
+                    closed: true,
+                    fixpoint_gen: generation,
+                    ..Default::default()
+                };
+                self.stats.closed_by = ClosedBy::RootBroadcast;
+            }
+            return;
+        }
+        if epoch != self.upd.epoch || generation <= self.upd.fixpoint_gen {
+            return;
+        }
+        self.upd.fixpoint_gen = generation;
+        if !self.upd.closed {
+            self.upd.closed = true;
+            self.stats.closed_by = ClosedBy::RootBroadcast;
+        }
+    }
+
+    /// Root side of the broadcast (invoked by the Dijkstra–Scholten hook).
+    pub(crate) fn broadcast_fixpoint(&mut self, ctx: &mut Context<ProtocolMsg>) {
+        self.sup.fixpoint_generation += 1;
+        let generation = self.sup.fixpoint_generation;
+        let epoch = self.upd.epoch;
+        for n in self.sup.all_nodes.clone() {
+            if n != self.id {
+                ctx.send(n, ProtocolMsg::Fixpoint { epoch, generation });
+            }
+        }
+        self.on_fixpoint(epoch, generation);
+    }
+
+    /// `addRule` notification (dynamic change, Section 4).
+    pub(crate) fn on_add_rule(
+        &mut self,
+        rule: crate::rule::CoordinationRule,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        let parts: Vec<BodyPart> = rule.parts.clone();
+        let rule_id = rule.id;
+        let epoch = self.upd.epoch;
+        self.install_rule(rule);
+        if !self.upd.active {
+            return; // Will be queried at the next session start.
+        }
+        self.upd.suppress_flag_closure = true;
+        for part in &parts {
+            self.upd.parts.insert(
+                (rule_id, part.node),
+                PartProgress {
+                    vars: part.vars.clone(),
+                    ..Default::default()
+                },
+            );
+        }
+        self.reopen_if_closed(ctx);
+        let mut sn = vec![self.id];
+        sn.shrink_to_fit();
+        for part in parts {
+            self.stats.queries_sent += 1;
+            self.send_basic(
+                ctx,
+                part.node,
+                ProtocolMsg::Query {
+                    epoch,
+                    rule: rule_id,
+                    part,
+                    sn: sn.clone(),
+                },
+            );
+        }
+    }
+
+    /// `deleteRule` notification (dynamic change, Section 4). Previously
+    /// imported data is kept — consistent with Definition 9 (see
+    /// `crate::dynamic`).
+    pub(crate) fn on_delete_rule(&mut self, rule_id: RuleId, ctx: &mut Context<ProtocolMsg>) {
+        let Some(rule) = self.rules.remove(&rule_id) else {
+            return;
+        };
+        if self.upd.active {
+            self.upd.suppress_flag_closure = true;
+            let epoch = self.upd.epoch;
+            for part in &rule.parts {
+                self.upd.parts.remove(&(rule_id, part.node));
+                self.send_basic(
+                    ctx,
+                    part.node,
+                    ProtocolMsg::Unsubscribe {
+                        epoch,
+                        rule: rule_id,
+                    },
+                );
+            }
+            self.maybe_close_by_rules(ctx);
+        }
+    }
+
+    /// Body-node side of `deleteRule`.
+    pub(crate) fn on_unsubscribe(&mut self, from: NodeId, epoch: u32, rule: RuleId) {
+        if self.upd.active && epoch == self.upd.epoch {
+            self.upd.subs.remove(&(from, rule));
+        }
+    }
+}

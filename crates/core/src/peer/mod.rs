@@ -1,0 +1,457 @@
+//! The peer state machine.
+//!
+//! One [`DbPeer`] per node implements `p2p_net::Peer<ProtocolMsg>` and runs
+//! every protocol of the paper:
+//!
+//! * topology discovery (algorithms A1–A3) — [`discovery`];
+//! * the eager (asynchronous) distributed update (A4–A6 with
+//!   subscription-based re-answering and Dijkstra–Scholten termination) —
+//!   [`eager`];
+//! * the synchronous rounds update (the paper's "synchronous alternative")
+//!   — [`rounds`];
+//! * super-peer duties (driving, dynamic changes, statistics collection,
+//!   rule-file broadcast — Section 5) — [`superpeer`].
+//!
+//! Handlers are atomic; all cross-node effects go through the runtime
+//! context, and every observable iteration order is deterministic.
+
+pub mod discovery;
+pub mod eager;
+pub mod rounds;
+pub mod superpeer;
+
+use crate::config::{SystemConfig, UpdateMode};
+use crate::messages::ProtocolMsg;
+use crate::rule::{CoordinationRule, RuleId};
+use crate::stats::{ClosedBy, PeerStats};
+use crate::termination::{AckDecision, DiffusingState, Disengage};
+use p2p_net::{Context, Peer};
+use p2p_relational::chase::{ChaseConfig, ChaseState};
+use p2p_relational::{Database, NullFactory, Tuple};
+use p2p_topology::NodeId;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Arc;
+
+pub use discovery::DiscoveryState;
+pub use eager::{EagerState, PartProgress, Subscription};
+pub use rounds::RoundsState;
+pub use superpeer::SuperState;
+
+/// A database peer: local database, coordination rules targeting it, and
+/// all protocol state.
+#[derive(Debug)]
+pub struct DbPeer {
+    /// This node's id.
+    pub(crate) id: NodeId,
+    /// Whether this node is the designated super-peer.
+    pub(crate) is_super: bool,
+    /// Run configuration (shared across the network).
+    pub(crate) config: SystemConfig,
+    /// The local database (`LDB`).
+    pub(crate) db: Database,
+    /// Fresh-null mint for existential head variables.
+    pub(crate) nulls: NullFactory,
+    /// Chase bookkeeping (null depths).
+    pub(crate) chase: ChaseState,
+    /// Chase configuration.
+    pub(crate) chase_cfg: ChaseConfig,
+    /// Coordination rules whose head is this node (the paper: "initially
+    /// each node knows all rules of which it is a target").
+    pub(crate) rules: BTreeMap<RuleId, CoordinationRule>,
+    /// Pipe neighbours (rule sources *and* rule targets, Section 5).
+    pub(crate) pipes: BTreeSet<NodeId>,
+    /// Whether this node lies on a dependency cycle (used by rounds mode to
+    /// decide deferred vs. immediate wave answers; `true` is always safe).
+    pub(crate) in_cycle: bool,
+    /// Statistics module counters.
+    pub(crate) stats: PeerStats,
+    /// Discovery protocol state.
+    pub(crate) disc: DiscoveryState,
+    /// Eager update state.
+    pub(crate) upd: EagerState,
+    /// Dijkstra–Scholten state (eager mode).
+    pub(crate) ds: DiffusingState,
+    /// Rounds update state.
+    pub(crate) rnd: RoundsState,
+    /// Super-peer driver state.
+    pub(crate) sup: SuperState,
+    /// Errors recorded during handlers (runtime handlers cannot return
+    /// `Result`; the system driver surfaces these after the run).
+    pub(crate) errors: Vec<String>,
+    /// Exactly-once dedup: `(sender, msg_id)` pairs already processed.
+    /// Fault-injected duplicate deliveries share the sender-assigned id, so
+    /// dropping repeats here keeps both the data plane and the
+    /// Dijkstra–Scholten accounting sound under duplication (TCP/JXTA pipes
+    /// provide the same guarantee).
+    pub(crate) seen_msgs: HashSet<(NodeId, u64)>,
+}
+
+impl DbPeer {
+    /// Creates a peer.
+    pub fn new(id: NodeId, db: Database, config: SystemConfig) -> Self {
+        DbPeer {
+            id,
+            is_super: false,
+            chase_cfg: ChaseConfig {
+                max_null_depth: config.max_null_depth,
+            },
+            config,
+            db,
+            nulls: NullFactory::new(id.0),
+            chase: ChaseState::new(),
+            rules: BTreeMap::new(),
+            pipes: BTreeSet::new(),
+            in_cycle: true,
+            stats: PeerStats::default(),
+            disc: DiscoveryState::default(),
+            upd: EagerState::default(),
+            ds: DiffusingState::new(),
+            rnd: RoundsState::default(),
+            sup: SuperState::default(),
+            errors: Vec::new(),
+            seen_msgs: HashSet::new(),
+        }
+    }
+
+    /// Marks this node as the super-peer, telling it the full node roster
+    /// (the paper's super-peer reads the network's rule file, so global
+    /// rosters are within its powers).
+    pub fn make_super(&mut self, all_nodes: Vec<NodeId>) {
+        self.is_super = true;
+        self.sup.all_nodes = all_nodes;
+    }
+
+    /// Installs the node roster (every peer gets one at build time so any
+    /// node can act as the root of a query-dependent update).
+    pub fn set_roster(&mut self, all_nodes: Vec<NodeId>) {
+        self.sup.all_nodes = all_nodes;
+    }
+
+    /// Installs a rule with head at this node.
+    pub fn install_rule(&mut self, rule: CoordinationRule) {
+        debug_assert_eq!(rule.head_node, self.id);
+        for p in &rule.parts {
+            self.pipes.insert(p.node);
+        }
+        self.rules.insert(rule.id, rule);
+    }
+
+    /// Registers a pipe neighbour (rule sources learn their targets when the
+    /// target opens the pipe).
+    pub fn add_pipe(&mut self, neighbor: NodeId) {
+        if neighbor != self.id {
+            self.pipes.insert(neighbor);
+        }
+    }
+
+    /// Sets the cyclicity hint: whether this node lies on a dependency
+    /// cycle (rounds mode uses it to choose deferred vs. immediate wave
+    /// answers; `true` is always safe).
+    pub fn set_cycle_hint(&mut self, in_cycle: bool) {
+        self.in_cycle = in_cycle;
+    }
+
+    // ----------------------------------------------------------------
+    // Read accessors (assertions, reports, baselines)
+    // ----------------------------------------------------------------
+
+    /// Node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The local database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access (workload seeding).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &PeerStats {
+        &self.stats
+    }
+
+    /// `state_u == closed`.
+    pub fn update_closed(&self) -> bool {
+        match self.config.mode {
+            UpdateMode::Eager => self.upd.closed,
+            UpdateMode::Rounds => self.rnd.closed,
+        }
+    }
+
+    /// How the node closed.
+    pub fn closed_by(&self) -> ClosedBy {
+        self.stats.closed_by
+    }
+
+    /// `state_d == closed`.
+    pub fn discovery_closed(&self) -> bool {
+        self.disc.state_closed
+    }
+
+    /// Whether this node participated in a discovery at all (nodes outside
+    /// the initiating owner's dependency-reachable region never do — the
+    /// paper's single-owner discovery has exactly this footprint).
+    pub fn discovery_started(&self) -> bool {
+        self.disc.started
+    }
+
+    /// Maximal dependency paths learned in discovery (None before closure).
+    pub fn paths(&self) -> Option<&[Vec<NodeId>]> {
+        self.disc.paths.as_deref()
+    }
+
+    /// Dependency edges learned in discovery.
+    pub fn known_edges(&self) -> &BTreeSet<(NodeId, NodeId)> {
+        &self.disc.edges
+    }
+
+    /// Errors recorded while running.
+    pub fn errors(&self) -> &[String] {
+        &self.errors
+    }
+
+    /// Rules currently installed at this node.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    // ----------------------------------------------------------------
+    // Shared helpers
+    // ----------------------------------------------------------------
+
+    /// Records a handler-side error.
+    pub(crate) fn fail(&mut self, err: impl ToString) {
+        self.errors.push(err.to_string());
+    }
+
+    /// Dependency edges induced by this node's own rules.
+    pub(crate) fn own_edges(&self) -> BTreeSet<(NodeId, NodeId)> {
+        self.rules
+            .values()
+            .flat_map(|r| r.parts.iter().map(|p| (self.id, p.node)))
+            .collect()
+    }
+
+    /// Distinct body nodes of this node's rules (its dependency successors).
+    pub(crate) fn successors(&self) -> BTreeSet<NodeId> {
+        self.rules
+            .values()
+            .flat_map(|r| r.parts.iter().map(|p| p.node))
+            .collect()
+    }
+
+    /// Evaluates one fragment over the local database, with statistics and
+    /// processing-cost accounting.
+    pub(crate) fn eval_part_local(
+        &mut self,
+        part: &crate::rule::BodyPart,
+        ctx: &mut Context<ProtocolMsg>,
+    ) -> Vec<Tuple> {
+        self.stats.local_evaluations += 1;
+        match crate::joins::eval_part(part, &self.db) {
+            Ok(rows) => {
+                let cost =
+                    p2p_net::SimTime(self.config.cost_per_tuple.as_micros() * rows.len() as u64);
+                ctx.charge(cost);
+                rows
+            }
+            Err(e) => {
+                self.fail(format!("fragment evaluation failed: {e}"));
+                Vec::new()
+            }
+        }
+    }
+
+    /// Joins the given fragment extensions for `rule` and chases the head
+    /// into the local database. Returns the number of facts inserted.
+    pub(crate) fn apply_rule(
+        &mut self,
+        rule_id: RuleId,
+        parts: Vec<crate::joins::VarRows>,
+    ) -> usize {
+        let Some(rule) = self.rules.get(&rule_id).cloned() else {
+            return 0;
+        };
+        let bindings = crate::joins::join_parts(&parts, &rule.join_constraints);
+        match crate::joins::apply_rule_head(
+            &rule,
+            &bindings,
+            &mut self.db,
+            &mut self.nulls,
+            &mut self.chase,
+            &self.chase_cfg,
+        ) {
+            Ok(outcome) => {
+                self.stats.tuples_inserted += outcome.inserted.len() as u64;
+                self.stats.nulls_minted += outcome.nulls_minted as u64;
+                outcome.inserted.len()
+            }
+            Err(e) => {
+                self.fail(format!("rule {} application failed: {e}", rule.name));
+                0
+            }
+        }
+    }
+
+    /// Builds the [`crate::messages::AnswerRows`] payload for shipping,
+    /// collecting chase depths of any nulls on board.
+    pub(crate) fn make_answer_rows(
+        &self,
+        vars: &[Arc<str>],
+        rows: Vec<Tuple>,
+    ) -> crate::messages::AnswerRows {
+        let mut null_depths = Vec::new();
+        let mut seen = HashSet::new();
+        for t in &rows {
+            for (id, depth) in self.chase.depths_for(t) {
+                if seen.insert(id) {
+                    null_depths.push((id, depth));
+                }
+            }
+        }
+        crate::messages::AnswerRows {
+            vars: vars.to_vec(),
+            rows,
+            null_depths,
+        }
+    }
+
+    /// Records null depths arriving with an answer.
+    pub(crate) fn absorb_null_depths(&mut self, rows: &crate::messages::AnswerRows) {
+        for (id, depth) in &rows.null_depths {
+            self.chase.record(*id, *depth);
+        }
+    }
+
+    /// Sends a Dijkstra–Scholten *basic* message (eager mode): counts the
+    /// deficit and wakes the root-quiet flag.
+    pub(crate) fn send_basic(
+        &mut self,
+        ctx: &mut Context<ProtocolMsg>,
+        to: NodeId,
+        msg: ProtocolMsg,
+    ) {
+        debug_assert!(msg.is_basic(), "send_basic used for a control message");
+        self.ds.on_send();
+        self.sup.root_quiet = false;
+        ctx.send(to, msg);
+    }
+
+    /// Post-event hook: runs Dijkstra–Scholten disengagement and, at the
+    /// root, the fix-point broadcast.
+    fn after_event(&mut self, ctx: &mut Context<ProtocolMsg>) {
+        if self.config.mode != UpdateMode::Eager {
+            return;
+        }
+        match self.ds.try_disengage() {
+            Disengage::None => {}
+            Disengage::AckParent(parent) => ctx.send(parent, ProtocolMsg::Ack),
+            Disengage::RootTerminated => {
+                if self.is_super && self.upd.active && !self.sup.root_quiet {
+                    self.sup.root_quiet = true;
+                    self.broadcast_fixpoint(ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Peer<ProtocolMsg> for DbPeer {
+    fn on_envelope(
+        &mut self,
+        from: NodeId,
+        msg_id: u64,
+        msg: ProtocolMsg,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        // Exactly-once: fault-injected duplicates carry the same msg_id.
+        if !self.seen_msgs.insert((from, msg_id)) {
+            return;
+        }
+        self.on_message(from, msg, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: ProtocolMsg, ctx: &mut Context<ProtocolMsg>) {
+        ctx.charge(self.config.cost_per_message);
+
+        // Dijkstra–Scholten transport layer (eager mode only).
+        if self.config.mode == UpdateMode::Eager {
+            if let ProtocolMsg::Ack = msg {
+                self.ds.on_ack();
+                self.after_event(ctx);
+                return;
+            }
+        }
+        let ack = if self.config.mode == UpdateMode::Eager && msg.is_basic() {
+            Some(self.ds.on_receive(from))
+        } else {
+            None
+        };
+
+        match msg {
+            // Driver commands (super-peer).
+            ProtocolMsg::StartDiscovery => self.start_discovery(ctx),
+            ProtocolMsg::StartUpdate { epoch } => self.start_update(epoch, ctx),
+            ProtocolMsg::StartScopedUpdate { epoch } => self.start_scoped_update(epoch, ctx),
+            ProtocolMsg::ApplyChange { change } => self.apply_change(change, ctx),
+            ProtocolMsg::CollectStats => self.on_collect_stats(from, ctx),
+            ProtocolMsg::ResetStats => self.on_reset_stats(from, ctx),
+            ProtocolMsg::BroadcastRules { rules } => self.on_broadcast_rules(from, rules, ctx),
+            ProtocolMsg::StatsReport { stats } => self.on_stats_report(from, stats),
+
+            // Discovery.
+            ProtocolMsg::RequestNodes { owner } => self.on_request_nodes(from, owner, ctx),
+            ProtocolMsg::DiscoveryAnswer {
+                owner,
+                edges,
+                closed,
+                finished,
+            } => self.on_discovery_answer(from, owner, edges, closed, finished, ctx),
+            ProtocolMsg::DiscoveryClosed => self.on_discovery_closed(),
+
+            // Eager update.
+            ProtocolMsg::UpdateFlood { epoch } => self.on_update_flood(from, epoch, ctx),
+            ProtocolMsg::Query {
+                epoch,
+                rule,
+                part,
+                sn,
+            } => self.on_query(from, epoch, rule, part, sn, ctx),
+            ProtocolMsg::Answer {
+                epoch,
+                rule,
+                rows,
+                complete,
+                reopen,
+            } => self.on_answer(from, epoch, rule, rows, complete, reopen, ctx),
+            ProtocolMsg::Unsubscribe { epoch, rule } => self.on_unsubscribe(from, epoch, rule),
+            ProtocolMsg::Fixpoint { epoch, generation } => self.on_fixpoint(epoch, generation),
+            ProtocolMsg::Ack => { /* handled above */ }
+
+            // Dynamic changes.
+            ProtocolMsg::AddRule { rule } => self.on_add_rule(rule, ctx),
+            ProtocolMsg::DeleteRule { rule } => self.on_delete_rule(rule, ctx),
+
+            // Rounds mode.
+            ProtocolMsg::RoundStart { round } => self.on_round_start(from, round, ctx),
+            ProtocolMsg::RoundEcho { round, dirty } => self.on_round_echo(round, dirty, ctx),
+            ProtocolMsg::WaveQuery { round, rule, part } => {
+                self.on_wave_query(from, round, rule, part, ctx)
+            }
+            ProtocolMsg::WaveAnswer { round, rule, rows } => {
+                self.on_wave_answer(from, round, rule, rows, ctx)
+            }
+            ProtocolMsg::RoundsClosed { rounds } => self.on_rounds_closed(rounds),
+        }
+
+        if ack == Some(AckDecision::Immediate) {
+            ctx.send(from, ProtocolMsg::Ack);
+        }
+        self.after_event(ctx);
+    }
+}

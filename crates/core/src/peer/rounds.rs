@@ -1,0 +1,347 @@
+//! The synchronous rounds update — the paper's "synchronous alternative"
+//! (Section 1: the asynchronous model "may be faster at expense of an
+//! increase of the number of messages"; this mode is the other end of that
+//! trade-off).
+//!
+//! One round = a propagation-of-information-with-feedback (echo) wave:
+//!
+//! 1. the super-peer floods `RoundStart` along pipes, building a spanning
+//!    tree (first-contact parent);
+//! 2. every node issues `WaveQuery` for each of its rule fragments;
+//! 3. acyclic nodes *defer* their `WaveAnswer`s until their own fragments
+//!    have answered (so one wave carries data all the way up a DAG — this is
+//!    what keeps tree/layered execution time linear in depth); nodes on
+//!    dependency cycles answer immediately with current data (cutting the
+//!    wait cycles that would otherwise deadlock);
+//! 4. each node echoes to its flood parent once its fragments have answered
+//!    and all its flood children have echoed, aggregating a `dirty` bit
+//!    ("did anything get inserted in this subtree?");
+//! 5. the root starts round *k+1* iff round *k* was dirty, else broadcasts
+//!    `RoundsClosed` — the paper's fix-point, reached when a full wave
+//!    produced no new data anywhere (exactly the condition its
+//!    maximal-dependency-path flags certify).
+
+use crate::messages::ProtocolMsg;
+use crate::peer::DbPeer;
+use crate::rule::{BodyPart, RuleId};
+use crate::stats::ClosedBy;
+use p2p_net::Context;
+use p2p_relational::Tuple;
+use p2p_topology::NodeId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A shipped fragment extension: variable names plus rows over them.
+pub type WaveRows = (Vec<Arc<str>>, Vec<Tuple>);
+
+/// Rounds-mode state of one peer.
+#[derive(Debug, Clone, Default)]
+pub struct RoundsState {
+    /// A rounds session is active.
+    pub active: bool,
+    /// Current round (1-based).
+    pub round: u32,
+    /// The round's flood reached this node.
+    pub flood_seen: bool,
+    /// Flood parent (None at the root).
+    pub flood_parent: Option<NodeId>,
+    /// Echoes still expected from pipe neighbours.
+    pub pending_echoes: usize,
+    /// Aggregated dirtiness of children subtrees.
+    pub child_dirty: bool,
+    /// Wave answers still expected for own fragments.
+    pub pending_answers: usize,
+    /// Facts were inserted at this node this round.
+    pub dirty_self: bool,
+    /// Echo already sent this round.
+    pub echoed: bool,
+    /// Queries deferred until own fragments answered.
+    pub deferred: Vec<(NodeId, RuleId, BodyPart)>,
+    /// Fragment extensions received this round: `(vars, rows)` per
+    /// `(rule, body node)`.
+    pub wave_parts: BTreeMap<(RuleId, NodeId), WaveRows>,
+    /// Fix-point reached.
+    pub closed: bool,
+    /// Total rounds executed (set at closure; at the root, running count).
+    pub rounds_done: u32,
+}
+
+impl RoundsState {
+    fn waves_done(&self) -> bool {
+        self.pending_answers == 0
+    }
+}
+
+impl DbPeer {
+    /// Root: begin rounds-mode session.
+    pub(crate) fn start_rounds(&mut self, ctx: &mut Context<ProtocolMsg>) {
+        self.rnd = RoundsState {
+            active: true,
+            ..Default::default()
+        };
+        self.start_round(1, ctx);
+    }
+
+    fn start_round(&mut self, round: u32, ctx: &mut Context<ProtocolMsg>) {
+        self.enter_round(round, ctx);
+        self.rnd.flood_seen = true;
+        self.rnd.flood_parent = None;
+        self.rnd.rounds_done = round;
+        // Pipes plus the full roster: components not pipe-connected to the
+        // root must still participate in the wave (same rationale as the
+        // eager flood's direct-coverage backstop).
+        let mut targets: std::collections::BTreeSet<NodeId> = self.pipes.clone();
+        targets.extend(self.sup.all_nodes.iter().copied());
+        targets.remove(&self.id);
+        self.rnd.pending_echoes = targets.len();
+        for p in targets {
+            ctx.send(p, ProtocolMsg::RoundStart { round });
+        }
+        self.maybe_echo(ctx);
+    }
+
+    /// Resets per-round state and issues this node's wave queries. Called on
+    /// first contact with a round (flood or query, whichever arrives first).
+    fn enter_round(&mut self, round: u32, ctx: &mut Context<ProtocolMsg>) {
+        if self.rnd.active && self.rnd.round >= round {
+            return;
+        }
+        self.stats.rounds += 1;
+        self.rnd = RoundsState {
+            active: true,
+            round,
+            closed: false,
+            ..Default::default()
+        };
+        let rules: Vec<_> = self.rules.values().cloned().collect();
+        let mut expected = 0usize;
+        for rule in &rules {
+            for part in &rule.parts {
+                expected += 1;
+                self.stats.queries_sent += 1;
+                ctx.send(
+                    part.node,
+                    ProtocolMsg::WaveQuery {
+                        round,
+                        rule: rule.id,
+                        part: part.clone(),
+                    },
+                );
+            }
+        }
+        self.rnd.pending_answers = expected;
+    }
+
+    /// Flood handler.
+    pub(crate) fn on_round_start(
+        &mut self,
+        from: NodeId,
+        round: u32,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        self.add_pipe(from);
+        self.enter_round(round, ctx);
+        if round < self.rnd.round {
+            // Stale flood from a previous round: answer so the (obsolete)
+            // counter drains; the sender ignores stale echoes.
+            ctx.send(
+                from,
+                ProtocolMsg::RoundEcho {
+                    round,
+                    dirty: false,
+                },
+            );
+            return;
+        }
+        if !self.rnd.flood_seen {
+            self.rnd.flood_seen = true;
+            self.rnd.flood_parent = Some(from);
+            let targets: Vec<NodeId> = self.pipes.iter().copied().filter(|p| *p != from).collect();
+            self.rnd.pending_echoes = targets.len();
+            for p in targets {
+                ctx.send(p, ProtocolMsg::RoundStart { round });
+            }
+            self.maybe_echo(ctx);
+        } else {
+            // Duplicate contact: immediate non-child echo.
+            ctx.send(
+                from,
+                ProtocolMsg::RoundEcho {
+                    round,
+                    dirty: false,
+                },
+            );
+        }
+    }
+
+    /// Wave query handler.
+    pub(crate) fn on_wave_query(
+        &mut self,
+        from: NodeId,
+        round: u32,
+        rule: RuleId,
+        part: BodyPart,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        self.stats.queries_received += 1;
+        self.add_pipe(from);
+        self.enter_round(round, ctx);
+        if round < self.rnd.round {
+            // Stale: answer with current data so the old round can't wedge.
+            self.answer_wave(from, round, rule, &part, ctx);
+            return;
+        }
+        let defer = !self.in_cycle && !self.rnd.waves_done();
+        if defer {
+            self.rnd.deferred.push((from, rule, part));
+        } else {
+            self.answer_wave(from, round, rule, &part, ctx);
+        }
+    }
+
+    fn answer_wave(
+        &mut self,
+        to: NodeId,
+        round: u32,
+        rule: RuleId,
+        part: &BodyPart,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        let rows = self.eval_part_local(part, ctx);
+        self.stats.answers_sent += 1;
+        self.stats.rows_shipped += rows.len() as u64;
+        let payload = self.make_answer_rows(&part.vars, rows);
+        ctx.send(
+            to,
+            ProtocolMsg::WaveAnswer {
+                round,
+                rule,
+                rows: payload,
+            },
+        );
+    }
+
+    /// Wave answer handler.
+    pub(crate) fn on_wave_answer(
+        &mut self,
+        from: NodeId,
+        round: u32,
+        rule: RuleId,
+        rows: crate::messages::AnswerRows,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        self.stats.answers_received += 1;
+        if !self.rnd.active || round != self.rnd.round {
+            return; // Stale answer for a finished round.
+        }
+        self.absorb_null_depths(&rows);
+        self.rnd
+            .wave_parts
+            .insert((rule, from), (rows.vars.clone(), rows.rows));
+        self.rnd.pending_answers = self.rnd.pending_answers.saturating_sub(1);
+
+        // Recompute the rule if all its fragments arrived this round.
+        let complete_parts: Option<Vec<crate::joins::VarRows>> = self
+            .rules
+            .get(&rule)
+            .map(|r| r.parts.clone())
+            .map(|parts| {
+                parts
+                    .iter()
+                    .map(|p| {
+                        self.rnd
+                            .wave_parts
+                            .get(&(rule, p.node))
+                            .map(|(vars, rows)| crate::joins::VarRows {
+                                vars: vars.clone(),
+                                rows: rows.clone(),
+                            })
+                    })
+                    .collect::<Option<Vec<_>>>()
+            })
+            .unwrap_or(None);
+        if let Some(parts) = complete_parts {
+            let inserted = self.apply_rule(rule, parts);
+            if inserted > 0 {
+                self.rnd.dirty_self = true;
+            }
+        }
+
+        if self.rnd.waves_done() {
+            // Serve the queries we held back.
+            let deferred = std::mem::take(&mut self.rnd.deferred);
+            let r = self.rnd.round;
+            for (to, d_rule, d_part) in deferred {
+                self.answer_wave(to, r, d_rule, &d_part, ctx);
+            }
+            self.maybe_echo(ctx);
+        }
+    }
+
+    /// Echo handler.
+    pub(crate) fn on_round_echo(
+        &mut self,
+        round: u32,
+        dirty: bool,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        if !self.rnd.active || round != self.rnd.round {
+            return;
+        }
+        self.rnd.pending_echoes = self.rnd.pending_echoes.saturating_sub(1);
+        self.rnd.child_dirty |= dirty;
+        self.maybe_echo(ctx);
+    }
+
+    fn maybe_echo(&mut self, ctx: &mut Context<ProtocolMsg>) {
+        if !self.rnd.flood_seen
+            || self.rnd.echoed
+            || !self.rnd.waves_done()
+            || self.rnd.pending_echoes > 0
+        {
+            return;
+        }
+        self.rnd.echoed = true;
+        let dirty = self.rnd.dirty_self || self.rnd.child_dirty;
+        match self.rnd.flood_parent {
+            Some(parent) => {
+                ctx.send(
+                    parent,
+                    ProtocolMsg::RoundEcho {
+                        round: self.rnd.round,
+                        dirty,
+                    },
+                );
+            }
+            None => {
+                // Root: the round is complete.
+                if dirty {
+                    let next = self.rnd.round + 1;
+                    self.start_round(next, ctx);
+                } else {
+                    let rounds = self.rnd.round;
+                    self.rnd.closed = true;
+                    self.rnd.rounds_done = rounds;
+                    self.stats.closed_by = ClosedBy::CleanRound;
+                    for n in self.sup.all_nodes.clone() {
+                        if n != self.id {
+                            ctx.send(n, ProtocolMsg::RoundsClosed { rounds });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fix-point broadcast (rounds mode).
+    pub(crate) fn on_rounds_closed(&mut self, rounds: u32) {
+        if !self.rnd.active && !self.rules.is_empty() {
+            // Disconnected component with rules: genuinely not updated.
+            return;
+        }
+        self.rnd.closed = true;
+        self.rnd.active = true;
+        self.rnd.rounds_done = rounds;
+        self.stats.closed_by = ClosedBy::CleanRound;
+    }
+}

@@ -1,0 +1,189 @@
+//! Super-peer duties (Section 5 of the paper).
+//!
+//! The super-peer is an ordinary peer — "a super-peer does not have any
+//! other property differentiating it from other nodes" — plus driver
+//! capabilities the paper's prototype gave it: starting discovery and
+//! global updates, routing dynamic-change notifications, broadcasting a
+//! network-wide rule file ("one peer can change the network topology at
+//! run-time"), and commanding statistics collection/reset.
+
+use crate::config::UpdateMode;
+use crate::dynamic::ChangeOp;
+use crate::messages::ProtocolMsg;
+use crate::peer::DbPeer;
+use crate::rule::CoordinationRule;
+use crate::stats::PeerStats;
+use p2p_net::Context;
+use p2p_topology::NodeId;
+use std::collections::BTreeMap;
+
+/// Driver-side state kept by the super-peer.
+#[derive(Debug, Clone, Default)]
+pub struct SuperState {
+    /// Full node roster (the super-peer reads the network rule file, so it
+    /// legitimately knows everyone).
+    pub all_nodes: Vec<NodeId>,
+    /// Current update epoch.
+    pub epoch: u32,
+    /// Fix-point broadcast generation within the epoch.
+    pub fixpoint_generation: u32,
+    /// The root already broadcast for the current quiet period.
+    pub root_quiet: bool,
+    /// Stats gathered from peers on `CollectStats`.
+    pub collected: BTreeMap<NodeId, PeerStats>,
+}
+
+impl DbPeer {
+    /// Driver command: start a global update session.
+    pub(crate) fn start_update(&mut self, epoch: u32, ctx: &mut Context<ProtocolMsg>) {
+        self.sup.epoch = epoch;
+        match self.config.mode {
+            UpdateMode::Eager => {
+                self.ds.reset();
+                self.ds.engage_as_root();
+                self.sup.root_quiet = false;
+                self.sup.fixpoint_generation = 0;
+                self.begin_epoch(epoch, ctx, &[]);
+                if self.config.initiation == crate::config::Initiation::Flood {
+                    self.upd.flood_seen = true;
+                    // Acquaintance flood (the paper's propagation) plus a
+                    // direct send to every rostered node: the super-peer read
+                    // the network rule file (Section 5), so it can reach
+                    // components no pipe path connects it to — otherwise the
+                    // *global* update would silently skip them.
+                    let mut targets = self.pipes.clone();
+                    targets.extend(self.sup.all_nodes.iter().copied());
+                    targets.remove(&self.id);
+                    for p in targets {
+                        self.send_basic(ctx, p, ProtocolMsg::UpdateFlood { epoch });
+                    }
+                }
+            }
+            UpdateMode::Rounds => self.start_rounds(ctx),
+        }
+    }
+
+    /// Driver command: query-dependent update rooted at this node. Pure A4
+    /// propagation: only nodes on dependency paths from here participate, so
+    /// the refresh touches exactly the data local queries can depend on.
+    pub(crate) fn start_scoped_update(&mut self, epoch: u32, ctx: &mut Context<ProtocolMsg>) {
+        if self.config.mode != UpdateMode::Eager {
+            self.fail("query-dependent updates require the eager update mode");
+            return;
+        }
+        self.sup.epoch = epoch;
+        self.ds.reset();
+        self.ds.engage_as_root();
+        self.sup.root_quiet = false;
+        self.sup.fixpoint_generation = 0;
+        self.begin_epoch(epoch, ctx, &[]);
+    }
+
+    /// Driver command: apply a dynamic change (Section 4). The super-peer
+    /// notifies the head node — `addRule(i, j, rule, id)` /
+    /// `deleteRule(i, j, id)`.
+    pub(crate) fn apply_change(&mut self, change: ChangeOp, ctx: &mut Context<ProtocolMsg>) {
+        if self.config.mode != UpdateMode::Eager {
+            self.fail("dynamic changes require the eager update mode");
+            return;
+        }
+        match change {
+            ChangeOp::AddLink { rule } => {
+                let head = rule.head_node;
+                if head == self.id {
+                    // The change touches the super-peer itself.
+                    self.on_add_rule(rule, ctx);
+                } else {
+                    self.send_basic(ctx, head, ProtocolMsg::AddRule { rule });
+                }
+            }
+            ChangeOp::DeleteLink { rule, head } => {
+                if head == self.id {
+                    self.on_delete_rule(rule, ctx);
+                } else {
+                    self.send_basic(ctx, head, ProtocolMsg::DeleteRule { rule });
+                }
+            }
+        }
+    }
+
+    /// Driver command: gather statistics from every peer.
+    pub(crate) fn on_collect_stats(&mut self, from: NodeId, ctx: &mut Context<ProtocolMsg>) {
+        if self.is_super {
+            self.sup.collected.clear();
+            self.sup.collected.insert(self.id, self.stats.clone());
+            for n in self.sup.all_nodes.clone() {
+                if n != self.id {
+                    ctx.send(n, ProtocolMsg::CollectStats);
+                }
+            }
+        } else {
+            ctx.send(
+                from,
+                ProtocolMsg::StatsReport {
+                    stats: self.stats.clone(),
+                },
+            );
+        }
+    }
+
+    /// A peer's statistics arriving at the super-peer.
+    pub(crate) fn on_stats_report(&mut self, from: NodeId, stats: PeerStats) {
+        if self.is_super {
+            self.sup.collected.insert(from, stats);
+        }
+    }
+
+    /// Driver command: reset statistics at all peers.
+    pub(crate) fn on_reset_stats(&mut self, _from: NodeId, ctx: &mut Context<ProtocolMsg>) {
+        if self.is_super {
+            for n in self.sup.all_nodes.clone() {
+                if n != self.id {
+                    ctx.send(n, ProtocolMsg::ResetStats);
+                }
+            }
+        }
+        self.stats.reset();
+    }
+
+    /// Rule-file broadcast: every peer replaces its rules with the ones
+    /// targeting it and recomputes its pipes — "each peer looks for relevant
+    /// to it coordination rules, reads them, creates and drops pipes with
+    /// other nodes, where necessary".
+    pub(crate) fn on_broadcast_rules(
+        &mut self,
+        _from: NodeId,
+        rules: Vec<CoordinationRule>,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        if self.is_super {
+            for n in self.sup.all_nodes.clone() {
+                if n != self.id {
+                    ctx.send(
+                        n,
+                        ProtocolMsg::BroadcastRules {
+                            rules: rules.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        // Adopt the new rule set.
+        self.rules.clear();
+        self.pipes.clear();
+        for rule in rules {
+            if rule.head_node == self.id {
+                self.install_rule(rule.clone());
+            }
+            if rule.parts.iter().any(|p| p.node == self.id) {
+                self.add_pipe(rule.head_node);
+            }
+        }
+        // Sessions built on the old topology are void.
+        self.upd = Default::default();
+        self.rnd = Default::default();
+        self.disc = Default::default();
+        self.ds.reset();
+        self.in_cycle = true; // conservative until re-analysed
+    }
+}

@@ -1,0 +1,744 @@
+//! Coordination rules (Definition 2) and rule sets.
+//!
+//! A coordination rule `j₁:b₁ ∧ … ∧ jₖ:bₖ ⇒ i:h` lets node `i` import data
+//! from its acquaintances `j₁…jₖ`. Bodies are conjunctive queries with
+//! built-ins, grouped here into one [`BodyPart`] per body node (the paper's
+//! common case is a single body node, but Definition 2 allows several; the
+//! head node then joins the per-node extensions locally). Heads are
+//! conjunctions over the head node's schema and may contain **existential
+//! variables**, materialised as labeled nulls by the restricted chase.
+//!
+//! The module also implements **weak acyclicity** of rule sets — the
+//! standard syntactic condition (Fagin et al., data exchange) under which
+//! the chase, and therefore the distributed update fix-point, terminates.
+//! The paper asserts termination (Lemma 1.2) without stating a restriction;
+//! see DESIGN.md §3 for how we reconcile that.
+
+use crate::error::{CoreError, CoreResult};
+use p2p_relational::query::{parse_implication, Atom, Constraint, Term};
+use p2p_relational::DatabaseSchema;
+use p2p_topology::{DependencyGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a coordination rule, unique network-wide. The paper keys
+/// rules by `(pair of nodes, name)`; a flat id plus the name registry in
+/// [`RuleSet`] is equivalent and simpler to route on.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RuleId(pub u32);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The body fragment of a rule living at one acquaintance node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BodyPart {
+    /// The node owning this fragment.
+    pub node: NodeId,
+    /// Unqualified atoms over that node's schema.
+    pub atoms: Vec<Atom>,
+    /// Constraints whose variables are all bound by this fragment — pushed
+    /// down so the body node filters before shipping (the "more fine grained
+    /// queries to acquaintances" optimization the paper mentions).
+    pub local_constraints: Vec<Constraint>,
+    /// Distinct variables of the fragment, in first-occurrence order; answer
+    /// rows are tuples over exactly these variables.
+    pub vars: Vec<Arc<str>>,
+}
+
+/// A coordination rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoordinationRule {
+    /// Network-unique id (assigned by [`RuleSet::add`]).
+    pub id: RuleId,
+    /// Human-readable name (`r1`, `r2`, … in the paper).
+    pub name: Arc<str>,
+    /// The node importing data (rule head).
+    pub head_node: NodeId,
+    /// Body fragments, one per body node, in node order.
+    pub parts: Vec<BodyPart>,
+    /// Constraints spanning several fragments, applied at the head after the
+    /// join.
+    pub join_constraints: Vec<Constraint>,
+    /// Unqualified head atoms over the head node's schema.
+    pub head: Vec<Atom>,
+}
+
+impl CoordinationRule {
+    /// Parses the paper's rule notation, e.g.
+    /// `B:b(X,Y), B:b(X,Z), X != Z => A:a(X,Y)`.
+    ///
+    /// Body atoms must be node-qualified. Head atoms may all be qualified
+    /// with the same node, or left unqualified if `default_head` is given.
+    /// `resolve` maps node names (`A`, `B`, …) to ids.
+    pub fn parse(
+        name: &str,
+        text: &str,
+        default_head: Option<NodeId>,
+        resolve: &dyn Fn(&str) -> Option<NodeId>,
+    ) -> CoreResult<Self> {
+        let imp = parse_implication(text).map_err(CoreError::Relational)?;
+        if imp.head.is_empty() || imp.body.is_empty() {
+            return Err(CoreError::MalformedRule(name.to_string()));
+        }
+
+        // Resolve the head node.
+        let mut head_node: Option<NodeId> = default_head;
+        for atom in &imp.head {
+            if let Some(q) = &atom.qualifier {
+                let id = resolve(q).ok_or_else(|| CoreError::UnknownNode(q.to_string()))?;
+                match head_node {
+                    Some(h) if h != id && default_head.is_none() => {
+                        return Err(CoreError::MalformedRule(format!(
+                            "{name}: head atoms qualified with different nodes"
+                        )))
+                    }
+                    _ => head_node = Some(id),
+                }
+            }
+        }
+        let head_node = head_node.ok_or_else(|| CoreError::UnresolvedHead(name.to_string()))?;
+
+        // Group body atoms by node.
+        let mut parts: BTreeMap<NodeId, Vec<Atom>> = BTreeMap::new();
+        for atom in &imp.body {
+            let q = atom.qualifier.as_ref().ok_or_else(|| {
+                CoreError::MalformedRule(format!(
+                    "{name}: body atom `{atom}` must be node-qualified"
+                ))
+            })?;
+            let id = resolve(q).ok_or_else(|| CoreError::UnknownNode(q.to_string()))?;
+            parts.entry(id).or_default().push(atom.unqualified());
+        }
+        if parts.contains_key(&head_node) {
+            return Err(CoreError::SelfRule(name.to_string()));
+        }
+
+        // Push constraints down to single fragments where possible.
+        let part_vars: BTreeMap<NodeId, BTreeSet<Arc<str>>> = parts
+            .iter()
+            .map(|(n, atoms)| {
+                (
+                    *n,
+                    atoms
+                        .iter()
+                        .flat_map(|a| a.variables())
+                        .collect::<BTreeSet<_>>(),
+                )
+            })
+            .collect();
+        let mut local: BTreeMap<NodeId, Vec<Constraint>> = BTreeMap::new();
+        let mut join_constraints = Vec::new();
+        'outer: for c in &imp.constraints {
+            let cvars = c.variables();
+            for (n, vars) in &part_vars {
+                if cvars.iter().all(|v| vars.contains(v)) {
+                    local.entry(*n).or_default().push(c.clone());
+                    continue 'outer;
+                }
+            }
+            join_constraints.push(c.clone());
+        }
+
+        let parts: Vec<BodyPart> = parts
+            .into_iter()
+            .map(|(node, atoms)| {
+                let mut vars = Vec::new();
+                for a in &atoms {
+                    for v in a.variables() {
+                        if !vars.contains(&v) {
+                            vars.push(v);
+                        }
+                    }
+                }
+                BodyPart {
+                    node,
+                    atoms,
+                    local_constraints: local.remove(&node).unwrap_or_default(),
+                    vars,
+                }
+            })
+            .collect();
+
+        let head: Vec<Atom> = imp.head.iter().map(Atom::unqualified).collect();
+        Ok(CoordinationRule {
+            id: RuleId(0),
+            name: Arc::from(name),
+            head_node,
+            parts,
+            join_constraints,
+            head,
+        })
+    }
+
+    /// Body nodes, in id order.
+    pub fn body_nodes(&self) -> Vec<NodeId> {
+        self.parts.iter().map(|p| p.node).collect()
+    }
+
+    /// Distinct universal (body) variables.
+    pub fn frontier_vars(&self) -> BTreeSet<Arc<str>> {
+        self.parts
+            .iter()
+            .flat_map(|p| p.vars.iter().cloned())
+            .collect()
+    }
+
+    /// Head variables not bound by the body — materialised as fresh nulls.
+    pub fn existential_vars(&self) -> BTreeSet<Arc<str>> {
+        let frontier = self.frontier_vars();
+        self.head
+            .iter()
+            .flat_map(|a| a.variables())
+            .filter(|v| !frontier.contains(v))
+            .collect()
+    }
+
+    /// Validates the rule against the nodes' schemas: all nodes exist, all
+    /// relations exist with matching arity, and join-constraint variables
+    /// are bound by the body.
+    pub fn validate(&self, schemas: &BTreeMap<NodeId, DatabaseSchema>) -> CoreResult<()> {
+        let fail = |detail: String| CoreError::SchemaViolation {
+            rule: self.name.to_string(),
+            detail,
+        };
+        let check_atoms = |node: NodeId, atoms: &[Atom]| -> CoreResult<()> {
+            let schema = schemas
+                .get(&node)
+                .ok_or_else(|| CoreError::UnknownNode(node.to_string()))?;
+            for a in atoms {
+                let rel = schema
+                    .relation(&a.relation)
+                    .ok_or_else(|| fail(format!("node {node} has no relation `{}`", a.relation)))?;
+                if rel.arity() != a.terms.len() {
+                    return Err(fail(format!(
+                        "`{}` at node {node} has arity {}, atom has {} terms",
+                        a.relation,
+                        rel.arity(),
+                        a.terms.len()
+                    )));
+                }
+                for (pos, t) in a.terms.iter().enumerate() {
+                    if let Term::Const(c) = t {
+                        if !rel.columns[pos].ty.admits(c) {
+                            return Err(fail(format!(
+                                "constant {c} does not fit column {pos} of `{}`",
+                                a.relation
+                            )));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        };
+        for part in &self.parts {
+            check_atoms(part.node, &part.atoms)?;
+        }
+        check_atoms(self.head_node, &self.head)?;
+        let frontier = self.frontier_vars();
+        for c in &self.join_constraints {
+            for v in c.variables() {
+                if !frontier.contains(&v) {
+                    return Err(fail(format!("join constraint variable `{v}` unbound")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate serialized size (rules travel in `AddRule` and
+    /// `BroadcastRules` messages).
+    pub fn wire_size(&self) -> usize {
+        let atom_size = |a: &Atom| 8 + 4 * a.terms.len();
+        16 + self
+            .parts
+            .iter()
+            .map(|p| p.atoms.iter().map(atom_size).sum::<usize>() + 8)
+            .sum::<usize>()
+            + self.head.iter().map(atom_size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for CoordinationRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        let mut first = true;
+        for part in &self.parts {
+            for a in &part.atoms {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{}:{}", part.node, a)?;
+            }
+            for c in &part.local_constraints {
+                write!(f, ", {c}")?;
+            }
+        }
+        for c in &self.join_constraints {
+            write!(f, ", {c}")?;
+        }
+        write!(f, " => ")?;
+        for (i, a) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", self.head_node, a)?;
+        }
+        Ok(())
+    }
+}
+
+/// A validated set of coordination rules with id and name registries.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: BTreeMap<RuleId, CoordinationRule>,
+    by_name: BTreeMap<Arc<str>, RuleId>,
+    next_id: u32,
+}
+
+impl RuleSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule, assigning its id. Rejects duplicate names.
+    pub fn add(&mut self, mut rule: CoordinationRule) -> CoreResult<RuleId> {
+        if self.by_name.contains_key(&rule.name) {
+            return Err(CoreError::DuplicateRule(rule.name.to_string()));
+        }
+        let id = RuleId(self.next_id);
+        self.next_id += 1;
+        rule.id = id;
+        self.by_name.insert(rule.name.clone(), id);
+        self.rules.insert(id, rule);
+        Ok(id)
+    }
+
+    /// Removes a rule by id; returns it if present.
+    pub fn remove(&mut self, id: RuleId) -> Option<CoordinationRule> {
+        let rule = self.rules.remove(&id)?;
+        self.by_name.remove(&rule.name);
+        Some(rule)
+    }
+
+    /// Lookup by id.
+    pub fn get(&self, id: RuleId) -> Option<&CoordinationRule> {
+        self.rules.get(&id)
+    }
+
+    /// Lookup by name.
+    pub fn by_name(&self, name: &str) -> Option<&CoordinationRule> {
+        self.by_name.get(name).and_then(|id| self.rules.get(id))
+    }
+
+    /// Iterates rules in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &CoordinationRule> {
+        self.rules.values()
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rules whose head is at `node` (the rules that node "is a target of",
+    /// which the paper assumes each node initially knows).
+    pub fn with_head(&self, node: NodeId) -> Vec<&CoordinationRule> {
+        self.iter().filter(|r| r.head_node == node).collect()
+    }
+
+    /// The induced dependency graph (Definition 5): an edge `head → body
+    /// node` per rule fragment.
+    pub fn dependency_graph(&self) -> DependencyGraph {
+        let mut g = DependencyGraph::new();
+        for r in self.iter() {
+            g.add_node(r.head_node);
+            for p in &r.parts {
+                g.add_edge(r.head_node, p.node);
+            }
+        }
+        g
+    }
+
+    /// Pipe neighbours of a node: body nodes of its rules plus head nodes of
+    /// rules sourcing it (Section 5: pipes are created in both cases).
+    pub fn pipe_neighbors(&self, node: NodeId) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        for r in self.iter() {
+            if r.head_node == node {
+                out.extend(r.parts.iter().map(|p| p.node));
+            }
+            if r.parts.iter().any(|p| p.node == node) {
+                out.insert(r.head_node);
+            }
+        }
+        out.remove(&node);
+        out
+    }
+
+    /// Checks **weak acyclicity** of the rule set: builds the position
+    /// dependency graph — positions are `(node, relation, column)`; for each
+    /// rule and each universal variable occurring in the head, every body
+    /// occurrence position gets a *normal* edge to every head occurrence
+    /// position and a *special* edge to every existential position — and
+    /// requires that no cycle traverses a special edge.
+    ///
+    /// Returns a human-readable witness of one offending special edge on a
+    /// cycle otherwise.
+    pub fn check_weak_acyclicity(&self) -> Result<(), String> {
+        type Pos = (NodeId, Arc<str>, usize);
+        let mut index: HashMap<Pos, u32> = HashMap::new();
+        let mut names: Vec<Pos> = Vec::new();
+        let mut intern = |p: Pos| -> u32 {
+            if let Some(i) = index.get(&p) {
+                return *i;
+            }
+            let i = names.len() as u32;
+            index.insert(p.clone(), i);
+            names.push(p);
+            i
+        };
+
+        let mut normal: Vec<(u32, u32)> = Vec::new();
+        let mut special: Vec<(u32, u32)> = Vec::new();
+        for rule in self.iter() {
+            // Body positions per universal variable.
+            let mut body_pos: BTreeMap<Arc<str>, Vec<u32>> = BTreeMap::new();
+            for part in &rule.parts {
+                for atom in &part.atoms {
+                    for (col, t) in atom.terms.iter().enumerate() {
+                        if let Term::Var(v) = t {
+                            let p = intern((part.node, atom.relation.clone(), col));
+                            body_pos.entry(v.clone()).or_default().push(p);
+                        }
+                    }
+                }
+            }
+            let existential = rule.existential_vars();
+            // Head positions.
+            let mut head_univ: Vec<(Arc<str>, u32)> = Vec::new();
+            let mut head_exist: Vec<u32> = Vec::new();
+            for atom in &rule.head {
+                for (col, t) in atom.terms.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        let p = intern((rule.head_node, atom.relation.clone(), col));
+                        if existential.contains(v) {
+                            head_exist.push(p);
+                        } else {
+                            head_univ.push((v.clone(), p));
+                        }
+                    }
+                }
+            }
+            // Universal variables occurring in the head drive the edges.
+            let head_vars: BTreeSet<Arc<str>> = head_univ.iter().map(|(v, _)| v.clone()).collect();
+            for v in &head_vars {
+                let Some(sources) = body_pos.get(v) else {
+                    continue;
+                };
+                for &src in sources {
+                    for (hv, hp) in &head_univ {
+                        if hv == v {
+                            normal.push((src, *hp));
+                        }
+                    }
+                    for &ep in &head_exist {
+                        special.push((src, ep));
+                    }
+                }
+            }
+        }
+
+        // SCCs over the union graph; a special edge inside one SCC means a
+        // cycle through it. Reuse the topology crate's Tarjan by mapping
+        // position indices to NodeIds (positions are never self-looping:
+        // head and body nodes are distinct).
+        let mut g = DependencyGraph::new();
+        for i in 0..names.len() as u32 {
+            g.add_node(NodeId(i));
+        }
+        for &(a, b) in normal.iter().chain(special.iter()) {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        let mut comp_of: HashMap<u32, usize> = HashMap::new();
+        for (ci, comp) in p2p_topology::condensation(&g).into_iter().enumerate() {
+            for n in comp {
+                comp_of.insert(n.0, ci);
+            }
+        }
+        for &(a, b) in &special {
+            if comp_of.get(&a) == comp_of.get(&b) {
+                let (na, ra, ca) = &names[a as usize];
+                let (nb, rb, cb) = &names[b as usize];
+                return Err(format!(
+                    "special edge ({na},{ra},{ca}) → ({nb},{rb},{cb}) lies on a cycle"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the schema used by every node of the paper's Section 2 running
+/// example (all relations binary except `f`).
+pub fn paper_example_schema(node: NodeId) -> DatabaseSchema {
+    let text = match node.0 {
+        0 => "a(x: int, y: int).",
+        1 => "b(x: int, y: int).",
+        2 => "c(x: int, y: int). f(x: int).",
+        3 => "d(x: int, y: int).",
+        _ => "e(x: int, y: int).",
+    };
+    DatabaseSchema::parse(text).expect("static schema text")
+}
+
+/// Parses the seven rules r1–r7 of the paper's running example into a
+/// [`RuleSet`] (nodes A=0 … E=4).
+pub fn paper_example_rules() -> RuleSet {
+    let resolve = |s: &str| -> Option<NodeId> {
+        match s {
+            "A" => Some(NodeId(0)),
+            "B" => Some(NodeId(1)),
+            "C" => Some(NodeId(2)),
+            "D" => Some(NodeId(3)),
+            "E" => Some(NodeId(4)),
+            _ => None,
+        }
+    };
+    let texts = [
+        ("r1", "E:e(X,Y) => B:b(X,Y)"),
+        // r2 in the paper reads `B:b(X,Y), b(Y,Z) → C:c(X,Z)`; the second
+        // atom is at B too.
+        ("r2", "B:b(X,Y), B:b(Y,Z) => C:c(X,Z)"),
+        ("r3", "C:c(X,Y), C:c(Y,Z) => B:b(X,Z)"),
+        ("r4", "B:b(X,Y), B:b(X,Z), X != Z => A:a(X,Y)"),
+        ("r5", "A:a(X,Y) => C:f(X)"),
+        ("r6", "A:a(X,Y) => D:d(Y,X)"),
+        ("r7", "D:d(X,Y), D:d(Y,Z) => C:c(X,Y)"),
+    ];
+    let mut set = RuleSet::new();
+    for (name, text) in texts {
+        let rule =
+            CoordinationRule::parse(name, text, None, &resolve).expect("static example rule");
+        set.add(rule).expect("unique names");
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolve(s: &str) -> Option<NodeId> {
+        match s {
+            "A" => Some(NodeId(0)),
+            "B" => Some(NodeId(1)),
+            "C" => Some(NodeId(2)),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn parse_single_body_rule() {
+        let r = CoordinationRule::parse("r", "B:b(X,Y) => A:a(X,Y)", None, &resolve).unwrap();
+        assert_eq!(r.head_node, NodeId(0));
+        assert_eq!(r.body_nodes(), vec![NodeId(1)]);
+        assert_eq!(r.parts[0].vars.len(), 2);
+        assert!(r.existential_vars().is_empty());
+    }
+
+    #[test]
+    fn parse_multi_node_body_groups_fragments() {
+        let r =
+            CoordinationRule::parse("r", "B:b(X,Y), C:c(Y,Z) => A:a(X,Z)", None, &resolve).unwrap();
+        assert_eq!(r.body_nodes(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(r.parts[0].atoms.len(), 1);
+        assert_eq!(r.parts[1].atoms.len(), 1);
+    }
+
+    #[test]
+    fn constraint_pushdown() {
+        let r = CoordinationRule::parse(
+            "r",
+            "B:b(X,Y), C:c(U,V), X != Y, X = U => A:a(X,V)",
+            None,
+            &resolve,
+        )
+        .unwrap();
+        // X != Y is local to B's fragment; X = U spans both.
+        let b_part = r.parts.iter().find(|p| p.node == NodeId(1)).unwrap();
+        assert_eq!(b_part.local_constraints.len(), 1);
+        assert_eq!(r.join_constraints.len(), 1);
+    }
+
+    #[test]
+    fn existential_vars_detected() {
+        let r = CoordinationRule::parse("r", "B:b(X,Y) => A:a(X,Z)", None, &resolve).unwrap();
+        let ex = r.existential_vars();
+        assert_eq!(ex.len(), 1);
+        assert!(ex.contains(&Arc::from("Z")));
+    }
+
+    #[test]
+    fn self_rule_rejected() {
+        let e = CoordinationRule::parse("r", "A:a(X,Y) => A:a(Y,X)", None, &resolve).unwrap_err();
+        assert_eq!(e, CoreError::SelfRule("r".to_string()));
+    }
+
+    #[test]
+    fn unqualified_body_rejected() {
+        let e = CoordinationRule::parse("r", "b(X,Y) => A:a(X,Y)", None, &resolve).unwrap_err();
+        assert!(matches!(e, CoreError::MalformedRule(_)));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let e = CoordinationRule::parse("r", "Z:b(X,Y) => A:a(X,Y)", None, &resolve).unwrap_err();
+        assert_eq!(e, CoreError::UnknownNode("Z".to_string()));
+    }
+
+    #[test]
+    fn default_head_applies_to_unqualified_head() {
+        let r =
+            CoordinationRule::parse("r", "B:b(X,Y) => a(X,Y)", Some(NodeId(0)), &resolve).unwrap();
+        assert_eq!(r.head_node, NodeId(0));
+        let e = CoordinationRule::parse("r", "B:b(X,Y) => a(X,Y)", None, &resolve).unwrap_err();
+        assert!(matches!(e, CoreError::UnresolvedHead(_)));
+    }
+
+    #[test]
+    fn paper_rules_dependency_graph_matches() {
+        let rules = paper_example_rules();
+        assert_eq!(rules.len(), 7);
+        let g = rules.dependency_graph();
+        assert_eq!(g, p2p_topology::graph::paper_example_graph());
+    }
+
+    #[test]
+    fn paper_rules_validate_against_schemas() {
+        let rules = paper_example_rules();
+        let schemas: BTreeMap<NodeId, DatabaseSchema> = (0..5)
+            .map(|i| (NodeId(i), paper_example_schema(NodeId(i))))
+            .collect();
+        for r in rules.iter() {
+            r.validate(&schemas).unwrap();
+        }
+    }
+
+    #[test]
+    fn paper_rules_are_weakly_acyclic() {
+        // None of r1–r7 has an existential head variable, so there are no
+        // special edges and the set is trivially weakly acyclic.
+        let rules = paper_example_rules();
+        assert_eq!(rules.check_weak_acyclicity(), Ok(()));
+    }
+
+    #[test]
+    fn existential_off_cycle_is_weakly_acyclic() {
+        // A rule with an existential whose positions never feed back into a
+        // cycle must pass: B:b(X,Y) ⇒ A:a(X,Z) with no rule out of A.
+        let mut set = RuleSet::new();
+        set.add(CoordinationRule::parse("r", "B:b(X,Y) => A:a(X,Z)", None, &resolve).unwrap())
+            .unwrap();
+        assert_eq!(set.check_weak_acyclicity(), Ok(()));
+    }
+
+    #[test]
+    fn diverging_pair_is_not_weakly_acyclic() {
+        let resolve2 = |s: &str| match s {
+            "A" => Some(NodeId(0)),
+            "B" => Some(NodeId(1)),
+            _ => None,
+        };
+        let mut set = RuleSet::new();
+        set.add(CoordinationRule::parse("f", "A:a(X,Y) => B:b(Y,Z)", None, &resolve2).unwrap())
+            .unwrap();
+        set.add(CoordinationRule::parse("g", "B:b(X,Y) => A:a(Y,Z)", None, &resolve2).unwrap())
+            .unwrap();
+        let err = set.check_weak_acyclicity().unwrap_err();
+        assert!(err.contains("special edge"), "{err}");
+    }
+
+    #[test]
+    fn pipe_neighbors_are_bidirectional() {
+        let rules = paper_example_rules();
+        // B's rules pull from E and C; C pulls from B: neighbors of B = {A?…}
+        // A pulls from B (r4) → A is a neighbor too.
+        let nb = rules.pipe_neighbors(NodeId(1));
+        assert_eq!(nb, [NodeId(0), NodeId(2), NodeId(4)].into_iter().collect());
+        // E sources r1 only: neighbor = {B}.
+        assert_eq!(
+            rules.pipe_neighbors(NodeId(4)),
+            [NodeId(1)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn rule_set_registry_round_trip() {
+        let mut set = RuleSet::new();
+        let r = CoordinationRule::parse("r9", "B:b(X,Y) => A:a(X,Y)", None, &resolve).unwrap();
+        let id = set.add(r).unwrap();
+        assert!(set.get(id).is_some());
+        assert_eq!(set.by_name("r9").unwrap().id, id);
+        // Duplicate name rejected.
+        let dup = CoordinationRule::parse("r9", "C:c(X,Y) => A:a(X,Y)", None, &resolve).unwrap();
+        assert!(matches!(set.add(dup), Err(CoreError::DuplicateRule(_))));
+        // Removal clears both registries.
+        assert!(set.remove(id).is_some());
+        assert!(set.by_name("r9").is_none());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn validation_catches_arity_and_missing_relations() {
+        let schemas: BTreeMap<NodeId, DatabaseSchema> = [
+            (NodeId(0), DatabaseSchema::parse("a(x: int).").unwrap()),
+            (
+                NodeId(1),
+                DatabaseSchema::parse("b(x: int, y: int).").unwrap(),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let bad_arity = CoordinationRule::parse("r", "B:b(X) => A:a(X)", None, &resolve).unwrap();
+        assert!(matches!(
+            bad_arity.validate(&schemas),
+            Err(CoreError::SchemaViolation { .. })
+        ));
+        let missing = CoordinationRule::parse("r", "B:zzz(X) => A:a(X)", None, &resolve).unwrap();
+        assert!(matches!(
+            missing.validate(&schemas),
+            Err(CoreError::SchemaViolation { .. })
+        ));
+        let ok = CoordinationRule::parse("r", "B:b(X,Y) => A:a(X)", None, &resolve).unwrap();
+        assert!(ok.validate(&schemas).is_ok());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let r = CoordinationRule::parse(
+            "r4",
+            "B:b(X,Y), B:b(X,Z), X != Z => A:a(X,Y)",
+            None,
+            &resolve,
+        )
+        .unwrap();
+        let shown = r.to_string();
+        assert!(shown.contains("=>"));
+        assert!(shown.contains("X != Z"));
+    }
+}

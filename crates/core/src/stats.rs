@@ -1,0 +1,142 @@
+//! Per-peer statistics — the application half of the paper's "statistical
+//! module" (Section 5): executed queries and updates, per-query duplicate
+//! counts due to paths and loops, inserted tuples, data volumes; resettable
+//! and collectable by the super-peer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a node's update state reached `closed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ClosedBy {
+    /// Not closed (yet).
+    #[default]
+    Open,
+    /// All coordination rules' body nodes reported final data (the paper's
+    /// per-rule `flag` criterion) — happens bottom-up on acyclic parts.
+    RulesFlags,
+    /// The super-peer's termination broadcast (fix-point detected globally —
+    /// stands in for the paper's maximal-dependency-path flags on cyclic
+    /// parts).
+    RootBroadcast,
+    /// A clean synchronous round completed (rounds mode).
+    CleanRound,
+}
+
+/// Counters kept by every peer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerStats {
+    /// Queries received (including re-deliveries on other paths).
+    pub queries_received: u64,
+    /// Queries received for a `(rule, owner)` pair already being served —
+    /// the paper's "number of queries received … for the same original
+    /// query (due to different paths and loops)".
+    pub duplicate_queries: u64,
+    /// Queries sent to acquaintances.
+    pub queries_sent: u64,
+    /// Answers sent (initial + delta re-answers).
+    pub answers_sent: u64,
+    /// Answers received.
+    pub answers_received: u64,
+    /// Answer rows shipped out (tuple count).
+    pub rows_shipped: u64,
+    /// Local conjunctive-query evaluations.
+    pub local_evaluations: u64,
+    /// Facts inserted into the local database by the update algorithm.
+    pub tuples_inserted: u64,
+    /// Labeled nulls minted for existential head variables.
+    pub nulls_minted: u64,
+    /// Discovery requests received.
+    pub discovery_requests: u64,
+    /// Discovery answers sent.
+    pub discovery_answers: u64,
+    /// Times this node re-opened after having closed (dynamic changes).
+    pub reopened: u64,
+    /// How the node last closed.
+    pub closed_by: ClosedBy,
+    /// Synchronous rounds participated in (rounds mode).
+    pub rounds: u64,
+}
+
+impl PeerStats {
+    /// Resets every counter — the super-peer's "reset statistics at all
+    /// peers" command.
+    pub fn reset(&mut self) {
+        *self = PeerStats::default();
+    }
+
+    /// Wire size of a stats report message.
+    pub fn wire_size(&self) -> usize {
+        14 * 8
+    }
+
+    /// Merges another peer's counters (super-peer aggregation).
+    pub fn merge(&mut self, other: &PeerStats) {
+        self.queries_received += other.queries_received;
+        self.duplicate_queries += other.duplicate_queries;
+        self.queries_sent += other.queries_sent;
+        self.answers_sent += other.answers_sent;
+        self.answers_received += other.answers_received;
+        self.rows_shipped += other.rows_shipped;
+        self.local_evaluations += other.local_evaluations;
+        self.tuples_inserted += other.tuples_inserted;
+        self.nulls_minted += other.nulls_minted;
+        self.discovery_requests += other.discovery_requests;
+        self.discovery_answers += other.discovery_answers;
+        self.reopened += other.reopened;
+        self.rounds = self.rounds.max(other.rounds);
+    }
+}
+
+impl fmt::Display for PeerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "q_in={} (dup={}) q_out={} a_out={} a_in={} rows={} evals={} ins={} nulls={} closed_by={:?}",
+            self.queries_received,
+            self.duplicate_queries,
+            self.queries_sent,
+            self.answers_sent,
+            self.answers_received,
+            self.rows_shipped,
+            self.local_evaluations,
+            self.tuples_inserted,
+            self.nulls_minted,
+            self.closed_by,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = PeerStats {
+            queries_received: 5,
+            ..Default::default()
+        };
+        s.reset();
+        assert_eq!(s, PeerStats::default());
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = PeerStats {
+            queries_sent: 2,
+            tuples_inserted: 3,
+            rounds: 1,
+            ..Default::default()
+        };
+        let b = PeerStats {
+            queries_sent: 4,
+            rounds: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.queries_sent, 6);
+        assert_eq!(a.tuples_inserted, 3);
+        assert_eq!(a.rounds, 5);
+    }
+}

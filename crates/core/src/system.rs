@@ -1,0 +1,636 @@
+//! Assembling and driving a P2P database system.
+//!
+//! [`P2PSystemBuilder`] collects node schemas, base data and coordination
+//! rules, validates everything (schema conformance, weak acyclicity), and
+//! produces a [`P2PSystem`] running on the deterministic simulator — or a
+//! bag of peers for the threaded runtime via
+//! [`P2PSystemBuilder::build_peers`] / [`run_update_threaded`].
+
+use crate::config::SystemConfig;
+use crate::dynamic::{ChangeOp, ChangeScript};
+use crate::error::{CoreError, CoreResult};
+use crate::messages::ProtocolMsg;
+use crate::oracle::{global_fixpoint, GlobalDb};
+use crate::peer::DbPeer;
+use crate::rule::{CoordinationRule, RuleId, RuleSet};
+use crate::stats::PeerStats;
+use p2p_net::{
+    BandwidthLatency, ConstantLatency, FaultPlan, LatencyModel, NetStats, RunOutcome, SimTime,
+    Simulator, ThreadedNetwork, UniformLatency,
+};
+use p2p_relational::query::{evaluate_certain, parse_query};
+use p2p_relational::{Database, DatabaseSchema, Tuple, Value};
+use p2p_topology::{scc, NodeId};
+use std::collections::BTreeMap;
+
+/// Link latency specification (materialised into a model at build time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencySpec {
+    /// Fixed delay per message.
+    Constant(SimTime),
+    /// Seeded uniform jitter.
+    Uniform {
+        /// Minimum delay.
+        min: SimTime,
+        /// Maximum delay.
+        max: SimTime,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Propagation delay plus per-byte transmission cost.
+    Bandwidth {
+        /// Propagation delay.
+        base: SimTime,
+        /// Nanoseconds per byte.
+        nanos_per_byte: u64,
+    },
+}
+
+impl Default for LatencySpec {
+    fn default() -> Self {
+        LatencySpec::Constant(SimTime::from_millis(1))
+    }
+}
+
+impl LatencySpec {
+    fn boxed(self) -> Box<dyn LatencyModel> {
+        match self {
+            LatencySpec::Constant(t) => Box::new(ConstantLatency(t)),
+            LatencySpec::Uniform { min, max, seed } => {
+                Box::new(UniformLatency::new(min, max, seed))
+            }
+            LatencySpec::Bandwidth {
+                base,
+                nanos_per_byte,
+            } => Box::new(BandwidthLatency {
+                base,
+                nanos_per_byte,
+            }),
+        }
+    }
+}
+
+/// Builder for a P2P database system.
+#[derive(Default)]
+pub struct P2PSystemBuilder {
+    schemas: BTreeMap<NodeId, DatabaseSchema>,
+    data: BTreeMap<NodeId, Database>,
+    names: BTreeMap<String, NodeId>,
+    rules: RuleSet,
+    config: SystemConfig,
+    latency: LatencySpec,
+    fault: Option<FaultPlan>,
+    super_peer: NodeId,
+}
+
+impl P2PSystemBuilder {
+    /// An empty builder with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the default name `A`, `B`, … (`N<id>` beyond 26).
+    pub fn add_node_with_schema(&mut self, id: u32, schema_text: &str) -> CoreResult<()> {
+        let name = NodeId(id).letter();
+        self.add_named_node(&name, id, schema_text)
+    }
+
+    /// Adds a node with an explicit name used in rule texts.
+    pub fn add_named_node(&mut self, name: &str, id: u32, schema_text: &str) -> CoreResult<()> {
+        let node = NodeId(id);
+        if self.schemas.contains_key(&node) {
+            return Err(CoreError::DuplicateNode(node));
+        }
+        let schema = DatabaseSchema::parse(schema_text)?;
+        self.data.insert(node, Database::new(schema.clone()));
+        self.schemas.insert(node, schema);
+        self.names.insert(name.to_string(), node);
+        Ok(())
+    }
+
+    /// Inserts one base tuple at a node.
+    pub fn insert(&mut self, id: u32, relation: &str, values: Vec<Value>) -> CoreResult<()> {
+        let node = NodeId(id);
+        let db = self
+            .data
+            .get_mut(&node)
+            .ok_or_else(|| CoreError::UnknownNode(node.to_string()))?;
+        db.insert_values(relation, values)?;
+        Ok(())
+    }
+
+    /// Parses and registers a coordination rule (paper notation, node names
+    /// resolved against the declared nodes).
+    pub fn add_rule(&mut self, name: &str, text: &str) -> CoreResult<RuleId> {
+        let rule = self.make_rule(name, text)?;
+        self.rules.add(rule)
+    }
+
+    /// Parses a rule without registering it (used for dynamic-change scripts).
+    pub fn make_rule(&self, name: &str, text: &str) -> CoreResult<CoordinationRule> {
+        let names = &self.names;
+        let resolve = move |s: &str| names.get(s).copied();
+        let rule = CoordinationRule::parse(name, text, None, &resolve)?;
+        rule.validate(&self.schemas)?;
+        Ok(rule)
+    }
+
+    /// The rule set registered so far.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Mutable run configuration.
+    pub fn config_mut(&mut self) -> &mut SystemConfig {
+        &mut self.config
+    }
+
+    /// Sets the latency model.
+    pub fn set_latency(&mut self, latency: LatencySpec) {
+        self.latency = latency;
+    }
+
+    /// Installs a fault plan (drops / duplication / outages).
+    pub fn set_fault(&mut self, fault: FaultPlan) {
+        self.fault = Some(fault);
+    }
+
+    /// Chooses the super-peer (default: node 0).
+    pub fn set_super_peer(&mut self, id: u32) {
+        self.super_peer = NodeId(id);
+    }
+
+    /// Validates the configuration and constructs the peers.
+    pub fn build_peers(&mut self) -> CoreResult<Vec<(NodeId, DbPeer)>> {
+        if !self.schemas.contains_key(&self.super_peer) {
+            return Err(CoreError::UnknownNode(self.super_peer.to_string()));
+        }
+        for rule in self.rules.iter() {
+            rule.validate(&self.schemas)?;
+        }
+        if self.config.require_weak_acyclicity {
+            if let Err(witness) = self.rules.check_weak_acyclicity() {
+                return Err(CoreError::NotWeaklyAcyclic { witness });
+            }
+        }
+        let graph = self.rules.dependency_graph();
+        let cyclic = scc::cyclic_nodes(&graph);
+        let all_nodes: Vec<NodeId> = self.schemas.keys().copied().collect();
+
+        let mut peers = Vec::with_capacity(all_nodes.len());
+        for &node in self.schemas.keys() {
+            let db = self.data[&node].clone();
+            let mut peer = DbPeer::new(node, db, self.config);
+            for rule in self.rules.iter() {
+                if rule.head_node == node {
+                    peer.install_rule(rule.clone());
+                }
+            }
+            for neighbor in self.rules.pipe_neighbors(node) {
+                peer.add_pipe(neighbor);
+            }
+            peer.set_cycle_hint(cyclic.contains(&node));
+            peer.set_roster(all_nodes.clone());
+            if node == self.super_peer {
+                peer.make_super(all_nodes.clone());
+            }
+            peers.push((node, peer));
+        }
+        Ok(peers)
+    }
+
+    /// Builds the simulator-backed system.
+    pub fn build(mut self) -> CoreResult<P2PSystem> {
+        let peers = self.build_peers()?;
+        let mut sim = Simulator::new(self.latency.boxed());
+        if let Some(fault) = self.fault.take() {
+            sim.set_fault_plan(fault);
+        }
+        sim.set_max_events(self.config.max_events);
+        if self.config.trace_capacity > 0 {
+            sim.set_trace_capacity(self.config.trace_capacity);
+        }
+        for (id, peer) in peers {
+            sim.add_peer(id, peer);
+        }
+        Ok(P2PSystem {
+            sim,
+            super_peer: self.super_peer,
+            epoch: 0,
+            rules: self.rules,
+            initial: self.data,
+            config: self.config,
+            dynamic_rule_counter: 0,
+        })
+    }
+}
+
+/// Report of one update run.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// Simulator outcome (virtual time, deliveries, quiescence).
+    pub outcome: RunOutcome,
+    /// Messages delivered during this run.
+    pub messages: u64,
+    /// Bytes delivered during this run.
+    pub bytes: u64,
+    /// All peers reached `state_u == closed`.
+    pub all_closed: bool,
+    /// Rounds executed (rounds mode; 0 in eager mode).
+    pub rounds: u32,
+    /// Errors recorded at peers during the run.
+    pub errors: Vec<(NodeId, String)>,
+}
+
+/// Report of one discovery run.
+#[derive(Debug, Clone)]
+pub struct DiscoveryReport {
+    /// Simulator outcome.
+    pub outcome: RunOutcome,
+    /// Messages delivered during discovery.
+    pub messages: u64,
+    /// All participating peers reached `state_d == closed`.
+    pub all_closed: bool,
+}
+
+/// A built system running on the deterministic simulator.
+pub struct P2PSystem {
+    sim: Simulator<ProtocolMsg, DbPeer>,
+    super_peer: NodeId,
+    epoch: u32,
+    rules: RuleSet,
+    initial: BTreeMap<NodeId, Database>,
+    config: SystemConfig,
+    dynamic_rule_counter: u32,
+}
+
+impl P2PSystem {
+    /// The designated super-peer.
+    pub fn super_peer(&self) -> NodeId {
+        self.super_peer
+    }
+
+    /// The (initial) rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Runs topology discovery (algorithms A1–A3) to quiescence.
+    pub fn run_discovery(&mut self) -> DiscoveryReport {
+        let before = self.sim.stats().total_messages;
+        self.sim.inject(
+            self.super_peer,
+            self.super_peer,
+            ProtocolMsg::StartDiscovery,
+        );
+        let outcome = self.sim.run();
+        // Closure is only meaningful for participants: discovery explores
+        // the initiator's dependency-reachable region (paper A1–A3); nodes
+        // outside it never see a request.
+        let all_closed = self
+            .sim
+            .peers()
+            .filter(|(_, p)| p.discovery_started())
+            .all(|(_, p)| p.discovery_closed());
+        DiscoveryReport {
+            outcome,
+            messages: self.sim.stats().total_messages - before,
+            all_closed,
+        }
+    }
+
+    /// Runs discovery initiated by **every** node (each becomes an owner):
+    /// afterwards every node of the network knows its own maximal
+    /// dependency paths, which is the state the paper assumes before the
+    /// update phase ("each node first looks for the set of its maximal
+    /// dependency paths").
+    pub fn run_discovery_all(&mut self) -> DiscoveryReport {
+        let before = self.sim.stats().total_messages;
+        let nodes: Vec<NodeId> = self.sim.peers().map(|(id, _)| *id).collect();
+        for n in nodes {
+            self.sim.inject(n, n, ProtocolMsg::StartDiscovery);
+        }
+        let outcome = self.sim.run();
+        let all_closed = self
+            .sim
+            .peers()
+            .filter(|(_, p)| p.discovery_started())
+            .all(|(_, p)| p.discovery_closed());
+        DiscoveryReport {
+            outcome,
+            messages: self.sim.stats().total_messages - before,
+            all_closed,
+        }
+    }
+
+    /// Runs a global update session to quiescence.
+    pub fn run_update(&mut self) -> UpdateReport {
+        self.run_update_with_script(&ChangeScript::new())
+    }
+
+    /// Runs a **query-dependent** update rooted at `node` (Section 5): only
+    /// peers on dependency paths from `node` participate, refreshing exactly
+    /// the data `node`'s local queries depend on. `all_closed` in the report
+    /// refers to all peers and is generally false for scoped runs; check
+    /// [`P2PSystem::closed`] on the root instead.
+    pub fn run_scoped_update(&mut self, node: NodeId) -> UpdateReport {
+        self.epoch += 1;
+        let before_msgs = self.sim.stats().total_messages;
+        let before_bytes = self.sim.stats().total_bytes;
+        self.sim.inject(
+            node,
+            node,
+            ProtocolMsg::StartScopedUpdate { epoch: self.epoch },
+        );
+        let outcome = self.sim.run();
+        self.report(outcome, before_msgs, before_bytes)
+    }
+
+    /// Distributed query answering via materialisation: refreshes `node`'s
+    /// dependency scope (query-dependent update), then answers locally. The
+    /// paper reduces query answering to data fetching under its assumptions
+    /// (Section 2); this is that reduction, made executable.
+    pub fn distributed_query(&mut self, node: NodeId, text: &str) -> CoreResult<Vec<Tuple>> {
+        self.run_scoped_update(node);
+        self.query(node, text)
+    }
+
+    /// Runs a global update session with a dynamic-change script applied at
+    /// its scheduled virtual times (Section 4).
+    pub fn run_update_with_script(&mut self, script: &ChangeScript) -> UpdateReport {
+        self.epoch += 1;
+        let before_msgs = self.sim.stats().total_messages;
+        let before_bytes = self.sim.stats().total_bytes;
+        self.sim.inject(
+            self.super_peer,
+            self.super_peer,
+            ProtocolMsg::StartUpdate { epoch: self.epoch },
+        );
+        let base = self.sim.now();
+        for change in script.sorted() {
+            self.sim.inject_at(
+                base + change.at,
+                self.super_peer,
+                self.super_peer,
+                ProtocolMsg::ApplyChange { change: change.op },
+            );
+        }
+        let outcome = self.sim.run();
+        self.report(outcome, before_msgs, before_bytes)
+    }
+
+    fn report(&self, outcome: RunOutcome, before_msgs: u64, before_bytes: u64) -> UpdateReport {
+        let all_closed = self.sim.peers().all(|(_, p)| p.update_closed());
+        let rounds = self
+            .sim
+            .peers()
+            .map(|(_, p)| p.rnd.rounds_done)
+            .max()
+            .unwrap_or(0);
+        let errors = self
+            .sim
+            .peers()
+            .flat_map(|(id, p)| p.errors().iter().map(move |e| (*id, e.clone())))
+            .collect();
+        UpdateReport {
+            outcome,
+            messages: self.sim.stats().total_messages - before_msgs,
+            bytes: self.sim.stats().total_bytes - before_bytes,
+            all_closed,
+            rounds,
+            errors,
+        }
+    }
+
+    /// Builds an `addLink` change op from rule text (assigning a fresh id
+    /// outside the static range).
+    pub fn make_add_link(&mut self, name: &str, text: &str) -> CoreResult<ChangeOp> {
+        // Dynamic ids live far above builder-assigned ones.
+        self.dynamic_rule_counter += 1;
+        let id = RuleId(1_000_000 + self.dynamic_rule_counter);
+        let names: BTreeMap<String, NodeId> =
+            self.sim.peers().map(|(id, _)| (id.letter(), *id)).collect();
+        let resolve = move |s: &str| names.get(s).copied();
+        let mut rule = CoordinationRule::parse(name, text, None, &resolve)?;
+        rule.id = id;
+        Ok(ChangeOp::AddLink { rule })
+    }
+
+    /// Builds a `deleteLink` change op for a rule registered at build time.
+    pub fn make_delete_link(&self, name: &str) -> CoreResult<ChangeOp> {
+        let rule = self
+            .rules
+            .by_name(name)
+            .ok_or_else(|| CoreError::UnknownNode(format!("rule `{name}`")))?;
+        Ok(ChangeOp::DeleteLink {
+            rule: rule.id,
+            head: rule.head_node,
+        })
+    }
+
+    /// A node's current database.
+    pub fn database(&self, node: NodeId) -> Option<&Database> {
+        self.sim.peer(node).map(|p| p.database())
+    }
+
+    /// Runs a **local** certain-answer query at a node — the whole point of
+    /// the update algorithm: after closure, queries need no network.
+    pub fn query(&self, node: NodeId, text: &str) -> CoreResult<Vec<Tuple>> {
+        let q = parse_query(text)?;
+        let db = self
+            .database(node)
+            .ok_or_else(|| CoreError::UnknownNode(node.to_string()))?;
+        Ok(evaluate_certain(&q, db)?)
+    }
+
+    /// Snapshot of every node's database.
+    pub fn snapshot(&self) -> GlobalDb {
+        GlobalDb(
+            self.sim
+                .peers()
+                .map(|(id, p)| (*id, p.database().clone()))
+                .collect(),
+        )
+    }
+
+    /// The centralized fix-point of the *initial* rules over the *initial*
+    /// data — the Lemma 1 reference for static runs.
+    pub fn oracle(&self) -> CoreResult<GlobalDb> {
+        global_fixpoint(&self.initial, &self.rules, self.config.max_null_depth)
+    }
+
+    /// Fix-point under an alternative rule set (Definition 9 envelopes).
+    pub fn oracle_with(&self, rules: &RuleSet) -> CoreResult<GlobalDb> {
+        global_fixpoint(&self.initial, rules, self.config.max_null_depth)
+    }
+
+    /// Whether a node reached `state_u == closed`.
+    pub fn closed(&self, node: NodeId) -> bool {
+        self.sim
+            .peer(node)
+            .map(|p| p.update_closed())
+            .unwrap_or(false)
+    }
+
+    /// Peer accessor (assertions).
+    pub fn peer(&self, node: NodeId) -> Option<&DbPeer> {
+        self.sim.peer(node)
+    }
+
+    /// Iterates peers.
+    pub fn peers(&self) -> impl Iterator<Item = (&NodeId, &DbPeer)> {
+        self.sim.peers()
+    }
+
+    /// Network statistics.
+    pub fn net_stats(&self) -> &NetStats {
+        self.sim.stats()
+    }
+
+    /// Message trace (enable via `SystemConfig::trace_capacity`).
+    pub fn trace(&self) -> &p2p_net::Trace {
+        self.sim.trace()
+    }
+
+    /// Collects per-peer statistics *through the protocol* (the super-peer
+    /// "commands other peers to send it statistical information").
+    pub fn collect_stats(&mut self) -> BTreeMap<NodeId, PeerStats> {
+        self.sim
+            .inject(self.super_peer, self.super_peer, ProtocolMsg::CollectStats);
+        self.sim.run();
+        self.sim
+            .peer(self.super_peer)
+            .map(|p| p.sup.collected.clone())
+            .unwrap_or_default()
+    }
+
+    /// Resets statistics everywhere through the protocol.
+    pub fn reset_stats(&mut self) {
+        self.sim
+            .inject(self.super_peer, self.super_peer, ProtocolMsg::ResetStats);
+        self.sim.run();
+    }
+
+    /// Broadcasts a replacement rule file through the protocol and adopts it
+    /// as the system's rule set (Section 5's topology-swap feature).
+    pub fn broadcast_rules(&mut self, rules: RuleSet) {
+        let all: Vec<CoordinationRule> = rules.iter().cloned().collect();
+        self.sim.inject(
+            self.super_peer,
+            self.super_peer,
+            ProtocolMsg::BroadcastRules { rules: all },
+        );
+        self.sim.run();
+        self.rules = rules;
+    }
+}
+
+/// Runs one update session on the **threaded** runtime (real parallelism,
+/// non-deterministic interleavings). Returns the final databases, closure
+/// flag and merged transport stats.
+pub fn run_update_threaded(
+    mut builder: P2PSystemBuilder,
+) -> CoreResult<(GlobalDb, NetStats, bool)> {
+    builder.config.mode = crate::config::UpdateMode::Eager;
+    let super_peer = builder.super_peer;
+    let peers = builder.build_peers()?;
+    let mut net = ThreadedNetwork::new();
+    for (id, peer) in peers {
+        net.add_peer(id, peer);
+    }
+    let (peers, stats) = net.run(vec![(
+        super_peer,
+        super_peer,
+        ProtocolMsg::StartUpdate { epoch: 1 },
+    )]);
+    let all_closed = peers.iter().all(|(_, p)| p.update_closed());
+    let dbs = GlobalDb(
+        peers
+            .into_iter()
+            .map(|(id, p)| (id, p.database().clone()))
+            .collect(),
+    );
+    Ok((dbs, stats, all_closed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UpdateMode;
+
+    fn two_node_builder() -> P2PSystemBuilder {
+        let mut b = P2PSystemBuilder::new();
+        b.add_node_with_schema(0, "a(x: int, y: int).").unwrap();
+        b.add_node_with_schema(1, "b(x: int, y: int).").unwrap();
+        b.add_rule("r1", "B:b(X,Y) => A:a(X,Y)").unwrap();
+        b.insert(1, "b", vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        b.insert(1, "b", vec![Value::Int(3), Value::Int(4)])
+            .unwrap();
+        b
+    }
+
+    #[test]
+    fn eager_copy_rule_end_to_end() {
+        let mut sys = two_node_builder().build().unwrap();
+        let report = sys.run_update();
+        assert!(report.outcome.quiescent, "must quiesce");
+        assert!(report.all_closed, "all nodes closed");
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        let a = sys.database(NodeId(0)).unwrap();
+        assert_eq!(a.relation("a").unwrap().len(), 2);
+        // Matches the oracle.
+        assert!(sys.snapshot().equivalent(&sys.oracle().unwrap()));
+    }
+
+    #[test]
+    fn rounds_copy_rule_end_to_end() {
+        let mut b = two_node_builder();
+        b.config_mut().mode = UpdateMode::Rounds;
+        let mut sys = b.build().unwrap();
+        let report = sys.run_update();
+        assert!(report.outcome.quiescent);
+        assert!(report.all_closed);
+        assert!(report.rounds >= 1);
+        assert!(sys.snapshot().equivalent(&sys.oracle().unwrap()));
+    }
+
+    #[test]
+    fn local_query_after_update() {
+        let mut sys = two_node_builder().build().unwrap();
+        sys.run_update();
+        let ans = sys.query(NodeId(0), "q(X) :- a(X, Y)").unwrap();
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn build_rejects_unknown_node_in_rule() {
+        let mut b = P2PSystemBuilder::new();
+        b.add_node_with_schema(0, "a(x: int).").unwrap();
+        let err = b.add_rule("r", "Z:z(X) => A:a(X)").unwrap_err();
+        assert!(matches!(err, CoreError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn build_rejects_non_weakly_acyclic_by_default() {
+        let mut b = P2PSystemBuilder::new();
+        b.add_node_with_schema(0, "a(x: int, y: int).").unwrap();
+        b.add_node_with_schema(1, "b(x: int, y: int).").unwrap();
+        b.add_rule("f", "A:a(X,Y) => B:b(Y,Z)").unwrap();
+        b.add_rule("g", "B:b(X,Y) => A:a(Y,Z)").unwrap();
+        assert!(matches!(
+            b.build().err(),
+            Some(CoreError::NotWeaklyAcyclic { .. })
+        ));
+    }
+
+    #[test]
+    fn discovery_on_two_nodes() {
+        let mut sys = two_node_builder().build().unwrap();
+        let report = sys.run_discovery();
+        assert!(report.outcome.quiescent);
+        assert!(report.all_closed);
+        let paths = sys.peer(NodeId(0)).unwrap().paths().unwrap();
+        assert_eq!(paths.len(), 1); // A→B
+    }
+}

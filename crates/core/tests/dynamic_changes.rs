@@ -1,0 +1,233 @@
+//! Dynamic-network tests (Section 4): termination under finite change
+//! (Theorem 2), the Definition 9 soundness/completeness envelope, and
+//! separated-subset closure (Theorem 3).
+
+use p2p_core::dynamic::{ChangeOp, ChangeScript};
+use p2p_core::system::P2PSystemBuilder;
+use p2p_net::SimTime;
+use p2p_relational::hom::contained_modulo_nulls;
+use p2p_relational::Value;
+use p2p_topology::NodeId;
+
+fn three_node_builder() -> P2PSystemBuilder {
+    let mut b = P2PSystemBuilder::new();
+    b.add_node_with_schema(0, "a(x: int, y: int).").unwrap();
+    b.add_node_with_schema(1, "b(x: int, y: int).").unwrap();
+    b.add_node_with_schema(2, "c(x: int, y: int).").unwrap();
+    b.add_rule("r0", "B:b(X,Y) => A:a(X,Y)").unwrap();
+    b.insert(1, "b", vec![Value::Int(1), Value::Int(2)])
+        .unwrap();
+    b.insert(2, "c", vec![Value::Int(7), Value::Int(8)])
+        .unwrap();
+    b.insert(2, "c", vec![Value::Int(8), Value::Int(9)])
+        .unwrap();
+    b
+}
+
+#[test]
+fn add_link_mid_run_terminates_and_imports() {
+    // Theorem 2: finite change ⇒ termination; the added rule C→A must pull
+    // C's data into A even though it appears mid-update.
+    let mut sys = three_node_builder().build().unwrap();
+    let mut script = ChangeScript::new();
+    let add = sys.make_add_link("rx", "C:c(X,Y) => A:a(X,Y)").unwrap();
+    script.push(SimTime::from_millis(3), add);
+
+    let report = sys.run_update_with_script(&script);
+    assert!(report.outcome.quiescent, "Theorem 2: must terminate");
+    assert!(report.all_closed, "must re-close after the change");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+    let a = sys.database(NodeId(0)).unwrap();
+    // b(1,2) via r0 plus c(7,8), c(8,9) via rx.
+    assert_eq!(a.relation("a").unwrap().len(), 3);
+}
+
+#[test]
+fn definition9_sandwich_holds() {
+    // Run with an add and a delete mid-flight; the result must contain the
+    // lower fix-point (deletes first, no adds) and be contained in the upper
+    // fix-point (all adds, no deletes).
+    let mut sys = three_node_builder().build().unwrap();
+    let mut script = ChangeScript::new();
+    let add = sys.make_add_link("rx", "C:c(X,Y) => A:a(X,Y)").unwrap();
+    script.push(SimTime::from_millis(2), add.clone());
+    let del = sys.make_delete_link("r0").unwrap();
+    script.push(SimTime::from_millis(4), del);
+
+    let report = sys.run_update_with_script(&script);
+    assert!(report.outcome.quiescent);
+    assert!(report.all_closed);
+
+    // Build the Definition 9 reference rule sets.
+    let upper_rules = p2p_core::dynamic::upper_reference(sys.rules(), &script);
+    let lower_rules = p2p_core::dynamic::lower_reference(sys.rules(), &script);
+    let upper = sys.oracle_with(&upper_rules).unwrap();
+    let lower = sys.oracle_with(&lower_rules).unwrap();
+
+    let result = sys.snapshot();
+    for (node, db) in &result.0 {
+        let up = upper.node(*node).unwrap();
+        let low = lower.node(*node).unwrap();
+        assert!(
+            contained_modulo_nulls(db, up),
+            "soundness violated at {node}"
+        );
+        assert!(
+            contained_modulo_nulls(low, db),
+            "completeness violated at {node}"
+        );
+    }
+}
+
+#[test]
+fn delete_link_keeps_already_imported_data() {
+    // Definition 9 permits keeping data imported before the delete; our
+    // implementation never retracts. Delete r0 *after* the data flowed.
+    let mut sys = three_node_builder().build().unwrap();
+    let first = sys.run_update();
+    assert!(first.all_closed);
+    assert_eq!(
+        sys.database(NodeId(0))
+            .unwrap()
+            .relation("a")
+            .unwrap()
+            .len(),
+        1
+    );
+
+    let mut script = ChangeScript::new();
+    let del = sys.make_delete_link("r0").unwrap();
+    script.push(SimTime::from_millis(1), del);
+    let report = sys.run_update_with_script(&script);
+    assert!(report.outcome.quiescent);
+    assert!(report.all_closed);
+    // Data survives the deletion.
+    assert_eq!(
+        sys.database(NodeId(0))
+            .unwrap()
+            .relation("a")
+            .unwrap()
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn repeated_changes_terminate() {
+    // A longer finite script: several adds and deletes interleaved.
+    let mut sys = three_node_builder().build().unwrap();
+    let mut script = ChangeScript::new();
+    let add1 = sys.make_add_link("rx", "C:c(X,Y) => A:a(X,Y)").unwrap();
+    let add2 = sys.make_add_link("ry", "C:c(X,Y) => B:b(X,Y)").unwrap();
+    script.push(SimTime::from_millis(2), add1.clone());
+    script.push(SimTime::from_millis(4), add2);
+    if let ChangeOp::AddLink { rule } = &add1 {
+        script.push(
+            SimTime::from_millis(6),
+            ChangeOp::DeleteLink {
+                rule: rule.id,
+                head: rule.head_node,
+            },
+        );
+    }
+    let report = sys.run_update_with_script(&script);
+    assert!(report.outcome.quiescent, "finite change must terminate");
+    assert!(report.all_closed);
+    // ry imported C's tuples into B, and r0 then relayed them to A.
+    let b = sys.database(NodeId(1)).unwrap();
+    assert_eq!(b.relation("b").unwrap().len(), 3);
+    let a = sys.database(NodeId(0)).unwrap();
+    assert_eq!(a.relation("a").unwrap().len(), 3);
+}
+
+#[test]
+fn separated_component_closes_despite_external_churn() {
+    // Theorem 3: {A, B} is separated from {C, D}; churn confined to the
+    // C/D side must not keep A/B from closing with sound & complete data.
+    let mut b = P2PSystemBuilder::new();
+    b.add_node_with_schema(0, "a(x: int, y: int).").unwrap();
+    b.add_node_with_schema(1, "b(x: int, y: int).").unwrap();
+    b.add_node_with_schema(2, "c(x: int, y: int).").unwrap();
+    b.add_node_with_schema(3, "d(x: int, y: int).").unwrap();
+    b.add_rule("rab", "B:b(X,Y) => A:a(X,Y)").unwrap();
+    b.add_rule("rcd", "D:d(X,Y) => C:c(X,Y)").unwrap();
+    b.insert(1, "b", vec![Value::Int(1), Value::Int(2)])
+        .unwrap();
+    b.insert(3, "d", vec![Value::Int(5), Value::Int(6)])
+        .unwrap();
+    let mut sys = b.build().unwrap();
+
+    // Verify the Theorem 3 precondition with the topology analyzer.
+    let graph = sys.rules().dependency_graph();
+    let a_side: std::collections::BTreeSet<NodeId> = [NodeId(0), NodeId(1)].into();
+    let mut script = ChangeScript::new();
+    let mut graph_changes = Vec::new();
+    // Churn: repeatedly add/delete C→D rules.
+    for i in 0..5 {
+        let add = sys
+            .make_add_link(&format!("churn{i}"), "D:d(X,Y) => C:c(Y,X)")
+            .unwrap();
+        if let ChangeOp::AddLink { rule } = &add {
+            graph_changes.push(p2p_topology::GraphChange::AddEdge {
+                head: rule.head_node,
+                body: rule.parts[0].node,
+            });
+            script.push(SimTime::from_millis(2 + 2 * i), add.clone());
+            script.push(
+                SimTime::from_millis(3 + 2 * i),
+                ChangeOp::DeleteLink {
+                    rule: rule.id,
+                    head: rule.head_node,
+                },
+            );
+            graph_changes.push(p2p_topology::GraphChange::RemoveEdge {
+                head: NodeId(2),
+                body: NodeId(3),
+            });
+        }
+    }
+    assert!(p2p_topology::is_separated_under_change(
+        &graph,
+        &a_side,
+        &graph_changes
+    ));
+
+    let report = sys.run_update_with_script(&script);
+    assert!(report.outcome.quiescent);
+    assert!(sys.closed(NodeId(0)), "A must close (Theorem 3)");
+    assert!(sys.closed(NodeId(1)), "B must close (Theorem 3)");
+    // And its data is the static fix-point of its own rules.
+    assert_eq!(
+        sys.database(NodeId(0))
+            .unwrap()
+            .relation("a")
+            .unwrap()
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn change_after_closure_starts_new_epoch() {
+    // Run to closure, then apply a change in a *second* session: the system
+    // must converge again and incorporate the new rule.
+    let mut sys = three_node_builder().build().unwrap();
+    let r1 = sys.run_update();
+    assert!(r1.all_closed);
+
+    let mut script = ChangeScript::new();
+    let add = sys.make_add_link("rx", "C:c(X,Y) => A:a(X,Y)").unwrap();
+    script.push(SimTime::from_millis(1), add);
+    let r2 = sys.run_update_with_script(&script);
+    assert!(r2.outcome.quiescent);
+    assert!(r2.all_closed);
+    assert_eq!(
+        sys.database(NodeId(0))
+            .unwrap()
+            .relation("a")
+            .unwrap()
+            .len(),
+        3
+    );
+}

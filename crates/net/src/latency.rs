@@ -1,0 +1,161 @@
+//! Pluggable link-latency models for the discrete-event simulator.
+
+use crate::message::SimTime;
+use p2p_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Computes the delivery delay of a message. Implementations may be
+/// stateful (seeded RNGs) but must be deterministic given their seed and the
+/// call sequence.
+pub trait LatencyModel: Send {
+    /// Delay for a `size`-byte message on the link `from → to`.
+    fn latency(&mut self, from: NodeId, to: NodeId, size: usize) -> SimTime;
+}
+
+/// Fixed delay on every link — the simplest model, used by most tests.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLatency(pub SimTime);
+
+impl LatencyModel for ConstantLatency {
+    fn latency(&mut self, _from: NodeId, _to: NodeId, _size: usize) -> SimTime {
+        self.0
+    }
+}
+
+/// Uniformly random delay in `[min, max]`, seeded — models jittery WAN links
+/// while keeping runs reproducible.
+#[derive(Debug)]
+pub struct UniformLatency {
+    min: SimTime,
+    max: SimTime,
+    rng: StdRng,
+}
+
+impl UniformLatency {
+    /// Creates the model; `min ≤ max` is enforced by swapping.
+    pub fn new(min: SimTime, max: SimTime, seed: u64) -> Self {
+        let (min, max) = if min <= max { (min, max) } else { (max, min) };
+        UniformLatency {
+            min,
+            max,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl LatencyModel for UniformLatency {
+    fn latency(&mut self, _from: NodeId, _to: NodeId, _size: usize) -> SimTime {
+        SimTime(self.rng.gen_range(self.min.0..=self.max.0))
+    }
+}
+
+/// Base propagation delay plus a per-byte transmission cost — makes large
+/// answers slower than small control messages, which is what gives the
+/// delta-optimization experiment (E6) its time axis.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthLatency {
+    /// Propagation delay added to every message.
+    pub base: SimTime,
+    /// Transmission cost in nanoseconds per byte (1000 ⇒ ~1 MB/s).
+    pub nanos_per_byte: u64,
+}
+
+impl LatencyModel for BandwidthLatency {
+    fn latency(&mut self, _from: NodeId, _to: NodeId, size: usize) -> SimTime {
+        SimTime(self.base.0 + (size as u64 * self.nanos_per_byte) / 1_000)
+    }
+}
+
+/// Per-link latency matrix with a default for unlisted links — models
+/// heterogeneous networks (LAN clusters joined by WAN links, the deployment
+/// JXTA targeted).
+#[derive(Debug, Clone)]
+pub struct PerEdgeLatency {
+    default: SimTime,
+    links: std::collections::BTreeMap<(NodeId, NodeId), SimTime>,
+}
+
+impl PerEdgeLatency {
+    /// Creates the model with a default latency for unlisted links.
+    pub fn new(default: SimTime) -> Self {
+        PerEdgeLatency {
+            default,
+            links: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Sets one directed link's latency.
+    pub fn set(mut self, from: NodeId, to: NodeId, latency: SimTime) -> Self {
+        self.links.insert((from, to), latency);
+        self
+    }
+
+    /// Sets both directions of a link.
+    pub fn set_symmetric(self, a: NodeId, b: NodeId, latency: SimTime) -> Self {
+        self.set(a, b, latency).set(b, a, latency)
+    }
+}
+
+impl LatencyModel for PerEdgeLatency {
+    fn latency(&mut self, from: NodeId, to: NodeId, _size: usize) -> SimTime {
+        self.links.get(&(from, to)).copied().unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_everything() {
+        let mut m = ConstantLatency(SimTime::from_millis(5));
+        assert_eq!(m.latency(NodeId(0), NodeId(1), 10), SimTime::from_millis(5));
+        assert_eq!(
+            m.latency(NodeId(3), NodeId(2), 10_000),
+            SimTime::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn uniform_is_seeded_and_in_range() {
+        let mut a = UniformLatency::new(SimTime(100), SimTime(200), 42);
+        let mut b = UniformLatency::new(SimTime(100), SimTime(200), 42);
+        for _ in 0..100 {
+            let la = a.latency(NodeId(0), NodeId(1), 1);
+            let lb = b.latency(NodeId(0), NodeId(1), 1);
+            assert_eq!(la, lb);
+            assert!((100..=200).contains(&la.0));
+        }
+    }
+
+    #[test]
+    fn uniform_swaps_reversed_bounds() {
+        let mut m = UniformLatency::new(SimTime(200), SimTime(100), 1);
+        let l = m.latency(NodeId(0), NodeId(1), 1);
+        assert!((100..=200).contains(&l.0));
+    }
+
+    #[test]
+    fn per_edge_overrides_and_defaults() {
+        let mut m = PerEdgeLatency::new(SimTime::from_millis(1))
+            .set(NodeId(0), NodeId(1), SimTime::from_millis(20))
+            .set_symmetric(NodeId(2), NodeId(3), SimTime::from_millis(5));
+        assert_eq!(m.latency(NodeId(0), NodeId(1), 0), SimTime::from_millis(20));
+        // Reverse direction not set: default applies.
+        assert_eq!(m.latency(NodeId(1), NodeId(0), 0), SimTime::from_millis(1));
+        assert_eq!(m.latency(NodeId(2), NodeId(3), 0), SimTime::from_millis(5));
+        assert_eq!(m.latency(NodeId(3), NodeId(2), 0), SimTime::from_millis(5));
+        assert_eq!(m.latency(NodeId(7), NodeId(8), 0), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn bandwidth_scales_with_size() {
+        let mut m = BandwidthLatency {
+            base: SimTime(50),
+            nanos_per_byte: 1_000, // 1 µs per byte
+        };
+        assert_eq!(m.latency(NodeId(0), NodeId(1), 0).0, 50);
+        assert_eq!(m.latency(NodeId(0), NodeId(1), 100).0, 150);
+    }
+}

@@ -1,0 +1,43 @@
+//! # p2p-net
+//!
+//! The messaging substrate for the P2P database network — our substitute for
+//! the JXTA layer the paper's prototype was built on (Section 5). JXTA gave
+//! the authors peer naming, reliable pipes, message envelopes and resource
+//! discovery; this crate provides the same capabilities as a library, in two
+//! interchangeable runtimes:
+//!
+//! * [`sim::Simulator`] — a **deterministic discrete-event simulator**:
+//!   seeded latency models, per-event ordering by `(time, sequence)`,
+//!   fault injection (drops, duplication, link outages), byte accounting and
+//!   quiescence detection. Virtual time makes the paper's "execution time"
+//!   metric reproducible, which the original testbed could not be.
+//! * [`threaded::ThreadedNetwork`] — a real multi-threaded runtime over
+//!   crossbeam channels, one thread per peer, with quiescence detected by an
+//!   outstanding-message counter. It runs the *same* [`Peer`] code, giving
+//!   the asynchronous execution model of the paper on actual parallelism.
+//!
+//! Protocol crates implement [`Peer`] and never talk to a runtime directly;
+//! everything observable (message counts, bytes, traces) flows through
+//! [`stats::NetStats`] and [`trace::Trace`] — the paper's "statistical
+//! module".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod latency;
+pub mod message;
+pub mod sim;
+pub mod stats;
+pub mod threaded;
+pub mod trace;
+
+pub use fault::FaultPlan;
+pub use latency::{
+    BandwidthLatency, ConstantLatency, LatencyModel, PerEdgeLatency, UniformLatency,
+};
+pub use message::{Envelope, SimTime, Wire};
+pub use sim::{Context, Peer, RunOutcome, Simulator};
+pub use stats::{NetStats, NodeNetStats};
+pub use threaded::ThreadedNetwork;
+pub use trace::{Trace, TraceEntry};

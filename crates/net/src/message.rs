@@ -1,0 +1,118 @@
+//! Message envelopes, virtual time, and the [`Wire`] trait.
+
+use p2p_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Virtual time in microseconds. The discrete-event simulator advances this;
+/// the threaded runtime reports wall-clock time through the same type so the
+/// statistics pipeline is runtime-agnostic.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Constructs from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Value in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (possibly fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// What the network layer needs to know about a protocol message: its
+/// approximate wire size (for byte accounting and bandwidth-aware latency)
+/// and a short kind label (for per-kind statistics and Figure-1 style
+/// traces).
+pub trait Wire: Clone + fmt::Debug + Send + 'static {
+    /// Approximate serialized size in bytes.
+    fn wire_size(&self) -> usize;
+    /// Short stable label, e.g. `"Query"`, `"Answer"`, `"requestNodes"`.
+    fn kind(&self) -> &'static str;
+}
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: M,
+    /// Time the message was sent.
+    pub sent_at: SimTime,
+    /// Global sequence number (total order of sends; ties in delivery time
+    /// are broken by it, making the simulator deterministic).
+    pub seq: u64,
+    /// Message identity, assigned at *send* time: fault-injected duplicate
+    /// deliveries share one `msg_id`, which is what lets receivers implement
+    /// exactly-once processing (see `Peer::on_envelope`).
+    pub msg_id: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let a = SimTime::from_millis(2);
+        let b = SimTime::from_micros(500);
+        assert_eq!((a + b).as_micros(), 2_500);
+        assert_eq!((a - b).as_micros(), 1_500);
+        assert_eq!((b - a).as_micros(), 0); // saturating
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_micros(), 2_500);
+    }
+
+    #[test]
+    fn time_display() {
+        assert_eq!(SimTime::from_micros(1_234).to_string(), "1.234ms");
+    }
+}

@@ -1,0 +1,579 @@
+//! The deterministic discrete-event simulator.
+//!
+//! Events are delivered in `(time, sequence)` order; all randomness (latency
+//! jitter, fault decisions) comes from seeded RNGs, so a run is a pure
+//! function of its inputs. That determinism is what lets the test suite
+//! assert exact message counts and lets experiments be reproduced bit-for-bit
+//! — the one capability the paper's JXTA testbed fundamentally lacked.
+
+use crate::fault::{FaultDecision, FaultPlan};
+use crate::latency::LatencyModel;
+use crate::message::{Envelope, SimTime, Wire};
+use crate::stats::NetStats;
+use crate::trace::{Trace, TraceEntry};
+use p2p_topology::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// A protocol participant. One instance per node; handlers are atomic (run
+/// to completion) and communicate only through the [`Context`].
+pub trait Peer<M>: Send {
+    /// Handles one delivered message.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<M>);
+
+    /// Delivery entry point used by the runtimes. `msg_id` identifies the
+    /// *send*: fault-injected duplicates share it, so an implementation can
+    /// provide exactly-once semantics by remembering seen ids (the default
+    /// just forwards to [`Peer::on_message`], i.e. at-least-once).
+    fn on_envelope(&mut self, from: NodeId, msg_id: u64, msg: M, ctx: &mut Context<M>) {
+        let _ = msg_id;
+        self.on_message(from, msg, ctx);
+    }
+}
+
+/// An outgoing message queued by a handler.
+#[derive(Debug, Clone)]
+pub struct Outgoing<M> {
+    /// Recipient.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: M,
+    /// Extra delay beyond link latency (processing cost, scheduled work).
+    pub delay: SimTime,
+}
+
+/// Handler-side view of the network: the only way peers interact with the
+/// outside world.
+#[derive(Debug)]
+pub struct Context<M> {
+    now: SimTime,
+    id: NodeId,
+    charged: SimTime,
+    outgoing: Vec<Outgoing<M>>,
+}
+
+impl<M> Context<M> {
+    /// Creates a context for one handler invocation (used by both runtimes).
+    pub fn new(now: SimTime, id: NodeId) -> Self {
+        Context {
+            now,
+            id,
+            charged: SimTime::ZERO,
+            outgoing: Vec::new(),
+        }
+    }
+
+    /// Current time (virtual in the simulator, wall-clock in the threaded
+    /// runtime).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The handling node's own id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends a message (subject to link latency and any charged processing
+    /// time).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outgoing.push(Outgoing {
+            to,
+            msg,
+            delay: self.charged,
+        });
+    }
+
+    /// Sends after an explicit additional delay.
+    pub fn send_after(&mut self, delay: SimTime, to: NodeId, msg: M) {
+        self.outgoing.push(Outgoing {
+            to,
+            msg,
+            delay: self.charged + delay,
+        });
+    }
+
+    /// Charges local processing time: all *subsequent* sends from this
+    /// handler are delayed by the accumulated charge. Models per-tuple query
+    /// evaluation cost without a full node-busy queueing model.
+    pub fn charge(&mut self, cost: SimTime) {
+        self.charged += cost;
+    }
+
+    /// Drains queued sends (runtime internal).
+    pub fn take_outgoing(&mut self) -> Vec<Outgoing<M>> {
+        std::mem::take(&mut self.outgoing)
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Virtual time of the last delivered event.
+    pub virtual_time: SimTime,
+    /// Number of deliveries processed.
+    pub delivered: u64,
+    /// True iff the event queue drained; false iff the event budget was hit
+    /// (a diverging protocol, or faults that stranded the run).
+    pub quiescent: bool,
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulator over a homogeneous peer type `P`.
+pub struct Simulator<M: Wire, P: Peer<M>> {
+    peers: BTreeMap<NodeId, P>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    latency: Box<dyn LatencyModel>,
+    fault: FaultPlan,
+    stats: NetStats,
+    trace: Trace,
+    now: SimTime,
+    seq: u64,
+    next_msg_id: u64,
+    max_events: u64,
+    fifo_pipes: bool,
+    fifo_floor: BTreeMap<(NodeId, NodeId), SimTime>,
+}
+
+impl<M: Wire, P: Peer<M>> Simulator<M, P> {
+    /// Creates a simulator with the given latency model, reliable transport
+    /// and tracing off.
+    pub fn new(latency: Box<dyn LatencyModel>) -> Self {
+        Simulator {
+            peers: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            latency,
+            fault: FaultPlan::none(),
+            stats: NetStats::default(),
+            trace: Trace::default(),
+            now: SimTime::ZERO,
+            seq: 0,
+            next_msg_id: 0,
+            max_events: 10_000_000,
+            fifo_pipes: true,
+            fifo_floor: BTreeMap::new(),
+        }
+    }
+
+    /// Enables/disables per-link FIFO delivery. On by default: JXTA pipes
+    /// (and any TCP-backed transport) never reorder messages on one link, and
+    /// the update protocol's completeness flags rely on that. Disable only to
+    /// study protocol behaviour under adversarial reordering.
+    pub fn set_fifo_pipes(&mut self, fifo: bool) {
+        self.fifo_pipes = fifo;
+    }
+
+    /// Installs a fault plan.
+    pub fn set_fault_plan(&mut self, fault: FaultPlan) {
+        self.fault = fault;
+    }
+
+    /// Enables message tracing with the given capacity.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace = Trace::with_capacity(capacity);
+    }
+
+    /// Caps the number of deliveries per [`Simulator::run`] (safety net
+    /// against diverging protocols).
+    pub fn set_max_events(&mut self, max_events: u64) {
+        self.max_events = max_events;
+    }
+
+    /// Registers a peer.
+    pub fn add_peer(&mut self, id: NodeId, peer: P) {
+        self.peers.insert(id, peer);
+    }
+
+    /// Immutable access to a peer's state (assertions, result extraction).
+    pub fn peer(&self, id: NodeId) -> Option<&P> {
+        self.peers.get(&id)
+    }
+
+    /// Mutable access to a peer's state.
+    pub fn peer_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        self.peers.get_mut(&id)
+    }
+
+    /// Iterates peers in id order.
+    pub fn peers(&self) -> impl Iterator<Item = (&NodeId, &P)> {
+        self.peers.iter()
+    }
+
+    /// Transport statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The trace (empty unless enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Injects a message from an external driver, delivered after link
+    /// latency from the current time.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.route(from, to, msg, SimTime::ZERO);
+    }
+
+    /// Schedules a message for delivery at an absolute time (dynamic-change
+    /// scripts). No latency is added: `at` *is* the delivery time.
+    pub fn inject_at(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
+        let size = msg.wire_size();
+        self.stats.record_send(from, msg.kind(), size);
+        let seq = self.seq;
+        self.seq += 1;
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            env: Envelope {
+                from,
+                to,
+                msg,
+                sent_at: self.now,
+                seq,
+                msg_id,
+            },
+        }));
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, msg: M, extra: SimTime) {
+        let size = msg.wire_size();
+        self.stats.record_send(from, msg.kind(), size);
+        let copies = match self.fault.decide(from, to, self.now) {
+            FaultDecision::Drop => {
+                self.stats.dropped += 1;
+                0
+            }
+            FaultDecision::Deliver => 1,
+            FaultDecision::Duplicate => {
+                self.stats.duplicated += 1;
+                2
+            }
+        };
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        for _ in 0..copies {
+            let latency = self.latency.latency(from, to, size);
+            let mut at = self.now + extra + latency;
+            if self.fifo_pipes {
+                let floor = self.fifo_floor.entry((from, to)).or_insert(SimTime::ZERO);
+                if at < *floor {
+                    at = *floor;
+                }
+                *floor = at;
+            }
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                at,
+                seq,
+                env: Envelope {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                    sent_at: self.now,
+                    seq,
+                    msg_id,
+                },
+            }));
+        }
+    }
+
+    /// Delivers the next event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = event.at;
+        let Envelope {
+            from,
+            to,
+            msg,
+            msg_id,
+            ..
+        } = event.env;
+        let size = msg.wire_size();
+        if !self.peers.contains_key(&to) {
+            // Message to a node that does not exist (yet / anymore).
+            self.stats.dropped += 1;
+            return true;
+        }
+        self.stats.record_delivery(to, size);
+        if self.trace.enabled() {
+            self.trace.record(TraceEntry {
+                at: self.now,
+                from,
+                to,
+                kind: msg.kind(),
+                detail: String::new(),
+            });
+        }
+        let mut ctx = Context::new(self.now, to);
+        self.peers
+            .get_mut(&to)
+            .expect("checked above")
+            .on_envelope(from, msg_id, msg, &mut ctx);
+        for out in ctx.take_outgoing() {
+            self.route(to, out.to, out.msg, out.delay);
+        }
+        true
+    }
+
+    /// Runs until quiescence or the event budget.
+    pub fn run(&mut self) -> RunOutcome {
+        let start_messages = self.stats.total_messages;
+        let mut processed = 0u64;
+        let quiescent = loop {
+            if processed >= self.max_events {
+                break false;
+            }
+            if !self.step() {
+                break true;
+            }
+            processed += 1;
+        };
+        self.stats.finished_at = self.now;
+        RunOutcome {
+            virtual_time: self.now,
+            delivered: self.stats.total_messages - start_messages,
+            quiescent,
+        }
+    }
+
+    /// Consumes the simulator, returning its peers (id order) — used by
+    /// drivers that need to hand peer state onward.
+    pub fn into_peers(self) -> Vec<(NodeId, P)> {
+        self.peers.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{ConstantLatency, UniformLatency};
+
+    /// Ping-pong test message.
+    #[derive(Debug, Clone)]
+    struct Ping(u32);
+
+    impl Wire for Ping {
+        fn wire_size(&self) -> usize {
+            4
+        }
+        fn kind(&self) -> &'static str {
+            "Ping"
+        }
+    }
+
+    /// A peer that decrements the counter and bounces the message back until
+    /// it reaches zero.
+    struct Bouncer {
+        seen: Vec<u32>,
+    }
+
+    impl Peer<Ping> for Bouncer {
+        fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<Ping>) {
+            self.seen.push(msg.0);
+            if msg.0 > 0 {
+                ctx.send(from, Ping(msg.0 - 1));
+            }
+        }
+    }
+
+    fn two_bouncers(latency: Box<dyn LatencyModel>) -> Simulator<Ping, Bouncer> {
+        let mut sim = Simulator::new(latency);
+        sim.add_peer(NodeId(0), Bouncer { seen: vec![] });
+        sim.add_peer(NodeId(1), Bouncer { seen: vec![] });
+        sim
+    }
+
+    #[test]
+    fn ping_pong_terminates_with_exact_counts() {
+        let mut sim = two_bouncers(Box::new(ConstantLatency(SimTime::from_millis(1))));
+        sim.inject(NodeId(0), NodeId(1), Ping(5));
+        let outcome = sim.run();
+        assert!(outcome.quiescent);
+        assert_eq!(outcome.delivered, 6); // 5,4,3,2,1,0
+        assert_eq!(outcome.virtual_time, SimTime::from_millis(6));
+        assert_eq!(sim.peer(NodeId(1)).unwrap().seen, vec![5, 3, 1]);
+        assert_eq!(sim.peer(NodeId(0)).unwrap().seen, vec![4, 2, 0]);
+        assert_eq!(sim.stats().total_messages, 6);
+        assert_eq!(sim.stats().total_bytes, 24);
+    }
+
+    #[test]
+    fn deterministic_under_jitter() {
+        let run = || {
+            let mut sim = two_bouncers(Box::new(UniformLatency::new(
+                SimTime(100),
+                SimTime(1_000),
+                1234,
+            )));
+            sim.inject(NodeId(0), NodeId(1), Ping(20));
+            let o = sim.run();
+            (o.virtual_time, o.delivered)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn event_budget_stops_runaway() {
+        /// A peer that echoes forever.
+        struct Echo;
+        impl Peer<Ping> for Echo {
+            fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<Ping>) {
+                ctx.send(from, msg);
+            }
+        }
+        let mut sim: Simulator<Ping, Echo> = Simulator::new(Box::new(ConstantLatency(SimTime(1))));
+        sim.add_peer(NodeId(0), Echo);
+        sim.add_peer(NodeId(1), Echo);
+        sim.set_max_events(100);
+        sim.inject(NodeId(0), NodeId(1), Ping(0));
+        let o = sim.run();
+        assert!(!o.quiescent);
+        assert_eq!(o.delivered, 100);
+    }
+
+    #[test]
+    fn message_to_unknown_node_is_dropped() {
+        let mut sim = two_bouncers(Box::new(ConstantLatency(SimTime(1))));
+        sim.inject(NodeId(0), NodeId(9), Ping(3));
+        let o = sim.run();
+        assert!(o.quiescent);
+        assert_eq!(o.delivered, 0);
+        assert_eq!(sim.stats().dropped, 1);
+    }
+
+    #[test]
+    fn drops_break_the_chain() {
+        let mut sim = two_bouncers(Box::new(ConstantLatency(SimTime(1))));
+        sim.set_fault_plan(FaultPlan::random(100, 0, 1));
+        sim.inject(NodeId(0), NodeId(1), Ping(5));
+        let o = sim.run();
+        assert!(o.quiescent);
+        assert_eq!(o.delivered, 0);
+        assert_eq!(sim.stats().dropped, 1);
+    }
+
+    #[test]
+    fn duplication_inflates_deliveries() {
+        let mut sim = two_bouncers(Box::new(ConstantLatency(SimTime(1))));
+        sim.set_fault_plan(FaultPlan::random(0, 100, 1));
+        sim.inject(NodeId(0), NodeId(1), Ping(1));
+        let o = sim.run();
+        assert!(o.quiescent);
+        // Ping(1) duplicated → two Ping(1) deliveries → each bounces a
+        // Ping(0), also duplicated → four Ping(0) deliveries.
+        assert_eq!(o.delivered, 6);
+        assert!(sim.stats().duplicated >= 2);
+    }
+
+    #[test]
+    fn charge_delays_subsequent_sends() {
+        struct Charger;
+        impl Peer<Ping> for Charger {
+            fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<Ping>) {
+                if msg.0 == 2 {
+                    ctx.charge(SimTime::from_millis(10));
+                    ctx.send(from, Ping(1));
+                }
+            }
+        }
+        let mut sim: Simulator<Ping, Charger> =
+            Simulator::new(Box::new(ConstantLatency(SimTime::from_millis(1))));
+        sim.add_peer(NodeId(0), Charger);
+        sim.add_peer(NodeId(1), Charger);
+        sim.inject(NodeId(0), NodeId(1), Ping(2));
+        let o = sim.run();
+        // 1ms (inject latency) + 10ms charge + 1ms latency.
+        assert_eq!(o.virtual_time, SimTime::from_millis(12));
+    }
+
+    #[test]
+    fn inject_at_delivers_at_absolute_time() {
+        let mut sim = two_bouncers(Box::new(ConstantLatency(SimTime(1))));
+        sim.inject_at(SimTime::from_millis(500), NodeId(0), NodeId(1), Ping(0));
+        let o = sim.run();
+        assert_eq!(o.virtual_time, SimTime::from_millis(500));
+        assert_eq!(o.delivered, 1);
+    }
+
+    #[test]
+    fn trace_captures_deliveries() {
+        let mut sim = two_bouncers(Box::new(ConstantLatency(SimTime(1))));
+        sim.set_trace_capacity(10);
+        sim.inject(NodeId(0), NodeId(1), Ping(2));
+        sim.run();
+        let kinds: Vec<_> = sim.trace().entries().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["Ping", "Ping", "Ping"]);
+    }
+
+    #[test]
+    fn fifo_order_for_equal_latency() {
+        // Two messages sent in one handler arrive in send order.
+        struct Burst;
+        impl Peer<Ping> for Burst {
+            fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<Ping>) {
+                if msg.0 == 9 {
+                    ctx.send(from, Ping(1));
+                    ctx.send(from, Ping(2));
+                }
+            }
+        }
+        struct Sink {
+            seen: Vec<u32>,
+        }
+        // Heterogeneous peers via an enum wrapper.
+        enum Node {
+            Burst(Burst),
+            Sink(Sink),
+        }
+        impl Peer<Ping> for Node {
+            fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<Ping>) {
+                match self {
+                    Node::Burst(b) => b.on_message(from, msg, ctx),
+                    Node::Sink(s) => s.seen.push(msg.0),
+                }
+            }
+        }
+        let mut sim: Simulator<Ping, Node> = Simulator::new(Box::new(ConstantLatency(SimTime(5))));
+        sim.add_peer(NodeId(0), Node::Sink(Sink { seen: vec![] }));
+        sim.add_peer(NodeId(1), Node::Burst(Burst));
+        sim.inject(NodeId(0), NodeId(1), Ping(9));
+        sim.run();
+        match sim.peer(NodeId(0)).unwrap() {
+            Node::Sink(s) => assert_eq!(s.seen, vec![1, 2]),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Network statistics — the transport half of the paper's "statistical
+//! module" (Section 5: message counts, data volumes on pipes, per-kind
+//! breakdowns; the query/update counters live in `p2p-core::stats`).
+
+use crate::message::SimTime;
+use p2p_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-node transport counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeNetStats {
+    /// Messages sent by this node.
+    pub sent: u64,
+    /// Messages delivered to this node.
+    pub received: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+    /// Sent-message counts per message kind.
+    pub sent_by_kind: BTreeMap<String, u64>,
+}
+
+/// Whole-network transport counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Per-node counters.
+    pub per_node: BTreeMap<NodeId, NodeNetStats>,
+    /// Total messages delivered.
+    pub total_messages: u64,
+    /// Total bytes delivered.
+    pub total_bytes: u64,
+    /// Messages dropped by fault injection.
+    pub dropped: u64,
+    /// Extra deliveries due to duplication.
+    pub duplicated: u64,
+    /// Virtual (or wall) time at which the run went quiescent.
+    pub finished_at: SimTime,
+}
+
+impl NetStats {
+    /// Records one send of `size` bytes and kind `kind` by `from`.
+    pub fn record_send(&mut self, from: NodeId, kind: &'static str, size: usize) {
+        let e = self.per_node.entry(from).or_default();
+        e.sent += 1;
+        e.bytes_sent += size as u64;
+        *e.sent_by_kind.entry(kind.to_string()).or_default() += 1;
+    }
+
+    /// Records one delivery of `size` bytes to `to`.
+    pub fn record_delivery(&mut self, to: NodeId, size: usize) {
+        let e = self.per_node.entry(to).or_default();
+        e.received += 1;
+        e.bytes_received += size as u64;
+        self.total_messages += 1;
+        self.total_bytes += size as u64;
+    }
+
+    /// Merges another stats object into this one (used by the threaded
+    /// runtime, where each worker keeps local counters).
+    pub fn merge(&mut self, other: &NetStats) {
+        for (node, s) in &other.per_node {
+            let e = self.per_node.entry(*node).or_default();
+            e.sent += s.sent;
+            e.received += s.received;
+            e.bytes_sent += s.bytes_sent;
+            e.bytes_received += s.bytes_received;
+            for (k, v) in &s.sent_by_kind {
+                *e.sent_by_kind.entry(k.clone()).or_default() += v;
+            }
+        }
+        self.total_messages += other.total_messages;
+        self.total_bytes += other.total_bytes;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        if other.finished_at > self.finished_at {
+            self.finished_at = other.finished_at;
+        }
+    }
+
+    /// Sum of one kind's sends across all nodes.
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.per_node
+            .values()
+            .map(|n| n.sent_by_kind.get(kind).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// The node that received the most bytes — the hot spot; the centralized
+    /// baseline concentrates nearly all traffic here while the distributed
+    /// algorithm spreads it (experiment E11).
+    pub fn max_node_bytes_received(&self) -> u64 {
+        self.per_node
+            .values()
+            .map(|n| n.bytes_received)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Resets all counters — the super-peer's "reset statistics at all
+    /// peers" command.
+    pub fn reset(&mut self) {
+        *self = NetStats::default();
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "messages={} bytes={} dropped={} duplicated={} finished_at={}",
+            self.total_messages, self.total_bytes, self.dropped, self.duplicated, self.finished_at
+        )?;
+        for (node, s) in &self.per_node {
+            writeln!(
+                f,
+                "  {node}: sent={} recv={} bytes_out={} bytes_in={}",
+                s.sent, s.received, s.bytes_sent, s.bytes_received
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = NetStats::default();
+        s.record_send(NodeId(0), "Query", 100);
+        s.record_delivery(NodeId(1), 100);
+        s.record_send(NodeId(1), "Answer", 300);
+        s.record_delivery(NodeId(0), 300);
+        assert_eq!(s.total_messages, 2);
+        assert_eq!(s.total_bytes, 400);
+        assert_eq!(s.per_node[&NodeId(0)].sent, 1);
+        assert_eq!(s.per_node[&NodeId(0)].bytes_received, 300);
+        assert_eq!(s.sent_of_kind("Query"), 1);
+        assert_eq!(s.sent_of_kind("Answer"), 1);
+        assert_eq!(s.sent_of_kind("nope"), 0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = NetStats::default();
+        a.record_send(NodeId(0), "Query", 10);
+        a.record_delivery(NodeId(1), 10);
+        let mut b = NetStats::default();
+        b.record_send(NodeId(0), "Query", 20);
+        b.record_delivery(NodeId(1), 20);
+        b.finished_at = SimTime(99);
+        a.merge(&b);
+        assert_eq!(a.per_node[&NodeId(0)].sent, 2);
+        assert_eq!(a.total_bytes, 30);
+        assert_eq!(a.finished_at, SimTime(99));
+        assert_eq!(a.sent_of_kind("Query"), 2);
+    }
+
+    #[test]
+    fn hot_spot_detection() {
+        let mut s = NetStats::default();
+        s.record_delivery(NodeId(0), 1_000);
+        s.record_delivery(NodeId(1), 10);
+        assert_eq!(s.max_node_bytes_received(), 1_000);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = NetStats::default();
+        s.record_send(NodeId(0), "Query", 10);
+        s.reset();
+        assert_eq!(s, NetStats::default());
+    }
+}

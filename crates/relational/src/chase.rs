@@ -1,0 +1,433 @@
+//! Restricted-chase application of rule heads (the paper's algorithm A6,
+//! `UpdateLocalData`).
+//!
+//! Given a binding of the rule body's variables, the head conjunction is
+//! instantiated: universal variables take their bound values, existential
+//! variables get **fresh labeled nulls** — *unless* the database already
+//! satisfies the instantiated head up to a homomorphism of the existential
+//! positions, in which case nothing is inserted. This is the paper's
+//!
+//! > `if π_R(t) ¬∈ R insert (π_R(t)) into R with new values for existential`
+//!
+//! strengthened to the standard *restricted chase*, which is what actually
+//! bounds null invention. A configurable null-derivation-depth limit guards
+//! against rule sets that are not weakly acyclic (on which any chase may
+//! diverge; see `p2p-core`'s weak-acyclicity checker).
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::hom::{satisfiable, FactPattern, PatTerm};
+use crate::query::ast::{Atom, Constraint, Term};
+use crate::query::eval::evaluate_bindings;
+use crate::tuple::Tuple;
+use crate::value::{NullFactory, NullId, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Chase configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaseConfig {
+    /// Maximum null-derivation depth: a null invented from a binding whose
+    /// deepest null has depth `d` gets depth `d + 1`; exceeding the limit is
+    /// an error rather than a hang. Depth 0 = invented from a null-free
+    /// binding.
+    pub max_null_depth: u32,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        // Generous: weakly-acyclic rule sets never get anywhere near this,
+        // while a diverging chase hits it quickly.
+        ChaseConfig { max_null_depth: 64 }
+    }
+}
+
+/// Tracks null derivation depths across chase steps; owned by whoever owns
+/// the [`NullFactory`] (one per peer).
+#[derive(Debug, Clone, Default)]
+pub struct ChaseState {
+    depths: HashMap<NullId, u32>,
+}
+
+impl ChaseState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the depth of a null received from elsewhere (e.g. carried by
+    /// an answer message). Unknown nulls default to depth 0, so recording is
+    /// only needed when the sender communicates depth — our peers do.
+    pub fn record(&mut self, id: NullId, depth: u32) {
+        let entry = self.depths.entry(id).or_insert(depth);
+        if depth > *entry {
+            *entry = depth;
+        }
+    }
+
+    /// Depth of a value: nulls as recorded (unknown ⇒ 0), constants 0.
+    pub fn depth_of(&self, v: &Value) -> u32 {
+        match v {
+            Value::Null(id) => self.depths.get(id).copied().unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// Exports known depths for the given tuple's nulls (for shipping along
+    /// with answers).
+    pub fn depths_for(&self, tuple: &Tuple) -> Vec<(NullId, u32)> {
+        tuple
+            .values()
+            .filter_map(|v| match v {
+                Value::Null(id) => Some((*id, self.depth_of(v))),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Outcome of one head application.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaseOutcome {
+    /// Facts actually inserted, as `(relation, tuple)` pairs.
+    pub inserted: Vec<(Arc<str>, Tuple)>,
+    /// Number of fresh nulls minted.
+    pub nulls_minted: usize,
+}
+
+impl ChaseOutcome {
+    /// True iff nothing was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty()
+    }
+}
+
+/// Applies an instantiated head conjunction to `db` under one binding.
+///
+/// * `head` — unqualified head atoms; variables present in `binding` are
+///   universal, the rest are existential.
+/// * `binding` — values for the universal variables.
+///
+/// Returns the facts inserted (empty when the guard found the head already
+/// satisfied).
+pub fn apply_head(
+    db: &mut Database,
+    head: &[Atom],
+    binding: &HashMap<Arc<str>, Value>,
+    nulls: &mut NullFactory,
+    state: &mut ChaseState,
+    config: &ChaseConfig,
+) -> Result<ChaseOutcome> {
+    // Build the satisfaction pattern: universal positions fixed, existential
+    // positions flexible (shared across atoms by variable name).
+    let mut flex_of: HashMap<Arc<str>, usize> = HashMap::new();
+    let mut patterns = Vec::with_capacity(head.len());
+    for atom in head {
+        if atom.qualifier.is_some() {
+            return Err(Error::QualifiedAtom(atom.to_string()));
+        }
+        let schema = db.schema().relation_or_err(&atom.relation)?;
+        if schema.arity() != atom.terms.len() {
+            return Err(Error::ArityMismatch {
+                relation: atom.relation.to_string(),
+                expected: schema.arity(),
+                got: atom.terms.len(),
+            });
+        }
+        let terms = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => PatTerm::Fixed(c.clone()),
+                Term::Var(v) => match binding.get(v) {
+                    Some(val) => PatTerm::Fixed(val.clone()),
+                    None => {
+                        let next = flex_of.len();
+                        PatTerm::Flex(*flex_of.entry(v.clone()).or_insert(next))
+                    }
+                },
+            })
+            .collect();
+        patterns.push(FactPattern {
+            relation: atom.relation.clone(),
+            terms,
+        });
+    }
+
+    if satisfiable(&patterns, db) {
+        return Ok(ChaseOutcome::default());
+    }
+
+    // Depth guard: the new nulls derive from the binding's deepest null.
+    let parent_depth = binding
+        .values()
+        .map(|v| state.depth_of(v))
+        .max()
+        .unwrap_or(0);
+    let new_depth = parent_depth + 1;
+    if !flex_of.is_empty() && new_depth > config.max_null_depth {
+        return Err(Error::ChaseDepthExceeded {
+            limit: config.max_null_depth,
+        });
+    }
+
+    // Mint one fresh null per distinct existential variable.
+    let mut fresh: HashMap<Arc<str>, Value> = HashMap::new();
+    for (var, _) in flex_of.iter() {
+        let n = nulls.fresh();
+        if let Value::Null(id) = n {
+            state.record(id, new_depth);
+        }
+        fresh.insert(var.clone(), n);
+    }
+
+    let mut outcome = ChaseOutcome {
+        inserted: Vec::new(),
+        nulls_minted: fresh.len(),
+    };
+    for atom in head {
+        let values: Vec<Value> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => binding.get(v).cloned().unwrap_or_else(|| fresh[v].clone()),
+            })
+            .collect();
+        let tuple = Tuple::new(values);
+        if db.insert(&atom.relation, tuple.clone())? {
+            outcome.inserted.push((atom.relation.clone(), tuple));
+        }
+    }
+    Ok(outcome)
+}
+
+/// Evaluates a rule entirely locally (body and head over the same database)
+/// and chases every binding. Used by the global fix-point oracle and by
+/// tests; the distributed layer instead evaluates bodies remotely and calls
+/// [`apply_head`] with shipped bindings.
+pub fn apply_rule_local(
+    db: &mut Database,
+    body: &[Atom],
+    constraints: &[Constraint],
+    head: &[Atom],
+    nulls: &mut NullFactory,
+    state: &mut ChaseState,
+    config: &ChaseConfig,
+) -> Result<ChaseOutcome> {
+    let bindings = evaluate_bindings(body, constraints, db)?;
+    let mut total = ChaseOutcome::default();
+    for row in &bindings.rows {
+        let map: HashMap<Arc<str>, Value> = bindings
+            .vars
+            .iter()
+            .cloned()
+            .zip(row.iter().cloned())
+            .collect();
+        let outcome = apply_head(db, head, &map, nulls, state, config)?;
+        total.nulls_minted += outcome.nulls_minted;
+        total.inserted.extend(outcome.inserted);
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parser::{parse_atom, parse_query};
+    use crate::schema::DatabaseSchema;
+
+    fn db() -> Database {
+        Database::new(
+            DatabaseSchema::parse("b(x: int, y: int). c(x: int, y: int). s(x: int).").unwrap(),
+        )
+    }
+
+    fn setup() -> (Database, NullFactory, ChaseState, ChaseConfig) {
+        (
+            db(),
+            NullFactory::new(9),
+            ChaseState::new(),
+            ChaseConfig::default(),
+        )
+    }
+
+    fn bind(pairs: &[(&str, Value)]) -> HashMap<Arc<str>, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (Arc::from(*k), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn ground_head_inserts_once() {
+        let (mut d, mut nf, mut st, cfg) = setup();
+        let head = vec![parse_atom("c(X, Y)").unwrap()];
+        let b = bind(&[("X", Value::Int(1)), ("Y", Value::Int(2))]);
+        let o1 = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
+        assert_eq!(o1.inserted.len(), 1);
+        assert_eq!(o1.nulls_minted, 0);
+        // Second application: guard fires, nothing inserted.
+        let o2 = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
+        assert!(o2.is_empty());
+    }
+
+    #[test]
+    fn existential_head_invents_null_once() {
+        let (mut d, mut nf, mut st, cfg) = setup();
+        // c(X, Z) with Z existential — the shape of paper rule r2.
+        let head = vec![parse_atom("c(X, Z)").unwrap()];
+        let b = bind(&[("X", Value::Int(1))]);
+        let o1 = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
+        assert_eq!(o1.inserted.len(), 1);
+        assert_eq!(o1.nulls_minted, 1);
+        assert!(o1.inserted[0].1 .0[1].is_null());
+        // Guard: c(1, _) already homomorphically satisfied.
+        let o2 = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
+        assert!(o2.is_empty());
+        assert_eq!(d.relation("c").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn existing_constant_satisfies_existential_head() {
+        let (mut d, mut nf, mut st, cfg) = setup();
+        d.insert_values("c", vec![Value::Int(1), Value::Int(42)])
+            .unwrap();
+        let head = vec![parse_atom("c(X, Z)").unwrap()];
+        let b = bind(&[("X", Value::Int(1))]);
+        // c(1, 42) already witnesses c(1, ∃Z): no insertion.
+        let o = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn shared_existential_across_head_atoms_uses_one_null() {
+        let (mut d, mut nf, mut st, cfg) = setup();
+        let head = vec![parse_atom("c(X, Z)").unwrap(), parse_atom("s(Z)").unwrap()];
+        let b = bind(&[("X", Value::Int(3))]);
+        let o = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
+        assert_eq!(o.inserted.len(), 2);
+        assert_eq!(o.nulls_minted, 1);
+        let z1 = &o.inserted[0].1 .0[1];
+        let z2 = &o.inserted[1].1 .0[0];
+        assert_eq!(z1, z2);
+    }
+
+    #[test]
+    fn joint_satisfaction_required_for_multi_atom_head() {
+        let (mut d, mut nf, mut st, cfg) = setup();
+        // c(3, 42) exists but s(42) does not: the conjunction c(3,Z) ∧ s(Z)
+        // is NOT satisfied, so the chase must fire.
+        d.insert_values("c", vec![Value::Int(3), Value::Int(42)])
+            .unwrap();
+        let head = vec![parse_atom("c(X, Z)").unwrap(), parse_atom("s(Z)").unwrap()];
+        let b = bind(&[("X", Value::Int(3))]);
+        let o = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
+        assert_eq!(o.nulls_minted, 1);
+        assert_eq!(d.relation("c").unwrap().len(), 2);
+        assert_eq!(d.relation("s").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn apply_rule_local_computes_all_bindings() {
+        let (mut d, mut nf, mut st, cfg) = setup();
+        d.insert_values("b", vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        d.insert_values("b", vec![Value::Int(2), Value::Int(3)])
+            .unwrap();
+        // c(X, Y) :- b(X, Y) — plain copy rule.
+        let q = parse_query("q(X, Y) :- b(X, Y)").unwrap();
+        let head = vec![parse_atom("c(X, Y)").unwrap()];
+        let o = apply_rule_local(
+            &mut d,
+            &q.atoms,
+            &q.constraints,
+            &head,
+            &mut nf,
+            &mut st,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(o.inserted.len(), 2);
+        // Idempotent.
+        let o2 = apply_rule_local(
+            &mut d,
+            &q.atoms,
+            &q.constraints,
+            &head,
+            &mut nf,
+            &mut st,
+            &cfg,
+        )
+        .unwrap();
+        assert!(o2.is_empty());
+    }
+
+    #[test]
+    fn depth_guard_stops_diverging_chase() {
+        // Diverging pair: b(X,Y) => c(Y,Z) and c(X,Y) => b(Y,Z) — each round
+        // inserts a fact whose key is last round's fresh null. Not weakly
+        // acyclic; the depth limit must stop it.
+        let (mut d, mut nf, mut st, _) = setup();
+        let cfg = ChaseConfig { max_null_depth: 5 };
+        d.insert_values("b", vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        let r1_body = parse_query("q(X, Y) :- b(X, Y)").unwrap();
+        let r1_head = vec![parse_atom("c(Y, Z)").unwrap()];
+        let r2_body = parse_query("q(X, Y) :- c(X, Y)").unwrap();
+        let r2_head = vec![parse_atom("b(Y, Z)").unwrap()];
+        let mut hit_limit = false;
+        for _ in 0..100 {
+            let a = apply_rule_local(
+                &mut d,
+                &r1_body.atoms,
+                &[],
+                &r1_head,
+                &mut nf,
+                &mut st,
+                &cfg,
+            );
+            let b = apply_rule_local(
+                &mut d,
+                &r2_body.atoms,
+                &[],
+                &r2_head,
+                &mut nf,
+                &mut st,
+                &cfg,
+            );
+            match (a, b) {
+                (Err(Error::ChaseDepthExceeded { .. }), _)
+                | (_, Err(Error::ChaseDepthExceeded { .. })) => {
+                    hit_limit = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(hit_limit, "depth guard should have fired");
+    }
+
+    #[test]
+    fn head_with_constant_terms() {
+        let (mut d, mut nf, mut st, cfg) = setup();
+        let head = vec![parse_atom("c(X, 99)").unwrap()];
+        let b = bind(&[("X", Value::Int(1))]);
+        let o = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
+        assert_eq!(
+            o.inserted[0].1,
+            Tuple::new(vec![Value::Int(1), Value::Int(99)])
+        );
+    }
+
+    #[test]
+    fn qualified_head_atom_rejected() {
+        let (mut d, mut nf, mut st, cfg) = setup();
+        let head = vec![parse_atom("A:c(X, Y)").unwrap()];
+        let b = bind(&[("X", Value::Int(1)), ("Y", Value::Int(1))]);
+        assert!(matches!(
+            apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg),
+            Err(Error::QualifiedAtom(_))
+        ));
+    }
+}

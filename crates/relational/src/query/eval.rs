@@ -1,0 +1,520 @@
+//! Conjunctive-query evaluation: greedy atom ordering + hash joins.
+//!
+//! Semantics: **naive tables**. Labeled nulls are ordinary values that join
+//! only with themselves; built-in comparisons involving nulls are unknown and
+//! filtered out (see [`CmpOp::certainly_holds`]). Consequently
+//! [`evaluate_certain`] — which additionally drops answer tuples containing
+//! nulls — returns certain answers for positive queries, the semantics under
+//! which the paper's soundness/completeness statements are phrased.
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::query::ast::{Atom, CmpOp, ConjunctiveQuery, Constraint, Term};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The result of evaluating a body: a table of variable bindings.
+///
+/// `rows[i][j]` is the value of `vars[j]` in the i-th satisfying assignment.
+/// Rows are deduplicated and listed in a deterministic order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bindings {
+    /// Variable names, in slot order.
+    pub vars: Vec<Arc<str>>,
+    /// One row per satisfying assignment.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Bindings {
+    /// Slot index of a variable.
+    pub fn slot(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| &**v == var)
+    }
+
+    /// Number of satisfying assignments.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the body has no satisfying assignment.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Projects the bindings onto head terms, deduplicating while preserving
+    /// first-occurrence order.
+    pub fn project(&self, head: &[Term]) -> Result<Vec<Tuple>> {
+        let mut slots = Vec::with_capacity(head.len());
+        for t in head {
+            match t {
+                Term::Var(v) => {
+                    let s = self
+                        .slot(v)
+                        .ok_or_else(|| Error::UnboundVariable(v.to_string()))?;
+                    slots.push(Ok(s));
+                }
+                Term::Const(c) => slots.push(Err(c.clone())),
+            }
+        }
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            let tuple = Tuple::new(
+                slots
+                    .iter()
+                    .map(|s| match s {
+                        Ok(idx) => row[*idx].clone(),
+                        Err(c) => c.clone(),
+                    })
+                    .collect(),
+            );
+            if seen.insert(tuple.clone()) {
+                out.push(tuple);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Evaluates a conjunctive query, returning deduplicated head tuples.
+pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Result<Vec<Tuple>> {
+    let bindings = evaluate_bindings(&q.atoms, &q.constraints, db)?;
+    bindings.project(&q.head)
+}
+
+/// Evaluates a conjunctive query and keeps only **certain** answers: tuples
+/// free of labeled nulls.
+pub fn evaluate_certain(q: &ConjunctiveQuery, db: &Database) -> Result<Vec<Tuple>> {
+    Ok(evaluate(q, db)?
+        .into_iter()
+        .filter(|t| !t.has_null())
+        .collect())
+}
+
+/// Evaluates a body (atoms + constraints) over a local database.
+///
+/// Errors if an atom is peer-qualified, references an unknown relation, has
+/// the wrong arity, or if a constraint mentions a variable bound by no atom.
+pub fn evaluate_bindings(
+    atoms: &[Atom],
+    constraints: &[Constraint],
+    db: &Database,
+) -> Result<Bindings> {
+    // -- validation ---------------------------------------------------------
+    for a in atoms {
+        if a.qualifier.is_some() {
+            return Err(Error::QualifiedAtom(a.to_string()));
+        }
+        let schema = db.schema().relation_or_err(&a.relation)?;
+        if schema.arity() != a.terms.len() {
+            return Err(Error::ArityMismatch {
+                relation: a.relation.to_string(),
+                expected: schema.arity(),
+                got: a.terms.len(),
+            });
+        }
+    }
+
+    // -- variable slots -----------------------------------------------------
+    let mut vars: Vec<Arc<str>> = Vec::new();
+    let mut slot_of: HashMap<Arc<str>, usize> = HashMap::new();
+    for a in atoms {
+        for t in &a.terms {
+            if let Term::Var(v) = t {
+                if !slot_of.contains_key(v) {
+                    slot_of.insert(v.clone(), vars.len());
+                    vars.push(v.clone());
+                }
+            }
+        }
+    }
+    for c in constraints {
+        for v in c.variables() {
+            if !slot_of.contains_key(&v) {
+                return Err(Error::UnboundVariable(v.to_string()));
+            }
+        }
+    }
+
+    // -- greedy atom ordering ----------------------------------------------
+    // Repeatedly pick the atom with the most positions bound by already
+    // chosen atoms (constants count as bound); tie-break on smaller relation.
+    let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(atoms.len());
+    let mut statically_bound: HashSet<usize> = HashSet::new();
+    while !remaining.is_empty() {
+        let mut best = 0usize;
+        let mut best_score = (usize::MIN, usize::MAX, usize::MAX);
+        for (k, &ai) in remaining.iter().enumerate() {
+            let atom = &atoms[ai];
+            let bound_positions = atom
+                .terms
+                .iter()
+                .filter(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => statically_bound.contains(&slot_of[v]),
+                })
+                .count();
+            let size = db.relation(&atom.relation).map(|r| r.len()).unwrap_or(0);
+            // Maximize bound positions; minimize relation size; then stable.
+            let score = (bound_positions, size, ai);
+            let better = score.0 > best_score.0
+                || (score.0 == best_score.0
+                    && (score.1 < best_score.1
+                        || (score.1 == best_score.1 && score.2 < best_score.2)));
+            if k == 0 || better {
+                best = k;
+                best_score = score;
+            }
+        }
+        let ai = remaining.swap_remove(best);
+        for t in &atoms[ai].terms {
+            if let Term::Var(v) = t {
+                statically_bound.insert(slot_of[v]);
+            }
+        }
+        order.push(ai);
+    }
+
+    // -- join ----------------------------------------------------------------
+    let nvars = vars.len();
+    let mut rows: Vec<Vec<Option<Value>>> = vec![vec![None; nvars]];
+    let mut bound: HashSet<usize> = HashSet::new();
+    let mut applied: Vec<bool> = vec![false; constraints.len()];
+
+    apply_ready_constraints(constraints, &mut applied, &bound, &slot_of, &mut rows);
+
+    for &ai in &order {
+        let atom = &atoms[ai];
+        let relation = db.relation(&atom.relation)?;
+
+        // Positions whose value is determined by the current bindings.
+        let mut key_positions: Vec<usize> = Vec::new();
+        for (pos, t) in atom.terms.iter().enumerate() {
+            let det = match t {
+                Term::Const(_) => true,
+                Term::Var(v) => bound.contains(&slot_of[v]),
+            };
+            if det {
+                key_positions.push(pos);
+            }
+        }
+
+        // Hash the relation on the key positions once.
+        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (ri, tuple) in relation.iter().enumerate() {
+            let key: Vec<Value> = key_positions.iter().map(|&p| tuple.0[p].clone()).collect();
+            index.entry(key).or_default().push(ri);
+        }
+
+        let mut next: Vec<Vec<Option<Value>>> = Vec::new();
+        for binding in &rows {
+            let key: Vec<Value> = key_positions
+                .iter()
+                .map(|&p| match &atom.terms[p] {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => binding[slot_of[v]].clone().expect("key var must be bound"),
+                })
+                .collect();
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
+            'rows: for &ri in matches {
+                let tuple = relation.row(ri);
+                let mut extended = binding.clone();
+                for (pos, t) in atom.terms.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        let slot = slot_of[v];
+                        match &extended[slot] {
+                            Some(existing) => {
+                                if *existing != tuple.0[pos] {
+                                    continue 'rows;
+                                }
+                            }
+                            None => extended[slot] = Some(tuple.0[pos].clone()),
+                        }
+                    }
+                }
+                next.push(extended);
+            }
+        }
+        rows = next;
+
+        for t in &atom.terms {
+            if let Term::Var(v) = t {
+                bound.insert(slot_of[v]);
+            }
+        }
+        apply_ready_constraints(constraints, &mut applied, &bound, &slot_of, &mut rows);
+        if rows.is_empty() {
+            break;
+        }
+    }
+
+    // Any constraint still unapplied (possible only when `rows` emptied early
+    // or the body had no atoms) is applied now if ground, else it already
+    // failed validation above.
+    apply_ready_constraints(constraints, &mut applied, &bound, &slot_of, &mut rows);
+
+    // -- materialise ---------------------------------------------------------
+    let mut seen = HashSet::new();
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for r in rows {
+        let full: Vec<Value> = r
+            .into_iter()
+            .map(|v| v.expect("all variables bound after full join"))
+            .collect();
+        if seen.insert(full.clone()) {
+            out_rows.push(full);
+        }
+    }
+    Ok(Bindings {
+        vars,
+        rows: out_rows,
+    })
+}
+
+fn apply_ready_constraints(
+    constraints: &[Constraint],
+    applied: &mut [bool],
+    bound: &HashSet<usize>,
+    slot_of: &HashMap<Arc<str>, usize>,
+    rows: &mut Vec<Vec<Option<Value>>>,
+) {
+    for (ci, c) in constraints.iter().enumerate() {
+        if applied[ci] {
+            continue;
+        }
+        let ready = c.variables().iter().all(|v| bound.contains(&slot_of[v]));
+        if !ready {
+            continue;
+        }
+        applied[ci] = true;
+        rows.retain(|row| {
+            let lhs = term_value(&c.lhs, row, slot_of);
+            let rhs = term_value(&c.rhs, row, slot_of);
+            c.op.certainly_holds(&lhs, &rhs)
+        });
+    }
+}
+
+fn term_value(t: &Term, row: &[Option<Value>], slot_of: &HashMap<Arc<str>, usize>) -> Value {
+    match t {
+        Term::Const(c) => c.clone(),
+        Term::Var(v) => row[slot_of[v]]
+            .clone()
+            .expect("constraint applied only when its variables are bound"),
+    }
+}
+
+/// Evaluates the comparison `lhs op rhs` over two ground values — exposed for
+/// reuse by the chase and the distributed layer.
+pub fn compare(op: CmpOp, lhs: &Value, rhs: &Value) -> bool {
+    op.certainly_holds(lhs, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parser::parse_query;
+    use crate::schema::DatabaseSchema;
+
+    fn db_with_b(pairs: &[(i64, i64)]) -> Database {
+        let mut db = Database::new(DatabaseSchema::parse("b(x: int, y: int).").unwrap());
+        for &(x, y) in pairs {
+            db.insert_values("b", vec![Value::Int(x), Value::Int(y)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn transitive_join() {
+        let db = db_with_b(&[(1, 2), (2, 3), (3, 4)]);
+        let q = parse_query("q(X, Z) :- b(X, Y), b(Y, Z)").unwrap();
+        let ans = evaluate(&q, &db).unwrap();
+        assert_eq!(
+            ans,
+            vec![
+                Tuple::new(vec![Value::Int(1), Value::Int(3)]),
+                Tuple::new(vec![Value::Int(2), Value::Int(4)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_join_with_neq_matches_paper_rule_r4_shape() {
+        // b(X,Y), b(X,Z), X != Z — wait, the paper's r4 uses X != Z over two
+        // b-atoms sharing X; replicate that shape literally.
+        let db = db_with_b(&[(1, 2), (1, 3), (2, 5)]);
+        let q = parse_query("q(X, Y) :- b(X, Y), b(X, Z), Y != Z").unwrap();
+        let ans = evaluate(&q, &db).unwrap();
+        assert_eq!(
+            ans,
+            vec![
+                Tuple::new(vec![Value::Int(1), Value::Int(2)]),
+                Tuple::new(vec![Value::Int(1), Value::Int(3)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn constants_in_atoms_filter() {
+        let db = db_with_b(&[(1, 2), (3, 2), (3, 4)]);
+        let q = parse_query("q(X) :- b(X, 2)").unwrap();
+        let ans = evaluate(&q, &db).unwrap();
+        assert_eq!(
+            ans,
+            vec![
+                Tuple::new(vec![Value::Int(1)]),
+                Tuple::new(vec![Value::Int(3)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn repeated_variable_within_atom() {
+        let db = db_with_b(&[(1, 1), (1, 2), (7, 7)]);
+        let q = parse_query("q(X) :- b(X, X)").unwrap();
+        let ans = evaluate(&q, &db).unwrap();
+        assert_eq!(
+            ans,
+            vec![
+                Tuple::new(vec![Value::Int(1)]),
+                Tuple::new(vec![Value::Int(7)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn cross_product_when_no_shared_vars() {
+        let db = db_with_b(&[(1, 2), (3, 4)]);
+        let q = parse_query("q(X, U) :- b(X, Y), b(U, V)").unwrap();
+        let ans = evaluate(&q, &db).unwrap();
+        assert_eq!(ans.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_answers_are_deduplicated() {
+        let db = db_with_b(&[(1, 2), (1, 3)]);
+        let q = parse_query("q(X) :- b(X, Y)").unwrap();
+        let ans = evaluate(&q, &db).unwrap();
+        assert_eq!(ans, vec![Tuple::new(vec![Value::Int(1)])]);
+    }
+
+    #[test]
+    fn empty_relation_gives_empty_answer() {
+        let db = db_with_b(&[]);
+        let q = parse_query("q(X) :- b(X, Y)").unwrap();
+        assert!(evaluate(&q, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn constraints_on_constants() {
+        let db = db_with_b(&[(1, 2)]);
+        let q = parse_query("q(X) :- b(X, Y), Y < 10").unwrap();
+        assert_eq!(evaluate(&q, &db).unwrap().len(), 1);
+        let q = parse_query("q(X) :- b(X, Y), Y > 10").unwrap();
+        assert!(evaluate(&q, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn qualified_atom_rejected_by_local_eval() {
+        let db = db_with_b(&[]);
+        let atom = crate::query::parser::parse_atom("B:b(X, Y)").unwrap();
+        let err = evaluate_bindings(&[atom], &[], &db).unwrap_err();
+        assert!(matches!(err, Error::QualifiedAtom(_)));
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let db = db_with_b(&[]);
+        let q = parse_query("q(X) :- zzz(X)").unwrap();
+        assert!(matches!(evaluate(&q, &db), Err(Error::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let db = db_with_b(&[]);
+        let q = parse_query("q(X) :- b(X)").unwrap();
+        assert!(matches!(
+            evaluate(&q, &db),
+            Err(Error::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn nulls_join_only_with_themselves() {
+        use crate::value::NullFactory;
+        let mut db = db_with_b(&[]);
+        let mut nf = NullFactory::new(1);
+        let n1 = nf.fresh();
+        let n2 = nf.fresh();
+        db.insert_values("b", vec![Value::Int(1), n1.clone()])
+            .unwrap();
+        db.insert_values("b", vec![n1.clone(), Value::Int(9)])
+            .unwrap();
+        db.insert_values("b", vec![n2, Value::Int(8)]).unwrap();
+        let q = parse_query("q(X, Z) :- b(X, Y), b(Y, Z)").unwrap();
+        let ans = evaluate(&q, &db).unwrap();
+        // 1 -> n1 -> 9 joins (same null); n2 chain does not.
+        assert_eq!(ans, vec![Tuple::new(vec![Value::Int(1), Value::Int(9)])]);
+    }
+
+    #[test]
+    fn certain_answers_drop_null_tuples() {
+        use crate::value::NullFactory;
+        let mut db = db_with_b(&[(1, 2)]);
+        let mut nf = NullFactory::new(1);
+        db.insert_values("b", vec![Value::Int(3), nf.fresh()])
+            .unwrap();
+        let q = parse_query("q(X, Y) :- b(X, Y)").unwrap();
+        assert_eq!(evaluate(&q, &db).unwrap().len(), 2);
+        let certain = evaluate_certain(&q, &db).unwrap();
+        assert_eq!(
+            certain,
+            vec![Tuple::new(vec![Value::Int(1), Value::Int(2)])]
+        );
+    }
+
+    #[test]
+    fn constraints_involving_nulls_are_unknown() {
+        use crate::value::NullFactory;
+        let mut db = db_with_b(&[]);
+        let mut nf = NullFactory::new(1);
+        db.insert_values("b", vec![Value::Int(1), nf.fresh()])
+            .unwrap();
+        // Y != 5 is unknown when Y is a null — excluded.
+        let q = parse_query("q(X) :- b(X, Y), Y != 5").unwrap();
+        assert!(evaluate(&q, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn string_and_int_columns_mix() {
+        let mut db = Database::new(
+            DatabaseSchema::parse("p(id: int, name: str). w(name: str, year: int).").unwrap(),
+        );
+        db.insert_values("p", vec![Value::Int(1), Value::str("ana")])
+            .unwrap();
+        db.insert_values("w", vec![Value::str("ana"), Value::Int(2001)])
+            .unwrap();
+        db.insert_values("w", vec![Value::str("bob"), Value::Int(2002)])
+            .unwrap();
+        let q = parse_query("q(I, Y) :- p(I, N), w(N, Y)").unwrap();
+        let ans = evaluate(&q, &db).unwrap();
+        assert_eq!(ans, vec![Tuple::new(vec![Value::Int(1), Value::Int(2001)])]);
+    }
+
+    #[test]
+    fn head_constants_are_emitted() {
+        let db = db_with_b(&[(1, 2)]);
+        let q = parse_query("q(X, 'tag') :- b(X, Y)").unwrap();
+        let ans = evaluate(&q, &db).unwrap();
+        assert_eq!(
+            ans,
+            vec![Tuple::new(vec![Value::Int(1), Value::str("tag")])]
+        );
+    }
+}

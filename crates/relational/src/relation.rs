@@ -1,0 +1,202 @@
+//! A single relation instance: deduplicated, insertion-ordered tuples with
+//! per-column hash indexes.
+//!
+//! Insertion order is preserved so that (a) iteration is deterministic and
+//! (b) *watermarks* work: the update protocol's delta optimization sends a
+//! subscriber only the tuples inserted after the watermark recorded at the
+//! previous answer, which is exactly the "delta optimization … to minimize
+//! data transfer and duplication" the paper sketches in Section 3.
+
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A relation instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Relation {
+    schema: RelationSchema,
+    /// Tuples in insertion order (the authoritative store).
+    rows: Vec<Tuple>,
+    /// Fast membership for deduplication.
+    present: HashSet<Tuple>,
+    /// Lazily built per-column indexes: column -> value -> row positions.
+    #[serde(skip)]
+    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given signature.
+    pub fn new(schema: RelationSchema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+            present: HashSet::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The relation's signature.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the relation holds no tuple.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.present.contains(tuple)
+    }
+
+    /// Inserts a tuple; returns `true` iff it was new. The caller is expected
+    /// to have validated the tuple against the schema (see
+    /// [`crate::Database::insert`], which does).
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        debug_assert_eq!(tuple.arity(), self.schema.arity());
+        if !self.present.insert(tuple.clone()) {
+            return false;
+        }
+        let pos = self.rows.len();
+        for (col, index) in self.indexes.iter_mut() {
+            index.entry(tuple.0[*col].clone()).or_default().push(pos);
+        }
+        self.rows.push(tuple);
+        true
+    }
+
+    /// Iterates tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Tuples inserted at or after `watermark` (insertion index), in order.
+    /// `watermark == len()` yields an empty slice.
+    pub fn since(&self, watermark: usize) -> &[Tuple] {
+        &self.rows[watermark.min(self.rows.len())..]
+    }
+
+    /// Ensures a hash index on `column` exists and returns row positions
+    /// whose `column` equals `value` (empty slice if none).
+    ///
+    /// The index is built on first use and maintained incrementally by
+    /// [`Relation::insert`] afterwards — scans during fix-point computation
+    /// repeatedly probe the same join columns, so this pays off immediately.
+    pub fn rows_matching(&mut self, column: usize, value: &Value) -> &[usize] {
+        let index = match self.indexes.entry(column) {
+            Entry::Occupied(o) => o.into_mut(),
+            Entry::Vacant(v) => {
+                let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
+                for (pos, t) in self.rows.iter().enumerate() {
+                    idx.entry(t.0[column].clone()).or_default().push(pos);
+                }
+                v.insert(idx)
+            }
+        };
+        index.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Row at insertion position `pos`.
+    pub fn row(&self, pos: usize) -> &Tuple {
+        &self.rows[pos]
+    }
+
+    /// All tuples as a slice, in insertion order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Approximate total serialized size (statistics module).
+    pub fn wire_size(&self) -> usize {
+        self.rows.iter().map(Tuple::wire_size).sum()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} tuples]", self.schema, self.rows.len())?;
+        for t in &self.rows {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn rel() -> Relation {
+        Relation::new(RelationSchema::new(
+            "r",
+            vec![("x", ColumnType::Int), ("y", ColumnType::Int)],
+        ))
+    }
+
+    fn tup(x: i64, y: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(x), Value::Int(y)])
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = rel();
+        assert!(r.insert(tup(1, 2)));
+        assert!(!r.insert(tup(1, 2)));
+        assert!(r.insert(tup(2, 1)));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let mut r = rel();
+        r.insert(tup(3, 3));
+        r.insert(tup(1, 1));
+        r.insert(tup(2, 2));
+        let got: Vec<_> = r.iter().cloned().collect();
+        assert_eq!(got, vec![tup(3, 3), tup(1, 1), tup(2, 2)]);
+    }
+
+    #[test]
+    fn since_returns_suffix() {
+        let mut r = rel();
+        r.insert(tup(1, 1));
+        let w = r.len();
+        r.insert(tup(2, 2));
+        r.insert(tup(3, 3));
+        assert_eq!(r.since(w), &[tup(2, 2), tup(3, 3)]);
+        assert!(r.since(r.len()).is_empty());
+        assert!(r.since(usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn index_built_lazily_and_maintained() {
+        let mut r = rel();
+        r.insert(tup(1, 10));
+        r.insert(tup(2, 20));
+        // Build index on column 0 after two inserts …
+        assert_eq!(r.rows_matching(0, &Value::Int(1)), &[0]);
+        // … and it must be maintained by subsequent inserts.
+        r.insert(tup(1, 30));
+        assert_eq!(r.rows_matching(0, &Value::Int(1)), &[0, 2]);
+        assert!(r.rows_matching(0, &Value::Int(9)).is_empty());
+    }
+
+    #[test]
+    fn index_on_second_column() {
+        let mut r = rel();
+        r.insert(tup(1, 7));
+        r.insert(tup(2, 7));
+        assert_eq!(r.rows_matching(1, &Value::Int(7)), &[0, 1]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Tuples: immutable, cheaply clonable rows.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable tuple of [`Value`]s.
+///
+/// Tuples are shared between the local store, query answers, and network
+/// messages; `Arc<[Value]>` keeps those copies O(1). Equality, hashing and
+/// ordering are structural (by content), so a tuple can be used directly for
+/// deduplication in answer sets and for the insertion guard of algorithm A6.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tuple(pub Arc<[Value]>);
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(Arc::from(values))
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Field accessor.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// Iterates over the fields.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.0.iter()
+    }
+
+    /// True iff any field is a labeled null. Answers containing nulls are not
+    /// *certain* (they witness existentially-invented data), so
+    /// certain-answer evaluation filters on this.
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(Value::is_null)
+    }
+
+    /// Approximate serialized size in bytes for data-volume accounting.
+    pub fn wire_size(&self) -> usize {
+        2 + self.0.iter().map(Value::wire_size).sum::<usize>()
+    }
+
+    /// Projects the tuple onto the given column indices.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds — projections are computed from
+    /// schemas validated at construction time, so an out-of-bounds index is a
+    /// programming error, not a data error.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::NullId;
+
+    fn t(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(
+            t(vec![Value::Int(1), Value::str("a")]),
+            t(vec![Value::Int(1), Value::str("a")])
+        );
+        assert_ne!(
+            t(vec![Value::Int(1), Value::str("a")]),
+            t(vec![Value::Int(1), Value::str("b")])
+        );
+    }
+
+    #[test]
+    fn has_null_detects_nulls() {
+        assert!(!t(vec![Value::Int(1)]).has_null());
+        assert!(t(vec![Value::Int(1), Value::Null(NullId::new(0, 0))]).has_null());
+    }
+
+    #[test]
+    fn project_selects_columns_in_order() {
+        let tup = t(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(tup.project(&[2, 0]), t(vec![Value::Int(3), Value::Int(1)]));
+        assert_eq!(tup.project(&[]), t(vec![]));
+    }
+
+    #[test]
+    fn display_is_parenthesised() {
+        let tup = t(vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(tup.to_string(), "(1, 'x')");
+    }
+
+    #[test]
+    fn wire_size_sums_fields() {
+        let tup = t(vec![Value::Int(1), Value::str("xy")]);
+        assert_eq!(tup.wire_size(), 2 + 8 + 6);
+    }
+}

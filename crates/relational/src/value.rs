@@ -1,0 +1,228 @@
+//! Values: constants shared across the network plus labeled nulls.
+//!
+//! The paper (Definition 1) assumes all peers share a set of constants `C`
+//! acting as URIs: equal constants denote equal objects network-wide. On top
+//! of those, existential variables in rule heads are materialised as
+//! **labeled nulls** — globally unique placeholder values minted by the node
+//! performing the insertion (algorithm A6: "insert with new values for
+//! existential"). A labeled null is equal only to itself, so nulls behave as
+//! the marked nulls of naive tables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a labeled null, globally unique across the network.
+///
+/// The high 24 bits carry the minting node, the low 40 bits a per-node
+/// counter; this lets any peer invent fresh nulls with no coordination, the
+/// same way the paper relies on node-local invention during `UpdateLocalData`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NullId(pub u64);
+
+impl NullId {
+    /// Number of bits reserved for the per-node counter.
+    pub const COUNTER_BITS: u32 = 40;
+
+    /// Builds a null id from a minting node and a local counter.
+    pub fn new(node: u32, counter: u64) -> Self {
+        debug_assert!(counter < (1u64 << Self::COUNTER_BITS));
+        NullId(((node as u64) << Self::COUNTER_BITS) | counter)
+    }
+
+    /// The node that minted this null.
+    pub fn node(self) -> u32 {
+        (self.0 >> Self::COUNTER_BITS) as u32
+    }
+
+    /// The minting node's local counter value.
+    pub fn counter(self) -> u64 {
+        self.0 & ((1u64 << Self::COUNTER_BITS) - 1)
+    }
+}
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:n{}_{}", self.node(), self.counter())
+    }
+}
+
+/// A database value: an integer constant, a string constant, or a labeled
+/// null.
+///
+/// `Ord` is total (Int < Str < Null, then by content) so values can key
+/// ordered collections; deterministic ordering is what makes the whole
+/// simulation reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit integer constant.
+    Int(i64),
+    /// Interned string constant. `Arc` keeps tuple cloning cheap: answers are
+    /// copied into messages constantly during update propagation.
+    Str(Arc<str>),
+    /// Labeled null invented for an existential head variable.
+    Null(NullId),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True iff this value is a labeled null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// A short type tag used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+            Value::Null(_) => "null",
+        }
+    }
+
+    /// Approximate serialized size in bytes, used by the network layer to
+    /// account for data volume on pipes (the paper's statistics module
+    /// tracks "volumes of data transferred onto pipes").
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Int(_) => 8,
+            Value::Str(s) => 4 + s.len(),
+            Value::Null(_) => 8,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Null(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Mints fresh labeled nulls on behalf of one node.
+///
+/// Each peer owns one factory; the node id baked into every [`NullId`]
+/// guarantees global uniqueness without coordination.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NullFactory {
+    node: u32,
+    next: u64,
+}
+
+impl NullFactory {
+    /// Creates a factory for the given minting node.
+    pub fn new(node: u32) -> Self {
+        NullFactory { node, next: 0 }
+    }
+
+    /// Returns a fresh, never-before-seen null value.
+    pub fn fresh(&mut self) -> Value {
+        let id = NullId::new(self.node, self.next);
+        self.next += 1;
+        Value::Null(id)
+    }
+
+    /// Number of nulls minted so far (used by the statistics module).
+    pub fn minted(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_id_roundtrip() {
+        let id = NullId::new(7, 123_456);
+        assert_eq!(id.node(), 7);
+        assert_eq!(id.counter(), 123_456);
+    }
+
+    #[test]
+    fn null_ids_from_distinct_nodes_differ() {
+        assert_ne!(NullId::new(1, 0), NullId::new(2, 0));
+        assert_ne!(NullId::new(1, 0), NullId::new(1, 1));
+    }
+
+    #[test]
+    fn factory_mints_distinct_nulls() {
+        let mut f = NullFactory::new(3);
+        let a = f.fresh();
+        let b = f.fresh();
+        assert_ne!(a, b);
+        assert!(a.is_null() && b.is_null());
+        assert_eq!(f.minted(), 2);
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_by_kind() {
+        let vals = vec![
+            Value::Null(NullId::new(0, 0)),
+            Value::str("a"),
+            Value::Int(5),
+            Value::Int(-1),
+            Value::str("b"),
+        ];
+        let mut sorted = vals.clone();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            vec![
+                Value::Int(-1),
+                Value::Int(5),
+                Value::str("a"),
+                Value::str("b"),
+                Value::Null(NullId::new(0, 0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn nulls_equal_only_themselves() {
+        let n1 = Value::Null(NullId::new(0, 0));
+        let n2 = Value::Null(NullId::new(0, 1));
+        assert_eq!(n1, n1.clone());
+        assert_ne!(n1, n2);
+        assert_ne!(n1, Value::Int(0));
+    }
+
+    #[test]
+    fn wire_size_accounts_for_string_length() {
+        assert_eq!(Value::Int(1).wire_size(), 8);
+        assert_eq!(Value::str("abcd").wire_size(), 8);
+        assert_eq!(Value::Null(NullId::new(0, 0)).wire_size(), 8);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("x").to_string(), "'x'");
+        assert_eq!(Value::Null(NullId::new(2, 9)).to_string(), "_:n2_9");
+    }
+}

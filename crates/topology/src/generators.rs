@@ -1,0 +1,392 @@
+//! Topology generators for the paper's experiments (Section 5: "Three types
+//! of topologies have been considered: trees, layered acyclic graphs, and
+//! cliques") plus auxiliary families used by tests and ablations.
+//!
+//! Conventions:
+//! * Node 0 is the designated **super-peer** (the paper's discovery/update
+//!   initiator and statistics collector).
+//! * Edges are **dependency edges** `head → body`: the head imports data
+//!   from the body, so data flows *against* the arrows toward node 0. With
+//!   the super-peer at the root, update execution time grows with the depth
+//!   of the structure — the quantity the paper reports as linear.
+
+use crate::graph::{DependencyGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A topology family with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Complete `branching`-ary tree of the given depth; the root (node 0)
+    /// depends on its children, recursively. `Tree { branching: 2, depth: 3 }`
+    /// has 15 nodes.
+    Tree {
+        /// Children per internal node (≥ 1).
+        branching: u32,
+        /// Edge-depth of the tree (0 = a single node).
+        depth: u32,
+    },
+    /// Layered acyclic graph: `layers` layers of `width` nodes; every node
+    /// of layer *l* depends on `fanout` nodes of layer *l+1* (chosen
+    /// round-robin, deterministic). Node 0 sits in layer 0.
+    LayeredDag {
+        /// Number of layers (≥ 1); depth = layers − 1.
+        layers: u32,
+        /// Nodes per layer (≥ 1).
+        width: u32,
+        /// Dependencies per node into the next layer (clamped to width).
+        fanout: u32,
+    },
+    /// Clique: every ordered pair of distinct nodes is a dependency edge
+    /// (rules in both directions, maximal cyclicity).
+    Clique {
+        /// Number of nodes (≥ 1).
+        n: u32,
+    },
+    /// Chain `0 → 1 → … → n−1` (a degenerate tree; depth = n − 1).
+    Chain {
+        /// Number of nodes (≥ 1).
+        n: u32,
+    },
+    /// Ring: chain plus the closing edge `n−1 → 0`; the smallest fully
+    /// cyclic family, exercising the fix-point iteration.
+    Ring {
+        /// Number of nodes (≥ 2).
+        n: u32,
+    },
+    /// Star: node 0 depends on every other node (depth 1).
+    Star {
+        /// Number of nodes (≥ 1).
+        n: u32,
+    },
+    /// Erdős–Rényi digraph over `n` nodes with edge probability `p_percent`
+    /// (0–100), seeded for reproducibility; node 0's reachability is then
+    /// whatever the dice gave.
+    Random {
+        /// Number of nodes.
+        n: u32,
+        /// Edge probability in percent (kept integral so the enum stays `Eq`).
+        p_percent: u8,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Tree { branching, depth } => write!(f, "tree(b={branching},d={depth})"),
+            Topology::LayeredDag {
+                layers,
+                width,
+                fanout,
+            } => write!(f, "layered(l={layers},w={width},f={fanout})"),
+            Topology::Clique { n } => write!(f, "clique(n={n})"),
+            Topology::Chain { n } => write!(f, "chain(n={n})"),
+            Topology::Ring { n } => write!(f, "ring(n={n})"),
+            Topology::Star { n } => write!(f, "star(n={n})"),
+            Topology::Random { n, p_percent, seed } => {
+                write!(f, "random(n={n},p={p_percent}%,seed={seed})")
+            }
+        }
+    }
+}
+
+/// A generated topology: the dependency graph plus bookkeeping the
+/// experiments report on.
+#[derive(Debug, Clone)]
+pub struct GeneratedTopology {
+    /// The dependency graph.
+    pub graph: DependencyGraph,
+    /// Number of nodes.
+    pub node_count: usize,
+    /// The designated super-peer (always node 0).
+    pub super_peer: NodeId,
+    /// Depth as seen from the super-peer (max BFS distance).
+    pub depth: usize,
+}
+
+impl Topology {
+    /// Materialises the topology.
+    pub fn generate(&self) -> GeneratedTopology {
+        let graph = match *self {
+            Topology::Tree { branching, depth } => tree(branching.max(1), depth),
+            Topology::LayeredDag {
+                layers,
+                width,
+                fanout,
+            } => layered(layers.max(1), width.max(1), fanout.max(1)),
+            Topology::Clique { n } => clique(n.max(1)),
+            Topology::Chain { n } => chain(n.max(1)),
+            Topology::Ring { n } => ring(n.max(2)),
+            Topology::Star { n } => star(n.max(1)),
+            Topology::Random { n, p_percent, seed } => random(n.max(1), p_percent, seed),
+        };
+        let node_count = graph.node_count();
+        let depth = graph.depth_from(NodeId(0));
+        GeneratedTopology {
+            graph,
+            node_count,
+            super_peer: NodeId(0),
+            depth,
+        }
+    }
+
+    /// Number of nodes the topology will have, without materialising it.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            Topology::Tree { branching, depth } => {
+                let b = branching.max(1) as u64;
+                if b == 1 {
+                    depth as usize + 1
+                } else {
+                    (((b.pow(depth + 1) - 1) / (b - 1)) as usize).max(1)
+                }
+            }
+            Topology::LayeredDag { layers, width, .. } => (layers.max(1) * width.max(1)) as usize,
+            Topology::Clique { n }
+            | Topology::Chain { n }
+            | Topology::Star { n }
+            | Topology::Random { n, .. } => n.max(1) as usize,
+            Topology::Ring { n } => n.max(2) as usize,
+        }
+    }
+}
+
+fn tree(branching: u32, depth: u32) -> DependencyGraph {
+    let mut g = DependencyGraph::new();
+    g.add_node(NodeId(0));
+    // Breadth-first ids: node k's children are fresh ids.
+    let mut next = 1u32;
+    let mut frontier = vec![(NodeId(0), 0u32)];
+    while let Some((node, d)) = frontier.pop() {
+        if d == depth {
+            continue;
+        }
+        for _ in 0..branching {
+            let child = NodeId(next);
+            next += 1;
+            g.add_edge(node, child);
+            frontier.push((child, d + 1));
+        }
+    }
+    g
+}
+
+fn layered(layers: u32, width: u32, fanout: u32) -> DependencyGraph {
+    let mut g = DependencyGraph::new();
+    let id = |layer: u32, k: u32| NodeId(layer * width + k);
+    for l in 0..layers {
+        for k in 0..width {
+            g.add_node(id(l, k));
+        }
+    }
+    let fanout = fanout.min(width);
+    for l in 0..layers.saturating_sub(1) {
+        for k in 0..width {
+            for f in 0..fanout {
+                g.add_edge(id(l, k), id(l + 1, (k + f) % width));
+            }
+        }
+    }
+    g
+}
+
+fn clique(n: u32) -> DependencyGraph {
+    let mut g = DependencyGraph::new();
+    g.add_node(NodeId(0));
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+    }
+    g
+}
+
+fn chain(n: u32) -> DependencyGraph {
+    let mut g = DependencyGraph::new();
+    g.add_node(NodeId(0));
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge(NodeId(i), NodeId(i + 1));
+    }
+    g
+}
+
+fn ring(n: u32) -> DependencyGraph {
+    let mut g = chain(n);
+    g.add_edge(NodeId(n - 1), NodeId(0));
+    g
+}
+
+fn star(n: u32) -> DependencyGraph {
+    let mut g = DependencyGraph::new();
+    g.add_node(NodeId(0));
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId(i));
+    }
+    g
+}
+
+fn random(n: u32, p_percent: u8, seed: u64) -> DependencyGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DependencyGraph::new();
+    for i in 0..n {
+        g.add_node(NodeId(i));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.gen_range(0..100u8) < p_percent {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scc::is_acyclic;
+
+    #[test]
+    fn tree_counts_and_depth() {
+        let t = Topology::Tree {
+            branching: 2,
+            depth: 3,
+        };
+        let g = t.generate();
+        assert_eq!(g.node_count, 15);
+        assert_eq!(g.node_count, t.node_count());
+        assert_eq!(g.depth, 3);
+        assert!(is_acyclic(&g.graph));
+        // Every non-root node has exactly one parent.
+        for n in g.graph.nodes() {
+            let preds = g.graph.predecessors(n).count();
+            assert_eq!(preds, usize::from(n != NodeId(0)));
+        }
+    }
+
+    #[test]
+    fn unary_tree_is_chain() {
+        let g = Topology::Tree {
+            branching: 1,
+            depth: 4,
+        }
+        .generate();
+        assert_eq!(g.node_count, 5);
+        assert_eq!(g.depth, 4);
+    }
+
+    #[test]
+    fn layered_dag_shape() {
+        let t = Topology::LayeredDag {
+            layers: 4,
+            width: 3,
+            fanout: 2,
+        };
+        let g = t.generate();
+        assert_eq!(g.node_count, 12);
+        assert_eq!(g.depth, 3);
+        assert!(is_acyclic(&g.graph));
+        // Every non-last-layer node has `fanout` successors.
+        for l in 0..3u32 {
+            for k in 0..3u32 {
+                assert_eq!(g.graph.out_degree(NodeId(l * 3 + k)), 2);
+            }
+        }
+        for k in 0..3u32 {
+            assert_eq!(g.graph.out_degree(NodeId(9 + k)), 0);
+        }
+    }
+
+    #[test]
+    fn clique_is_complete_and_cyclic() {
+        let g = Topology::Clique { n: 4 }.generate();
+        assert_eq!(g.graph.edge_count(), 12);
+        assert!(!is_acyclic(&g.graph));
+        assert_eq!(g.depth, 1);
+    }
+
+    #[test]
+    fn ring_is_cyclic_chain_is_not() {
+        assert!(!is_acyclic(&Topology::Ring { n: 5 }.generate().graph));
+        assert!(is_acyclic(&Topology::Chain { n: 5 }.generate().graph));
+        assert_eq!(Topology::Chain { n: 5 }.generate().depth, 4);
+    }
+
+    #[test]
+    fn star_depth_one() {
+        let g = Topology::Star { n: 9 }.generate();
+        assert_eq!(g.depth, 1);
+        assert_eq!(g.graph.out_degree(NodeId(0)), 8);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = Topology::Random {
+            n: 12,
+            p_percent: 30,
+            seed: 7,
+        }
+        .generate();
+        let b = Topology::Random {
+            n: 12,
+            p_percent: 30,
+            seed: 7,
+        }
+        .generate();
+        let c = Topology::Random {
+            n: 12,
+            p_percent: 30,
+            seed: 8,
+        }
+        .generate();
+        assert_eq!(a.graph, b.graph);
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        for t in [
+            Topology::Tree {
+                branching: 1,
+                depth: 0,
+            },
+            Topology::Clique { n: 1 },
+            Topology::Chain { n: 1 },
+            Topology::Star { n: 1 },
+            Topology::LayeredDag {
+                layers: 1,
+                width: 1,
+                fanout: 1,
+            },
+        ] {
+            let g = t.generate();
+            assert_eq!(g.node_count, 1);
+            assert_eq!(g.depth, 0);
+        }
+    }
+
+    #[test]
+    fn node_count_matches_generation() {
+        for t in [
+            Topology::Tree {
+                branching: 3,
+                depth: 2,
+            },
+            Topology::LayeredDag {
+                layers: 5,
+                width: 4,
+                fanout: 2,
+            },
+            Topology::Clique { n: 6 },
+            Topology::Ring { n: 7 },
+        ] {
+            assert_eq!(t.generate().node_count, t.node_count(), "{t}");
+        }
+    }
+}

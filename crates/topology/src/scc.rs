@@ -1,0 +1,205 @@
+//! Strongly connected components (iterative Tarjan), acyclicity, and
+//! topological order.
+//!
+//! The acyclic baseline (Halevy et al. 2003 style) only works on DAG
+//! dependency graphs and needs a topological order; the core crate uses the
+//! condensation to reason about which parts of a network can close early.
+
+use crate::graph::{DependencyGraph, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tarjan's algorithm, iterative to survive deep graphs. Returns components
+/// in reverse topological order of the condensation (standard Tarjan output:
+/// a component is emitted only after everything it depends on).
+pub fn condensation(graph: &DependencyGraph) -> Vec<Vec<NodeId>> {
+    #[derive(Default, Clone)]
+    struct NodeState {
+        index: Option<usize>,
+        lowlink: usize,
+        on_stack: bool,
+    }
+
+    let mut state: BTreeMap<NodeId, NodeState> =
+        graph.nodes().map(|n| (n, NodeState::default())).collect();
+    let mut next_index = 0usize;
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+
+    // Explicit DFS stack: (node, successor iterator position).
+    for root in graph.nodes().collect::<Vec<_>>() {
+        if state[&root].index.is_some() {
+            continue;
+        }
+        let mut call_stack: Vec<(NodeId, Vec<NodeId>, usize)> =
+            vec![(root, graph.successors(root).collect(), 0)];
+        {
+            let s = state.get_mut(&root).expect("registered");
+            s.index = Some(next_index);
+            s.lowlink = next_index;
+            s.on_stack = true;
+        }
+        stack.push(root);
+        next_index += 1;
+
+        while let Some((node, succs, mut pos)) = call_stack.pop() {
+            let mut descended = false;
+            while pos < succs.len() {
+                let child = succs[pos];
+                pos += 1;
+                match state[&child].index {
+                    None => {
+                        // Descend.
+                        call_stack.push((node, succs.clone(), pos));
+                        {
+                            let s = state.get_mut(&child).expect("registered");
+                            s.index = Some(next_index);
+                            s.lowlink = next_index;
+                            s.on_stack = true;
+                        }
+                        stack.push(child);
+                        next_index += 1;
+                        call_stack.push((child, graph.successors(child).collect(), 0));
+                        descended = true;
+                        break;
+                    }
+                    Some(child_index) => {
+                        if state[&child].on_stack {
+                            let low = state[&node].lowlink.min(child_index);
+                            state.get_mut(&node).expect("registered").lowlink = low;
+                        }
+                    }
+                }
+            }
+            if descended {
+                continue;
+            }
+            // Node finished: maybe emit a component, then propagate lowlink.
+            if state[&node].lowlink == state[&node].index.expect("visited") {
+                let mut component = Vec::new();
+                loop {
+                    let w = stack.pop().expect("stack non-empty");
+                    state.get_mut(&w).expect("registered").on_stack = false;
+                    component.push(w);
+                    if w == node {
+                        break;
+                    }
+                }
+                component.sort();
+                components.push(component);
+            }
+            if let Some((parent, _, _)) = call_stack.last() {
+                let low = state[parent].lowlink.min(state[&node].lowlink);
+                state.get_mut(parent).expect("registered").lowlink = low;
+            }
+        }
+    }
+    components
+}
+
+/// True iff the graph has no dependency cycle.
+pub fn is_acyclic(graph: &DependencyGraph) -> bool {
+    condensation(graph).iter().all(|c| c.len() == 1) && graph.nodes().all(|n| !graph.has_edge(n, n))
+}
+
+/// Topological order of an acyclic dependency graph: every node appears
+/// *after* the nodes it depends on (its successors). This is exactly the
+/// order in which the acyclic baseline can finalise nodes: leaves (data
+/// sources) first, the super-peer last. Returns `None` on cyclic graphs.
+pub fn topological_order(graph: &DependencyGraph) -> Option<Vec<NodeId>> {
+    if !is_acyclic(graph) {
+        return None;
+    }
+    // Tarjan emits components in reverse topological order of the
+    // condensation, which for a DAG is: dependencies first.
+    Some(condensation(graph).into_iter().flatten().collect())
+}
+
+/// Nodes lying on at least one dependency cycle (members of non-trivial
+/// SCCs). These are the nodes for which the paper's fix-point iteration is
+/// actually needed; everything else closes in one pass.
+pub fn cyclic_nodes(graph: &DependencyGraph) -> BTreeSet<NodeId> {
+    condensation(graph)
+        .into_iter()
+        .filter(|c| c.len() > 1)
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::paper_example_graph;
+
+    #[test]
+    fn chain_is_acyclic_and_ordered() {
+        let g = DependencyGraph::from_edges([(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+        assert!(is_acyclic(&g));
+        let order = topological_order(&g).unwrap();
+        // 2 (sink, pure source of data) must precede 1, which precedes 0.
+        let pos = |n: u32| order.iter().position(|x| *x == NodeId(n)).unwrap();
+        assert!(pos(2) < pos(1));
+        assert!(pos(1) < pos(0));
+    }
+
+    #[test]
+    fn paper_example_is_cyclic() {
+        let g = paper_example_graph();
+        assert!(!is_acyclic(&g));
+        assert!(topological_order(&g).is_none());
+        let cyc = cyclic_nodes(&g);
+        // A, B, C, D are all on cycles (ABCA, BCB, ABCDA); E is not.
+        assert!(cyc.contains(&NodeId(0)));
+        assert!(cyc.contains(&NodeId(1)));
+        assert!(cyc.contains(&NodeId(2)));
+        assert!(cyc.contains(&NodeId(3)));
+        assert!(!cyc.contains(&NodeId(4)));
+    }
+
+    #[test]
+    fn condensation_groups_cycles() {
+        let g = paper_example_graph();
+        let comps = condensation(&g);
+        assert_eq!(comps.len(), 2);
+        let big = comps.iter().find(|c| c.len() == 4).unwrap();
+        assert_eq!(big, &vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let g = DependencyGraph::from_edges([(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))]);
+        assert!(!is_acyclic(&g));
+        assert_eq!(cyclic_nodes(&g).len(), 2);
+    }
+
+    #[test]
+    fn diamond_dag() {
+        // 0→1, 0→2, 1→3, 2→3.
+        let g = DependencyGraph::from_edges([
+            (NodeId(0), NodeId(1)),
+            (NodeId(0), NodeId(2)),
+            (NodeId(1), NodeId(3)),
+            (NodeId(2), NodeId(3)),
+        ]);
+        assert!(is_acyclic(&g));
+        let order = topological_order(&g).unwrap();
+        let pos = |n: u32| order.iter().position(|x| *x == NodeId(n)).unwrap();
+        assert!(pos(3) < pos(1) && pos(3) < pos(2));
+        assert!(pos(1) < pos(0) && pos(2) < pos(0));
+    }
+
+    #[test]
+    fn isolated_nodes_form_singleton_components() {
+        let mut g = DependencyGraph::new();
+        g.add_node(NodeId(7));
+        g.add_node(NodeId(8));
+        let comps = condensation(&g);
+        assert_eq!(comps.len(), 2);
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let g = DependencyGraph::from_edges((0..50_000u32).map(|i| (NodeId(i), NodeId(i + 1))));
+        assert!(is_acyclic(&g));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for maximal-dependency-path enumeration (Definitions 6–7)
+//! and separation analysis (Definition 10) on random digraphs.
+
+use p2p_topology::paths::is_dependency_path;
+use p2p_topology::{is_separated, maximal_dependency_paths, DependencyGraph, GraphChange, NodeId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn random_graph() -> impl Strategy<Value = DependencyGraph> {
+    proptest::collection::vec((0u32..6, 0u32..6), 0..14).prop_map(|edges| {
+        let mut g = DependencyGraph::new();
+        for i in 0..6 {
+            g.add_node(NodeId(i));
+        }
+        for (a, b) in edges {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Every enumerated path is a dependency path (Definition 6).
+    #[test]
+    fn enumerated_paths_satisfy_definition_6(g in random_graph(), start in 0u32..6) {
+        let paths = maximal_dependency_paths(&g, NodeId(start), 50_000).unwrap();
+        for p in &paths {
+            prop_assert!(is_dependency_path(&g, p), "{p:?}");
+            prop_assert_eq!(p[0], NodeId(start));
+        }
+    }
+
+    /// Every enumerated path is maximal (Definition 7): it ends at a sink or
+    /// by revisiting an earlier node.
+    #[test]
+    fn enumerated_paths_are_maximal(g in random_graph(), start in 0u32..6) {
+        let paths = maximal_dependency_paths(&g, NodeId(start), 50_000).unwrap();
+        for p in &paths {
+            let last = *p.last().unwrap();
+            let closes = p[..p.len() - 1].contains(&last);
+            let sink = g.out_degree(last) == 0;
+            prop_assert!(closes || sink, "extensible path {p:?}");
+        }
+    }
+
+    /// No two enumerated paths are equal, and a start node with successors
+    /// has at least one path.
+    #[test]
+    fn enumeration_is_duplicate_free_and_nonempty(g in random_graph(), start in 0u32..6) {
+        let paths = maximal_dependency_paths(&g, NodeId(start), 50_000).unwrap();
+        let set: BTreeSet<_> = paths.iter().collect();
+        prop_assert_eq!(set.len(), paths.len());
+        if g.out_degree(NodeId(start)) > 0 {
+            prop_assert!(!paths.is_empty());
+        } else {
+            prop_assert!(paths.is_empty());
+        }
+    }
+
+    /// Separation (Definition 10.1) is equivalent to "no edge leaves A" and
+    /// to "reachability from A stays inside A".
+    #[test]
+    fn separation_equals_reachability_closure(
+        g in random_graph(),
+        members in proptest::collection::btree_set(0u32..6, 0..6),
+    ) {
+        let a: BTreeSet<NodeId> = members.into_iter().map(NodeId).collect();
+        let sep = is_separated(&g, &a);
+        let by_reach = a.iter().all(|n| {
+            g.reachable_from(*n).iter().all(|r| a.contains(r))
+        });
+        prop_assert_eq!(sep, by_reach);
+    }
+
+    /// Adding an internal edge never breaks separation; adding an escaping
+    /// edge always does.
+    #[test]
+    fn separation_monotonicity(
+        g in random_graph(),
+        members in proptest::collection::btree_set(0u32..6, 1..5),
+        inside in (0u32..6, 0u32..6),
+    ) {
+        let a: BTreeSet<NodeId> = members.into_iter().map(NodeId).collect();
+        if !is_separated(&g, &a) {
+            return Ok(());
+        }
+        let (x, y) = inside;
+        let change = GraphChange::AddEdge { head: NodeId(x), body: NodeId(y) };
+        let expected = !a.contains(&NodeId(x)) || a.contains(&NodeId(y));
+        let still = p2p_topology::is_separated_under_change(&g, &a, &[change]);
+        prop_assert_eq!(still, expected);
+    }
+
+    /// The condensation partitions the nodes.
+    #[test]
+    fn condensation_partitions_nodes(g in random_graph()) {
+        let comps = p2p_topology::condensation(&g);
+        let mut seen = BTreeSet::new();
+        for c in &comps {
+            for n in c {
+                prop_assert!(seen.insert(*n), "node {n} in two components");
+            }
+        }
+        prop_assert_eq!(seen.len(), g.node_count());
+    }
+
+    /// Topological order (when acyclic) lists dependencies before dependants.
+    #[test]
+    fn topological_order_respects_edges(g in random_graph()) {
+        if let Some(order) = p2p_topology::topological_order(&g) {
+            let pos = |n: NodeId| order.iter().position(|x| *x == n).unwrap();
+            for (from, to) in g.edges() {
+                prop_assert!(pos(to) < pos(from), "{from}->{to} out of order");
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # p2p-workload
+//!
+//! Synthetic DBLP-like workload generation reproducing the setup of the
+//! paper's preliminary experiments (Section 5):
+//!
+//! > "Up to 31 nodes participated … The local relational databases are based
+//! > on DBLP data and contained about 20000 records about publications
+//! > (about 1000 per node), organised in 3 different relational schemas. We
+//! > considered two different data distributions. In the first one there is
+//! > no intersection between initial data in neighbor nodes. In the second,
+//! > there is 50% probability of intersection between initial data in nodes
+//! > linked by coordination rules … Three types of topologies have been
+//! > considered: trees, layered acyclic graphs, and cliques."
+//!
+//! We cannot redistribute the DBLP dump, so [`dblp::DblpGenerator`]
+//! synthesises publications (seeded pools of author names, venues, title
+//! words) with the same record counts and the same three-schema
+//! organisation; DESIGN.md §3 (substitution 2) argues why this preserves
+//! the behaviours the experiments measure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod dblp;
+pub mod distribute;
+pub mod schemas;
+
+pub use build::{build_system, WorkloadConfig};
+pub use dblp::{DblpGenerator, Publication};
+pub use distribute::Distribution;
+pub use schemas::SchemaFamily;

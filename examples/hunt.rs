@@ -1,0 +1,92 @@
+//! Diagnostic driver: searches random dynamic-change scenarios for runs
+//! that fail to quiesce within a bounded event budget (used to investigate
+//! slow property-test cases; not part of the library surface).
+
+use p2pdb::core::dynamic::ChangeScript;
+use p2pdb::core::system::P2PSystemBuilder;
+use p2pdb::net::SimTime;
+use p2pdb::relational::Value;
+use p2pdb::topology::NodeId;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut worst = 0u64;
+    for seed in 0..400u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let nodes = rng.gen_range(2..6usize);
+        let n = nodes as u32;
+        let mut edges = vec![];
+        for _ in 0..rng.gen_range(1..8) {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                edges.push((a, b));
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        let mut b = P2PSystemBuilder::new();
+        for i in 0..n {
+            b.add_node_with_schema(i, &format!("t{i}(x: int, y: int)."))
+                .unwrap();
+        }
+        for (k, (h, bo)) in edges.iter().enumerate() {
+            b.add_rule(
+                &format!("r{k}"),
+                &format!(
+                    "{}:t{bo}(X,Y) => {}:t{h}(X,Y)",
+                    NodeId(*bo).letter(),
+                    NodeId(*h).letter()
+                ),
+            )
+            .unwrap();
+        }
+        for _ in 0..rng.gen_range(1..25) {
+            let node = rng.gen_range(0..n);
+            let _ = b.insert(
+                node,
+                &format!("t{node}"),
+                vec![
+                    Value::Int(rng.gen_range(0..6)),
+                    Value::Int(rng.gen_range(0..6)),
+                ],
+            );
+        }
+        b.config_mut().max_events = 300_000;
+        let mut sys = b.build().unwrap();
+        let mut script = ChangeScript::new();
+        let rule_names: Vec<String> = (0..edges.len()).map(|k| format!("r{k}")).collect();
+        let ops = rng.gen_range(0..4usize);
+        for i in 0..ops {
+            let kind: u8 = rng.gen_range(0..2);
+            let at = SimTime::from_millis(1 + rng.gen_range(0..10u64));
+            if kind == 0 {
+                let head = (i as u32) % n;
+                let body = (head + 1) % n;
+                if head != body {
+                    let text = format!(
+                        "{}:t{body}(X,Y) => {}:t{head}(X,Y)",
+                        NodeId(body).letter(),
+                        NodeId(head).letter()
+                    );
+                    if let Ok(op) = sys.make_add_link(&format!("dyn{i}"), &text) {
+                        script.push(at, op);
+                    }
+                }
+            } else if let Some(name) = rule_names.get(i) {
+                if let Ok(op) = sys.make_delete_link(name) {
+                    script.push(at, op);
+                }
+            }
+        }
+        let report = sys.run_update_with_script(&script);
+        worst = worst.max(report.outcome.delivered);
+        if !report.outcome.quiescent {
+            println!(
+                "NON-QUIESCENT seed={seed} nodes={nodes} edges={edges:?} ops={ops} delivered={}",
+                report.outcome.delivered
+            );
+        }
+    }
+    println!("hunt done; worst delivered = {worst}");
+}

@@ -1,0 +1,210 @@
+//! `p2pdb` — command-line driver for P2P database networks.
+//!
+//! ```text
+//! p2pdb sample                                  print a sample network file
+//! p2pdb workload [--topology tree|layered|clique|ring|chain]
+//!                [--size N] [--records N] [--overlap PCT] [--seed N]
+//!                                               generate a network file
+//! p2pdb run <network.json> [--mode eager|rounds] [--discover]
+//!                [--query NODE QUERY] [--stats] [--trace] [--export FILE]
+//!                                               run discovery + update
+//! ```
+//!
+//! Example session:
+//!
+//! ```text
+//! p2pdb workload --topology tree --size 7 --records 50 > net.json
+//! p2pdb run net.json --discover --stats --query 0 'q(I,T) :- pub(I,T,Y)'
+//! ```
+
+use p2pdb::core::config::UpdateMode;
+use p2pdb::core::netfile::NetworkFile;
+use p2pdb::topology::{NodeId, Topology};
+use p2pdb::workload::{build_system, Distribution, WorkloadConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("sample") => cmd_sample(),
+        Some("workload") => cmd_workload(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        _ => {
+            eprintln!("usage: p2pdb <sample|workload|run> [options]   (see --help in source)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_sample() -> CliResult {
+    let sample = NetworkFile::from_json(
+        r#"{
+        "super_peer": 0,
+        "nodes": [
+            { "id": 0, "name": "A", "schema": "a(x: int, y: int)." },
+            { "id": 1, "name": "B", "schema": "b(x: int, y: int).",
+              "data": { "b": [[{"Int":1},{"Int":2}], [{"Int":2},{"Int":3}]] } }
+        ],
+        "rules": [ { "name": "r1", "text": "B:b(X,Y) => A:a(X,Y)" } ]
+    }"#,
+    )?;
+    println!("{}", sample.to_json());
+    Ok(())
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_workload(args: &[String]) -> CliResult {
+    let size: u32 = flag_value(args, "--size").unwrap_or("7").parse()?;
+    let records: usize = flag_value(args, "--records").unwrap_or("50").parse()?;
+    let overlap: u8 = flag_value(args, "--overlap").unwrap_or("0").parse()?;
+    let seed: u64 = flag_value(args, "--seed").unwrap_or("42").parse()?;
+    let topology = match flag_value(args, "--topology").unwrap_or("tree") {
+        "tree" => {
+            // Choose the depth of a binary tree closest to the size.
+            let mut depth = 1;
+            while (Topology::Tree {
+                branching: 2,
+                depth: depth + 1,
+            })
+            .node_count()
+                <= size as usize
+            {
+                depth += 1;
+            }
+            Topology::Tree {
+                branching: 2,
+                depth,
+            }
+        }
+        "layered" => Topology::LayeredDag {
+            layers: (size / 3).max(2),
+            width: 3,
+            fanout: 2,
+        },
+        "clique" => Topology::Clique { n: size },
+        "ring" => Topology::Ring { n: size.max(2) },
+        "chain" => Topology::Chain { n: size },
+        other => return Err(format!("unknown topology `{other}`").into()),
+    };
+    let cfg = WorkloadConfig {
+        topology,
+        records_per_node: records,
+        distribution: if overlap == 0 {
+            Distribution::Disjoint
+        } else {
+            Distribution::OverlapNeighbors { percent: overlap }
+        },
+        seed,
+    };
+    // Materialise the workload into a network file by building the system
+    // once and exporting its initial state.
+    let sys = build_system(&cfg)?.build()?;
+    let file = NetworkFile::from_databases(sys.super_peer(), &sys.snapshot().0, sys.rules());
+    println!("{}", file.to_json());
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("run: missing <network.json>".into());
+    };
+    let text = std::fs::read_to_string(path)?;
+    let file = NetworkFile::from_json(&text)?;
+    let mut builder = file.into_builder()?;
+    match flag_value(args, "--mode").unwrap_or("eager") {
+        "eager" => builder.config_mut().mode = UpdateMode::Eager,
+        "rounds" => builder.config_mut().mode = UpdateMode::Rounds,
+        other => return Err(format!("unknown mode `{other}`").into()),
+    }
+    if args.iter().any(|a| a == "--trace") {
+        builder.config_mut().trace_capacity = 256;
+    }
+    let mut sys = builder.build()?;
+
+    if args.iter().any(|a| a == "--discover") {
+        let report = sys.run_discovery();
+        println!(
+            "discovery: {} messages, {} virtual time, closed: {}",
+            report.messages, report.outcome.virtual_time, report.all_closed
+        );
+        for (node, peer) in sys.peers() {
+            if let Some(paths) = peer.paths() {
+                let mut shown: Vec<String> = paths
+                    .iter()
+                    .map(|p| p2pdb::topology::paths::format_path(p))
+                    .collect();
+                shown.sort();
+                println!(
+                    "  {node}: {}",
+                    if shown.is_empty() {
+                        "∅".into()
+                    } else {
+                        shown.join(" ")
+                    }
+                );
+            }
+        }
+    }
+
+    let report = sys.run_update();
+    println!(
+        "update: {} messages, {} bytes, {} virtual time, all closed: {}",
+        report.messages, report.bytes, report.outcome.virtual_time, report.all_closed
+    );
+    if !report.errors.is_empty() {
+        for (node, err) in &report.errors {
+            eprintln!("  {node}: {err}");
+        }
+        return Err("peers reported errors".into());
+    }
+
+    if args.iter().any(|a| a == "--trace") {
+        let columns: Vec<NodeId> = sys.peers().map(|(id, _)| *id).take(6).collect();
+        println!("{}", sys.trace().render_sequence_diagram(&columns));
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--query") {
+        let node: u32 = args
+            .get(i + 1)
+            .ok_or("--query needs NODE and QUERY")?
+            .parse()?;
+        let query = args.get(i + 2).ok_or("--query needs NODE and QUERY")?;
+        let answers = sys.query(NodeId(node), query)?;
+        println!("{} answers at node {}:", answers.len(), NodeId(node));
+        for t in answers.iter().take(25) {
+            println!("  {t}");
+        }
+        if answers.len() > 25 {
+            println!("  … ({} more)", answers.len() - 25);
+        }
+    }
+
+    if args.iter().any(|a| a == "--stats") {
+        println!("per-peer statistics:");
+        for (node, stats) in sys.collect_stats() {
+            println!("  {node}: {stats}");
+        }
+    }
+
+    if let Some(out) = flag_value(args, "--export") {
+        let export = NetworkFile::from_databases(sys.super_peer(), &sys.snapshot().0, sys.rules());
+        std::fs::write(out, export.to_json())?;
+        println!("exported materialised state to {out}");
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Integration tests of the `p2pdb` command-line driver (cargo exposes the
+//! binary path via `CARGO_BIN_EXE_p2pdb`).
+
+use std::process::Command;
+
+fn p2pdb(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_p2pdb"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn sample_emits_loadable_json() {
+    let out = p2pdb(&["sample"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let file = p2pdb::core::netfile::NetworkFile::from_json(&text).unwrap();
+    assert_eq!(file.nodes.len(), 2);
+    assert_eq!(file.rules.len(), 1);
+}
+
+#[test]
+fn workload_then_run_round_trips() {
+    let dir = std::env::temp_dir().join("p2pdb_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("net.json");
+
+    let out = p2pdb(&["workload", "--topology", "chain", "--size", "4", "--records", "10"]);
+    assert!(out.status.success());
+    std::fs::write(&net, &out.stdout).unwrap();
+
+    let out = p2pdb(&[
+        "run",
+        net.to_str().unwrap(),
+        "--discover",
+        "--stats",
+        "--query",
+        "0",
+        "q(I) :- pub(I, T, Y)",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("all closed: true"), "{text}");
+    assert!(text.contains("answers at node A"), "{text}");
+    assert!(text.contains("per-peer statistics"), "{text}");
+}
+
+#[test]
+fn run_rounds_mode_and_export() {
+    let dir = std::env::temp_dir().join("p2pdb_cli_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("net.json");
+    let exported = dir.join("out.json");
+
+    let out = p2pdb(&["workload", "--topology", "ring", "--size", "4", "--records", "5"]);
+    assert!(out.status.success());
+    std::fs::write(&net, &out.stdout).unwrap();
+
+    let out = p2pdb(&[
+        "run",
+        net.to_str().unwrap(),
+        "--mode",
+        "rounds",
+        "--export",
+        exported.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // The export must load back.
+    let text = std::fs::read_to_string(&exported).unwrap();
+    let file = p2pdb::core::netfile::NetworkFile::from_json(&text).unwrap();
+    assert_eq!(file.nodes.len(), 4);
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    assert!(!p2pdb(&[]).status.success());
+    assert!(!p2pdb(&["run"]).status.success());
+    assert!(!p2pdb(&["run", "/nonexistent/x.json"]).status.success());
+    assert!(!p2pdb(&["workload", "--topology", "moebius"]).status.success());
+}

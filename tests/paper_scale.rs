@@ -1,0 +1,76 @@
+//! Paper-scale runs (~1000 records/node, up to 31 nodes — §5's exact
+//! setup). Slow in debug builds, so ignored by default:
+//!
+//! ```text
+//! cargo test --release --test paper_scale -- --ignored
+//! ```
+
+use p2pdb::core::config::UpdateMode;
+use p2pdb::topology::{NodeId, Topology};
+use p2pdb::workload::{build_system, Distribution, WorkloadConfig};
+
+#[test]
+#[ignore = "paper-scale: run with --release -- --ignored"]
+fn tree31_with_1000_records_per_node() {
+    let cfg = WorkloadConfig {
+        topology: Topology::Tree {
+            branching: 2,
+            depth: 4, // 31 nodes — the paper's maximum
+        },
+        records_per_node: 1000,
+        distribution: Distribution::Disjoint,
+        seed: 2004,
+    };
+    let mut b = build_system(&cfg).unwrap();
+    b.config_mut().max_events = 100_000_000;
+    let mut sys = b.build().unwrap();
+    let report = sys.run_update();
+    assert!(report.outcome.quiescent);
+    assert!(report.all_closed);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    // ~31 000 publications network-wide; the S1 root sees them all.
+    let root = sys.database(NodeId(0)).unwrap();
+    assert!(root.relation("pub").unwrap().len() > 25_000);
+}
+
+#[test]
+#[ignore = "paper-scale: run with --release -- --ignored"]
+fn layered30_with_overlap_at_scale() {
+    let cfg = WorkloadConfig {
+        topology: Topology::LayeredDag {
+            layers: 6,
+            width: 5,
+            fanout: 2,
+        },
+        records_per_node: 1000,
+        distribution: Distribution::OverlapNeighbors { percent: 50 },
+        seed: 2004,
+    };
+    let mut b = build_system(&cfg).unwrap();
+    b.config_mut().max_events = 100_000_000;
+    let mut sys = b.build().unwrap();
+    let report = sys.run_update();
+    assert!(report.outcome.quiescent);
+    assert!(report.all_closed);
+}
+
+#[test]
+#[ignore = "paper-scale: run with --release -- --ignored"]
+fn rounds_mode_at_scale() {
+    let cfg = WorkloadConfig {
+        topology: Topology::Tree {
+            branching: 2,
+            depth: 4,
+        },
+        records_per_node: 1000,
+        distribution: Distribution::Disjoint,
+        seed: 2004,
+    };
+    let mut b = build_system(&cfg).unwrap();
+    b.config_mut().mode = UpdateMode::Rounds;
+    b.config_mut().max_events = 100_000_000;
+    let mut sys = b.build().unwrap();
+    let report = sys.run_update();
+    assert!(report.all_closed);
+    assert_eq!(report.rounds, 2, "DAGs need one dirty + one clean round");
+}

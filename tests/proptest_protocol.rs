@@ -1,0 +1,158 @@
+//! Property-based tests over randomly generated networks, data and change
+//! scripts: the distributed update always agrees with the centralized
+//! fix-point oracle; dynamic runs always land inside the Definition 9
+//! envelope; duplication never changes results.
+
+use p2pdb::core::config::UpdateMode;
+use p2pdb::core::dynamic::{lower_reference, upper_reference, ChangeScript};
+use p2pdb::core::system::P2PSystemBuilder;
+use p2pdb::net::{FaultPlan, SimTime};
+use p2pdb::relational::hom::contained_modulo_nulls;
+use p2pdb::relational::Value;
+use p2pdb::topology::NodeId;
+use proptest::prelude::*;
+
+/// A random network description small enough to oracle-check.
+#[derive(Debug, Clone)]
+struct NetSpec {
+    nodes: usize,
+    /// Directed edges (head, body) with head ≠ body; rules are copy rules.
+    edges: Vec<(u32, u32)>,
+    /// Base tuples per node: (node, x, y).
+    tuples: Vec<(u32, i64, i64)>,
+}
+
+fn net_spec() -> impl Strategy<Value = NetSpec> {
+    (2usize..6).prop_flat_map(|nodes| {
+        let n = nodes as u32;
+        let edges = proptest::collection::vec(
+            (0..n, 0..n).prop_filter("no self edges", |(a, b)| a != b),
+            1..8,
+        );
+        let tuples = proptest::collection::vec((0..n, 0..6i64, 0..6i64), 1..25);
+        (Just(nodes), edges, tuples).prop_map(|(nodes, mut edges, tuples)| {
+            edges.sort();
+            edges.dedup();
+            NetSpec {
+                nodes,
+                edges,
+                tuples,
+            }
+        })
+    })
+}
+
+fn build(spec: &NetSpec, mode: UpdateMode) -> P2PSystemBuilder {
+    let mut b = P2PSystemBuilder::new();
+    for i in 0..spec.nodes as u32 {
+        b.add_node_with_schema(i, &format!("t{i}(x: int, y: int)."))
+            .unwrap();
+    }
+    for (k, (head, body)) in spec.edges.iter().enumerate() {
+        let head_name = NodeId(*head).letter();
+        let body_name = NodeId(*body).letter();
+        b.add_rule(
+            &format!("r{k}"),
+            &format!("{body_name}:t{body}(X,Y) => {head_name}:t{head}(X,Y)"),
+        )
+        .unwrap();
+    }
+    for (node, x, y) in &spec.tuples {
+        b.insert(
+            *node,
+            &format!("t{node}"),
+            vec![Value::Int(*x), Value::Int(*y)],
+        )
+        .unwrap();
+    }
+    b.config_mut().mode = mode;
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 1 on random (possibly cyclic) copy-rule networks, eager mode.
+    #[test]
+    fn eager_matches_oracle_on_random_networks(spec in net_spec()) {
+        let mut sys = build(&spec, UpdateMode::Eager).build().unwrap();
+        let report = sys.run_update();
+        prop_assert!(report.outcome.quiescent);
+        prop_assert!(report.all_closed, "not closed: {spec:?}");
+        prop_assert!(report.errors.is_empty());
+        prop_assert!(sys.snapshot().equivalent(&sys.oracle().unwrap()));
+    }
+
+    /// Same for the synchronous rounds mode.
+    #[test]
+    fn rounds_matches_oracle_on_random_networks(spec in net_spec()) {
+        let mut sys = build(&spec, UpdateMode::Rounds).build().unwrap();
+        let report = sys.run_update();
+        prop_assert!(report.outcome.quiescent);
+        prop_assert!(report.all_closed, "not closed: {spec:?}");
+        prop_assert!(sys.snapshot().equivalent(&sys.oracle().unwrap()));
+    }
+
+    /// Duplication is invisible (idempotent handlers), on random networks.
+    #[test]
+    fn duplication_invisible_on_random_networks(
+        spec in net_spec(),
+        seed in 0u64..1000,
+    ) {
+        let mut clean = build(&spec, UpdateMode::Eager).build().unwrap();
+        clean.run_update();
+        let mut b = build(&spec, UpdateMode::Eager);
+        b.set_fault(FaultPlan::random(0, 30, seed));
+        let mut sys = b.build().unwrap();
+        let report = sys.run_update();
+        prop_assert!(report.outcome.quiescent);
+        prop_assert!(sys.snapshot().equivalent(&clean.snapshot()));
+    }
+
+    /// Definition 9 sandwich on random finite change scripts.
+    #[test]
+    fn dynamic_scripts_stay_in_the_envelope(
+        spec in net_spec(),
+        script_ops in proptest::collection::vec((0u8..2, 0u64..10), 0..4),
+    ) {
+        let mut sys = build(&spec, UpdateMode::Eager).build().unwrap();
+        let mut script = ChangeScript::new();
+        let rule_names: Vec<String> =
+            (0..spec.edges.len()).map(|k| format!("r{k}")).collect();
+        for (i, (kind, at)) in script_ops.iter().enumerate() {
+            let at = SimTime::from_millis(1 + *at);
+            if *kind == 0 {
+                // Add a fresh copy rule between two existing nodes.
+                let head = (i as u32) % spec.nodes as u32;
+                let body = (head + 1) % spec.nodes as u32;
+                if head != body {
+                    let text = format!(
+                        "{}:t{}(X,Y) => {}:t{}(X,Y)",
+                        NodeId(body).letter(), body, NodeId(head).letter(), head
+                    );
+                    if let Ok(op) = sys.make_add_link(&format!("dyn{i}"), &text) {
+                        script.push(at, op);
+                    }
+                }
+            } else if let Some(name) = rule_names.get(i) {
+                if let Ok(op) = sys.make_delete_link(name) {
+                    script.push(at, op);
+                }
+            }
+        }
+        let report = sys.run_update_with_script(&script);
+        prop_assert!(report.outcome.quiescent, "Theorem 2 violated");
+        let upper = sys.oracle_with(&upper_reference(sys.rules(), &script)).unwrap();
+        let lower = sys.oracle_with(&lower_reference(sys.rules(), &script)).unwrap();
+        for (node, db) in &sys.snapshot().0 {
+            prop_assert!(
+                contained_modulo_nulls(db, upper.node(*node).unwrap()),
+                "soundness violated at {node}"
+            );
+            prop_assert!(
+                contained_modulo_nulls(lower.node(*node).unwrap(), db),
+                "completeness violated at {node}"
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Robustness tests: the "robust" of the paper's title under transport
+//! faults and real-thread nondeterminism.
+//!
+//! * message **duplication** must not change the result (handlers are
+//!   idempotent — re-delivered queries re-subscribe, re-delivered answers
+//!   re-insert already-present tuples);
+//! * message **drops** may cost liveness but never safety: no unsound data,
+//!   and never a false `closed` state at the super-peer;
+//! * the **threaded runtime** (real parallelism, nondeterministic
+//!   interleavings) must reach the same fix-point as the simulator.
+
+use p2pdb::core::system::{run_update_threaded, P2PSystemBuilder};
+use p2pdb::net::FaultPlan;
+use p2pdb::relational::hom::contained_modulo_nulls;
+use p2pdb::relational::Value;
+use p2pdb::topology::NodeId;
+
+fn builder() -> P2PSystemBuilder {
+    let mut b = P2PSystemBuilder::new();
+    b.add_node_with_schema(0, "a(x: int, y: int).").unwrap();
+    b.add_node_with_schema(1, "b(x: int, y: int).").unwrap();
+    b.add_node_with_schema(2, "c(x: int, y: int).").unwrap();
+    b.add_rule("r1", "B:b(X,Y) => A:a(X,Y)").unwrap();
+    b.add_rule("r2", "C:c(X,Y) => B:b(X,Y)").unwrap();
+    b.add_rule("r3", "A:a(X,Y) => C:c(Y,X)").unwrap(); // cycle A→C→B→A
+    for i in 0..15i64 {
+        b.insert(2, "c", vec![Value::Int(i), Value::Int(i + 1)])
+            .unwrap();
+    }
+    b
+}
+
+#[test]
+fn duplication_does_not_change_the_result() {
+    let mut clean = builder().build().unwrap();
+    let clean_report = clean.run_update();
+    assert!(clean_report.all_closed);
+
+    for seed in [1u64, 2, 3] {
+        let mut b = builder();
+        b.set_fault(FaultPlan::random(0, 40, seed));
+        let mut sys = b.build().unwrap();
+        let report = sys.run_update();
+        assert!(report.outcome.quiescent, "duplication must not wedge");
+        assert!(
+            sys.snapshot().equivalent(&clean.snapshot()),
+            "duplication changed the fix-point (seed {seed})"
+        );
+        assert!(
+            sys.net_stats().duplicated > 0,
+            "plan must actually duplicate"
+        );
+    }
+}
+
+#[test]
+fn drops_never_produce_unsound_data_or_false_closure() {
+    let oracle = {
+        let sys = builder().build().unwrap();
+        sys.oracle().unwrap()
+    };
+    for seed in [1u64, 5, 9] {
+        let mut b = builder();
+        b.set_fault(FaultPlan::random(25, 0, seed));
+        let mut sys = b.build().unwrap();
+        let report = sys.run_update();
+        assert!(report.outcome.quiescent, "drops stall but do not loop");
+        // Safety 1: everything derived is inside the true fix-point.
+        for (node, db) in &sys.snapshot().0 {
+            assert!(
+                contained_modulo_nulls(db, oracle.node(*node).unwrap()),
+                "unsound data at {node} under drops (seed {seed})"
+            );
+        }
+        // Safety 2: if the super-peer claims closure, the data really is the
+        // fix-point. (With dropped messages the DS acks usually never clear,
+        // so closure simply doesn't happen — which is the correct behaviour.)
+        if report.all_closed {
+            assert!(sys.snapshot().equivalent(&oracle));
+        }
+    }
+}
+
+#[test]
+fn link_outage_delays_but_data_stays_sound() {
+    use p2pdb::net::fault::LinkOutage;
+    use p2pdb::net::SimTime;
+    let mut b = builder();
+    b.set_fault(FaultPlan::none().with_outage(LinkOutage {
+        from: NodeId(2),
+        to: NodeId(1),
+        start: SimTime::ZERO,
+        end: SimTime::from_millis(2),
+    }));
+    let mut sys = b.build().unwrap();
+    let report = sys.run_update();
+    assert!(report.outcome.quiescent);
+    let oracle = sys.oracle().unwrap();
+    for (node, db) in &sys.snapshot().0 {
+        assert!(contained_modulo_nulls(db, oracle.node(*node).unwrap()));
+    }
+}
+
+#[test]
+fn threaded_runtime_matches_simulator_fixpoint() {
+    // The simulator's deterministic answer…
+    let mut sim_sys = builder().build().unwrap();
+    let sim_report = sim_sys.run_update();
+    assert!(sim_report.all_closed);
+    let sim_result = sim_sys.snapshot();
+
+    // …must be reproduced by real threads under arbitrary interleavings.
+    for _ in 0..3 {
+        let (threaded, stats, all_closed) = run_update_threaded(builder()).unwrap();
+        assert!(all_closed, "threaded run must close");
+        assert!(
+            threaded.equivalent(&sim_result),
+            "threaded fix-point differs from simulated one"
+        );
+        assert!(stats.total_messages > 0);
+    }
+}
+
+#[test]
+fn threaded_runtime_on_workload_tree() {
+    use p2pdb::topology::Topology;
+    use p2pdb::workload::{build_system, Distribution, WorkloadConfig};
+    let cfg = WorkloadConfig {
+        topology: Topology::Tree {
+            branching: 2,
+            depth: 2,
+        },
+        records_per_node: 10,
+        distribution: Distribution::Disjoint,
+        seed: 1,
+    };
+    let mut sim_sys = build_system(&cfg).unwrap().build().unwrap();
+    sim_sys.run_update();
+    let (threaded, _, all_closed) = run_update_threaded(build_system(&cfg).unwrap()).unwrap();
+    assert!(all_closed);
+    assert!(threaded.equivalent(&sim_sys.snapshot()));
+}
