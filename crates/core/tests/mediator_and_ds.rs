@@ -60,7 +60,14 @@ fn ds_acks_match_basic_messages_exactly() {
     assert!(report.all_closed);
 
     let stats = sys.net_stats();
-    let basic_kinds = ["UpdateFlood", "Query", "Answer", "Unsubscribe", "addRule", "deleteRule"];
+    let basic_kinds = [
+        "UpdateFlood",
+        "Query",
+        "Answer",
+        "Unsubscribe",
+        "addRule",
+        "deleteRule",
+    ];
     let basics: u64 = basic_kinds.iter().map(|k| stats.sent_of_kind(k)).sum();
     let acks = stats.sent_of_kind("Ack");
     assert_eq!(

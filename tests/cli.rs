@@ -26,7 +26,15 @@ fn workload_then_run_round_trips() {
     std::fs::create_dir_all(&dir).unwrap();
     let net = dir.join("net.json");
 
-    let out = p2pdb(&["workload", "--topology", "chain", "--size", "4", "--records", "10"]);
+    let out = p2pdb(&[
+        "workload",
+        "--topology",
+        "chain",
+        "--size",
+        "4",
+        "--records",
+        "10",
+    ]);
     assert!(out.status.success());
     std::fs::write(&net, &out.stdout).unwrap();
 
@@ -39,7 +47,11 @@ fn workload_then_run_round_trips() {
         "0",
         "q(I) :- pub(I, T, Y)",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("all closed: true"), "{text}");
     assert!(text.contains("answers at node A"), "{text}");
@@ -53,7 +65,15 @@ fn run_rounds_mode_and_export() {
     let net = dir.join("net.json");
     let exported = dir.join("out.json");
 
-    let out = p2pdb(&["workload", "--topology", "ring", "--size", "4", "--records", "5"]);
+    let out = p2pdb(&[
+        "workload",
+        "--topology",
+        "ring",
+        "--size",
+        "4",
+        "--records",
+        "5",
+    ]);
     assert!(out.status.success());
     std::fs::write(&net, &out.stdout).unwrap();
 
@@ -65,11 +85,51 @@ fn run_rounds_mode_and_export() {
         "--export",
         exported.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // The export must load back.
     let text = std::fs::read_to_string(&exported).unwrap();
     let file = p2pdb::core::netfile::NetworkFile::from_json(&text).unwrap();
     assert_eq!(file.nodes.len(), 4);
+}
+
+/// `p2pdb sample | p2pdb run /dev/stdin --stats` round-trips: the sample
+/// network file is consumable straight from a pipe and the update closes.
+#[test]
+#[cfg(unix)]
+fn sample_pipes_into_run_via_stdin() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let sample = p2pdb(&["sample"]);
+    assert!(sample.status.success());
+
+    let mut run = Command::new(env!("CARGO_BIN_EXE_p2pdb"))
+        .args(["run", "/dev/stdin", "--stats"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    // Ignore write errors: if the child exits early the pipe breaks, and the
+    // status/stderr assertions below report the real failure.
+    let _ = run
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(&sample.stdout);
+    let out = run.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("all closed: true"), "{text}");
+    assert!(text.contains("per-peer statistics"), "{text}");
 }
 
 #[test]
@@ -77,5 +137,7 @@ fn bad_usage_fails_cleanly() {
     assert!(!p2pdb(&[]).status.success());
     assert!(!p2pdb(&["run"]).status.success());
     assert!(!p2pdb(&["run", "/nonexistent/x.json"]).status.success());
-    assert!(!p2pdb(&["workload", "--topology", "moebius"]).status.success());
+    assert!(!p2pdb(&["workload", "--topology", "moebius"])
+        .status
+        .success());
 }

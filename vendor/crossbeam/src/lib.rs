@@ -1,0 +1,57 @@
+//! Minimal vendored stand-in for `crossbeam`, used because this build
+//! environment has no network access. Only the `channel` module's unbounded
+//! MPSC surface is provided, delegating to `std::sync::mpsc` (whose `Sender`
+//! has been `Sync` since Rust 1.72, matching how the workspace shares
+//! senders behind an `Arc`).
+
+/// Multi-producer channels.
+pub mod channel {
+    /// Sending half of an unbounded channel (cloneable, `Send + Sync`).
+    pub use std::sync::mpsc::Sender;
+
+    /// Receiving half of an unbounded channel.
+    pub use std::sync::mpsc::Receiver;
+
+    /// Error returned by `Sender::send` when the receiver is gone.
+    pub use std::sync::mpsc::SendError;
+
+    /// Error returned by `Receiver::recv` when all senders are gone.
+    pub use std::sync::mpsc::RecvError;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::sync::Arc;
+
+    #[test]
+    fn senders_are_shareable_behind_arc() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx = Arc::new(tx);
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| {
+                let tx = Arc::clone(&tx);
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

@@ -1,0 +1,443 @@
+//! Minimal vendored stand-in for `serde`, used because this build environment
+//! has no network access to crates.io. It exposes the same *surface* the
+//! workspace uses — `Serialize`/`Deserialize` traits plus derive macros with
+//! `#[serde(skip)]` / `#[serde(default)]` support — over a simple content-tree
+//! data model that `serde_json` (also vendored) renders to and parses from
+//! JSON using the standard serde conventions (externally tagged enums,
+//! `Option` as `null`, maps as objects, sequences as arrays).
+//!
+//! Swapping back to the real crates is a `Cargo.toml`-only change: the
+//! in-tree usage is a strict subset of real serde's API.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing content tree every value serializes into.
+///
+/// This plays the role of serde's data model; `serde_json` maps it 1:1 onto
+/// JSON text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object (insertion-ordered; keys are strings as in JSON).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Borrows the object entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks a field up in an object by key (first match wins, as in JSON).
+pub fn content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Builds an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X while deserializing Y".
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError(format!("missing field `{field}` of {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can serialize itself into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` to content.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can reconstruct itself from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of content.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------- scalars
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: u64 = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    _ => return Err(DeError::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: i64 = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| DeError::expected("in-range integer", stringify!($t)))?,
+                    _ => return Err(DeError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match *c {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    _ => Err(DeError::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-char string", "char")),
+        }
+    }
+}
+
+// ------------------------------------------------------- smart pointers
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl Deserialize for Arc<str> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(Arc::from(s.as_str())),
+            _ => Err(DeError::expected("string", "Arc<str>")),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Arc<[T]> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| DeError::expected("array", "Arc<[T]>"))?;
+        s.iter()
+            .map(T::from_content)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Arc::from)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(T::to_content).collect())
+    }
+}
+
+// ---------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(T::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?;
+        s.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(T::to_content).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| DeError::expected("array", "BTreeSet"))?;
+        s.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(T::to_content).collect())
+    }
+}
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| DeError::expected("array", "HashSet"))?;
+        s.iter().map(T::from_content).collect()
+    }
+}
+
+/// Renders a map key: JSON object keys are strings, so scalar keys (strings
+/// and integers, including derived newtypes over them) become their string
+/// form, as `serde_json` does.
+pub fn key_to_string(key: &impl Serialize) -> String {
+    match key.to_content() {
+        Content::Str(s) => s,
+        Content::I64(v) => v.to_string(),
+        Content::U64(v) => v.to_string(),
+        Content::Bool(v) => v.to_string(),
+        other => panic!("map key must serialize to a scalar, got {other:?}"),
+    }
+}
+
+/// Parses a map key back: tries the string form first, then the integer
+/// forms (for integer-like keys rendered as strings).
+pub fn key_from_string<K: Deserialize>(key: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_content(&Content::Str(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(v) = key.parse::<u64>() {
+        if let Ok(k) = K::from_content(&Content::U64(v)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(v) = key.parse::<i64>() {
+        if let Ok(k) = K::from_content(&Content::I64(v)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(v) = key.parse::<bool>() {
+        if let Ok(k) = K::from_content(&Content::Bool(v)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::custom(format!("unparseable map key `{key}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let m = c
+            .as_map()
+            .ok_or_else(|| DeError::expected("object", "BTreeMap"))?;
+        m.iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let m = c
+            .as_map()
+            .ok_or_else(|| DeError::expected("object", "HashMap"))?;
+        m.iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+// --------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_seq().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                let expected = [$(stringify!($n)),+].len();
+                if s.len() != expected {
+                    return Err(DeError::expected("tuple of matching arity", "tuple"));
+                }
+                Ok(($($t::from_content(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl Deserialize for () {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(()),
+            _ => Err(DeError::expected("null", "()")),
+        }
+    }
+}

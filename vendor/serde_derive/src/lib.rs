@@ -1,0 +1,468 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the item's token stream by hand (no `syn`/`quote` available
+//! offline) and emits `Serialize`/`Deserialize` impls over the content-tree
+//! model, following real serde's JSON conventions:
+//!
+//! * named structs → objects; `#[serde(skip)]` omits a field on serialize
+//!   and fills it from `Default` on deserialize; `#[serde(default)]` fills a
+//!   *missing* field from `Default`;
+//! * newtype structs → the inner value; other tuple structs → arrays;
+//! * enums → externally tagged: unit variants as strings, newtype variants
+//!   as `{"Variant": value}`, tuple variants as `{"Variant": [..]}`, struct
+//!   variants as `{"Variant": {..}}`.
+//!
+//! Generic items are not supported (none exist in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected `struct` or `enum`, got {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected item name, got {t}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                t => panic!("expected enum body for `{name}`, got {t:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Skips doc comments, attributes and visibility, collecting serde attrs.
+fn collect_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    read_serde_attr(&g.stream(), &mut attrs);
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` etc: a parenthesized restriction follows.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    let _ = collect_attrs(tokens, i);
+}
+
+/// Recognizes `serde(skip)` / `serde(default)` inside an attribute group.
+fn read_serde_attr(stream: &TokenStream, attrs: &mut FieldAttrs) {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if toks.len() != 2 {
+        return;
+    }
+    let is_serde = matches!(&toks[0], TokenTree::Ident(id) if id.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    if let TokenTree::Group(g) = &toks[1] {
+        for t in g.stream() {
+            if let TokenTree::Ident(id) = t {
+                match id.to_string().as_str() {
+                    "skip" => attrs.skip = true,
+                    "default" => attrs.default = true,
+                    other => panic!(
+                        "unsupported serde attribute `{other}` (stand-in supports skip/default)"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Advances past a type, stopping at a comma at angle-bracket depth 0.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = collect_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            t => panic!("expected field name, got {t:?}"),
+        };
+        i += 1;
+        // ':'
+        i += 1;
+        skip_type(&tokens, &mut i);
+        // ','
+        i += 1;
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = collect_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // ','
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = collect_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            t => panic!("expected variant name, got {t:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // ','
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Content::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => gen_named_to_map(fields, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Content::Map(vec![(String::from(\"{vn}\"), ::serde::Serialize::to_content(__f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_content(__f{k})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![(String::from(\"{vn}\"), ::serde::Content::Seq(vec![{}]))]),\n",
+                            pats.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = gen_named_to_map(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(String::from(\"{vn}\"), {inner})]),\n",
+                            pats.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_content(&self) -> ::serde::Content {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Builds the `Content::Map(..)` expression for named fields; `prefix` is
+/// either `self.` (structs) or empty (bound struct-variant fields).
+fn gen_named_to_map(fields: &[Field], prefix: &str) -> String {
+    let mut out = String::from("{ let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let fname = &f.name;
+        // Bound variant fields are references already; struct fields need `&`.
+        let access = if prefix.is_empty() {
+            fname.clone()
+        } else {
+            format!("&{prefix}{fname}")
+        };
+        out.push_str(&format!(
+            "__m.push((String::from(\"{fname}\"), ::serde::Serialize::to_content({access})));\n"
+        ));
+    }
+    out.push_str("::serde::Content::Map(__m) }");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!(
+                    "match __c {{ ::serde::Content::Null => Ok({name}), _ => Err(::serde::DeError::expected(\"null\", \"{name}\")) }}"
+                ),
+                Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_content(__c)?))"),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                        .collect();
+                    format!(
+                        "{{ let __s = __c.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                           if __s.len() != {n} {{ return Err(::serde::DeError::expected(\"array of {n}\", \"{name}\")); }}\n\
+                           Ok({name}({})) }}",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    format!(
+                        "{{ let __m = __c.as_map().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                           Ok({name} {{ {} }}) }}",
+                        gen_named_from_map(fields, name)
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        // Also accept the `{"Variant": null}` form.
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match __v {{ ::serde::Content::Null => Ok({name}::{vn}), _ => Err(::serde::DeError::expected(\"null\", \"{name}::{vn}\")) }},\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(__v)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                               if __s.len() != {n} {{ return Err(::serde::DeError::expected(\"array of {n}\", \"{name}::{vn}\")); }}\n\
+                               Ok({name}::{vn}({})) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __m = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}::{vn}\"))?;\n\
+                               Ok({name}::{vn} {{ {} }}) }},\n",
+                            gen_named_from_map(fields, &format!("{name}::{vn}"))
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     match __c {{\n\
+                       ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                       }},\n\
+                       ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __v) = &__m[0];\n\
+                         match __k.as_str() {{\n\
+                           {tagged_arms}\n\
+                           __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                       }},\n\
+                       _ => Err(::serde::DeError::expected(\"variant string or single-key object\", \"{name}\")),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Field initializers (`name: <expr>,` list) pulling from a map binding `__m`.
+fn gen_named_from_map(fields: &[Field], ty: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.attrs.skip {
+            out.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+        } else if f.attrs.default {
+            out.push_str(&format!(
+                "{fname}: match ::serde::content_get(__m, \"{fname}\") {{\n\
+                   Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+                   None => ::std::default::Default::default(),\n\
+                 }},\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{fname}: match ::serde::content_get(__m, \"{fname}\") {{\n\
+                   Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+                   None => return Err(::serde::DeError::missing_field(\"{fname}\", \"{ty}\")),\n\
+                 }},\n"
+            ));
+        }
+    }
+    out
+}
