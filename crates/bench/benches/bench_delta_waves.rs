@@ -1,0 +1,61 @@
+//! E14 — delta-driven wave answers: semi-naive delta shipping vs full
+//! re-ship in rounds mode, on the paper's running example and a generated
+//! cyclic topology (where full re-ship is quadratic in rounds).
+//!
+//! The traffic table (rows shipped, delta answers, rows saved) is printed
+//! once before timing so the bench output carries the byte-level numbers
+//! alongside the wall-clock ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_bench::experiments::{e14_delta_waves, paper_example_builder, run_delta_waves_once};
+use p2p_bench::Scale;
+use p2p_core::system::P2PSystemBuilder;
+use p2p_topology::Topology;
+use p2p_workload::{build_system, Distribution, WorkloadConfig};
+
+fn ring_builder() -> P2PSystemBuilder {
+    build_system(&WorkloadConfig {
+        topology: Topology::Ring { n: 8 },
+        records_per_node: Scale::Quick.records(),
+        distribution: Distribution::Disjoint,
+        seed: 7,
+    })
+    .expect("workload builds")
+}
+
+fn bench_delta_waves(c: &mut Criterion) {
+    // Report the traffic numbers the timing alone cannot show.
+    let (table, summary) = e14_delta_waves(Scale::Quick);
+    println!("\nE14 — delta waves vs full re-ship (rows over the wire)\n");
+    println!("{}", table.render());
+    println!(
+        "cyclic topology: delta ships {} rows vs {} full ({:.1}x), rows_saved = {}\n",
+        summary.delta_rows_shipped,
+        summary.full_rows_shipped,
+        summary.full_rows_shipped as f64 / summary.delta_rows_shipped.max(1) as f64,
+        summary.rows_saved,
+    );
+    assert!(summary.ok(), "delta-wave regression: {summary:?}");
+
+    let mut group = c.benchmark_group("e14_delta_waves");
+    group.sample_size(10);
+    for (label, make) in [
+        (
+            "paper_example",
+            paper_example_builder as fn() -> P2PSystemBuilder,
+        ),
+        ("ring8", ring_builder as fn() -> P2PSystemBuilder),
+    ] {
+        for delta in [true, false] {
+            group.bench_with_input(
+                BenchmarkId::new(label, if delta { "delta_on" } else { "full_reship" }),
+                &delta,
+                |b, &delta| b.iter(|| run_delta_waves_once(make(), delta)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta_waves);
+criterion_main!(benches);

@@ -84,4 +84,24 @@ fn main() {
         println!("E13 — initiation ablation: flood vs strict-A4 query propagation\n");
         println!("{}", exp::e13_initiation(scale).render());
     }
+    if want("e14") {
+        println!("E14 — delta-driven wave answers vs full re-ship (rounds mode)\n");
+        let (table, summary) = exp::e14_delta_waves(scale);
+        println!("{}", table.render());
+        println!(
+            "cyclic topology: delta ships {} rows vs {} full ({:.1}x), rows_saved = {}",
+            summary.delta_rows_shipped,
+            summary.full_rows_shipped,
+            summary.full_rows_shipped as f64 / summary.delta_rows_shipped.max(1) as f64,
+            summary.rows_saved,
+        );
+        println!(
+            "delta-wave smoke: {}\n",
+            if summary.ok() {
+                "OK"
+            } else {
+                "FAILED (rows_saved == 0 or <3x saving or fix-point mismatch)"
+            }
+        );
+    }
 }

@@ -48,6 +48,17 @@ pub struct SystemConfig {
     /// data transfer and duplication"). When false, every answer repeats the
     /// full current result. Message *counts* are identical; sizes differ.
     pub delta_optimization: bool,
+    /// Delta-driven wave answers. When true, round-mode answering peers
+    /// track a per-(requester, rule) watermark and ship only rows derived
+    /// from facts inserted since their last answer
+    /// ([`crate::messages::ProtocolMsg::WaveAnswerDelta`]; first contact is
+    /// still a full `WaveAnswer`), while head peers cache fragment
+    /// extensions across rounds and join semi-naively. In eager mode it
+    /// additionally switches subscription re-answers to watermark-based
+    /// delta *evaluation* (skipping the full fragment re-evaluation). When
+    /// false, every wave answer re-ships the full current extension — the
+    /// paper-faithful, oracle-comparable baseline.
+    pub delta_waves: bool,
     /// Require the rule set to be weakly acyclic at build time. On by
     /// default; turn off only to study the chase-depth safety valve.
     pub require_weak_acyclicity: bool,
@@ -70,6 +81,7 @@ impl Default for SystemConfig {
             mode: UpdateMode::Eager,
             initiation: Initiation::Flood,
             delta_optimization: true,
+            delta_waves: true,
             require_weak_acyclicity: true,
             max_null_depth: 64,
             cost_per_tuple: SimTime::from_micros(10),
@@ -90,6 +102,7 @@ mod tests {
         assert_eq!(c.mode, UpdateMode::Eager);
         assert_eq!(c.initiation, Initiation::Flood);
         assert!(c.delta_optimization);
+        assert!(c.delta_waves);
         assert!(c.require_weak_acyclicity);
     }
 }

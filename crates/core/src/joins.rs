@@ -8,15 +8,31 @@ use crate::error::CoreResult;
 use crate::rule::{BodyPart, CoordinationRule};
 use p2p_relational::chase::{apply_head, ChaseConfig, ChaseOutcome, ChaseState};
 use p2p_relational::query::ast::Term;
-use p2p_relational::query::{evaluate_bindings, Constraint};
+use p2p_relational::query::{evaluate_bindings, evaluate_bindings_since, Constraint};
 use p2p_relational::{Database, NullFactory, Tuple, Value};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Evaluates one body fragment over a local database, returning rows over
 /// `part.vars` (deduplicated, deterministic order).
 pub fn eval_part(part: &BodyPart, db: &Database) -> CoreResult<Vec<Tuple>> {
     let bindings = evaluate_bindings(&part.atoms, &part.local_constraints, db)?;
+    let head_terms: Vec<Term> = part.vars.iter().cloned().map(Term::Var).collect();
+    Ok(bindings.project(&head_terms)?)
+}
+
+/// Delta evaluation of one body fragment: the rows over `part.vars`
+/// derivable using at least one fact inserted at or after `watermarks`
+/// (semi-naive, see [`evaluate_bindings_since`]). Always a subset of
+/// [`eval_part`] on the same database; together with the rows shipped before
+/// the watermark was taken it covers [`eval_part`] exactly — which is what
+/// lets wave answers ship deltas instead of full extensions.
+pub fn eval_part_delta(
+    part: &BodyPart,
+    db: &Database,
+    watermarks: &BTreeMap<Arc<str>, usize>,
+) -> CoreResult<Vec<Tuple>> {
+    let bindings = evaluate_bindings_since(&part.atoms, &part.local_constraints, db, watermarks)?;
     let head_terms: Vec<Term> = part.vars.iter().cloned().map(Term::Var).collect();
     Ok(bindings.project(&head_terms)?)
 }
@@ -61,6 +77,55 @@ pub fn join_parts(parts: &[VarRows], join_constraints: &[Constraint]) -> VarRows
         });
     }
     acc
+}
+
+/// One fragment's state at the head node during delta-driven rounds: the
+/// accumulated full extension plus the rows that arrived this round.
+#[derive(Debug, Clone, Default)]
+pub struct PartDelta {
+    /// Accumulated extension across all rounds so far (including `delta`).
+    pub full: VarRows,
+    /// Rows new this round (subset of `full.rows`).
+    pub delta: VarRows,
+}
+
+/// Semi-naive join expansion over fragments with per-round deltas: for each
+/// fragment, joins its *delta* against the other fragments' accumulated
+/// *fulls*, and unions the per-fragment results (deduplicated). Any binding
+/// using at least one new row is produced; bindings entirely over old rows
+/// were produced in an earlier round. Fragments whose delta is empty
+/// contribute no term of their own but still participate as fulls.
+pub fn join_parts_seminaive(parts: &[PartDelta], join_constraints: &[Constraint]) -> VarRows {
+    let mut out = VarRows::default();
+    let mut seen: std::collections::HashSet<Tuple> = std::collections::HashSet::new();
+    for (i, p) in parts.iter().enumerate() {
+        if p.delta.rows.is_empty() {
+            continue;
+        }
+        let staged: Vec<VarRows> = parts
+            .iter()
+            .enumerate()
+            .map(|(j, q)| {
+                if i == j {
+                    p.delta.clone()
+                } else {
+                    q.full.clone()
+                }
+            })
+            .collect();
+        let joined = join_parts(&staged, join_constraints);
+        if out.vars.is_empty() {
+            out.vars = joined.vars;
+        } else {
+            debug_assert_eq!(out.vars, joined.vars);
+        }
+        for row in joined.rows {
+            if seen.insert(row.clone()) {
+                out.rows.push(row);
+            }
+        }
+    }
+    out
 }
 
 fn hash_join(left: &VarRows, right: &VarRows) -> VarRows {
@@ -222,6 +287,84 @@ mod tests {
         let rows = eval_part(&rule.parts[0], &db).unwrap();
         assert_eq!(rows.len(), 1); // X=1, Y=2, Z=9
         assert_eq!(rows[0].arity(), 3);
+    }
+
+    #[test]
+    fn seminaive_join_covers_exactly_the_new_bindings() {
+        // Full join "before": X–Y from part 1, Y–Z from part 2.
+        let left_old = vr(&["X", "Y"], &[&[1, 2]]);
+        let right_old = vr(&["Y", "Z"], &[&[2, 9]]);
+        let before = join_parts(&[left_old.clone(), right_old.clone()], &[]);
+        assert_eq!(before.rows.len(), 1);
+
+        // A delta arrives on each side.
+        let left_full = vr(&["X", "Y"], &[&[1, 2], &[3, 2]]);
+        let left_delta = vr(&["X", "Y"], &[&[3, 2]]);
+        let right_full = vr(&["Y", "Z"], &[&[2, 9], &[2, 8]]);
+        let right_delta = vr(&["Y", "Z"], &[&[2, 8]]);
+        let new = join_parts_seminaive(
+            &[
+                PartDelta {
+                    full: left_full.clone(),
+                    delta: left_delta,
+                },
+                PartDelta {
+                    full: right_full.clone(),
+                    delta: right_delta,
+                },
+            ],
+            &[],
+        );
+        // (old ∪ new) == full join of the full extensions.
+        let full = join_parts(&[left_full, right_full], &[]);
+        let mut union: std::collections::HashSet<Tuple> = before.rows.into_iter().collect();
+        union.extend(new.rows.iter().cloned());
+        let expect: std::collections::HashSet<Tuple> = full.rows.into_iter().collect();
+        assert_eq!(union, expect);
+        // The purely-old combination (1,2,9) is not re-derived.
+        assert!(!new.rows.contains(&Tuple::new(vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(9)
+        ])));
+    }
+
+    #[test]
+    fn seminaive_join_with_all_deltas_empty_is_empty() {
+        let left = vr(&["X", "Y"], &[&[1, 2]]);
+        let right = vr(&["Y", "Z"], &[&[2, 9]]);
+        let out = join_parts_seminaive(
+            &[
+                PartDelta {
+                    full: left,
+                    delta: vr(&["X", "Y"], &[]),
+                },
+                PartDelta {
+                    full: right,
+                    delta: vr(&["Y", "Z"], &[]),
+                },
+            ],
+            &[],
+        );
+        assert!(out.rows.is_empty());
+    }
+
+    #[test]
+    fn eval_part_delta_is_subset_completing_the_old_eval() {
+        let mut db = Database::new(DatabaseSchema::parse("b(x: int, y: int).").unwrap());
+        db.insert_values("b", vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        let rule =
+            CoordinationRule::parse("r", "B:b(X,Y), B:b(Y,Z) => A:a(X,Z)", None, &resolve).unwrap();
+        let before = eval_part(&rule.parts[0], &db).unwrap();
+        let w = db.watermarks();
+        db.insert_values("b", vec![Value::Int(2), Value::Int(9)])
+            .unwrap();
+        let delta = eval_part_delta(&rule.parts[0], &db, &w).unwrap();
+        let after = eval_part(&rule.parts[0], &db).unwrap();
+        let mut union: std::collections::HashSet<Tuple> = before.into_iter().collect();
+        union.extend(delta);
+        assert_eq!(union, after.into_iter().collect());
     }
 
     #[test]

@@ -184,6 +184,19 @@ pub enum ProtocolMsg {
         /// Full bindings as of the answerer's current state.
         rows: AnswerRows,
     },
+    /// Delta fragment extension for a round (`SystemConfig::delta_waves`):
+    /// only the rows derived from facts inserted since the answerer's last
+    /// answer to this requester. First contact always uses a full
+    /// [`ProtocolMsg::WaveAnswer`]; the requester merges deltas into its
+    /// per-fragment cache and joins semi-naively.
+    WaveAnswerDelta {
+        /// Round number.
+        round: u32,
+        /// Rule served.
+        rule: RuleId,
+        /// The new bindings only.
+        rows: AnswerRows,
+    },
     /// Clean-round broadcast: fix-point reached, close everywhere.
     RoundsClosed {
         /// Total rounds executed.
@@ -252,7 +265,9 @@ impl Wire for ProtocolMsg {
             ProtocolMsg::Query { part, sn, .. } => 24 + part.atoms.len() * 16 + sn.len() * 4,
             ProtocolMsg::Answer { rows, .. } => 24 + rows.wire_size(),
             ProtocolMsg::WaveQuery { part, .. } => 24 + part.atoms.len() * 16,
-            ProtocolMsg::WaveAnswer { rows, .. } => 24 + rows.wire_size(),
+            ProtocolMsg::WaveAnswer { rows, .. } | ProtocolMsg::WaveAnswerDelta { rows, .. } => {
+                24 + rows.wire_size()
+            }
             ProtocolMsg::AddRule { rule } => 16 + rule.wire_size(),
             ProtocolMsg::StatsReport { stats } => 16 + stats.wire_size(),
         }
@@ -280,6 +295,7 @@ impl Wire for ProtocolMsg {
             ProtocolMsg::RoundEcho { .. } => "RoundEcho",
             ProtocolMsg::WaveQuery { .. } => "WaveQuery",
             ProtocolMsg::WaveAnswer { .. } => "WaveAnswer",
+            ProtocolMsg::WaveAnswerDelta { .. } => "WaveAnswerDelta",
             ProtocolMsg::RoundsClosed { .. } => "RoundsClosed",
             ProtocolMsg::AddRule { .. } => "addRule",
             ProtocolMsg::DeleteRule { .. } => "deleteRule",

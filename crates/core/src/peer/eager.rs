@@ -30,6 +30,8 @@ use p2p_topology::NodeId;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
+type Watermarks = BTreeMap<Arc<str>, usize>;
+
 /// Progress of one rule fragment at the head node.
 #[derive(Debug, Clone, Default)]
 pub struct PartProgress {
@@ -54,6 +56,11 @@ pub struct Subscription {
     pub sent: HashSet<Tuple>,
     /// Whether the last answer carried `complete = true`.
     pub sent_complete: bool,
+    /// Database watermarks as of the last fragment evaluation for this
+    /// subscriber. With `SystemConfig::delta_waves`, re-answers
+    /// delta-evaluate the fragment from here instead of re-running the full
+    /// conjunctive query — the hot-path saving on every cascade.
+    pub watermarks: Watermarks,
 }
 
 /// Eager-mode update session state.
@@ -201,8 +208,10 @@ impl DbPeer {
             part,
             sent: HashSet::new(),
             sent_complete: false,
+            watermarks: Watermarks::new(),
         };
         let rows = self.eval_part_local(&sub.part.clone(), ctx);
+        sub.watermarks = self.db.watermarks();
         let complete = self.upd.closed;
         let ship: Vec<Tuple> = rows.clone();
         sub.sent.extend(rows);
@@ -295,16 +304,31 @@ impl DbPeer {
     }
 
     /// Re-answers subscribers whose fragment result changed.
+    ///
+    /// With `delta_waves` (and the delta optimization) on, the fragment is
+    /// **delta-evaluated** from the subscription's watermarks — only
+    /// bindings using facts inserted since the last answer are computed —
+    /// instead of re-running the full conjunctive query on every cascade.
+    /// The `sent` filter stays as the exactness layer: delta evaluation may
+    /// re-derive an already-shipped row from a new fact.
     pub(crate) fn push_deltas(&mut self, ctx: &mut Context<ProtocolMsg>) {
         let keys: Vec<(NodeId, RuleId)> = self.upd.subs.keys().copied().collect();
         let epoch = self.upd.epoch;
+        let delta_eval = self.config.delta_waves && self.config.delta_optimization;
         for key in keys {
             let part = self.upd.subs[&key].part.clone();
-            let rows = self.eval_part_local(&part, ctx);
+            let rows = if delta_eval {
+                let watermarks = self.upd.subs[&key].watermarks.clone();
+                self.eval_part_delta_local(&part, &watermarks, ctx)
+            } else {
+                self.eval_part_local(&part, ctx)
+            };
+            let marks = self.db.watermarks();
             let closed = self.upd.closed;
             let Some(sub) = self.upd.subs.get_mut(&key) else {
                 continue;
             };
+            sub.watermarks = marks;
             let delta: Vec<Tuple> = rows
                 .iter()
                 .filter(|t| !sub.sent.contains(*t))
@@ -321,6 +345,12 @@ impl DbPeer {
             } else {
                 rows
             };
+            if delta_eval {
+                // What a full re-ship would have re-sent: the whole current
+                // extension, which (by monotonicity) is exactly `sent`.
+                self.stats.delta_answers_sent += 1;
+                self.stats.rows_saved += (sub.sent.len() - ship.len()) as u64;
+            }
             self.stats.answers_sent += 1;
             self.stats.rows_shipped += ship.len() as u64;
             let payload = self.make_answer_rows(&part.vars, ship);

@@ -267,6 +267,29 @@ impl DbPeer {
         }
     }
 
+    /// Delta-evaluates one fragment (rows derived from facts inserted since
+    /// `watermarks`), with statistics and processing-cost accounting.
+    pub(crate) fn eval_part_delta_local(
+        &mut self,
+        part: &crate::rule::BodyPart,
+        watermarks: &BTreeMap<Arc<str>, usize>,
+        ctx: &mut Context<ProtocolMsg>,
+    ) -> Vec<Tuple> {
+        self.stats.local_evaluations += 1;
+        match crate::joins::eval_part_delta(part, &self.db, watermarks) {
+            Ok(rows) => {
+                let cost =
+                    p2p_net::SimTime(self.config.cost_per_tuple.as_micros() * rows.len() as u64);
+                ctx.charge(cost);
+                rows
+            }
+            Err(e) => {
+                self.fail(format!("fragment delta evaluation failed: {e}"));
+                Vec::new()
+            }
+        }
+    }
+
     /// Joins the given fragment extensions for `rule` and chases the head
     /// into the local database. Returns the number of facts inserted.
     pub(crate) fn apply_rule(
@@ -278,9 +301,19 @@ impl DbPeer {
             return 0;
         };
         let bindings = crate::joins::join_parts(&parts, &rule.join_constraints);
+        self.apply_rule_bindings(&rule, &bindings)
+    }
+
+    /// Chases already-joined bindings for `rule` into the local database.
+    /// Returns the number of facts inserted.
+    pub(crate) fn apply_rule_bindings(
+        &mut self,
+        rule: &crate::rule::CoordinationRule,
+        bindings: &crate::joins::VarRows,
+    ) -> usize {
         match crate::joins::apply_rule_head(
-            &rule,
-            &bindings,
+            rule,
+            bindings,
             &mut self.db,
             &mut self.nulls,
             &mut self.chase,
@@ -444,7 +477,10 @@ impl Peer<ProtocolMsg> for DbPeer {
                 self.on_wave_query(from, round, rule, part, ctx)
             }
             ProtocolMsg::WaveAnswer { round, rule, rows } => {
-                self.on_wave_answer(from, round, rule, rows, ctx)
+                self.on_wave_answer(from, round, rule, rows, false, ctx)
+            }
+            ProtocolMsg::WaveAnswerDelta { round, rule, rows } => {
+                self.on_wave_answer(from, round, rule, rows, true, ctx)
             }
             ProtocolMsg::RoundsClosed { rounds } => self.on_rounds_closed(rounds),
         }

@@ -20,7 +20,36 @@
 //!    `RoundsClosed` — the paper's fix-point, reached when a full wave
 //!    produced no new data anywhere (exactly the condition its
 //!    maximal-dependency-path flags certify).
+//!
+//! ## Delta-driven wave answers (`SystemConfig::delta_waves`, default on)
+//!
+//! The paper's fix-point re-evaluates every rule body each round; shipped
+//! naively, the extension of every fragment crosses the wire *every* round,
+//! so bytes grow quadratically with rounds on cyclic topologies. With
+//! `delta_waves` enabled the protocol is **semi-naive** instead:
+//!
+//! * **Answer side** — a peer keeps, per `(requester, rule)` subscription,
+//!   the database watermarks ([`p2p_relational::Database::watermarks`]) as
+//!   of its last answer. The first answer ships the full extension
+//!   (`WaveAnswer`); every later one delta-evaluates the fragment over
+//!   [`p2p_relational::Database::facts_since`] — only bindings using at
+//!   least one fact inserted since the watermark — and ships just those
+//!   rows as a [`crate::messages::ProtocolMsg::WaveAnswerDelta`].
+//! * **Head side** — the head node caches each fragment's accumulated
+//!   extension across rounds ([`RoundsState::wave_cache`]) and merges
+//!   incoming deltas into it. When all fragments of a rule have answered in
+//!   a round, it applies the standard semi-naive expansion
+//!   ([`crate::joins::join_parts_seminaive`]): each fragment's *delta*
+//!   joined against the other fragments' cached *fulls*, union over the
+//!   fragments — every binding using a new row is derived exactly once,
+//!   bindings entirely over old rows were derived in an earlier round.
+//!
+//! Termination, the dirty-bit accounting and the echo tree are unchanged;
+//! only the payloads shrink. With `delta_waves` off, every answer re-ships
+//! the full current extension — the paper-faithful baseline the delta mode
+//! is checked against (tuple-identical final databases).
 
+use crate::joins::{join_parts_seminaive, PartDelta, VarRows};
 use crate::messages::ProtocolMsg;
 use crate::peer::DbPeer;
 use crate::rule::{BodyPart, RuleId};
@@ -28,11 +57,37 @@ use crate::stats::ClosedBy;
 use p2p_net::Context;
 use p2p_relational::Tuple;
 use p2p_topology::NodeId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 /// A shipped fragment extension: variable names plus rows over them.
 pub type WaveRows = (Vec<Arc<str>>, Vec<Tuple>);
+
+/// Answer-side delta subscription: what this peer remembers about the last
+/// wave answer it shipped to one `(requester, rule)`.
+#[derive(Debug, Clone, Default)]
+pub struct WaveSub {
+    /// Per-relation insertion watermarks at the time of the last answer.
+    pub watermarks: BTreeMap<Arc<str>, usize>,
+    /// Cumulative rows shipped on this subscription (what a full re-ship
+    /// would have re-sent; feeds the `rows_saved` statistic).
+    pub rows_sent: u64,
+}
+
+/// Head-side per-fragment cache: the extension accumulated across rounds.
+#[derive(Debug, Clone, Default)]
+pub struct PartCache {
+    /// Column variables (fixed by the fragment).
+    pub vars: Vec<Arc<str>>,
+    /// Accumulated rows, in arrival order. Kept alongside `set` because the
+    /// semi-naive join stages from here: iterating the `HashSet` instead
+    /// would leak nondeterministic order into join output, insertion order
+    /// and shipped rows — every observable order in this crate is
+    /// deterministic by design.
+    pub rows: Vec<Tuple>,
+    /// Fast membership for `rows`.
+    pub set: HashSet<Tuple>,
+}
 
 /// Rounds-mode state of one peer.
 #[derive(Debug, Clone, Default)]
@@ -57,9 +112,16 @@ pub struct RoundsState {
     pub echoed: bool,
     /// Queries deferred until own fragments answered.
     pub deferred: Vec<(NodeId, RuleId, BodyPart)>,
-    /// Fragment extensions received this round: `(vars, rows)` per
-    /// `(rule, body node)`.
+    /// Fragment extensions received this round, per `(rule, body node)`:
+    /// with `delta_waves` the rows *new to the cache* this round, otherwise
+    /// the full shipped extension.
     pub wave_parts: BTreeMap<(RuleId, NodeId), WaveRows>,
+    /// Answer-side delta subscriptions, per `(requester, rule)`. Survives
+    /// round resets (a session-lifetime map).
+    pub wave_subs: BTreeMap<(NodeId, RuleId), WaveSub>,
+    /// Head-side fragment caches, per `(rule, body node)`. Survives round
+    /// resets (a session-lifetime map).
+    pub wave_cache: BTreeMap<(RuleId, NodeId), PartCache>,
     /// Fix-point reached.
     pub closed: bool,
     /// Total rounds executed (set at closure; at the root, running count).
@@ -102,15 +164,21 @@ impl DbPeer {
 
     /// Resets per-round state and issues this node's wave queries. Called on
     /// first contact with a round (flood or query, whichever arrives first).
+    /// The delta-wave maps (`wave_subs`, `wave_cache`) are session-lifetime
+    /// and carry over.
     fn enter_round(&mut self, round: u32, ctx: &mut Context<ProtocolMsg>) {
         if self.rnd.active && self.rnd.round >= round {
             return;
         }
         self.stats.rounds += 1;
+        let wave_subs = std::mem::take(&mut self.rnd.wave_subs);
+        let wave_cache = std::mem::take(&mut self.rnd.wave_cache);
         self.rnd = RoundsState {
             active: true,
             round,
             closed: false,
+            wave_subs,
+            wave_cache,
             ..Default::default()
         };
         let rules: Vec<_> = self.rules.values().cloned().collect();
@@ -187,8 +255,26 @@ impl DbPeer {
         self.add_pipe(from);
         self.enter_round(round, ctx);
         if round < self.rnd.round {
-            // Stale: answer with current data so the old round can't wedge.
-            self.answer_wave(from, round, rule, &part, ctx);
+            // Stale: the requester has moved past this round and
+            // `on_wave_answer` will drop the payload unread, so shipping the
+            // full current extension would be pure waste (and would
+            // misattribute the bytes as useful traffic). Send an empty
+            // acknowledgement — enough to drain the old round's counter if
+            // anyone is still waiting — accounted separately.
+            self.stats.stale_answers_sent += 1;
+            let payload = crate::messages::AnswerRows {
+                vars: part.vars.clone(),
+                rows: Vec::new(),
+                null_depths: Vec::new(),
+            };
+            ctx.send(
+                from,
+                ProtocolMsg::WaveAnswer {
+                    round,
+                    rule,
+                    rows: payload,
+                },
+            );
             return;
         }
         let defer = !self.in_cycle && !self.rnd.waves_done();
@@ -199,6 +285,8 @@ impl DbPeer {
         }
     }
 
+    /// Ships one wave answer: a full extension on first contact (or with
+    /// `delta_waves` off), a semi-naive delta afterwards.
     fn answer_wave(
         &mut self,
         to: NodeId,
@@ -207,9 +295,46 @@ impl DbPeer {
         part: &BodyPart,
         ctx: &mut Context<ProtocolMsg>,
     ) {
+        let key = (to, rule);
+        if self.config.delta_waves && self.rnd.wave_subs.contains_key(&key) {
+            // Re-answer: only rows derived from facts inserted since the
+            // last answer to this requester.
+            let prev_sent = self.rnd.wave_subs[&key].rows_sent;
+            let watermarks = self.rnd.wave_subs[&key].watermarks.clone();
+            let rows = self.eval_part_delta_local(part, &watermarks, ctx);
+            let shipped = rows.len() as u64;
+            self.stats.answers_sent += 1;
+            self.stats.delta_answers_sent += 1;
+            self.stats.rows_shipped += shipped;
+            self.stats.rows_saved += prev_sent;
+            let payload = self.make_answer_rows(&part.vars, rows);
+            let marks = self.db.watermarks();
+            if let Some(sub) = self.rnd.wave_subs.get_mut(&key) {
+                sub.watermarks = marks;
+                sub.rows_sent += shipped;
+            }
+            ctx.send(
+                to,
+                ProtocolMsg::WaveAnswerDelta {
+                    round,
+                    rule,
+                    rows: payload,
+                },
+            );
+            return;
+        }
         let rows = self.eval_part_local(part, ctx);
         self.stats.answers_sent += 1;
         self.stats.rows_shipped += rows.len() as u64;
+        if self.config.delta_waves {
+            self.rnd.wave_subs.insert(
+                key,
+                WaveSub {
+                    watermarks: self.db.watermarks(),
+                    rows_sent: rows.len() as u64,
+                },
+            );
+        }
         let payload = self.make_answer_rows(&part.vars, rows);
         ctx.send(
             to,
@@ -221,13 +346,14 @@ impl DbPeer {
         );
     }
 
-    /// Wave answer handler.
+    /// Wave answer handler (both the full and the delta flavour).
     pub(crate) fn on_wave_answer(
         &mut self,
         from: NodeId,
         round: u32,
         rule: RuleId,
         rows: crate::messages::AnswerRows,
+        is_delta: bool,
         ctx: &mut Context<ProtocolMsg>,
     ) {
         self.stats.answers_received += 1;
@@ -235,33 +361,80 @@ impl DbPeer {
             return; // Stale answer for a finished round.
         }
         self.absorb_null_depths(&rows);
-        self.rnd
-            .wave_parts
-            .insert((rule, from), (rows.vars.clone(), rows.rows));
+        // A delta answer always goes through the cache, even if this peer's
+        // own toggle is off (the sender's config decides the payload shape).
+        let use_cache = self.config.delta_waves || is_delta;
+        if use_cache {
+            let cache = self.rnd.wave_cache.entry((rule, from)).or_default();
+            if cache.vars.is_empty() {
+                cache.vars = rows.vars.clone();
+            }
+            let mut fresh = Vec::new();
+            for t in rows.rows {
+                if cache.set.insert(t.clone()) {
+                    cache.rows.push(t.clone());
+                    fresh.push(t);
+                }
+            }
+            self.rnd.wave_parts.insert((rule, from), (rows.vars, fresh));
+        } else {
+            self.rnd
+                .wave_parts
+                .insert((rule, from), (rows.vars.clone(), rows.rows));
+        }
         self.rnd.pending_answers = self.rnd.pending_answers.saturating_sub(1);
 
         // Recompute the rule if all its fragments arrived this round.
-        let complete_parts: Option<Vec<crate::joins::VarRows>> = self
+        let arrived = self
             .rules
             .get(&rule)
             .map(|r| r.parts.clone())
-            .map(|parts| {
+            .filter(|parts| {
                 parts
                     .iter()
+                    .all(|p| self.rnd.wave_parts.contains_key(&(rule, p.node)))
+            });
+        if let Some(parts) = arrived {
+            let inserted = if use_cache {
+                // Semi-naive expansion: each fragment's delta against the
+                // other fragments' accumulated fulls.
+                let staged: Vec<PartDelta> = parts
+                    .iter()
                     .map(|p| {
-                        self.rnd
-                            .wave_parts
-                            .get(&(rule, p.node))
-                            .map(|(vars, rows)| crate::joins::VarRows {
+                        let cache = &self.rnd.wave_cache[&(rule, p.node)];
+                        let (vars, fresh) = &self.rnd.wave_parts[&(rule, p.node)];
+                        PartDelta {
+                            full: VarRows {
+                                vars: cache.vars.clone(),
+                                rows: cache.rows.clone(),
+                            },
+                            delta: VarRows {
                                 vars: vars.clone(),
-                                rows: rows.clone(),
-                            })
+                                rows: fresh.clone(),
+                            },
+                        }
                     })
-                    .collect::<Option<Vec<_>>>()
-            })
-            .unwrap_or(None);
-        if let Some(parts) = complete_parts {
-            let inserted = self.apply_rule(rule, parts);
+                    .collect();
+                match self.rules.get(&rule).cloned() {
+                    Some(rule_obj) => {
+                        let bindings = join_parts_seminaive(&staged, &rule_obj.join_constraints);
+                        self.apply_rule_bindings(&rule_obj, &bindings)
+                    }
+                    None => 0,
+                }
+            } else {
+                let staged: Vec<VarRows> = parts
+                    .iter()
+                    .map(|p| {
+                        let (vars, rows) = &self.rnd.wave_parts[&(rule, p.node)];
+                        VarRows {
+                            vars: vars.clone(),
+                            rows: rows.clone(),
+                        }
+                    })
+                    .collect();
+                self.apply_rule(rule, staged)
+            };
             if inserted > 0 {
                 self.rnd.dirty_self = true;
             }

@@ -40,6 +40,20 @@ pub struct PeerStats {
     pub answers_received: u64,
     /// Answer rows shipped out (tuple count).
     pub rows_shipped: u64,
+    /// Delta answers sent (`WaveAnswerDelta` in rounds mode; watermark-based
+    /// delta re-answers in eager mode). Subset of `answers_sent`.
+    pub delta_answers_sent: u64,
+    /// Rows a **full re-ship** (`delta_waves = false` in rounds mode,
+    /// `delta_optimization = false` in eager mode) would have re-sent but a
+    /// delta answer did not, approximated by the rows already shipped on
+    /// that subscription. In eager mode with the delta optimization already
+    /// on, the wire traffic is unchanged and this measures the rows whose
+    /// *re-evaluation* the watermark skipped.
+    pub rows_saved: u64,
+    /// Empty acknowledgements sent for wave queries of already-finished
+    /// rounds: pure protocol overhead, kept out of `answers_sent` /
+    /// `rows_shipped` so those keep measuring useful traffic.
+    pub stale_answers_sent: u64,
     /// Local conjunctive-query evaluations.
     pub local_evaluations: u64,
     /// Facts inserted into the local database by the update algorithm.
@@ -67,7 +81,7 @@ impl PeerStats {
 
     /// Wire size of a stats report message.
     pub fn wire_size(&self) -> usize {
-        14 * 8
+        17 * 8
     }
 
     /// Merges another peer's counters (super-peer aggregation).
@@ -78,6 +92,9 @@ impl PeerStats {
         self.answers_sent += other.answers_sent;
         self.answers_received += other.answers_received;
         self.rows_shipped += other.rows_shipped;
+        self.delta_answers_sent += other.delta_answers_sent;
+        self.rows_saved += other.rows_saved;
+        self.stale_answers_sent += other.stale_answers_sent;
         self.local_evaluations += other.local_evaluations;
         self.tuples_inserted += other.tuples_inserted;
         self.nulls_minted += other.nulls_minted;
@@ -92,13 +109,16 @@ impl fmt::Display for PeerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "q_in={} (dup={}) q_out={} a_out={} a_in={} rows={} evals={} ins={} nulls={} closed_by={:?}",
+            "q_in={} (dup={}) q_out={} a_out={} (delta={} stale={}) a_in={} rows={} saved={} evals={} ins={} nulls={} closed_by={:?}",
             self.queries_received,
             self.duplicate_queries,
             self.queries_sent,
             self.answers_sent,
+            self.delta_answers_sent,
+            self.stale_answers_sent,
             self.answers_received,
             self.rows_shipped,
+            self.rows_saved,
             self.local_evaluations,
             self.tuples_inserted,
             self.nulls_minted,

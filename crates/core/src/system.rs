@@ -492,6 +492,19 @@ impl P2PSystem {
         self.sim.trace()
     }
 
+    /// Sums every peer's protocol counters by direct inspection (no
+    /// messages; the in-protocol alternative is [`P2PSystem::collect_stats`]).
+    /// This is what the benches and the delta-wave ablation report:
+    /// `rows_shipped`, `delta_answers_sent`, `rows_saved`,
+    /// `stale_answers_sent` across the whole network.
+    pub fn sum_stats(&self) -> PeerStats {
+        let mut total = PeerStats::default();
+        for (_, p) in self.sim.peers() {
+            total.merge(p.stats());
+        }
+        total
+    }
+
     /// Collects per-peer statistics *through the protocol* (the super-peer
     /// "commands other peers to send it statistical information").
     pub fn collect_stats(&mut self) -> BTreeMap<NodeId, PeerStats> {

@@ -12,7 +12,7 @@ use crate::error::{Error, Result};
 use crate::query::ast::{Atom, CmpOp, ConjunctiveQuery, Constraint, Term};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// The result of evaluating a body: a table of variable bindings.
@@ -102,6 +102,72 @@ pub fn evaluate_bindings(
     constraints: &[Constraint],
     db: &Database,
 ) -> Result<Bindings> {
+    evaluate_bindings_restricted(atoms, constraints, db, None)
+}
+
+/// Semi-naive **delta** evaluation of a body: the bindings derivable using at
+/// least one tuple inserted at or after the given per-relation `watermarks`
+/// (missing entries mean 0, i.e. the whole relation is new).
+///
+/// Computed as the standard semi-naive expansion `⋃ᵢ full(a₁) ⋈ … ⋈ Δ(aᵢ) ⋈
+/// … ⋈ full(aₖ)`: for each atom in turn, that atom ranges over the delta
+/// rows only while every other atom ranges over the full current relation.
+/// The union over-approximates the set of *genuinely new* bindings (a new
+/// tuple may re-derive an old binding) but never misses one, and is always a
+/// subset of the full evaluation — exactly what a monotone delta shipment
+/// needs. Column order matches [`evaluate_bindings`] on the same body.
+pub fn evaluate_bindings_since(
+    atoms: &[Atom],
+    constraints: &[Constraint],
+    db: &Database,
+    watermarks: &BTreeMap<Arc<str>, usize>,
+) -> Result<Bindings> {
+    let mut out: Option<Bindings> = None;
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    for (i, atom) in atoms.iter().enumerate() {
+        if atom.qualifier.is_some() {
+            return Err(Error::QualifiedAtom(atom.to_string()));
+        }
+        let watermark = watermarks.get(&atom.relation).copied().unwrap_or(0);
+        if db.relation(&atom.relation)?.len() <= watermark {
+            continue; // No new tuples in this atom's relation.
+        }
+        let delta = evaluate_bindings_restricted(atoms, constraints, db, Some((i, watermark)))?;
+        match &mut out {
+            None => {
+                seen.extend(delta.rows.iter().cloned());
+                out = Some(delta);
+            }
+            Some(acc) => {
+                debug_assert_eq!(acc.vars, delta.vars);
+                for row in delta.rows {
+                    if seen.insert(row.clone()) {
+                        acc.rows.push(row);
+                    }
+                }
+            }
+        }
+    }
+    match out {
+        Some(b) => Ok(b),
+        // All relations unchanged: an empty table over the body's variables.
+        None => {
+            let mut empty =
+                evaluate_bindings_restricted(atoms, constraints, db, Some((0, usize::MAX)))?;
+            empty.rows.clear();
+            Ok(empty)
+        }
+    }
+}
+
+/// Shared implementation: evaluates a body, optionally restricting one atom
+/// (by index) to the tuples at insertion positions `>= watermark`.
+fn evaluate_bindings_restricted(
+    atoms: &[Atom],
+    constraints: &[Constraint],
+    db: &Database,
+    restrict: Option<(usize, usize)>,
+) -> Result<Bindings> {
     // -- validation ---------------------------------------------------------
     for a in atoms {
         if a.qualifier.is_some() {
@@ -141,9 +207,23 @@ pub fn evaluate_bindings(
     // -- greedy atom ordering ----------------------------------------------
     // Repeatedly pick the atom with the most positions bound by already
     // chosen atoms (constants count as bound); tie-break on smaller relation.
+    // A watermark-restricted atom (semi-naive delta position) is forced
+    // first: it ranges over only the delta suffix, so starting from it keeps
+    // the join cost proportional to the delta instead of the full extension.
     let mut remaining: Vec<usize> = (0..atoms.len()).collect();
     let mut order: Vec<usize> = Vec::with_capacity(atoms.len());
     let mut statically_bound: HashSet<usize> = HashSet::new();
+    if let Some((restricted, _)) = restrict {
+        if restricted < atoms.len() {
+            remaining.retain(|&ai| ai != restricted);
+            for t in &atoms[restricted].terms {
+                if let Term::Var(v) = t {
+                    statically_bound.insert(slot_of[v]);
+                }
+            }
+            order.push(restricted);
+        }
+    }
     while !remaining.is_empty() {
         let mut best = 0usize;
         let mut best_score = (usize::MIN, usize::MAX, usize::MAX);
@@ -202,9 +282,14 @@ pub fn evaluate_bindings(
             }
         }
 
-        // Hash the relation on the key positions once.
+        // Hash the relation on the key positions once. A restricted atom
+        // (semi-naive delta position) only sees its post-watermark suffix.
+        let min_pos = match restrict {
+            Some((atom_idx, watermark)) if atom_idx == ai => watermark,
+            _ => 0,
+        };
         let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        for (ri, tuple) in relation.iter().enumerate() {
+        for (ri, tuple) in relation.iter().enumerate().skip(min_pos) {
             let key: Vec<Value> = key_positions.iter().map(|&p| tuple.0[p].clone()).collect();
             index.entry(key).or_default().push(ri);
         }
@@ -505,6 +590,67 @@ mod tests {
         let q = parse_query("q(I, Y) :- p(I, N), w(N, Y)").unwrap();
         let ans = evaluate(&q, &db).unwrap();
         assert_eq!(ans, vec![Tuple::new(vec![Value::Int(1), Value::Int(2001)])]);
+    }
+
+    #[test]
+    fn delta_bindings_cover_exactly_the_new_derivations() {
+        let mut db = db_with_b(&[(1, 2), (2, 3)]);
+        let q = parse_query("q(X, Z) :- b(X, Y), b(Y, Z)").unwrap();
+        let before = evaluate_bindings(&q.atoms, &q.constraints, &db).unwrap();
+        let w = db.watermarks();
+
+        // Nothing new: empty delta over the same columns.
+        let delta = evaluate_bindings_since(&q.atoms, &q.constraints, &db, &w).unwrap();
+        assert_eq!(delta.vars, before.vars);
+        assert!(delta.rows.is_empty());
+
+        // Insert b(3,4): new chains 2→3→4 must appear; both delta positions
+        // (new-as-first-atom and new-as-second-atom) are exercised.
+        db.insert_values("b", vec![Value::Int(3), Value::Int(4)])
+            .unwrap();
+        db.insert_values("b", vec![Value::Int(0), Value::Int(1)])
+            .unwrap();
+        let delta = evaluate_bindings_since(&q.atoms, &q.constraints, &db, &w).unwrap();
+        let after = evaluate_bindings(&q.atoms, &q.constraints, &db).unwrap();
+        // The delta is a subset of the full evaluation …
+        let full: HashSet<_> = after.rows.iter().cloned().collect();
+        assert!(delta.rows.iter().all(|r| full.contains(r)));
+        // … and (old ∪ delta) equals the full evaluation.
+        let mut union: HashSet<_> = before.rows.iter().cloned().collect();
+        union.extend(delta.rows.iter().cloned());
+        assert_eq!(union, full);
+        // The genuinely new chains are in the delta.
+        assert!(delta
+            .rows
+            .contains(&vec![Value::Int(2), Value::Int(3), Value::Int(4)]));
+        assert!(delta
+            .rows
+            .contains(&vec![Value::Int(0), Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn delta_bindings_respect_constraints() {
+        let mut db = db_with_b(&[(1, 2)]);
+        let q = parse_query("q(X, Y) :- b(X, Y), X < Y").unwrap();
+        let w = db.watermarks();
+        db.insert_values("b", vec![Value::Int(5), Value::Int(3)])
+            .unwrap();
+        db.insert_values("b", vec![Value::Int(3), Value::Int(5)])
+            .unwrap();
+        let delta = evaluate_bindings_since(&q.atoms, &q.constraints, &db, &w).unwrap();
+        assert_eq!(delta.rows, vec![vec![Value::Int(3), Value::Int(5)]]);
+    }
+
+    #[test]
+    fn delta_bindings_missing_watermark_means_whole_relation_is_new() {
+        let db = db_with_b(&[(1, 2), (2, 3)]);
+        let q = parse_query("q(X, Z) :- b(X, Y), b(Y, Z)").unwrap();
+        let delta =
+            evaluate_bindings_since(&q.atoms, &q.constraints, &db, &BTreeMap::new()).unwrap();
+        let full = evaluate_bindings(&q.atoms, &q.constraints, &db).unwrap();
+        let d: HashSet<_> = delta.rows.into_iter().collect();
+        let f: HashSet<_> = full.rows.into_iter().collect();
+        assert_eq!(d, f);
     }
 
     #[test]

@@ -14,5 +14,5 @@ pub mod eval;
 pub mod parser;
 
 pub use ast::{Atom, CmpOp, ConjunctiveQuery, Constraint, Term};
-pub use eval::{evaluate, evaluate_bindings, evaluate_certain, Bindings};
+pub use eval::{evaluate, evaluate_bindings, evaluate_bindings_since, evaluate_certain, Bindings};
 pub use parser::{parse_atom, parse_implication, parse_query, Implication};

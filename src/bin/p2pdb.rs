@@ -6,8 +6,8 @@
 //!                [--size N] [--records N] [--overlap PCT] [--seed N]
 //!                                               generate a network file
 //! p2pdb run <network.json> [--mode eager|rounds] [--discover]
-//!                [--query NODE QUERY] [--stats] [--trace] [--export FILE]
-//!                                               run discovery + update
+//!                [--no-delta-waves] [--query NODE QUERY] [--stats]
+//!                [--trace] [--export FILE]      run discovery + update
 //! ```
 //!
 //! Example session:
@@ -130,6 +130,11 @@ fn cmd_run(args: &[String]) -> CliResult {
         "eager" => builder.config_mut().mode = UpdateMode::Eager,
         "rounds" => builder.config_mut().mode = UpdateMode::Rounds,
         other => return Err(format!("unknown mode `{other}`").into()),
+    }
+    if args.iter().any(|a| a == "--no-delta-waves") {
+        // Full re-ship baseline: every wave answer carries the fragment's
+        // whole current extension (delta-driven answers are the default).
+        builder.config_mut().delta_waves = false;
     }
     if args.iter().any(|a| a == "--trace") {
         builder.config_mut().trace_capacity = 256;

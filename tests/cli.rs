@@ -132,6 +132,26 @@ fn sample_pipes_into_run_via_stdin() {
     assert!(text.contains("per-peer statistics"), "{text}");
 }
 
+/// Regression: `p2pdb run` parses untrusted network files; a deeply nested
+/// document must produce a clean parse error, not recurse the JSON parser
+/// off the stack and abort the process.
+#[test]
+fn deeply_nested_netfile_fails_cleanly_instead_of_overflowing() {
+    let dir = std::env::temp_dir().join("p2pdb_cli_deep");
+    std::fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("deep.json");
+    let depth = 10_000;
+    let doc = "[".repeat(depth) + &"]".repeat(depth);
+    std::fs::write(&net, doc).unwrap();
+
+    let out = p2pdb(&["run", net.to_str().unwrap()]);
+    assert!(!out.status.success());
+    // A controlled exit (code 1), not a signal-killed abort.
+    assert_eq!(out.status.code(), Some(1), "{:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nesting depth"), "{stderr}");
+}
+
 #[test]
 fn bad_usage_fails_cleanly() {
     assert!(!p2pdb(&[]).status.success());

@@ -25,11 +25,19 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// Maximum container nesting depth accepted by the parser. The parser
+/// recurses once per `[`/`{` level, so untrusted input (network files fed
+/// to `p2pdb run`) could otherwise overflow the stack and abort the
+/// process; past this depth it returns an ordinary parse error instead.
+/// The real `serde_json` guards identically (default 128).
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a JSON document into any `Deserialize` type.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let content = p.parse_value()?;
     p.skip_ws();
@@ -142,6 +150,8 @@ fn write_string(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting level (bounded by [`MAX_DEPTH`]).
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -198,12 +208,25 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::new(format!(
+                "nesting depth exceeds {MAX_DEPTH} at byte {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Content, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Content::Seq(items));
         }
         loop {
@@ -215,6 +238,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Content::Seq(items));
                 }
                 _ => {
@@ -229,10 +253,12 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Content, Error> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Content::Map(entries));
         }
         loop {
@@ -249,6 +275,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Content::Map(entries));
                 }
                 _ => {
@@ -414,6 +441,34 @@ mod tests {
         assert!(from_str::<String>("\"\\ud800\\ue000\"").is_err());
         // High surrogate with nothing after it.
         assert!(from_str::<String>("\"\\ud800\"").is_err());
+    }
+
+    #[test]
+    fn nesting_depth_is_capped_not_a_stack_overflow() {
+        // ~10k levels would recurse the parser off the stack without the cap.
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        let err = from_str::<Vec<u64>>(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting depth"), "{err}");
+
+        let deep_obj = "{\"k\":".repeat(10_000) + "1" + &"}".repeat(10_000);
+        let err = from_str::<u64>(&deep_obj).unwrap_err();
+        assert!(err.to_string().contains("nesting depth"), "{err}");
+    }
+
+    #[test]
+    fn nesting_below_the_cap_still_parses() {
+        // Exactly MAX_DEPTH container levels: the parser accepts the
+        // document (any failure is a type mismatch, not the depth guard).
+        let doc = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        let err = from_str::<Vec<u64>>(&doc).unwrap_err();
+        assert!(!err.to_string().contains("nesting depth"), "{err}");
+        // One more level trips the guard.
+        let doc = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = from_str::<Vec<u64>>(&doc).unwrap_err();
+        assert!(err.to_string().contains("nesting depth"), "{err}");
+        // Ordinary documents with a few levels still round-trip.
+        let v: Vec<Vec<u64>> = from_str("[[1,2],[3]]").unwrap();
+        assert_eq!(v, vec![vec![1, 2], vec![3]]);
     }
 
     #[test]
