@@ -1,0 +1,45 @@
+//! E15 — durability & churn: what crash recovery costs.
+//!
+//! Times the ring(8) rounds session (a) untouched, (b) with two scheduled
+//! mid-session crashes under durable peers (WAL + snapshots + watermark
+//! resync + driver re-drive). The recovery-traffic numbers are printed once
+//! before timing; the wall-clock delta is the price of logging plus the
+//! re-driven wave.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2p_bench::experiments::{churn_builder, e15_churn, ring_churn_plan, run_churn_once};
+use p2p_bench::Scale;
+
+fn bench_churn(c: &mut Criterion) {
+    // Report the recovery economics the timing alone cannot show.
+    let (table, summary) = e15_churn(Scale::Quick);
+    println!("\nE15 — churn with durable peers (recovery traffic)\n");
+    println!("{}", table.render());
+    println!(
+        "resync re-shipped {} rows vs {} full re-propagation, {} redrive(s)\n",
+        summary.resync_rows, summary.full_repropagation_rows, summary.redrives,
+    );
+    assert!(summary.ok(), "churn regression: {summary:?}");
+
+    // A fixed plan derived from one probe keeps every iteration identical.
+    let probe = {
+        let mut sys = churn_builder(Scale::Quick, true, true).build().unwrap();
+        sys.run_update().outcome.virtual_time
+    };
+
+    let mut group = c.benchmark_group("e15_churn");
+    group.sample_size(10);
+    group.bench_function("ring8_no_churn_durable", |b| {
+        b.iter(|| {
+            let mut sys = churn_builder(Scale::Quick, true, true).build().unwrap();
+            sys.run_update()
+        })
+    });
+    group.bench_function("ring8_two_crashes_durable", |b| {
+        b.iter(|| run_churn_once(Scale::Quick, ring_churn_plan(probe)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

@@ -84,6 +84,27 @@ fn main() {
         println!("E13 — initiation ablation: flood vs strict-A4 query propagation\n");
         println!("{}", exp::e13_initiation(scale).render());
     }
+    if want("e15") {
+        println!("E15 — durability & churn: crash/restart with WAL + snapshot recovery\n");
+        let (table, summary) = exp::e15_churn(scale);
+        println!("{}", table.render());
+        println!(
+            "ring(8), {} crashes: resync re-shipped {} rows vs {} for a full re-propagation ({:.1}x cheaper), {} redrive(s)",
+            summary.crashes,
+            summary.resync_rows,
+            summary.full_repropagation_rows,
+            summary.full_repropagation_rows as f64 / summary.resync_rows.max(1) as f64,
+            summary.redrives,
+        );
+        println!(
+            "churn smoke: {}\n",
+            if summary.ok() {
+                "OK"
+            } else {
+                "FAILED (unrecovered crash, fix-point mismatch, or resync not cheaper than re-propagation)"
+            }
+        );
+    }
     if want("e14") {
         println!("E14 — delta-driven wave answers vs full re-ship (rounds mode)\n");
         let (table, summary) = exp::e14_delta_waves(scale);

@@ -59,6 +59,18 @@ pub struct SystemConfig {
     /// false, every wave answer re-ships the full current extension — the
     /// paper-faithful, oracle-comparable baseline.
     pub delta_waves: bool,
+    /// Durable peers. When true, every peer owns a `p2p_storage` write-ahead
+    /// log plus snapshot store: applied insertions and processed fragment
+    /// answers are logged as they happen, and a crashed peer rebuilds its
+    /// pre-crash database from storage at restart, then reconciles missed
+    /// traffic through the watermark-based
+    /// [`crate::messages::ProtocolMsg::ResyncRequest`] protocol. When false
+    /// (the default), a crash loses everything the peer ever held — the
+    /// amnesia baseline.
+    pub durability: bool,
+    /// With durability on: WAL records between automatic snapshots
+    /// (bounding recovery replay). 0 keeps only the initial snapshot.
+    pub snapshot_every: u64,
     /// Require the rule set to be weakly acyclic at build time. On by
     /// default; turn off only to study the chase-depth safety valve.
     pub require_weak_acyclicity: bool,
@@ -82,6 +94,8 @@ impl Default for SystemConfig {
             initiation: Initiation::Flood,
             delta_optimization: true,
             delta_waves: true,
+            durability: false,
+            snapshot_every: 64,
             require_weak_acyclicity: true,
             max_null_depth: 64,
             cost_per_tuple: SimTime::from_micros(10),

@@ -36,6 +36,8 @@ pub enum CoreError {
     },
     /// An error bubbled up from the relational engine.
     Relational(p2p_relational::Error),
+    /// The durable store failed (WAL append, snapshot, recovery).
+    Storage(String),
     /// The run hit the simulator's event budget without quiescing.
     Diverged {
         /// Deliveries processed before giving up.
@@ -64,6 +66,7 @@ impl fmt::Display for CoreError {
                 write!(f, "rule set is not weakly acyclic: {witness}")
             }
             CoreError::Relational(e) => write!(f, "relational error: {e}"),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::Diverged { delivered } => write!(
                 f,
                 "network did not quiesce within the event budget ({delivered} deliveries)"

@@ -12,7 +12,7 @@ use p2p_relational::value::NullId;
 use p2p_relational::Tuple;
 use p2p_topology::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Rows shipped in an answer: bindings of a body part's variables.
@@ -25,6 +25,12 @@ pub struct AnswerRows {
     /// Chase depths of labeled nulls occurring in `rows` (receivers feed
     /// these into their own chase state so the depth safety valve is global).
     pub null_depths: Vec<(NullId, u32)>,
+    /// The answerer's per-relation insertion watermarks at evaluation time.
+    /// Durable receivers log these with the answer; after a crash they are
+    /// the resync cursor — the restarted peer asks only for rows derived
+    /// from facts beyond the last watermark it durably processed. Empty on
+    /// payload-free acknowledgements (stale acks, reopen notices).
+    pub marks: BTreeMap<Arc<str>, usize>,
 }
 
 impl AnswerRows {
@@ -33,6 +39,7 @@ impl AnswerRows {
         8 + self.vars.len() * 8
             + self.rows.iter().map(Tuple::wire_size).sum::<usize>()
             + self.null_depths.len() * 12
+            + self.marks.len() * 12
     }
 }
 
@@ -203,6 +210,40 @@ pub enum ProtocolMsg {
         rounds: u32,
     },
 
+    // ---------------- durability & churn ----------------
+    /// A restarted peer asks a rule fragment's body node for everything it
+    /// missed while down: rows of `part` derived from facts the body node
+    /// inserted after `since` — the watermark of the last answer the
+    /// requester **durably** processed (empty = never answered, which
+    /// degenerates to the full extension). This reuses the delta-wave
+    /// watermark machinery, so recovery never re-propagates the world.
+    ResyncRequest {
+        /// The rule whose fragment is being reconciled.
+        rule: RuleId,
+        /// The fragment to evaluate.
+        part: BodyPart,
+        /// The requester's last durable watermark of the answerer's
+        /// database.
+        since: BTreeMap<Arc<str>, usize>,
+    },
+    /// The body node's reply: the delta since the requested watermark (the
+    /// payload's `marks` carry the new watermark, as in every answer).
+    ResyncAnswer {
+        /// The rule being reconciled.
+        rule: RuleId,
+        /// The missed rows.
+        rows: AnswerRows,
+    },
+    /// Driver command: resume a stalled rounds-mode session at `round`
+    /// after churn broke a wave (a crashed peer cannot echo, so the echo
+    /// tree never completes; the driver detects the stall at quiescence and
+    /// re-drives). Delta state — wave subscriptions and caches — survives,
+    /// so the resumed wave ships deltas, not the world.
+    ResumeRounds {
+        /// The round to start (strictly above every peer's current round).
+        round: u32,
+    },
+
     // ---------------- dynamic changes (Section 4) ----------------
     /// `addRule(i, j, rule, id)` notification to the head node.
     AddRule {
@@ -225,7 +266,10 @@ pub enum ProtocolMsg {
 
 impl ProtocolMsg {
     /// True iff the message belongs to the eager update's diffusing
-    /// computation and must be tracked by Dijkstra–Scholten.
+    /// computation and must be tracked by Dijkstra–Scholten. Resync
+    /// traffic is deliberately control-plane: it flows outside any
+    /// session (a restarted peer has no Dijkstra–Scholten state), and the
+    /// driver's post-stall re-drive is what re-certifies closure.
     pub fn is_basic(&self) -> bool {
         matches!(
             self,
@@ -236,6 +280,19 @@ impl ProtocolMsg {
                 | ProtocolMsg::AddRule { .. }
                 | ProtocolMsg::DeleteRule { .. }
         )
+    }
+
+    /// The update-session epoch carried by a basic message, if any
+    /// (dynamic-change notifications are epoch-less). Used to retire stale
+    /// Dijkstra–Scholten state when a newer epoch's first message arrives.
+    pub fn session_epoch(&self) -> Option<u32> {
+        match self {
+            ProtocolMsg::UpdateFlood { epoch }
+            | ProtocolMsg::Query { epoch, .. }
+            | ProtocolMsg::Answer { epoch, .. }
+            | ProtocolMsg::Unsubscribe { epoch, .. } => Some(*epoch),
+            _ => None,
+        }
     }
 }
 
@@ -268,6 +325,11 @@ impl Wire for ProtocolMsg {
             ProtocolMsg::WaveAnswer { rows, .. } | ProtocolMsg::WaveAnswerDelta { rows, .. } => {
                 24 + rows.wire_size()
             }
+            ProtocolMsg::ResyncRequest { part, since, .. } => {
+                24 + part.atoms.len() * 16 + since.len() * 12
+            }
+            ProtocolMsg::ResyncAnswer { rows, .. } => 24 + rows.wire_size(),
+            ProtocolMsg::ResumeRounds { .. } => 16,
             ProtocolMsg::AddRule { rule } => 16 + rule.wire_size(),
             ProtocolMsg::StatsReport { stats } => 16 + stats.wire_size(),
         }
@@ -297,6 +359,9 @@ impl Wire for ProtocolMsg {
             ProtocolMsg::WaveAnswer { .. } => "WaveAnswer",
             ProtocolMsg::WaveAnswerDelta { .. } => "WaveAnswerDelta",
             ProtocolMsg::RoundsClosed { .. } => "RoundsClosed",
+            ProtocolMsg::ResyncRequest { .. } => "ResyncRequest",
+            ProtocolMsg::ResyncAnswer { .. } => "ResyncAnswer",
+            ProtocolMsg::ResumeRounds { .. } => "ResumeRounds",
             ProtocolMsg::AddRule { .. } => "addRule",
             ProtocolMsg::DeleteRule { .. } => "deleteRule",
             ProtocolMsg::StatsReport { .. } => "StatsReport",
@@ -338,6 +403,7 @@ mod tests {
                 vars: vec![Arc::from("X")],
                 rows: (0..10).map(|i| Tuple::new(vec![Value::Int(i)])).collect(),
                 null_depths: vec![],
+                marks: BTreeMap::new(),
             },
             complete: false,
             reopen: false,

@@ -1,0 +1,430 @@
+//! Durable peers: WAL logging, crash wipe, storage recovery and the
+//! watermark-based resync protocol.
+//!
+//! With [`crate::config::SystemConfig::durability`] on, every peer owns a
+//! [`p2p_storage::PeerStorage`] and logs two kinds of events as they
+//! happen, atomically with the handler that caused them:
+//!
+//! * every fact the update algorithm inserts
+//!   ([`p2p_storage::WalRecord::Insert`], written from
+//!   [`DbPeer::apply_rule_bindings`]);
+//! * every fragment answer it processes
+//!   ([`p2p_storage::WalRecord::Answer`]) — the rows (so the head-side
+//!   fragment caches can be rebuilt) and the answerer's database
+//!   watermarks (the **resync cursor**).
+//!
+//! ## Crash and recovery
+//!
+//! A crash ([`DbPeer::crash_volatile_state`]) wipes everything in memory:
+//! database, null mint, chase depths, update/rounds/discovery state,
+//! Dijkstra–Scholten counters, dedup sets. Static configuration — the
+//! coordination rules targeting the node, its pipes, the roster — survives,
+//! just as a real peer would re-read the network rule file at boot
+//! (Section 5). Statistics survive too: they are the experiment's
+//! measurement apparatus, not modelled peer state.
+//!
+//! At restart ([`DbPeer::restart_and_resync`]) the peer replays
+//! `snapshot + WAL` into a database **tuple-identical** to the pre-crash
+//! one (soundness of recovery), then sends one
+//! [`crate::messages::ProtocolMsg::ResyncRequest`] per rule fragment,
+//! carrying the last durably-processed watermark of that fragment's body
+//! node. The body node answers with a delta evaluation from exactly that
+//! watermark — the same machinery as the PR-2 delta waves — so only facts
+//! inserted there *since the crash horizon* are re-shipped, never the full
+//! extension (completeness of recovery, at delta cost). FIFO pipes make
+//! the cursor sound: if the peer durably logged an answer with watermark
+//! `W`, it had processed every earlier answer of that subscription, so
+//! everything it can possibly be missing is derivable from facts past `W`.
+//!
+//! Liveness after a mid-wave crash is the driver's job: a crashed peer
+//! cannot echo, so the wave stalls and the simulator quiesces unclosed;
+//! [`crate::system::P2PSystem::run_update_resilient`] then re-drives the
+//! session (a fresh round for rounds mode, a fresh epoch for eager mode)
+//! until closure is re-certified.
+
+use crate::joins::{join_parts, VarRows};
+use crate::messages::{AnswerRows, ProtocolMsg};
+use crate::peer::DbPeer;
+use crate::rule::{BodyPart, RuleId};
+use p2p_net::Context;
+use p2p_relational::chase::ChaseState;
+use p2p_relational::{Database, NullFactory, Tuple};
+use p2p_storage::{FragmentMark, PeerStorage, StorageResult, WalRecord};
+use p2p_topology::NodeId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-relation insertion watermarks (the resync cursor currency).
+type Marks = BTreeMap<Arc<str>, usize>;
+
+impl DbPeer {
+    /// Attaches a durable store. A fresh store gets the initial snapshot
+    /// (base data, pre-session) so recovery always has a schema-bearing
+    /// starting point; a store that already holds state — e.g. a reopened
+    /// [`p2p_storage::FileBackend`] from a previous process — is adopted
+    /// instead: the disk is the truth, and overwriting its snapshot with
+    /// this peer's base data (while the WAL cursor points past the logged
+    /// frames) would silently amputate every previously logged fact from
+    /// recovery.
+    pub fn attach_storage(&mut self, mut storage: PeerStorage) -> StorageResult<()> {
+        match storage.recover(self.id.0)? {
+            Some(rec) => {
+                self.db = rec.db;
+                self.nulls = NullFactory::resume(self.id.0, rec.nulls_next);
+                for (id, depth) in rec.depths {
+                    self.chase.record(id, depth);
+                }
+                for (&(rule_raw, node), mark) in &rec.marks {
+                    self.rnd
+                        .wave_cache
+                        .entry((RuleId(rule_raw), node))
+                        .or_default()
+                        .merge(&mark.vars, mark.rows.clone());
+                }
+            }
+            None => storage.snapshot(&self.db, self.nulls.minted(), self.chase.export())?,
+        }
+        self.storage = Some(storage);
+        Ok(())
+    }
+
+    /// Whether a durable store is attached.
+    pub fn has_storage(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// Write-ahead-logs freshly applied insertions (no-op without storage).
+    pub(crate) fn log_insertions(&mut self, inserted: &[(Arc<str>, Tuple)]) {
+        if self.storage.is_none() || inserted.is_empty() {
+            return;
+        }
+        let mut snapshot_due = false;
+        let mut errors = Vec::new();
+        if let Some(st) = self.storage.as_mut() {
+            for (relation, tuple) in inserted {
+                let record = WalRecord::Insert {
+                    relation: relation.clone(),
+                    tuple: tuple.clone(),
+                    depths: self.chase.depths_for(tuple),
+                };
+                match st.log(&record) {
+                    Ok(due) => snapshot_due |= due,
+                    Err(e) => errors.push(format!("WAL append failed: {e}")),
+                }
+            }
+        }
+        if snapshot_due {
+            self.take_snapshot();
+        }
+        for e in errors {
+            self.fail(e);
+        }
+    }
+
+    /// Write-ahead-logs one processed fragment answer: the rows (cache
+    /// rebuild) and the answerer's watermarks (resync cursor). Payload-free
+    /// acknowledgements (empty `marks`) carry no durable information.
+    pub(crate) fn log_answer_mark(&mut self, rule: RuleId, from: NodeId, rows: &AnswerRows) {
+        if self.storage.is_none() || rows.marks.is_empty() {
+            return;
+        }
+        let record = WalRecord::Answer {
+            rule: rule.0,
+            node: from,
+            vars: rows.vars.clone(),
+            rows: rows.rows.clone(),
+            watermarks: rows.marks.clone(),
+        };
+        let mut snapshot_due = false;
+        let mut error = None;
+        if let Some(st) = self.storage.as_mut() {
+            match st.log(&record) {
+                Ok(due) => snapshot_due = due,
+                Err(e) => error = Some(format!("WAL append failed: {e}")),
+            }
+        }
+        if snapshot_due {
+            self.take_snapshot();
+        }
+        if let Some(e) = error {
+            self.fail(e);
+        }
+    }
+
+    /// Writes a snapshot of the current database and chase bookkeeping.
+    fn take_snapshot(&mut self) {
+        let nulls_next = self.nulls.minted();
+        let depths = self.chase.export();
+        let mut error = None;
+        if let Some(st) = self.storage.as_mut() {
+            if let Err(e) = st.snapshot(&self.db, nulls_next, depths) {
+                error = Some(format!("snapshot failed: {e}"));
+            }
+        }
+        if let Some(e) = error {
+            self.fail(e);
+        }
+    }
+
+    /// Churn: the process dies. Everything in memory goes; storage (and
+    /// static configuration — rules, pipes, roster) survives.
+    pub(crate) fn crash_volatile_state(&mut self) {
+        self.stats.crashes += 1;
+        self.db = Database::new(self.db.schema().clone());
+        self.nulls = NullFactory::new(self.id.0);
+        self.chase = ChaseState::new();
+        self.upd = Default::default();
+        self.rnd = Default::default();
+        self.disc = Default::default();
+        self.ds.reset();
+        self.seen_msgs.clear();
+        self.pending_resync.clear();
+    }
+
+    /// Churn: the process comes back. Rebuilds the database from storage,
+    /// resumes the null mint past every pre-crash id, primes the head-side
+    /// fragment caches from the durable answer log, and asks every rule
+    /// fragment's body node for the delta since the last durably-processed
+    /// watermark.
+    pub(crate) fn restart_and_resync(&mut self, ctx: &mut Context<ProtocolMsg>) {
+        let Some(st) = self.storage.as_ref() else {
+            // Amnesia baseline: without storage there is no durable state to
+            // recover and no watermark to resync from — the peer genuinely
+            // lost everything and rejoins empty at the next session.
+            return;
+        };
+        let mut marks: BTreeMap<(u32, NodeId), FragmentMark> = BTreeMap::new();
+        let mut outcome: Result<bool, String> = Ok(false);
+        match st.recover(self.id.0) {
+            Ok(Some(rec)) => {
+                self.db = rec.db;
+                self.nulls = NullFactory::resume(self.id.0, rec.nulls_next);
+                for (id, depth) in rec.depths {
+                    self.chase.record(id, depth);
+                }
+                marks = rec.marks;
+                outcome = Ok(true);
+            }
+            Ok(None) => {}
+            Err(e) => outcome = Err(format!("recovery failed: {e}")),
+        }
+        match outcome {
+            Ok(true) => self.stats.recoveries += 1,
+            Ok(false) => {}
+            Err(e) => self.fail(e),
+        }
+
+        // Head-side fragment caches must be whole before any delta answer
+        // arrives: a delta joins against the *full* cached extensions, so a
+        // hole in the cache would silently lose bindings.
+        for (&(rule_raw, node), mark) in &marks {
+            self.rnd
+                .wave_cache
+                .entry((RuleId(rule_raw), node))
+                .or_default()
+                .merge(&mark.vars, mark.rows.clone());
+        }
+
+        // Watermark-based resync (control plane, outside any session). Each
+        // request is tracked in `pending_resync` until its answer arrives:
+        // the peer refuses to close while any is outstanding and re-sends
+        // on every session (re-)entry, so a dropped resync message stalls
+        // the session (which the driver re-drives) instead of silently
+        // losing the missed rows forever.
+        let rules: Vec<_> = self.rules.values().cloned().collect();
+        for rule in &rules {
+            for part in &rule.parts {
+                let since = marks
+                    .get(&(rule.id.0, part.node))
+                    .map(|m| m.watermarks.clone())
+                    .unwrap_or_default();
+                self.pending_resync
+                    .insert((rule.id, part.node), since.clone());
+                ctx.send(
+                    part.node,
+                    ProtocolMsg::ResyncRequest {
+                        rule: rule.id,
+                        part: part.clone(),
+                        since,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Re-sends every outstanding resync request (at-least-once delivery;
+    /// both ends are idempotent — the answerer just delta-evaluates again,
+    /// the requester's cache merge deduplicates). Called when the peer
+    /// (re-)enters an update session, which is exactly when the driver's
+    /// re-drive gives lost resync traffic another chance.
+    pub(crate) fn resend_pending_resyncs(&mut self, ctx: &mut Context<ProtocolMsg>) {
+        if self.pending_resync.is_empty() {
+            return;
+        }
+        let pending: Vec<((RuleId, NodeId), Marks)> = self
+            .pending_resync
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        for ((rule, node), since) in pending {
+            let part = self
+                .rules
+                .get(&rule)
+                .and_then(|r| r.parts.iter().find(|p| p.node == node).cloned());
+            match part {
+                Some(part) => ctx.send(node, ProtocolMsg::ResyncRequest { rule, part, since }),
+                // The rule (or this fragment) is gone — nothing left to
+                // reconcile.
+                None => {
+                    self.pending_resync.remove(&(rule, node));
+                }
+            }
+        }
+    }
+
+    /// Body-node side of resync: evaluate the fragment's delta past the
+    /// requester's durable watermark and ship it. An empty `since` (the
+    /// requester never durably processed an answer) degenerates to the full
+    /// extension — of this one fragment, never of the network.
+    pub(crate) fn on_resync_request(
+        &mut self,
+        from: NodeId,
+        rule: RuleId,
+        part: BodyPart,
+        since: BTreeMap<Arc<str>, usize>,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        self.add_pipe(from);
+        let rows = self.eval_part_delta_local(&part, &since, ctx);
+        let payload = self.make_answer_rows(&part.vars, rows);
+        ctx.send(
+            from,
+            ProtocolMsg::ResyncAnswer {
+                rule,
+                rows: payload,
+            },
+        );
+    }
+
+    /// Requester side of resync: log the answer durably, merge it into the
+    /// fragment cache, and re-derive the rule once every fragment is
+    /// cached. Insertions go through the standard chase (and hence the
+    /// WAL), so a crash *during* recovery is itself recoverable.
+    pub(crate) fn on_resync_answer(&mut self, from: NodeId, rule: RuleId, rows: AnswerRows) {
+        self.pending_resync.remove(&(rule, from));
+        self.stats.resync_rows += rows.rows.len() as u64;
+        self.absorb_null_depths(&rows);
+        self.log_answer_mark(rule, from, &rows);
+        self.rnd
+            .wave_cache
+            .entry((rule, from))
+            .or_default()
+            .merge(&rows.vars, rows.rows);
+        let Some(rule_obj) = self.rules.get(&rule).cloned() else {
+            return;
+        };
+        if !rule_obj
+            .parts
+            .iter()
+            .all(|p| self.rnd.wave_cache.contains_key(&(rule, p.node)))
+        {
+            return; // other fragments' resync answers still in flight
+        }
+        let staged: Vec<VarRows> = rule_obj
+            .parts
+            .iter()
+            .map(|p| {
+                let c = &self.rnd.wave_cache[&(rule, p.node)];
+                VarRows {
+                    vars: c.vars.clone(),
+                    rows: c.rows.clone(),
+                }
+            })
+            .collect();
+        let bindings = join_parts(&staged, &rule_obj.join_constraints);
+        if self.apply_rule_bindings(&rule_obj, &bindings) > 0 {
+            self.rnd.dirty_self = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use p2p_relational::{Database, DatabaseSchema, Value};
+    use p2p_storage::FileBackend;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "p2p_core_durability_{}_{}_{}",
+            tag,
+            std::process::id(),
+            n
+        ))
+    }
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::parse("a(x: int).").unwrap()
+    }
+
+    fn durable_config() -> SystemConfig {
+        SystemConfig {
+            durability: true,
+            ..Default::default()
+        }
+    }
+
+    /// Attaching a store that already holds state (a reopened file backend
+    /// from a previous process) must adopt that state, not clobber its
+    /// snapshot with the fresh peer's base data — which, combined with the
+    /// pre-existing WAL cursor, would amputate every logged fact from
+    /// recovery.
+    #[test]
+    fn attach_adopts_reopened_file_store_instead_of_clobbering() {
+        let dir = temp_dir("reopen");
+        // "First process": fresh store, one logged fact.
+        {
+            let mut peer = DbPeer::new(NodeId(1), Database::new(schema()), durable_config());
+            let st = PeerStorage::new(Box::new(FileBackend::open(&dir).unwrap()), 0);
+            peer.attach_storage(st).unwrap();
+            peer.db.insert_values("a", vec![Value::Int(7)]).unwrap();
+            peer.log_insertions(&[(Arc::from("a"), Tuple::new(vec![Value::Int(7)]))]);
+        }
+        // "Second process": reopen the same store with a base-only peer.
+        let mut peer = DbPeer::new(NodeId(1), Database::new(schema()), durable_config());
+        let st = PeerStorage::new(Box::new(FileBackend::open(&dir).unwrap()), 0);
+        peer.attach_storage(st).unwrap();
+        assert_eq!(
+            peer.database().total_tuples(),
+            1,
+            "the logged fact must survive the reopen"
+        );
+        // And a crash/restart cycle still recovers it.
+        peer.crash_volatile_state();
+        assert!(peer.database().is_empty(), "crash wipes memory");
+        let mut ctx = Context::new(p2p_net::SimTime::ZERO, NodeId(1));
+        peer.restart_and_resync(&mut ctx);
+        assert_eq!(peer.database().total_tuples(), 1);
+        assert_eq!(peer.stats.recoveries, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Without storage a restart is pure amnesia: nothing recovered, no
+    /// resync traffic, no recovery counted.
+    #[test]
+    fn restart_without_storage_is_amnesia() {
+        let mut peer = DbPeer::new(NodeId(2), Database::new(schema()), SystemConfig::default());
+        peer.db.insert_values("a", vec![Value::Int(1)]).unwrap();
+        peer.crash_volatile_state();
+        let mut ctx = Context::new(p2p_net::SimTime::ZERO, NodeId(2));
+        peer.restart_and_resync(&mut ctx);
+        assert!(peer.database().is_empty());
+        assert!(ctx.take_outgoing().is_empty(), "no resync without storage");
+        assert_eq!(peer.stats.crashes, 1);
+        assert_eq!(peer.stats.recoveries, 0);
+    }
+}

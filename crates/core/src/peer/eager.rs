@@ -132,6 +132,9 @@ impl DbPeer {
             }
         }
         self.issue_queries(&rules, ctx, sn_base);
+        // Crash recovery: give any still-unanswered resync request another
+        // chance with the new epoch (at-least-once; see `durability`).
+        self.resend_pending_resyncs(ctx);
         true
     }
 
@@ -250,6 +253,9 @@ impl DbPeer {
             return;
         }
         self.absorb_null_depths(&rows);
+        // Durable peers log the processed answer (rows + the answerer's
+        // watermarks — the crash-resync cursor).
+        self.log_answer_mark(rule, from, &rows);
         let Some(part) = self.upd.parts.get_mut(&(rule, from)) else {
             // The rule was deleted while the answer was in flight.
             return;
@@ -371,7 +377,11 @@ impl DbPeer {
     /// Lemma 1's `Rules` criterion: every fragment of every rule reported
     /// final data.
     pub(crate) fn maybe_close_by_rules(&mut self, ctx: &mut Context<ProtocolMsg>) {
-        if self.upd.closed || !self.upd.active || self.upd.suppress_flag_closure {
+        if self.upd.closed
+            || !self.upd.active
+            || self.upd.suppress_flag_closure
+            || !self.pending_resync.is_empty()
+        {
             return;
         }
         let all_complete = self
@@ -464,7 +474,11 @@ impl DbPeer {
             return;
         }
         self.upd.fixpoint_gen = generation;
-        if !self.upd.closed {
+        if !self.upd.closed && self.pending_resync.is_empty() {
+            // A peer still reconciling a crash stays open — the driver sees
+            // it and re-drives, which re-sends the resync. Closing here
+            // would certify a fix-point with a silent hole if the resync
+            // answer was lost.
             self.upd.closed = true;
             self.stats.closed_by = ClosedBy::RootBroadcast;
         }
@@ -531,6 +545,8 @@ impl DbPeer {
         let Some(rule) = self.rules.remove(&rule_id) else {
             return;
         };
+        // A pending resync for a deleted rule has nothing left to repair.
+        self.pending_resync.retain(|(r, _), _| *r != rule_id);
         if self.upd.active {
             self.upd.suppress_flag_closure = true;
             let epoch = self.upd.epoch;

@@ -10,12 +10,15 @@
 //! * the synchronous rounds update (the paper's "synchronous alternative")
 //!   — [`rounds`];
 //! * super-peer duties (driving, dynamic changes, statistics collection,
-//!   rule-file broadcast — Section 5) — [`superpeer`].
+//!   rule-file broadcast — Section 5) — [`superpeer`];
+//! * durable peers: WAL logging, crash recovery from storage, and the
+//!   watermark-based resync protocol — [`durability`].
 //!
 //! Handlers are atomic; all cross-node effects go through the runtime
 //! context, and every observable iteration order is deterministic.
 
 pub mod discovery;
+pub mod durability;
 pub mod eager;
 pub mod rounds;
 pub mod superpeer;
@@ -84,6 +87,15 @@ pub struct DbPeer {
     /// Dijkstra–Scholten accounting sound under duplication (TCP/JXTA pipes
     /// provide the same guarantee).
     pub(crate) seen_msgs: HashSet<(NodeId, u64)>,
+    /// Durable store (WAL + snapshots) when `SystemConfig::durability` is
+    /// on; `None` = the amnesia baseline, where a crash loses everything.
+    pub(crate) storage: Option<p2p_storage::PeerStorage>,
+    /// Resync requests sent after a restart whose answers have not arrived
+    /// yet, with the watermark each was asked from. While non-empty the
+    /// peer refuses to close (a lost resync message must stall the
+    /// session, never silently lose data) and re-sends on every session
+    /// (re-)entry — at-least-once delivery, idempotent at both ends.
+    pub(crate) pending_resync: BTreeMap<(RuleId, NodeId), BTreeMap<Arc<str>, usize>>,
 }
 
 impl DbPeer {
@@ -110,6 +122,8 @@ impl DbPeer {
             sup: SuperState::default(),
             errors: Vec::new(),
             seen_msgs: HashSet::new(),
+            storage: None,
+            pending_resync: BTreeMap::new(),
         }
     }
 
@@ -322,6 +336,7 @@ impl DbPeer {
             Ok(outcome) => {
                 self.stats.tuples_inserted += outcome.inserted.len() as u64;
                 self.stats.nulls_minted += outcome.nulls_minted as u64;
+                self.log_insertions(&outcome.inserted);
                 outcome.inserted.len()
             }
             Err(e) => {
@@ -351,6 +366,17 @@ impl DbPeer {
             vars: vars.to_vec(),
             rows,
             null_depths,
+            // With durability on, the answerer's current watermarks ride
+            // along so durable receivers can log a resync cursor (see
+            // `peer::durability`). Without it nobody would log them, so the
+            // map (and its wire bytes) stays empty — keeping the default
+            // configuration's byte accounting identical to the delta-wave
+            // baselines.
+            marks: if self.config.durability {
+                self.db.watermarks()
+            } else {
+                BTreeMap::new()
+            },
         }
     }
 
@@ -421,6 +447,17 @@ impl Peer<ProtocolMsg> for DbPeer {
             }
         }
         let ack = if self.config.mode == UpdateMode::Eager && msg.is_basic() {
+            // First contact with a newer epoch retires leftover
+            // Dijkstra–Scholten state: a churn-stranded epoch can leave a
+            // permanent deficit (acks addressed to a crashed peer were
+            // dropped), which would wedge termination detection of every
+            // later epoch. Re-drives start from quiescence, so nothing of
+            // the old epoch is in flight and the reset is safe.
+            if let Some(epoch) = msg.session_epoch() {
+                if self.upd.active && epoch > self.upd.epoch {
+                    self.ds.reset();
+                }
+            }
             Some(self.ds.on_receive(from))
         } else {
             None
@@ -483,11 +520,26 @@ impl Peer<ProtocolMsg> for DbPeer {
                 self.on_wave_answer(from, round, rule, rows, true, ctx)
             }
             ProtocolMsg::RoundsClosed { rounds } => self.on_rounds_closed(rounds),
+            ProtocolMsg::ResumeRounds { round } => self.on_resume_rounds(round, ctx),
+
+            // Durability & churn.
+            ProtocolMsg::ResyncRequest { rule, part, since } => {
+                self.on_resync_request(from, rule, part, since, ctx)
+            }
+            ProtocolMsg::ResyncAnswer { rule, rows } => self.on_resync_answer(from, rule, rows),
         }
 
         if ack == Some(AckDecision::Immediate) {
             ctx.send(from, ProtocolMsg::Ack);
         }
         self.after_event(ctx);
+    }
+
+    fn on_crash(&mut self) {
+        self.crash_volatile_state();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<ProtocolMsg>) {
+        self.restart_and_resync(ctx);
     }
 }

@@ -89,6 +89,27 @@ pub struct PartCache {
     pub set: HashSet<Tuple>,
 }
 
+impl PartCache {
+    /// Merges shipped rows into the cache, returning only the genuinely
+    /// new ones (in arrival order). Sets the column variables on first
+    /// contact. Keeps `rows` and `set` in lockstep — the invariant the
+    /// semi-naive join's determinism rests on — so every merge site
+    /// (wave answers, resync answers, recovery priming) goes through here.
+    pub fn merge(&mut self, vars: &[Arc<str>], rows: Vec<Tuple>) -> Vec<Tuple> {
+        if self.vars.is_empty() {
+            self.vars = vars.to_vec();
+        }
+        let mut fresh = Vec::new();
+        for t in rows {
+            if self.set.insert(t.clone()) {
+                self.rows.push(t.clone());
+                fresh.push(t);
+            }
+        }
+        fresh
+    }
+}
+
 /// Rounds-mode state of one peer.
 #[derive(Debug, Clone, Default)]
 pub struct RoundsState {
@@ -144,7 +165,7 @@ impl DbPeer {
         self.start_round(1, ctx);
     }
 
-    fn start_round(&mut self, round: u32, ctx: &mut Context<ProtocolMsg>) {
+    pub(crate) fn start_round(&mut self, round: u32, ctx: &mut Context<ProtocolMsg>) {
         self.enter_round(round, ctx);
         self.rnd.flood_seen = true;
         self.rnd.flood_parent = None;
@@ -198,6 +219,9 @@ impl DbPeer {
             }
         }
         self.rnd.pending_answers = expected;
+        // Crash recovery: give any still-unanswered resync request another
+        // chance with the new round (at-least-once; see `durability`).
+        self.resend_pending_resyncs(ctx);
     }
 
     /// Flood handler.
@@ -266,6 +290,9 @@ impl DbPeer {
                 vars: part.vars.clone(),
                 rows: Vec::new(),
                 null_depths: Vec::new(),
+                // No watermarks: a stale ack is not a processed answer and
+                // must not advance anyone's resync cursor.
+                marks: BTreeMap::new(),
             };
             ctx.send(
                 from,
@@ -361,21 +388,15 @@ impl DbPeer {
             return; // Stale answer for a finished round.
         }
         self.absorb_null_depths(&rows);
+        // Durable peers log the processed answer (rows + the answerer's
+        // watermarks — the crash-resync cursor).
+        self.log_answer_mark(rule, from, &rows);
         // A delta answer always goes through the cache, even if this peer's
         // own toggle is off (the sender's config decides the payload shape).
         let use_cache = self.config.delta_waves || is_delta;
         if use_cache {
             let cache = self.rnd.wave_cache.entry((rule, from)).or_default();
-            if cache.vars.is_empty() {
-                cache.vars = rows.vars.clone();
-            }
-            let mut fresh = Vec::new();
-            for t in rows.rows {
-                if cache.set.insert(t.clone()) {
-                    cache.rows.push(t.clone());
-                    fresh.push(t);
-                }
-            }
+            let fresh = cache.merge(&rows.vars, rows.rows);
             self.rnd.wave_parts.insert((rule, from), (rows.vars, fresh));
         } else {
             self.rnd
@@ -475,7 +496,12 @@ impl DbPeer {
             return;
         }
         self.rnd.echoed = true;
-        let dirty = self.rnd.dirty_self || self.rnd.child_dirty;
+        // An outstanding resync marks the subtree dirty: the network must
+        // not certify a fix-point while a recovered peer is still waiting
+        // for missed rows (a lost resync answer would otherwise close the
+        // session with a silent hole). The forced next round re-sends the
+        // request.
+        let dirty = self.rnd.dirty_self || self.rnd.child_dirty || !self.pending_resync.is_empty();
         match self.rnd.flood_parent {
             Some(parent) => {
                 ctx.send(
@@ -510,6 +536,11 @@ impl DbPeer {
     pub(crate) fn on_rounds_closed(&mut self, rounds: u32) {
         if !self.rnd.active && !self.rules.is_empty() {
             // Disconnected component with rules: genuinely not updated.
+            return;
+        }
+        if !self.pending_resync.is_empty() {
+            // Still reconciling a crash: refuse to close (the driver sees
+            // the open peer and re-drives, which re-sends the resync).
             return;
         }
         self.rnd.closed = true;

@@ -107,6 +107,23 @@ impl DbPeer {
         }
     }
 
+    /// Driver command: resume a stalled rounds-mode session (churn broke a
+    /// wave — a crashed peer cannot echo, so the round never completed).
+    /// Starting a fresh round strictly above every peer's current one
+    /// restarts the wave machinery while keeping all delta state (wave
+    /// subscriptions, fragment caches), so the resumed session ships
+    /// deltas, not the world, and its clean round re-certifies the
+    /// fix-point.
+    pub(crate) fn on_resume_rounds(&mut self, round: u32, ctx: &mut Context<ProtocolMsg>) {
+        if self.config.mode != UpdateMode::Rounds {
+            self.fail("ResumeRounds requires the rounds update mode");
+            return;
+        }
+        self.rnd.active = true;
+        self.rnd.closed = false;
+        self.start_round(round, ctx);
+    }
+
     /// Driver command: gather statistics from every peer.
     pub(crate) fn on_collect_stats(&mut self, from: NodeId, ctx: &mut Context<ProtocolMsg>) {
         if self.is_super {

@@ -66,6 +66,14 @@ pub struct PeerStats {
     pub discovery_answers: u64,
     /// Times this node re-opened after having closed (dynamic changes).
     pub reopened: u64,
+    /// Process crashes suffered (churn plan).
+    pub crashes: u64,
+    /// Successful recoveries from storage after a crash.
+    pub recoveries: u64,
+    /// Rows received through crash-recovery resync answers — the traffic it
+    /// took to repair the crash, to be compared against what a full
+    /// re-propagation would have shipped.
+    pub resync_rows: u64,
     /// How the node last closed.
     pub closed_by: ClosedBy,
     /// Synchronous rounds participated in (rounds mode).
@@ -79,9 +87,15 @@ impl PeerStats {
         *self = PeerStats::default();
     }
 
-    /// Wire size of a stats report message.
+    /// Number of serialized fields, kept in lockstep with the struct by the
+    /// `wire_size_tracks_serialized_fields` test — add a counter without
+    /// bumping this and the test fails, so new fields can't silently skew
+    /// the byte accounting.
+    const SERIALIZED_FIELDS: usize = 20;
+
+    /// Wire size of a stats report message: one 8-byte word per field.
     pub fn wire_size(&self) -> usize {
-        17 * 8
+        Self::SERIALIZED_FIELDS * 8
     }
 
     /// Merges another peer's counters (super-peer aggregation).
@@ -101,6 +115,9 @@ impl PeerStats {
         self.discovery_requests += other.discovery_requests;
         self.discovery_answers += other.discovery_answers;
         self.reopened += other.reopened;
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.resync_rows += other.resync_rows;
         self.rounds = self.rounds.max(other.rounds);
     }
 }
@@ -109,7 +126,7 @@ impl fmt::Display for PeerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "q_in={} (dup={}) q_out={} a_out={} (delta={} stale={}) a_in={} rows={} saved={} evals={} ins={} nulls={} closed_by={:?}",
+            "q_in={} (dup={}) q_out={} a_out={} (delta={} stale={}) a_in={} rows={} saved={} evals={} ins={} nulls={} crashes={} recoveries={} resync_rows={} closed_by={:?}",
             self.queries_received,
             self.duplicate_queries,
             self.queries_sent,
@@ -122,6 +139,9 @@ impl fmt::Display for PeerStats {
             self.local_evaluations,
             self.tuples_inserted,
             self.nulls_minted,
+            self.crashes,
+            self.recoveries,
+            self.resync_rows,
             self.closed_by,
         )
     }
@@ -139,6 +159,23 @@ mod tests {
         };
         s.reset();
         assert_eq!(s, PeerStats::default());
+    }
+
+    #[test]
+    fn wire_size_tracks_serialized_fields() {
+        // Derive the expected size from the serialized form instead of
+        // hand-counting struct fields: every field of the flat JSON object
+        // contributes one `":` marker (field values — numbers and the
+        // `closed_by` variant name — never contain that sequence).
+        let json = serde_json::to_string(&PeerStats::default()).unwrap();
+        let fields = json.matches("\":").count();
+        assert!(fields > 0, "serialization must be a flat object: {json}");
+        assert_eq!(
+            PeerStats::default().wire_size(),
+            fields * 8,
+            "PeerStats::SERIALIZED_FIELDS is out of sync with the struct \
+             (serialized form: {json})"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! bag of peers for the threaded runtime via
 //! [`P2PSystemBuilder::build_peers`] / [`run_update_threaded`].
 
-use crate::config::SystemConfig;
+use crate::config::{SystemConfig, UpdateMode};
 use crate::dynamic::{ChangeOp, ChangeScript};
 use crate::error::{CoreError, CoreResult};
 use crate::messages::ProtocolMsg;
@@ -15,11 +15,12 @@ use crate::peer::DbPeer;
 use crate::rule::{CoordinationRule, RuleId, RuleSet};
 use crate::stats::PeerStats;
 use p2p_net::{
-    BandwidthLatency, ConstantLatency, FaultPlan, LatencyModel, NetStats, RunOutcome, SimTime,
-    Simulator, ThreadedNetwork, UniformLatency,
+    BandwidthLatency, ChurnPlan, ConstantLatency, FaultPlan, LatencyModel, NetStats, RunOutcome,
+    SimTime, Simulator, ThreadedNetwork, UniformLatency,
 };
 use p2p_relational::query::{evaluate_certain, parse_query};
 use p2p_relational::{Database, DatabaseSchema, Tuple, Value};
+use p2p_storage::{MemoryBackend, PeerStorage};
 use p2p_topology::{scc, NodeId};
 use std::collections::BTreeMap;
 
@@ -80,6 +81,7 @@ pub struct P2PSystemBuilder {
     config: SystemConfig,
     latency: LatencySpec,
     fault: Option<FaultPlan>,
+    churn: Option<ChurnPlan>,
     super_peer: NodeId,
 }
 
@@ -155,6 +157,16 @@ impl P2PSystemBuilder {
         self.fault = Some(fault);
     }
 
+    /// Installs a churn plan (scheduled peer crash/restart events, offsets
+    /// relative to the start of the first update session). Usually paired
+    /// with `config_mut().durability = true` — without durability a crash
+    /// loses the peer's data for good — and driven to closure with
+    /// [`P2PSystem::run_update_resilient`]. Simulator-only: the threaded
+    /// runtime does not execute churn plans.
+    pub fn set_churn(&mut self, churn: ChurnPlan) {
+        self.churn = Some(churn);
+    }
+
     /// Chooses the super-peer (default: node 0).
     pub fn set_super_peer(&mut self, id: u32) {
         self.super_peer = NodeId(id);
@@ -194,6 +206,12 @@ impl P2PSystemBuilder {
             if node == self.super_peer {
                 peer.make_super(all_nodes.clone());
             }
+            if self.config.durability {
+                let storage =
+                    PeerStorage::new(Box::<MemoryBackend>::default(), self.config.snapshot_every);
+                peer.attach_storage(storage)
+                    .map_err(|e| CoreError::Storage(e.to_string()))?;
+            }
             peers.push((node, peer));
         }
         Ok(peers)
@@ -221,6 +239,7 @@ impl P2PSystemBuilder {
             initial: self.data,
             config: self.config,
             dynamic_rule_counter: 0,
+            churn: self.churn.take(),
         })
     }
 }
@@ -238,6 +257,9 @@ pub struct UpdateReport {
     pub all_closed: bool,
     /// Rounds executed (rounds mode; 0 in eager mode).
     pub rounds: u32,
+    /// Times the driver re-drove a stalled session
+    /// ([`P2PSystem::run_update_resilient`]; 0 on ordinary runs).
+    pub redrives: u32,
     /// Errors recorded at peers during the run.
     pub errors: Vec<(NodeId, String)>,
 }
@@ -262,6 +284,9 @@ pub struct P2PSystem {
     initial: BTreeMap<NodeId, Database>,
     config: SystemConfig,
     dynamic_rule_counter: u32,
+    /// Churn plan not yet scheduled onto the simulator (taken by the first
+    /// update session, so offsets are relative to that session's start).
+    churn: Option<ChurnPlan>,
 }
 
 impl P2PSystem {
@@ -361,6 +386,9 @@ impl P2PSystem {
         self.epoch += 1;
         let before_msgs = self.sim.stats().total_messages;
         let before_bytes = self.sim.stats().total_bytes;
+        if let Some(plan) = self.churn.take() {
+            self.sim.schedule_churn(&plan, self.sim.now());
+        }
         self.sim.inject(
             self.super_peer,
             self.super_peer,
@@ -377,6 +405,56 @@ impl P2PSystem {
         }
         let outcome = self.sim.run();
         self.report(outcome, before_msgs, before_bytes)
+    }
+
+    /// Runs a global update session **to closure under churn**: after the
+    /// initial run, as long as some peer is still open (a crash broke a
+    /// wave or stranded an epoch) and re-drive budget remains, the driver
+    /// re-drives the session — a fresh round strictly above every peer's
+    /// current one in rounds mode (delta state survives, so the resumed
+    /// wave ships deltas), a fresh epoch in eager mode — and runs to
+    /// quiescence again. Crashed-and-recovered peers rejoin through the
+    /// ordinary protocol; the final clean run re-certifies the fix-point.
+    ///
+    /// The report aggregates messages/bytes across all drives and carries
+    /// the number of re-drives. With no churn and no faults the first run
+    /// closes and this is exactly [`P2PSystem::run_update`].
+    pub fn run_update_resilient(&mut self, max_redrives: u32) -> UpdateReport {
+        let before_msgs = self.sim.stats().total_messages;
+        let before_bytes = self.sim.stats().total_bytes;
+        let mut report = self.run_update();
+        let mut redrives = 0;
+        while !report.all_closed && redrives < max_redrives {
+            redrives += 1;
+            match self.config.mode {
+                UpdateMode::Rounds => {
+                    let next = self
+                        .sim
+                        .peers()
+                        .map(|(_, p)| p.rnd.round)
+                        .max()
+                        .unwrap_or(0)
+                        + 1;
+                    self.sim.inject(
+                        self.super_peer,
+                        self.super_peer,
+                        ProtocolMsg::ResumeRounds { round: next },
+                    );
+                }
+                UpdateMode::Eager => {
+                    self.epoch += 1;
+                    self.sim.inject(
+                        self.super_peer,
+                        self.super_peer,
+                        ProtocolMsg::StartUpdate { epoch: self.epoch },
+                    );
+                }
+            }
+            let outcome = self.sim.run();
+            report = self.report(outcome, before_msgs, before_bytes);
+        }
+        report.redrives = redrives;
+        report
     }
 
     fn report(&self, outcome: RunOutcome, before_msgs: u64, before_bytes: u64) -> UpdateReport {
@@ -398,6 +476,7 @@ impl P2PSystem {
             bytes: self.sim.stats().total_bytes - before_bytes,
             all_closed,
             rounds,
+            redrives: 0,
             errors,
         }
     }

@@ -8,9 +8,11 @@
 //!
 //! * [`sim::Simulator`] — a **deterministic discrete-event simulator**:
 //!   seeded latency models, per-event ordering by `(time, sequence)`,
-//!   fault injection (drops, duplication, link outages), byte accounting and
-//!   quiescence detection. Virtual time makes the paper's "execution time"
-//!   metric reproducible, which the original testbed could not be.
+//!   fault injection (drops, duplication, link outages), scheduled peer
+//!   churn (crash/restart with [`Peer::on_crash`]/[`Peer::on_restart`]
+//!   hooks), byte accounting and quiescence detection. Virtual time makes
+//!   the paper's "execution time" metric reproducible, which the original
+//!   testbed could not be.
 //! * [`threaded::ThreadedNetwork`] — a real multi-threaded runtime over
 //!   crossbeam channels, one thread per peer, with quiescence detected by an
 //!   outstanding-message counter. It runs the *same* [`Peer`] code, giving
@@ -24,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod fault;
 pub mod latency;
 pub mod message;
@@ -32,6 +35,7 @@ pub mod stats;
 pub mod threaded;
 pub mod trace;
 
+pub use churn::{ChurnPlan, CrashEvent};
 pub use fault::FaultPlan;
 pub use latency::{
     BandwidthLatency, ConstantLatency, LatencyModel, PerEdgeLatency, UniformLatency,

@@ -29,6 +29,18 @@ pub trait Peer<M>: Send {
         let _ = msg_id;
         self.on_message(from, msg, ctx);
     }
+
+    /// Churn hook: the peer's process dies. All in-memory state should be
+    /// wiped here; only what the peer persisted elsewhere may survive. No
+    /// context — a dying process sends nothing.
+    fn on_crash(&mut self) {}
+
+    /// Churn hook: the peer's process comes back after a crash. This is
+    /// where a durable peer recovers from storage and sends whatever
+    /// resynchronisation traffic its protocol defines.
+    fn on_restart(&mut self, ctx: &mut Context<M>) {
+        let _ = ctx;
+    }
 }
 
 /// An outgoing message queued by a handler.
@@ -118,10 +130,20 @@ pub struct RunOutcome {
     pub quiescent: bool,
 }
 
+/// What a queued event does when it fires.
+enum Action<M> {
+    /// Deliver a message.
+    Deliver(Envelope<M>),
+    /// Crash a peer (churn plan).
+    Crash(NodeId),
+    /// Restart a crashed peer (churn plan).
+    Restart(NodeId),
+}
+
 struct Event<M> {
     at: SimTime,
     seq: u64,
-    env: Envelope<M>,
+    action: Action<M>,
 }
 
 impl<M> PartialEq for Event<M> {
@@ -155,6 +177,8 @@ pub struct Simulator<M: Wire, P: Peer<M>> {
     max_events: u64,
     fifo_pipes: bool,
     fifo_floor: BTreeMap<(NodeId, NodeId), SimTime>,
+    /// Peers currently crashed: deliveries to them are dropped.
+    down: std::collections::BTreeSet<NodeId>,
 }
 
 impl<M: Wire, P: Peer<M>> Simulator<M, P> {
@@ -174,6 +198,7 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
             max_events: 10_000_000,
             fifo_pipes: true,
             fifo_floor: BTreeMap::new(),
+            down: std::collections::BTreeSet::new(),
         }
     }
 
@@ -188,6 +213,28 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
     /// Installs a fault plan.
     pub fn set_fault_plan(&mut self, fault: FaultPlan) {
         self.fault = fault;
+    }
+
+    /// Schedules a churn plan: each crash/restart pair becomes a pair of
+    /// control events at `base + offset`. While a peer is down, deliveries
+    /// to it are dropped; at the restart event its
+    /// [`Peer::on_restart`] hook runs (with a context, so it can send).
+    pub fn schedule_churn(&mut self, plan: &crate::churn::ChurnPlan, base: SimTime) {
+        for ev in plan.events() {
+            for (at, action) in [
+                (base + ev.crash_at, Action::Crash(ev.node)),
+                (base + ev.restart_at, Action::Restart(ev.node)),
+            ] {
+                let seq = self.seq;
+                self.seq += 1;
+                self.queue.push(Reverse(Event { at, seq, action }));
+            }
+        }
+    }
+
+    /// True iff `node` is currently crashed.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down.contains(&node)
     }
 
     /// Enables message tracing with the given capacity.
@@ -254,14 +301,14 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
         self.queue.push(Reverse(Event {
             at,
             seq,
-            env: Envelope {
+            action: Action::Deliver(Envelope {
                 from,
                 to,
                 msg,
                 sent_at: self.now,
                 seq,
                 msg_id,
-            },
+            }),
         }));
     }
 
@@ -296,14 +343,14 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
             self.queue.push(Reverse(Event {
                 at,
                 seq,
-                env: Envelope {
+                action: Action::Deliver(Envelope {
                     from,
                     to,
                     msg: msg.clone(),
                     sent_at: self.now,
                     seq,
                     msg_id,
-                },
+                }),
             }));
         }
     }
@@ -314,16 +361,58 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
             return false;
         };
         self.now = event.at;
+        let env = match event.action {
+            Action::Deliver(env) => env,
+            Action::Crash(node) => {
+                self.down.insert(node);
+                self.stats.peer_crashes += 1;
+                if self.trace.enabled() {
+                    self.trace.record(TraceEntry {
+                        at: self.now,
+                        from: node,
+                        to: node,
+                        kind: "Crash",
+                        detail: String::new(),
+                    });
+                }
+                if let Some(p) = self.peers.get_mut(&node) {
+                    p.on_crash();
+                }
+                return true;
+            }
+            Action::Restart(node) => {
+                self.down.remove(&node);
+                self.stats.peer_restarts += 1;
+                if self.trace.enabled() {
+                    self.trace.record(TraceEntry {
+                        at: self.now,
+                        from: node,
+                        to: node,
+                        kind: "Restart",
+                        detail: String::new(),
+                    });
+                }
+                if let Some(p) = self.peers.get_mut(&node) {
+                    let mut ctx = Context::new(self.now, node);
+                    p.on_restart(&mut ctx);
+                    for out in ctx.take_outgoing() {
+                        self.route(node, out.to, out.msg, out.delay);
+                    }
+                }
+                return true;
+            }
+        };
         let Envelope {
             from,
             to,
             msg,
             msg_id,
             ..
-        } = event.env;
+        } = env;
         let size = msg.wire_size();
-        if !self.peers.contains_key(&to) {
-            // Message to a node that does not exist (yet / anymore).
+        if !self.peers.contains_key(&to) || self.down.contains(&to) {
+            // Message to a node that does not exist (yet / anymore) or is
+            // currently crashed — exactly like packets to a dead process.
             self.stats.dropped += 1;
             return true;
         }
@@ -536,6 +625,95 @@ mod tests {
         sim.run();
         let kinds: Vec<_> = sim.trace().entries().iter().map(|e| e.kind).collect();
         assert_eq!(kinds, vec!["Ping", "Ping", "Ping"]);
+    }
+
+    #[test]
+    fn churn_drops_deliveries_while_down_and_fires_hooks() {
+        use crate::churn::ChurnPlan;
+
+        /// A bouncer that also counts crash/restart hook invocations and
+        /// wipes its memory on crash like a real process would.
+        struct Churny {
+            seen: Vec<u32>,
+            crashes: u32,
+            restarts: u32,
+        }
+        impl Peer<Ping> for Churny {
+            fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<Ping>) {
+                self.seen.push(msg.0);
+                if msg.0 > 0 {
+                    ctx.send(from, Ping(msg.0 - 1));
+                }
+            }
+            fn on_crash(&mut self) {
+                self.crashes += 1;
+                self.seen.clear();
+            }
+            fn on_restart(&mut self, ctx: &mut Context<Ping>) {
+                self.restarts += 1;
+                // Resync-style traffic from the restart hook must flow.
+                ctx.send(NodeId(0), Ping(0));
+            }
+        }
+
+        let mut sim: Simulator<Ping, Churny> =
+            Simulator::new(Box::new(ConstantLatency(SimTime::from_millis(1))));
+        for id in [0u32, 1] {
+            sim.add_peer(
+                NodeId(id),
+                Churny {
+                    seen: vec![],
+                    crashes: 0,
+                    restarts: 0,
+                },
+            );
+        }
+        // Node 1 is down between 1.5 ms and 4.5 ms: the Ping(9) chain dies
+        // when the second hop (at 2 ms) hits the crashed peer.
+        sim.schedule_churn(
+            &ChurnPlan::none().with_crash(
+                NodeId(1),
+                SimTime::from_micros(1_500),
+                SimTime::from_micros(4_500),
+            ),
+            SimTime::ZERO,
+        );
+        sim.inject(NodeId(0), NodeId(1), Ping(9));
+        let o = sim.run();
+        assert!(o.quiescent);
+        let p1 = sim.peer(NodeId(1)).unwrap();
+        assert_eq!(p1.crashes, 1);
+        assert_eq!(p1.restarts, 1);
+        // Ping(9) arrived before the crash, was wiped, and the chain's
+        // Ping(7) (due at 3 ms) was dropped while down.
+        assert!(p1.seen.is_empty() || !p1.seen.contains(&9));
+        assert_eq!(sim.stats().peer_crashes, 1);
+        assert_eq!(sim.stats().peer_restarts, 1);
+        assert!(sim.stats().dropped >= 1, "delivery while down must drop");
+        // The restart hook's message reached node 0 (it bounces Ping(0)
+        // into `seen` at node 0).
+        assert!(sim.peer(NodeId(0)).unwrap().seen.contains(&0));
+        assert!(!sim.is_down(NodeId(1)));
+    }
+
+    #[test]
+    fn churned_runs_are_deterministic() {
+        use crate::churn::ChurnPlan;
+        let run = || {
+            let mut sim = two_bouncers(Box::new(UniformLatency::new(
+                SimTime(100),
+                SimTime(1_000),
+                77,
+            )));
+            sim.schedule_churn(
+                &ChurnPlan::none().with_crash(NodeId(1), SimTime(2_000), SimTime(5_000)),
+                SimTime::ZERO,
+            );
+            sim.inject(NodeId(0), NodeId(1), Ping(30));
+            let o = sim.run();
+            (o.virtual_time, o.delivered, sim.stats().dropped)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -32,10 +32,15 @@ pub struct NetStats {
     pub total_messages: u64,
     /// Total bytes delivered.
     pub total_bytes: u64,
-    /// Messages dropped by fault injection.
+    /// Messages dropped by fault injection (or addressed to a crashed or
+    /// unknown node).
     pub dropped: u64,
     /// Extra deliveries due to duplication.
     pub duplicated: u64,
+    /// Peer crashes executed from the churn plan.
+    pub peer_crashes: u64,
+    /// Peer restarts executed from the churn plan.
+    pub peer_restarts: u64,
     /// Virtual (or wall) time at which the run went quiescent.
     pub finished_at: SimTime,
 }
@@ -75,6 +80,8 @@ impl NetStats {
         self.total_bytes += other.total_bytes;
         self.dropped += other.dropped;
         self.duplicated += other.duplicated;
+        self.peer_crashes += other.peer_crashes;
+        self.peer_restarts += other.peer_restarts;
         if other.finished_at > self.finished_at {
             self.finished_at = other.finished_at;
         }

@@ -73,6 +73,15 @@ impl ChaseState {
         }
     }
 
+    /// Exports every recorded `(null, depth)` pair in deterministic order —
+    /// the persistence layer snapshots this alongside the database so a
+    /// recovered peer keeps the global depth safety valve intact.
+    pub fn export(&self) -> Vec<(NullId, u32)> {
+        let mut out: Vec<(NullId, u32)> = self.depths.iter().map(|(id, d)| (*id, *d)).collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Exports known depths for the given tuple's nulls (for shipping along
     /// with answers).
     pub fn depths_for(&self, tuple: &Tuple) -> Vec<(NullId, u32)> {

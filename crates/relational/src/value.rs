@@ -140,6 +140,13 @@ impl NullFactory {
         NullFactory { node, next: 0 }
     }
 
+    /// Resumes a factory at a given counter — used by crash recovery so a
+    /// restarted peer never re-mints a null id that already circulates in
+    /// the network.
+    pub fn resume(node: u32, next: u64) -> Self {
+        NullFactory { node, next }
+    }
+
     /// Returns a fresh, never-before-seen null value.
     pub fn fresh(&mut self) -> Value {
         let id = NullId::new(self.node, self.next);

@@ -1,0 +1,67 @@
+//! # p2p-storage
+//!
+//! Durable peer state for the P2P database network. Everything a peer
+//! derives during an update session lives in memory; this crate is what
+//! survives a process crash:
+//!
+//! * a serde-framed, append-only **write-ahead log** ([`WalRecord`]) of
+//!   every fact insertion the update algorithm applies, plus every
+//!   fragment answer the peer processed (rows and the answerer's database
+//!   watermarks — the resync cursor);
+//! * periodic **database snapshots** ([`DatabaseSnapshot`]) bounding how
+//!   much of the log a recovery must replay to rebuild the database;
+//! * a [`PeerStorage::recover`] path that replays the log onto the latest
+//!   snapshot and returns a [`RecoveredState`] tuple-identical to the
+//!   pre-crash database, with the null mint and chase depths restored.
+//!
+//! Two interchangeable [`StorageBackend`]s exist: an fsync-free
+//! [`MemoryBackend`] for the deterministic simulator (a crash there is a
+//! state wipe inside one process, so an in-memory "disk" is the honest
+//! model), and a [`FileBackend`] writing a newline-delimited JSON log plus
+//! a snapshot file, for runs that must survive a real process exit.
+//!
+//! ## Recovery invariant
+//!
+//! Replaying the WAL over the latest snapshot is **idempotent**: records
+//! older than the snapshot re-insert tuples that are already present (the
+//! relation layer deduplicates), so recovery is correct from *any*
+//! snapshot, not just the newest one. Fragment-answer records are folded
+//! across the whole log into per-`(rule, peer)` marks; the restarted peer
+//! resyncs from those watermarks, so only facts inserted at the answerer
+//! *after the last durably-processed answer* ever cross the wire again.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod store;
+pub mod wal;
+
+pub use backend::{FileBackend, MemoryBackend, StorageBackend};
+pub use store::{DatabaseSnapshot, FragmentMark, PeerStorage, RecoveredState};
+pub use wal::WalRecord;
+
+use std::fmt;
+
+/// Errors of the persistence layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An I/O failure of the file backend.
+    Io(String),
+    /// A frame or snapshot failed to parse back.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
+            StorageError::Corrupt(e) => write!(f, "corrupt storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias for the persistence layer.
+pub type StorageResult<T> = Result<T, StorageError>;

@@ -1,0 +1,99 @@
+//! Write-ahead-log records.
+//!
+//! One record per durable event, serde-framed (one JSON document per
+//! frame; the file backend stores one frame per line). Records are
+//! designed to be **replay-idempotent**: inserting an already-present
+//! tuple is a no-op at the relation layer and depth records merge by
+//! maximum, so recovery may safely replay the whole log over any
+//! snapshot.
+
+use p2p_relational::value::NullId;
+use p2p_relational::Tuple;
+use p2p_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One durable event in a peer's write-ahead log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// A fact the update algorithm inserted into the local database.
+    Insert {
+        /// Relation the tuple went into.
+        relation: Arc<str>,
+        /// The inserted tuple.
+        tuple: Tuple,
+        /// Chase depths of any labeled nulls aboard the tuple (the global
+        /// null-depth safety valve must survive recovery).
+        depths: Vec<(NullId, u32)>,
+    },
+    /// A fragment answer this peer processed: the rows and, crucially, the
+    /// answerer's database watermarks at answer time. The latest record per
+    /// `(rule, peer)` is the resync cursor — after a crash the peer asks the
+    /// answerer only for rows derived from facts beyond this watermark.
+    Answer {
+        /// Rule the answer served (raw id; `p2p_core` owns the typed form).
+        rule: u32,
+        /// The answering peer.
+        node: NodeId,
+        /// Column variables of the shipped rows.
+        vars: Vec<Arc<str>>,
+        /// The shipped rows (head-side fragment cache rebuild).
+        rows: Vec<Tuple>,
+        /// The answerer's per-relation insertion watermarks at answer time.
+        watermarks: BTreeMap<Arc<str>, usize>,
+    },
+}
+
+impl WalRecord {
+    /// Serializes the record into one frame.
+    pub fn to_frame(&self) -> String {
+        serde_json::to_string(self).expect("WAL records are plain data")
+    }
+
+    /// Parses a frame back.
+    pub fn from_frame(frame: &str) -> Result<Self, crate::StorageError> {
+        serde_json::from_str(frame)
+            .map_err(|e| crate::StorageError::Corrupt(format!("WAL frame: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_relational::Value;
+
+    #[test]
+    fn insert_record_roundtrips() {
+        let rec = WalRecord::Insert {
+            relation: Arc::from("a"),
+            tuple: Tuple::new(vec![Value::Int(1), Value::Null(NullId::new(2, 5))]),
+            depths: vec![(NullId::new(2, 5), 3)],
+        };
+        let frame = rec.to_frame();
+        assert_eq!(WalRecord::from_frame(&frame).unwrap(), rec);
+    }
+
+    #[test]
+    fn answer_record_roundtrips_with_watermarks() {
+        let mut watermarks = BTreeMap::new();
+        watermarks.insert(Arc::<str>::from("b"), 7usize);
+        let rec = WalRecord::Answer {
+            rule: 4,
+            node: NodeId(3),
+            vars: vec![Arc::from("X"), Arc::from("Y")],
+            rows: vec![Tuple::new(vec![Value::Int(1), Value::Int(2)])],
+            watermarks,
+        };
+        let frame = rec.to_frame();
+        assert_eq!(WalRecord::from_frame(&frame).unwrap(), rec);
+    }
+
+    #[test]
+    fn garbage_frame_is_a_corrupt_error() {
+        assert!(matches!(
+            WalRecord::from_frame("not json"),
+            Err(crate::StorageError::Corrupt(_))
+        ));
+    }
+}

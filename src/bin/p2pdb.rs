@@ -7,8 +7,17 @@
 //!                                               generate a network file
 //! p2pdb run <network.json> [--mode eager|rounds] [--discover]
 //!                [--no-delta-waves] [--query NODE QUERY] [--stats]
+//!                [--durable] [--churn N] [--snapshot-every K]
 //!                [--trace] [--export FILE]      run discovery + update
 //! ```
+//!
+//! Durability & churn: `--durable` gives every peer a write-ahead log plus
+//! snapshot store; `--churn N` schedules `N` peer crash/restart events
+//! spread across the non-super peers mid-session (the run is then driven
+//! to closure with bounded re-drives); `--snapshot-every K` sets the WAL
+//! records between snapshots. `--churn`/`--snapshot-every` require
+//! `--durable` — without storage a crashed peer would lose its data for
+//! good.
 //!
 //! Example session:
 //!
@@ -139,6 +148,51 @@ fn cmd_run(args: &[String]) -> CliResult {
     if args.iter().any(|a| a == "--trace") {
         builder.config_mut().trace_capacity = 256;
     }
+
+    // Durability & churn.
+    let durable = args.iter().any(|a| a == "--durable");
+    let churn_n: Option<u32> = flag_value(args, "--churn").map(str::parse).transpose()?;
+    let snapshot_every: Option<u64> = flag_value(args, "--snapshot-every")
+        .map(str::parse)
+        .transpose()?;
+    if !durable {
+        if churn_n.is_some() {
+            return Err("--churn requires --durable: without durability a crashed \
+                        peer loses its data for good (enable persistence or drop --churn)"
+                .into());
+        }
+        if snapshot_every.is_some() {
+            return Err(
+                "--snapshot-every requires --durable: it sets the write-ahead-log \
+                        records between snapshots, which only exist with persistence on"
+                    .into(),
+            );
+        }
+    }
+    builder.config_mut().durability = durable;
+    if let Some(k) = snapshot_every {
+        builder.config_mut().snapshot_every = k;
+    }
+    if let Some(n) = churn_n.filter(|n| *n > 0) {
+        // Crash the non-super peers round-robin, staggered mid-session.
+        let victims: Vec<NodeId> = file
+            .nodes
+            .iter()
+            .map(|d| NodeId(d.id))
+            .filter(|id| id.0 != file.super_peer)
+            .collect();
+        if victims.is_empty() {
+            return Err("--churn needs at least one non-super peer".into());
+        }
+        let mut plan = p2pdb::net::ChurnPlan::none();
+        for i in 0..n as u64 {
+            let node = victims[i as usize % victims.len()];
+            let crash_at = p2pdb::net::SimTime::from_millis(2 + 3 * i);
+            let restart_at = p2pdb::net::SimTime::from_millis(2 + 3 * i + 2);
+            plan = plan.with_crash(node, crash_at, restart_at);
+        }
+        builder.set_churn(plan);
+    }
     let mut sys = builder.build()?;
 
     if args.iter().any(|a| a == "--discover") {
@@ -166,11 +220,24 @@ fn cmd_run(args: &[String]) -> CliResult {
         }
     }
 
-    let report = sys.run_update();
+    let report = if churn_n.unwrap_or(0) > 0 {
+        // Churn can stall a wave (a crashed peer cannot echo); drive the
+        // session to closure with bounded re-drives.
+        sys.run_update_resilient(8)
+    } else {
+        sys.run_update()
+    };
     println!(
         "update: {} messages, {} bytes, {} virtual time, all closed: {}",
         report.messages, report.bytes, report.outcome.virtual_time, report.all_closed
     );
+    if churn_n.unwrap_or(0) > 0 {
+        let s = sys.sum_stats();
+        println!(
+            "churn: {} crashes, {} recoveries, {} resync rows, {} redrive(s)",
+            s.crashes, s.recoveries, s.resync_rows, report.redrives
+        );
+    }
     if !report.errors.is_empty() {
         for (node, err) in &report.errors {
             eprintln!("  {node}: {err}");

@@ -10,7 +10,9 @@
 //! * [`topology`] — dependency graphs, maximal dependency paths, topology
 //!   generators and separation analysis;
 //! * [`net`] — deterministic discrete-event simulator and threaded runtime
-//!   (the JXTA-layer substitute);
+//!   (the JXTA-layer substitute), with fault injection and peer churn;
+//! * [`storage`] — durable peer state: write-ahead log, snapshots, crash
+//!   recovery;
 //! * [`core`] — the paper's algorithms: topology discovery (A1–A3), the
 //!   distributed update (A4–A6, eager and rounds modes), dynamic changes,
 //!   super-peer driving and the global fix-point oracle;
@@ -49,5 +51,6 @@ pub use p2p_baselines as baselines;
 pub use p2p_core as core;
 pub use p2p_net as net;
 pub use p2p_relational as relational;
+pub use p2p_storage as storage;
 pub use p2p_topology as topology;
 pub use p2p_workload as workload;

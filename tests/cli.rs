@@ -152,6 +152,61 @@ fn deeply_nested_netfile_fails_cleanly_instead_of_overflowing() {
     assert!(stderr.contains("nesting depth"), "{stderr}");
 }
 
+/// Durability & churn flags: a churned durable run converges and reports
+/// the recovery counters; churn flags without `--durable` are rejected
+/// with a clear error instead of being silently ignored.
+#[test]
+fn churn_flags_require_durable_and_report_counters() {
+    let dir = std::env::temp_dir().join("p2pdb_cli_churn");
+    std::fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("net.json");
+    let out = p2pdb(&[
+        "workload",
+        "--topology",
+        "ring",
+        "--size",
+        "6",
+        "--records",
+        "10",
+    ]);
+    assert!(out.status.success());
+    std::fs::write(&net, &out.stdout).unwrap();
+
+    // Churned durable run: closes, and the churn line + per-peer counters
+    // show up under --stats.
+    let out = p2pdb(&[
+        "run",
+        net.to_str().unwrap(),
+        "--mode",
+        "rounds",
+        "--durable",
+        "--churn",
+        "2",
+        "--snapshot-every",
+        "8",
+        "--stats",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("all closed: true"), "{text}");
+    assert!(text.contains("churn: 2 crashes, 2 recoveries"), "{text}");
+    assert!(text.contains("resync_rows="), "{text}");
+
+    // Rejections: churn/snapshot flags without --durable.
+    for flags in [&["--churn", "2"][..], &["--snapshot-every", "8"][..]] {
+        let mut args = vec!["run", net.to_str().unwrap()];
+        args.extend_from_slice(flags);
+        let out = p2pdb(&args);
+        assert!(!out.status.success(), "{flags:?} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("requires --durable"), "{stderr}");
+    }
+}
+
 #[test]
 fn bad_usage_fails_cleanly() {
     assert!(!p2pdb(&[]).status.success());
