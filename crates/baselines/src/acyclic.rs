@@ -80,7 +80,11 @@ pub fn acyclic_update(
                     eval_part(part, src).map_err(|e| AcyclicError::Relational(e.to_string()))?;
                 // One query out, one answer back per fragment.
                 messages += 2;
-                bytes += 64 + rows.iter().map(|t| t.wire_size() as u64).sum::<u64>();
+                bytes += 64
+                    + rows
+                        .iter()
+                        .map(|t| p2p_net::encoded_wire_size(t) as u64)
+                        .sum::<u64>();
                 parts.push(VarRows {
                     vars: part.vars.clone(),
                     rows,
@@ -106,7 +110,7 @@ mod tests {
     use p2p_core::oracle::global_fixpoint;
     use p2p_core::rule::CoordinationRule;
     use p2p_relational::hom::equivalent_modulo_nulls;
-    use p2p_relational::{DatabaseSchema, Value};
+    use p2p_relational::{DatabaseSchema, Val};
 
     fn resolve(s: &str) -> Option<NodeId> {
         match s {
@@ -128,9 +132,9 @@ mod tests {
             );
         }
         let c = dbs.get_mut(&NodeId(2)).unwrap();
-        c.insert_values("c", vec![Value::Int(1), Value::Int(2)])
+        c.insert_values("c", vec![Val::Int(1), Val::Int(2)])
             .unwrap();
-        c.insert_values("c", vec![Value::Int(3), Value::Int(4)])
+        c.insert_values("c", vec![Val::Int(3), Val::Int(4)])
             .unwrap();
         let mut rules = RuleSet::new();
         rules

@@ -41,7 +41,7 @@ pub fn centralized_update(
         if *node == central {
             continue;
         }
-        let size = db.wire_size() as u64 + 64;
+        let size = p2p_net::encoded_wire_size(db) as u64 + 64;
         messages += 1;
         bytes += size;
         central_in += size;
@@ -56,7 +56,7 @@ pub fn centralized_update(
         if *node == central {
             continue;
         }
-        let size = db.wire_size() as u64 + 64;
+        let size = p2p_net::encoded_wire_size(db) as u64 + 64;
         messages += 1;
         bytes += size;
         central_out += size;
@@ -77,7 +77,7 @@ pub fn centralized_update(
 mod tests {
     use super::*;
     use p2p_core::rule::CoordinationRule;
-    use p2p_relational::{DatabaseSchema, Value};
+    use p2p_relational::{DatabaseSchema, Val};
 
     fn resolve(s: &str) -> Option<NodeId> {
         match s {
@@ -95,7 +95,7 @@ mod tests {
         );
         let mut b = Database::new(DatabaseSchema::parse("b(x: int, y: int).").unwrap());
         for i in 0..10 {
-            b.insert_values("b", vec![Value::Int(i), Value::Int(i + 1)])
+            b.insert_values("b", vec![Val::Int(i), Val::Int(i + 1)])
                 .unwrap();
         }
         dbs.insert(NodeId(1), b);

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use p2p_core::dynamic::ChangeScript;
 use p2p_core::system::P2PSystemBuilder;
 use p2p_net::SimTime;
-use p2p_relational::Value;
+use p2p_relational::Val;
 
 fn build() -> P2PSystemBuilder {
     let mut b = P2PSystemBuilder::new();
@@ -14,9 +14,9 @@ fn build() -> P2PSystemBuilder {
     b.add_node_with_schema(2, "c(x: int, y: int).").unwrap();
     b.add_rule("r0", "B:b(X,Y) => A:a(X,Y)").unwrap();
     for i in 0..50i64 {
-        b.insert(1, "b", vec![Value::Int(i), Value::Int(i + 1)])
+        b.insert(1, "b", vec![Val::Int(i), Val::Int(i + 1)])
             .unwrap();
-        b.insert(2, "c", vec![Value::Int(100 + i), Value::Int(i)])
+        b.insert(2, "c", vec![Val::Int(100 + i), Val::Int(i)])
             .unwrap();
     }
     b

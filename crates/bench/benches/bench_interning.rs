@@ -1,0 +1,62 @@
+//! E16 — interned values + columnar relations: the data-plane rewrite's
+//! join-heavy microbenchmark, legacy `Value` path vs interned `Val` path on
+//! identical inputs and plans.
+//!
+//! The wire-byte ledger (interned payloads vs the measured pre-interning
+//! counterfactual) is printed once before timing; the acceptance bar —
+//! ≥2× throughput on the interned path under `--release` — is asserted
+//! here, where optimised timings are meaningful.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_bench::experiments::{e16_interning, interning_microbench_db, interning_microbench_query};
+use p2p_bench::Scale;
+use p2p_relational::legacy::{evaluate_legacy, LegacyDatabase};
+use p2p_relational::query::evaluate;
+
+fn bench_interning(c: &mut Criterion) {
+    // Report the byte-level numbers the timing alone cannot show.
+    let (table, summary) = e16_interning(Scale::Quick);
+    println!("\nE16 — interned values + columnar relations (wire ledger)\n");
+    println!("{}", table.render());
+    println!(
+        "microbench: {:.0} rows/s legacy vs {:.0} rows/s interned ({:.2}x); \
+         payloads {} B interned vs {} B legacy ({:.2}x smaller), {} dict entries\n",
+        summary.legacy_rows_per_s,
+        summary.interned_rows_per_s,
+        summary.speedup,
+        summary.payload_bytes,
+        summary.payload_bytes_legacy,
+        summary.payload_bytes_legacy as f64 / summary.payload_bytes.max(1) as f64,
+        summary.dict_entries,
+    );
+    assert!(summary.ok(), "interning regression: {summary:?}");
+    #[cfg(not(debug_assertions))]
+    assert!(
+        summary.speedup >= 2.0,
+        "release-mode acceptance bar: interned path must be >=2x the legacy \
+         path on the join-heavy microbenchmark, got {:.2}x",
+        summary.speedup
+    );
+
+    let mut group = c.benchmark_group("e16_interning");
+    group.sample_size(10);
+    for records in [200usize, 800] {
+        let db = interning_microbench_db(records);
+        let legacy_db = LegacyDatabase::from_database(&db);
+        let q = interning_microbench_query();
+        group.bench_with_input(
+            BenchmarkId::new("legacy_value_path", records),
+            &records,
+            |b, _| b.iter(|| black_box(evaluate_legacy(&q, &legacy_db).expect("legacy eval"))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("interned_columnar_path", records),
+            &records,
+            |b, _| b.iter(|| black_box(evaluate(&q, &db).expect("interned eval"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interning);
+criterion_main!(benches);

@@ -6,13 +6,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use p2p_relational::chase::{apply_rule_local, ChaseConfig, ChaseState};
 use p2p_relational::hom::contained_modulo_nulls;
 use p2p_relational::query::{evaluate, parse_atom, parse_query};
-use p2p_relational::{Database, DatabaseSchema, NullFactory, Value};
+use p2p_relational::{Database, DatabaseSchema, NullFactory, Val};
 
 fn db_with_chain(n: i64) -> Database {
     let mut db =
         Database::new(DatabaseSchema::parse("b(x: int, y: int). c(x: int, y: int).").unwrap());
     for i in 0..n {
-        db.insert_values("b", vec![Value::Int(i), Value::Int(i + 1)])
+        db.insert_values("b", vec![Val::Int(i), Val::Int(i + 1)])
             .unwrap();
     }
     db

@@ -125,4 +125,33 @@ fn main() {
             }
         );
     }
+    if want("e16") {
+        println!("E16 — interned values + columnar relations (data-plane rewrite)\n");
+        let (table, summary) = exp::e16_interning(scale);
+        println!("{}", table.render());
+        println!(
+            "microbench: {:.0} rows/s legacy vs {:.0} rows/s interned ({:.2}x); \
+             payloads {} B interned vs {} B pre-interning ({:.2}x smaller), {} dict entries",
+            summary.legacy_rows_per_s,
+            summary.interned_rows_per_s,
+            summary.speedup,
+            summary.payload_bytes,
+            summary.payload_bytes_legacy,
+            summary.payload_bytes_legacy as f64 / summary.payload_bytes.max(1) as f64,
+            summary.dict_entries,
+        );
+        let json = exp::interning_summary_json(&summary);
+        match std::fs::write("BENCH_e16.json", &json) {
+            Ok(()) => println!("wrote BENCH_e16.json"),
+            Err(e) => println!("could not write BENCH_e16.json: {e}"),
+        }
+        println!(
+            "interning smoke: {}\n",
+            if summary.ok() {
+                "OK"
+            } else {
+                "FAILED (answer mismatch, no wire shrink, or interned path not faster)"
+            }
+        );
+    }
 }

@@ -71,6 +71,11 @@ pub struct SystemConfig {
     /// With durability on: WAL records between automatic snapshots
     /// (bounding recovery replay). 0 keeps only the initial snapshot.
     pub snapshot_every: u64,
+    /// Measure per-answer payload bytes (`PeerStats::payload_bytes`) plus
+    /// the pre-interning counterfactual (`payload_bytes_legacy`). Off by
+    /// default — each measurement re-encodes the payload, which is pure
+    /// overhead outside experiment e16.
+    pub measure_payload_bytes: bool,
     /// Require the rule set to be weakly acyclic at build time. On by
     /// default; turn off only to study the chase-depth safety valve.
     pub require_weak_acyclicity: bool,
@@ -96,6 +101,7 @@ impl Default for SystemConfig {
             delta_waves: true,
             durability: false,
             snapshot_every: 64,
+            measure_payload_bytes: false,
             require_weak_acyclicity: true,
             max_null_depth: 64,
             cost_per_tuple: SimTime::from_micros(10),

@@ -36,12 +36,9 @@ pub enum ChangeOp {
 }
 
 impl ChangeOp {
-    /// Approximate serialized size.
+    /// Serialized size — the exact encoded byte length.
     pub fn wire_size(&self) -> usize {
-        match self {
-            ChangeOp::AddLink { rule } => rule.wire_size(),
-            ChangeOp::DeleteLink { .. } => 8,
-        }
+        p2p_net::encoded_wire_size(self)
     }
 }
 

@@ -9,7 +9,7 @@ use crate::rule::{BodyPart, CoordinationRule};
 use p2p_relational::chase::{apply_head, ChaseConfig, ChaseOutcome, ChaseState};
 use p2p_relational::query::ast::Term;
 use p2p_relational::query::{evaluate_bindings, evaluate_bindings_since, Constraint};
-use p2p_relational::{Database, NullFactory, Tuple, Value};
+use p2p_relational::{Database, FxHashMap, FxHashSet, NullFactory, Tuple, Val};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -66,10 +66,10 @@ pub fn join_parts(parts: &[VarRows], join_constraints: &[Constraint]) -> VarRows
             acc.vars.iter().enumerate().map(|(i, v)| (v, i)).collect();
         acc.rows.retain(|row| {
             join_constraints.iter().all(|c| {
-                let val = |t: &Term| -> Value {
+                let val = |t: &Term| -> Val {
                     match t {
-                        Term::Const(c) => c.clone(),
-                        Term::Var(v) => row.0[idx_of[v]].clone(),
+                        Term::Const(c) => *c,
+                        Term::Var(v) => row.0[idx_of[v]],
                     }
                 };
                 c.op.certainly_holds(&val(&c.lhs), &val(&c.rhs))
@@ -143,25 +143,36 @@ fn hash_join(left: &VarRows, right: &VarRows) -> VarRows {
     let mut out_vars = left.vars.clone();
     out_vars.extend(right_only.iter().map(|&ri| right.vars[ri].clone()));
 
-    // Hash the right side on the shared projection.
-    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    // Hash the right side on the shared projection — `Val` keys, probed
+    // with a reusable scratch buffer (no allocation per probe).
+    let mut index: FxHashMap<Box<[Val]>, Vec<usize>> = FxHashMap::default();
+    let mut key: Vec<Val> = Vec::with_capacity(shared.len());
     for (pos, row) in right.rows.iter().enumerate() {
-        let key: Vec<Value> = shared.iter().map(|&(_, ri)| row.0[ri].clone()).collect();
-        index.entry(key).or_default().push(pos);
+        key.clear();
+        key.extend(shared.iter().map(|&(_, ri)| row.0[ri]));
+        match index.get_mut(key.as_slice()) {
+            Some(v) => v.push(pos),
+            None => {
+                index.insert(Box::from(key.as_slice()), vec![pos]);
+            }
+        }
     }
 
     let mut out_rows = Vec::new();
-    let mut seen = std::collections::HashSet::new();
+    let mut seen: FxHashSet<Tuple> = FxHashSet::default();
+    let mut vals: Vec<Val> = Vec::new();
     for lrow in &left.rows {
-        let key: Vec<Value> = shared.iter().map(|&(li, _)| lrow.0[li].clone()).collect();
-        let Some(matches) = index.get(&key) else {
+        key.clear();
+        key.extend(shared.iter().map(|&(li, _)| lrow.0[li]));
+        let Some(matches) = index.get(key.as_slice()) else {
             continue;
         };
         for &pos in matches {
             let rrow = &right.rows[pos];
-            let mut vals: Vec<Value> = lrow.0.to_vec();
-            vals.extend(right_only.iter().map(|&ri| rrow.0[ri].clone()));
-            let t = Tuple::new(vals);
+            vals.clear();
+            vals.extend_from_slice(&lrow.0);
+            vals.extend(right_only.iter().map(|&ri| rrow.0[ri]));
+            let t = Tuple::from_row(&vals);
             if seen.insert(t.clone()) {
                 out_rows.push(t);
             }
@@ -185,11 +196,11 @@ pub fn apply_rule_head(
 ) -> CoreResult<ChaseOutcome> {
     let mut total = ChaseOutcome::default();
     for row in &bindings.rows {
-        let map: HashMap<Arc<str>, Value> = bindings
+        let map: HashMap<Arc<str>, Val> = bindings
             .vars
             .iter()
             .cloned()
-            .zip(row.values().cloned())
+            .zip(row.values().copied())
             .collect();
         let out = apply_head(head_db, &rule.head, &map, nulls, chase, cfg)?;
         total.nulls_minted += out.nulls_minted;
@@ -219,7 +230,7 @@ mod tests {
             vars: vars.iter().map(|v| Arc::from(*v)).collect(),
             rows: rows
                 .iter()
-                .map(|r| Tuple::new(r.iter().map(|&v| Value::Int(v)).collect()))
+                .map(|r| Tuple::new(r.iter().map(|&v| Val::Int(v)).collect()))
                 .collect(),
         }
     }
@@ -256,7 +267,7 @@ mod tests {
         };
         let out = join_parts(&[left, right], &[c]);
         assert_eq!(out.rows.len(), 1);
-        assert_eq!(out.rows[0].0[0], Value::Int(1));
+        assert_eq!(out.rows[0].0[0], Val::Int(1));
     }
 
     #[test]
@@ -270,9 +281,9 @@ mod tests {
     #[test]
     fn eval_part_projects_part_vars() {
         let mut db = Database::new(DatabaseSchema::parse("b(x: int, y: int).").unwrap());
-        db.insert_values("b", vec![Value::Int(1), Value::Int(2)])
+        db.insert_values("b", vec![Val::Int(1), Val::Int(2)])
             .unwrap();
-        db.insert_values("b", vec![Value::Int(1), Value::Int(3)])
+        db.insert_values("b", vec![Val::Int(1), Val::Int(3)])
             .unwrap();
         let rule =
             CoordinationRule::parse("r", "B:b(X,Y), B:b(Y,Z) => A:a(X,Z)", None, &resolve).unwrap();
@@ -282,7 +293,7 @@ mod tests {
         // rows are over the *part* whose atoms are both b-atoms: bindings
         // where b(X,Y) and b(Y,Z) both hold: none here.
         assert!(rows.is_empty());
-        db.insert_values("b", vec![Value::Int(2), Value::Int(9)])
+        db.insert_values("b", vec![Val::Int(2), Val::Int(9)])
             .unwrap();
         let rows = eval_part(&rule.parts[0], &db).unwrap();
         assert_eq!(rows.len(), 1); // X=1, Y=2, Z=9
@@ -322,11 +333,9 @@ mod tests {
         let expect: std::collections::HashSet<Tuple> = full.rows.into_iter().collect();
         assert_eq!(union, expect);
         // The purely-old combination (1,2,9) is not re-derived.
-        assert!(!new.rows.contains(&Tuple::new(vec![
-            Value::Int(1),
-            Value::Int(2),
-            Value::Int(9)
-        ])));
+        assert!(!new
+            .rows
+            .contains(&Tuple::new(vec![Val::Int(1), Val::Int(2), Val::Int(9)])));
     }
 
     #[test]
@@ -352,13 +361,13 @@ mod tests {
     #[test]
     fn eval_part_delta_is_subset_completing_the_old_eval() {
         let mut db = Database::new(DatabaseSchema::parse("b(x: int, y: int).").unwrap());
-        db.insert_values("b", vec![Value::Int(1), Value::Int(2)])
+        db.insert_values("b", vec![Val::Int(1), Val::Int(2)])
             .unwrap();
         let rule =
             CoordinationRule::parse("r", "B:b(X,Y), B:b(Y,Z) => A:a(X,Z)", None, &resolve).unwrap();
         let before = eval_part(&rule.parts[0], &db).unwrap();
         let w = db.watermarks();
-        db.insert_values("b", vec![Value::Int(2), Value::Int(9)])
+        db.insert_values("b", vec![Val::Int(2), Val::Int(9)])
             .unwrap();
         let delta = eval_part_delta(&rule.parts[0], &db, &w).unwrap();
         let after = eval_part(&rule.parts[0], &db).unwrap();

@@ -40,13 +40,13 @@
 //!
 //! ```
 //! use p2p_core::system::P2PSystemBuilder;
-//! use p2p_relational::Value;
+//! use p2p_relational::Val;
 //!
 //! let mut b = P2PSystemBuilder::new();
 //! b.add_node_with_schema(0, "a(x: int, y: int).").unwrap();
 //! b.add_node_with_schema(1, "b(x: int, y: int).").unwrap();
 //! b.add_rule("r1", "B:b(X,Y) => A:a(X,Y)").unwrap();
-//! b.insert(1, "b", vec![Value::Int(1), Value::Int(2)]).unwrap();
+//! b.insert(1, "b", vec![Val::Int(1), Val::Int(2)]).unwrap();
 //!
 //! let mut sys = b.build().unwrap();
 //! let report = sys.run_update();

@@ -9,14 +9,18 @@ use crate::rule::{BodyPart, CoordinationRule, RuleId};
 use crate::stats::PeerStats;
 use p2p_net::Wire;
 use p2p_relational::value::NullId;
-use p2p_relational::Tuple;
+use p2p_relational::{SymId, Tuple};
 use p2p_topology::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Rows shipped in an answer: bindings of a body part's variables.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The serialized form omits the optional sections (`null_depths`, `marks`,
+/// `dict`) when empty — ground answers under the default configuration pay
+/// zero bytes for machinery they don't use.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Deserialize)]
 pub struct AnswerRows {
     /// Variable names, defining the column order of `rows`.
     pub vars: Vec<Arc<str>>,
@@ -24,22 +28,76 @@ pub struct AnswerRows {
     pub rows: Vec<Tuple>,
     /// Chase depths of labeled nulls occurring in `rows` (receivers feed
     /// these into their own chase state so the depth safety valve is global).
+    #[serde(default)]
     pub null_depths: Vec<(NullId, u32)>,
     /// The answerer's per-relation insertion watermarks at evaluation time.
     /// Durable receivers log these with the answer; after a crash they are
     /// the resync cursor — the restarted peer asks only for rows derived
     /// from facts beyond the last watermark it durably processed. Empty on
     /// payload-free acknowledgements (stale acks, reopen notices).
+    #[serde(default)]
     pub marks: BTreeMap<Arc<str>, usize>,
+    /// First-use dictionary delta: `(symbol, string)` definitions for
+    /// interned constants in `rows` that the sender has never shipped to
+    /// this recipient before. Rows carry 4-byte `SymId`s; this is the sync
+    /// that lets the recipient resolve them — sound because the paper's
+    /// Definition 1 makes the constant set `C` network-wide. Each string
+    /// crosses each pipe at most once; the receiver folds the delta into its
+    /// catalog view before touching the rows.
+    #[serde(default)]
+    pub dict: Vec<(SymId, Arc<str>)>,
+}
+
+impl serde::Serialize for AnswerRows {
+    fn to_content(&self) -> serde::Content {
+        let mut m: Vec<(String, serde::Content)> = vec![
+            ("vars".to_string(), self.vars.to_content()),
+            ("rows".to_string(), self.rows.to_content()),
+        ];
+        if !self.null_depths.is_empty() {
+            m.push(("null_depths".to_string(), self.null_depths.to_content()));
+        }
+        if !self.marks.is_empty() {
+            m.push(("marks".to_string(), self.marks.to_content()));
+        }
+        if !self.dict.is_empty() {
+            m.push(("dict".to_string(), self.dict.to_content()));
+        }
+        serde::Content::Map(m)
+    }
 }
 
 impl AnswerRows {
-    /// Approximate serialized size.
+    /// Exact encoded size of this payload in bytes.
     pub fn wire_size(&self) -> usize {
-        8 + self.vars.len() * 8
-            + self.rows.iter().map(Tuple::wire_size).sum::<usize>()
-            + self.null_depths.len() * 12
-            + self.marks.len() * 12
+        p2p_net::encoded_wire_size(self)
+    }
+
+    /// What the **pre-interning** data plane would have put on the wire for
+    /// the same payload: every row carries its strings inline and there is
+    /// no dictionary section. Measured (not estimated) by encoding the
+    /// resolved mirror of the payload — the counterfactual that experiment
+    /// `e16` reports against.
+    pub fn wire_size_legacy(&self) -> usize {
+        use serde::Serialize as _;
+        let rows: Vec<Vec<p2p_relational::Value>> = self
+            .rows
+            .iter()
+            .map(|t| t.0.iter().map(|v| v.to_value()).collect())
+            .collect();
+        // Mirror of `AnswerRows::to_content` with strings inline and no
+        // dictionary section, same empty-section omission for fairness.
+        let mut m: Vec<(String, serde::Content)> = vec![
+            ("vars".to_string(), self.vars.to_content()),
+            ("rows".to_string(), rows.to_content()),
+        ];
+        if !self.null_depths.is_empty() {
+            m.push(("null_depths".to_string(), self.null_depths.to_content()));
+        }
+        if !self.marks.is_empty() {
+            m.push(("marks".to_string(), self.marks.to_content()));
+        }
+        p2p_net::encoded_wire_size(&serde::Content::Map(m))
     }
 }
 
@@ -297,42 +355,14 @@ impl ProtocolMsg {
 }
 
 impl Wire for ProtocolMsg {
+    /// The **real** encoded size of the message — the exact byte length of
+    /// its serialized form. This replaced the old per-variant field-count
+    /// estimates (`24 + atoms*16`-style), so byte accounting and the
+    /// bandwidth-aware latency model see what a transport would carry:
+    /// interned rows cost 4-byte symbol ids, and dictionary deltas pay for
+    /// each string exactly once per pipe.
     fn wire_size(&self) -> usize {
-        match self {
-            ProtocolMsg::StartDiscovery
-            | ProtocolMsg::StartUpdate { .. }
-            | ProtocolMsg::StartScopedUpdate { .. }
-            | ProtocolMsg::CollectStats
-            | ProtocolMsg::ResetStats
-            | ProtocolMsg::DiscoveryClosed
-            | ProtocolMsg::UpdateFlood { .. }
-            | ProtocolMsg::Fixpoint { .. }
-            | ProtocolMsg::Ack
-            | ProtocolMsg::RoundStart { .. }
-            | ProtocolMsg::RoundEcho { .. }
-            | ProtocolMsg::RoundsClosed { .. }
-            | ProtocolMsg::Unsubscribe { .. }
-            | ProtocolMsg::DeleteRule { .. } => 16,
-            ProtocolMsg::ApplyChange { change } => 16 + change.wire_size(),
-            ProtocolMsg::BroadcastRules { rules } => {
-                16 + rules.iter().map(CoordinationRule::wire_size).sum::<usize>()
-            }
-            ProtocolMsg::RequestNodes { .. } => 20,
-            ProtocolMsg::DiscoveryAnswer { edges, .. } => 24 + edges.len() * 8,
-            ProtocolMsg::Query { part, sn, .. } => 24 + part.atoms.len() * 16 + sn.len() * 4,
-            ProtocolMsg::Answer { rows, .. } => 24 + rows.wire_size(),
-            ProtocolMsg::WaveQuery { part, .. } => 24 + part.atoms.len() * 16,
-            ProtocolMsg::WaveAnswer { rows, .. } | ProtocolMsg::WaveAnswerDelta { rows, .. } => {
-                24 + rows.wire_size()
-            }
-            ProtocolMsg::ResyncRequest { part, since, .. } => {
-                24 + part.atoms.len() * 16 + since.len() * 12
-            }
-            ProtocolMsg::ResyncAnswer { rows, .. } => 24 + rows.wire_size(),
-            ProtocolMsg::ResumeRounds { .. } => 16,
-            ProtocolMsg::AddRule { rule } => 16 + rule.wire_size(),
-            ProtocolMsg::StatsReport { stats } => 16 + stats.wire_size(),
-        }
+        p2p_net::encoded_wire_size(self)
     }
 
     fn kind(&self) -> &'static str {
@@ -372,7 +402,7 @@ impl Wire for ProtocolMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2p_relational::Value;
+    use p2p_relational::Val;
 
     #[test]
     fn basic_classification() {
@@ -401,14 +431,68 @@ mod tests {
             rule: RuleId(0),
             rows: AnswerRows {
                 vars: vec![Arc::from("X")],
-                rows: (0..10).map(|i| Tuple::new(vec![Value::Int(i)])).collect(),
+                rows: (0..10).map(|i| Tuple::new(vec![Val::Int(i)])).collect(),
                 null_depths: vec![],
                 marks: BTreeMap::new(),
+                dict: vec![],
             },
             complete: false,
             reopen: false,
         };
         assert!(full.wire_size() > empty.wire_size() + 80);
+    }
+
+    #[test]
+    fn wire_size_is_the_exact_encoded_length() {
+        let msg = ProtocolMsg::Answer {
+            epoch: 3,
+            rule: RuleId(1),
+            rows: AnswerRows {
+                vars: vec![Arc::from("X")],
+                rows: vec![Tuple::new(vec![Val::str("wire-exact")])],
+                null_depths: vec![(NullId::new(1, 2), 3)],
+                marks: BTreeMap::new(),
+                dict: vec![(
+                    Val::str("wire-exact").as_sym().unwrap(),
+                    Arc::from("wire-exact"),
+                )],
+            },
+            complete: true,
+            reopen: false,
+        };
+        assert_eq!(msg.wire_size(), serde_json::to_string(&msg).unwrap().len());
+    }
+
+    #[test]
+    fn dict_strings_cost_bytes_once_rows_cost_ids() {
+        let row = || Tuple::new(vec![Val::str("a-rather-long-shared-constant")]);
+        let with_dict = ProtocolMsg::WaveAnswer {
+            round: 1,
+            rule: RuleId(0),
+            rows: AnswerRows {
+                vars: vec![Arc::from("X")],
+                rows: vec![row()],
+                null_depths: vec![],
+                marks: BTreeMap::new(),
+                dict: vec![(
+                    row().0[0].as_sym().unwrap(),
+                    Arc::from("a-rather-long-shared-constant"),
+                )],
+            },
+        };
+        let without_dict = ProtocolMsg::WaveAnswer {
+            round: 1,
+            rule: RuleId(0),
+            rows: AnswerRows {
+                vars: vec![Arc::from("X")],
+                rows: vec![row()],
+                null_depths: vec![],
+                marks: BTreeMap::new(),
+                dict: vec![],
+            },
+        };
+        // First use pays the string; later rows carry only the 4-byte id.
+        assert!(with_dict.wire_size() > without_dict.wire_size() + 29);
     }
 
     #[test]

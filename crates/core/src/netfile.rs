@@ -117,7 +117,9 @@ impl NetworkFile {
                     }
                     data.insert(
                         rel_name.to_string(),
-                        rel.iter().map(|t| t.0.to_vec()).collect(),
+                        rel.iter()
+                            .map(|row| row.iter().map(|v| v.to_value()).collect())
+                            .collect(),
                     );
                 }
                 NodeDecl {

@@ -110,7 +110,7 @@ pub fn global_fixpoint(
 mod tests {
     use super::*;
     use crate::rule::{paper_example_rules, paper_example_schema, CoordinationRule};
-    use p2p_relational::{DatabaseSchema, Value};
+    use p2p_relational::{DatabaseSchema, Val};
 
     fn resolve(s: &str) -> Option<NodeId> {
         match s {
@@ -128,9 +128,9 @@ mod tests {
             Database::new(DatabaseSchema::parse("a(x: int, y: int).").unwrap()),
         );
         let mut b = Database::new(DatabaseSchema::parse("b(x: int, y: int).").unwrap());
-        b.insert_values("b", vec![Value::Int(1), Value::Int(2)])
+        b.insert_values("b", vec![Val::Int(1), Val::Int(2)])
             .unwrap();
-        b.insert_values("b", vec![Value::Int(2), Value::Int(3)])
+        b.insert_values("b", vec![Val::Int(2), Val::Int(3)])
             .unwrap();
         dbs.insert(NodeId(1), b);
         dbs
@@ -174,7 +174,7 @@ mod tests {
         // Seed E with a small chain.
         let e = dbs.get_mut(&NodeId(4)).unwrap();
         for (x, y) in [(1, 2), (2, 3), (3, 1)] {
-            e.insert_values("e", vec![Value::Int(x), Value::Int(y)])
+            e.insert_values("e", vec![Val::Int(x), Val::Int(y)])
                 .unwrap();
         }
         let fp = global_fixpoint(&dbs, &rules, 64).unwrap();
@@ -216,7 +216,7 @@ mod tests {
         let a = fp.node(NodeId(0)).unwrap().relation("a").unwrap();
         // One invention per distinct X: X ∈ {1, 2}.
         assert_eq!(a.len(), 2);
-        assert!(a.iter().all(|t| t.0[1].is_null()));
+        assert!(a.iter().all(|t| t[1].is_null()));
     }
 
     #[test]
@@ -231,7 +231,7 @@ mod tests {
         let mut dbs = two_node_dbs();
         dbs.get_mut(&NodeId(0))
             .unwrap()
-            .insert_values("a", vec![Value::Int(1), Value::Int(2)])
+            .insert_values("a", vec![Val::Int(1), Val::Int(2)])
             .unwrap();
         let err = global_fixpoint(&dbs, &rules, 8).unwrap_err();
         assert!(matches!(

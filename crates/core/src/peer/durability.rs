@@ -106,6 +106,7 @@ impl DbPeer {
                     relation: relation.clone(),
                     tuple: tuple.clone(),
                     depths: self.chase.depths_for(tuple),
+                    dict: st.first_use_dict(tuple.values()),
                 };
                 match st.log(&record) {
                     Ok(due) => snapshot_due |= due,
@@ -128,16 +129,17 @@ impl DbPeer {
         if self.storage.is_none() || rows.marks.is_empty() {
             return;
         }
-        let record = WalRecord::Answer {
-            rule: rule.0,
-            node: from,
-            vars: rows.vars.clone(),
-            rows: rows.rows.clone(),
-            watermarks: rows.marks.clone(),
-        };
         let mut snapshot_due = false;
         let mut error = None;
         if let Some(st) = self.storage.as_mut() {
+            let record = WalRecord::Answer {
+                rule: rule.0,
+                node: from,
+                vars: rows.vars.clone(),
+                rows: rows.rows.clone(),
+                watermarks: rows.marks.clone(),
+                dict: st.first_use_dict(rows.rows.iter().flat_map(|t| t.0.iter())),
+            };
             match st.log(&record) {
                 Ok(due) => snapshot_due = due,
                 Err(e) => error = Some(format!("WAL append failed: {e}")),
@@ -179,6 +181,7 @@ impl DbPeer {
         self.ds.reset();
         self.seen_msgs.clear();
         self.pending_resync.clear();
+        self.sym_sent.clear();
     }
 
     /// Churn: the process comes back. Rebuilds the database from storage,
@@ -296,7 +299,7 @@ impl DbPeer {
     ) {
         self.add_pipe(from);
         let rows = self.eval_part_delta_local(&part, &since, ctx);
-        let payload = self.make_answer_rows(&part.vars, rows);
+        let payload = self.make_answer_rows(from, &part.vars, rows);
         ctx.send(
             from,
             ProtocolMsg::ResyncAnswer {
@@ -313,6 +316,7 @@ impl DbPeer {
     pub(crate) fn on_resync_answer(&mut self, from: NodeId, rule: RuleId, rows: AnswerRows) {
         self.pending_resync.remove(&(rule, from));
         self.stats.resync_rows += rows.rows.len() as u64;
+        self.absorb_dict(from, &rows);
         self.absorb_null_depths(&rows);
         self.log_answer_mark(rule, from, &rows);
         self.rnd
@@ -352,7 +356,7 @@ impl DbPeer {
 mod tests {
     use super::*;
     use crate::config::SystemConfig;
-    use p2p_relational::{Database, DatabaseSchema, Value};
+    use p2p_relational::{Database, DatabaseSchema, Val};
     use p2p_storage::FileBackend;
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -391,8 +395,8 @@ mod tests {
             let mut peer = DbPeer::new(NodeId(1), Database::new(schema()), durable_config());
             let st = PeerStorage::new(Box::new(FileBackend::open(&dir).unwrap()), 0);
             peer.attach_storage(st).unwrap();
-            peer.db.insert_values("a", vec![Value::Int(7)]).unwrap();
-            peer.log_insertions(&[(Arc::from("a"), Tuple::new(vec![Value::Int(7)]))]);
+            peer.db.insert_values("a", vec![Val::Int(7)]).unwrap();
+            peer.log_insertions(&[(Arc::from("a"), Tuple::new(vec![Val::Int(7)]))]);
         }
         // "Second process": reopen the same store with a base-only peer.
         let mut peer = DbPeer::new(NodeId(1), Database::new(schema()), durable_config());
@@ -418,7 +422,7 @@ mod tests {
     #[test]
     fn restart_without_storage_is_amnesia() {
         let mut peer = DbPeer::new(NodeId(2), Database::new(schema()), SystemConfig::default());
-        peer.db.insert_values("a", vec![Value::Int(1)]).unwrap();
+        peer.db.insert_values("a", vec![Val::Int(1)]).unwrap();
         peer.crash_volatile_state();
         let mut ctx = Context::new(p2p_net::SimTime::ZERO, NodeId(2));
         peer.restart_and_resync(&mut ctx);

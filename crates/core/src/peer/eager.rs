@@ -221,7 +221,7 @@ impl DbPeer {
         sub.sent_complete = complete;
         self.stats.answers_sent += 1;
         self.stats.rows_shipped += ship.len() as u64;
-        let payload = self.make_answer_rows(&sub.part.vars.clone(), ship);
+        let payload = self.make_answer_rows(from, &sub.part.vars.clone(), ship);
         self.upd.subs.insert((from, rule), sub);
         self.send_basic(
             ctx,
@@ -252,6 +252,7 @@ impl DbPeer {
         if !self.upd.active || epoch != self.upd.epoch {
             return;
         }
+        self.absorb_dict(from, &rows);
         self.absorb_null_depths(&rows);
         // Durable peers log the processed answer (rows + the answerer's
         // watermarks — the crash-resync cursor).
@@ -359,7 +360,7 @@ impl DbPeer {
             }
             self.stats.answers_sent += 1;
             self.stats.rows_shipped += ship.len() as u64;
-            let payload = self.make_answer_rows(&part.vars, ship);
+            let payload = self.make_answer_rows(key.0, &part.vars, ship);
             self.send_basic(
                 ctx,
                 key.0,

@@ -30,7 +30,7 @@ use crate::stats::{ClosedBy, PeerStats};
 use crate::termination::{AckDecision, DiffusingState, Disengage};
 use p2p_net::{Context, Peer};
 use p2p_relational::chase::{ChaseConfig, ChaseState};
-use p2p_relational::{Database, NullFactory, Tuple};
+use p2p_relational::{ConstCatalog, Database, NullFactory, SymId, Tuple, Val};
 use p2p_topology::NodeId;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
@@ -96,6 +96,12 @@ pub struct DbPeer {
     /// session, never silently lose data) and re-sends on every session
     /// (re-)entry — at-least-once delivery, idempotent at both ends.
     pub(crate) pending_resync: BTreeMap<(RuleId, NodeId), BTreeMap<Arc<str>, usize>>,
+    /// Per-pipe dictionary state: the interned symbols each neighbour is
+    /// known to know (we shipped them a definition, or they shipped us one).
+    /// Drives the first-use dictionary deltas in [`DbPeer::make_answer_rows`]
+    /// — each constant string crosses each pipe at most once. Volatile: a
+    /// crash forgets it and later answers conservatively re-ship.
+    pub(crate) sym_sent: BTreeMap<NodeId, HashSet<SymId>>,
 }
 
 impl DbPeer {
@@ -124,6 +130,7 @@ impl DbPeer {
             seen_msgs: HashSet::new(),
             storage: None,
             pending_resync: BTreeMap::new(),
+            sym_sent: BTreeMap::new(),
         }
     }
 
@@ -346,10 +353,13 @@ impl DbPeer {
         }
     }
 
-    /// Builds the [`crate::messages::AnswerRows`] payload for shipping,
-    /// collecting chase depths of any nulls on board.
+    /// Builds the [`crate::messages::AnswerRows`] payload for shipping to
+    /// `to`: collects chase depths of any nulls on board and attaches the
+    /// first-use dictionary delta — `(symbol, string)` definitions for
+    /// interned constants this peer has never shipped down that pipe.
     pub(crate) fn make_answer_rows(
-        &self,
+        &mut self,
+        to: NodeId,
         vars: &[Arc<str>],
         rows: Vec<Tuple>,
     ) -> crate::messages::AnswerRows {
@@ -362,10 +372,20 @@ impl DbPeer {
                 }
             }
         }
-        crate::messages::AnswerRows {
+        let known = self.sym_sent.entry(to).or_default();
+        let fresh: Vec<SymId> = rows
+            .iter()
+            .flat_map(|t| t.values())
+            .filter_map(Val::as_sym)
+            .filter(|id| known.insert(*id))
+            .collect();
+        let dict = ConstCatalog::global().export(fresh);
+        self.stats.dict_entries_sent += dict.len() as u64;
+        let payload = crate::messages::AnswerRows {
             vars: vars.to_vec(),
             rows,
             null_depths,
+            dict,
             // With durability on, the answerer's current watermarks ride
             // along so durable receivers can log a resync cursor (see
             // `peer::durability`). Without it nobody would log them, so the
@@ -377,7 +397,16 @@ impl DbPeer {
             } else {
                 BTreeMap::new()
             },
+        };
+        // Data-plane byte accounting (experiment e16 only — each side of
+        // the comparison re-encodes the payload, so it is opt-in): what
+        // this payload costs on the wire, and what it would have cost
+        // pre-interning (strings inline, no dictionary).
+        if self.config.measure_payload_bytes {
+            self.stats.payload_bytes += payload.wire_size() as u64;
+            self.stats.payload_bytes_legacy += payload.wire_size_legacy() as u64;
         }
+        payload
     }
 
     /// Records null depths arriving with an answer.
@@ -385,6 +414,23 @@ impl DbPeer {
         for (id, depth) in &rows.null_depths {
             self.chase.record(*id, *depth);
         }
+    }
+
+    /// Folds an answer's dictionary delta into the shared catalog view and
+    /// records that `from` knows those symbols (no need to ship their
+    /// definitions back). In one process the absorb is an identity check;
+    /// a cross-process deployment would remap here.
+    pub(crate) fn absorb_dict(&mut self, from: NodeId, rows: &crate::messages::AnswerRows) {
+        if rows.dict.is_empty() {
+            return;
+        }
+        let remap = ConstCatalog::global().absorb(&rows.dict);
+        debug_assert!(
+            remap.is_identity(),
+            "in-process dictionary deltas must agree with the shared catalog"
+        );
+        let known = self.sym_sent.entry(from).or_default();
+        known.extend(rows.dict.iter().map(|(id, _)| remap.map(*id)));
     }
 
     /// Sends a Dijkstra–Scholten *basic* message (eager mode): counts the

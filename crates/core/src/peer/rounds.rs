@@ -293,6 +293,7 @@ impl DbPeer {
                 // No watermarks: a stale ack is not a processed answer and
                 // must not advance anyone's resync cursor.
                 marks: BTreeMap::new(),
+                dict: Vec::new(),
             };
             ctx.send(
                 from,
@@ -334,7 +335,7 @@ impl DbPeer {
             self.stats.delta_answers_sent += 1;
             self.stats.rows_shipped += shipped;
             self.stats.rows_saved += prev_sent;
-            let payload = self.make_answer_rows(&part.vars, rows);
+            let payload = self.make_answer_rows(to, &part.vars, rows);
             let marks = self.db.watermarks();
             if let Some(sub) = self.rnd.wave_subs.get_mut(&key) {
                 sub.watermarks = marks;
@@ -362,7 +363,7 @@ impl DbPeer {
                 },
             );
         }
-        let payload = self.make_answer_rows(&part.vars, rows);
+        let payload = self.make_answer_rows(to, &part.vars, rows);
         ctx.send(
             to,
             ProtocolMsg::WaveAnswer {
@@ -387,6 +388,7 @@ impl DbPeer {
         if !self.rnd.active || round != self.rnd.round {
             return; // Stale answer for a finished round.
         }
+        self.absorb_dict(from, &rows);
         self.absorb_null_depths(&rows);
         // Durable peers log the processed answer (rows + the answerer's
         // watermarks — the crash-resync cursor).

@@ -253,16 +253,10 @@ impl CoordinationRule {
         Ok(())
     }
 
-    /// Approximate serialized size (rules travel in `AddRule` and
-    /// `BroadcastRules` messages).
+    /// Serialized size (rules travel in `AddRule` and `BroadcastRules`
+    /// messages) — the exact encoded byte length.
     pub fn wire_size(&self) -> usize {
-        let atom_size = |a: &Atom| 8 + 4 * a.terms.len();
-        16 + self
-            .parts
-            .iter()
-            .map(|p| p.atoms.iter().map(atom_size).sum::<usize>() + 8)
-            .sum::<usize>()
-            + self.head.iter().map(atom_size).sum::<usize>()
+        p2p_net::encoded_wire_size(self)
     }
 }
 

@@ -74,6 +74,23 @@ pub struct PeerStats {
     /// took to repair the crash, to be compared against what a full
     /// re-propagation would have shipped.
     pub resync_rows: u64,
+    /// First-use dictionary entries shipped with answers: `(SymId, string)`
+    /// definitions for interned constants the recipient had not seen on
+    /// that pipe. Bounded by (distinct constants × pipes) for the whole
+    /// run — the price of never re-shipping a string.
+    pub dict_entries_sent: u64,
+    /// Total encoded bytes of the answer payloads this peer shipped
+    /// (interned rows + dictionary deltas) — the data-plane slice of the
+    /// transport layer's byte counters. Only counted under
+    /// `SystemConfig::measure_payload_bytes` (experiment e16); zero
+    /// otherwise.
+    pub payload_bytes: u64,
+    /// What those same payloads would have cost pre-interning (strings
+    /// inline in every row, no dictionary) — measured per payload at send
+    /// time under `SystemConfig::measure_payload_bytes`.
+    /// `payload_bytes_legacy / payload_bytes` is experiment e16's
+    /// wire-shrink figure.
+    pub payload_bytes_legacy: u64,
     /// How the node last closed.
     pub closed_by: ClosedBy,
     /// Synchronous rounds participated in (rounds mode).
@@ -87,15 +104,11 @@ impl PeerStats {
         *self = PeerStats::default();
     }
 
-    /// Number of serialized fields, kept in lockstep with the struct by the
-    /// `wire_size_tracks_serialized_fields` test — add a counter without
-    /// bumping this and the test fails, so new fields can't silently skew
-    /// the byte accounting.
-    const SERIALIZED_FIELDS: usize = 20;
-
-    /// Wire size of a stats report message: one 8-byte word per field.
+    /// Wire size of a stats report: the **exact** byte length of the
+    /// serialized form (the old `SERIALIZED_FIELDS * 8` approximation is
+    /// gone; `wire_size_is_the_serialized_length` guards the equivalence).
     pub fn wire_size(&self) -> usize {
-        Self::SERIALIZED_FIELDS * 8
+        p2p_net::encoded_wire_size(self)
     }
 
     /// Merges another peer's counters (super-peer aggregation).
@@ -118,6 +131,9 @@ impl PeerStats {
         self.crashes += other.crashes;
         self.recoveries += other.recoveries;
         self.resync_rows += other.resync_rows;
+        self.dict_entries_sent += other.dict_entries_sent;
+        self.payload_bytes += other.payload_bytes;
+        self.payload_bytes_legacy += other.payload_bytes_legacy;
         self.rounds = self.rounds.max(other.rounds);
     }
 }
@@ -162,20 +178,26 @@ mod tests {
     }
 
     #[test]
-    fn wire_size_tracks_serialized_fields() {
-        // Derive the expected size from the serialized form instead of
-        // hand-counting struct fields: every field of the flat JSON object
-        // contributes one `":` marker (field values — numbers and the
-        // `closed_by` variant name — never contain that sequence).
-        let json = serde_json::to_string(&PeerStats::default()).unwrap();
-        let fields = json.matches("\":").count();
-        assert!(fields > 0, "serialization must be a flat object: {json}");
+    fn wire_size_is_the_serialized_length() {
+        // The report's wire size is the exact encoded length — no field
+        // counting to fall out of sync with the struct. Checked both at
+        // default and at a non-default state (digit widths vary).
+        let dflt = PeerStats::default();
         assert_eq!(
-            PeerStats::default().wire_size(),
-            fields * 8,
-            "PeerStats::SERIALIZED_FIELDS is out of sync with the struct \
-             (serialized form: {json})"
+            dflt.wire_size(),
+            serde_json::to_string(&dflt).unwrap().len()
         );
+        let busy = PeerStats {
+            queries_received: 123_456,
+            rows_shipped: u64::MAX,
+            closed_by: ClosedBy::CleanRound,
+            ..Default::default()
+        };
+        assert_eq!(
+            busy.wire_size(),
+            serde_json::to_string(&busy).unwrap().len()
+        );
+        assert_ne!(dflt.wire_size(), busy.wire_size());
     }
 
     #[test]

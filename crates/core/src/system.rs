@@ -19,7 +19,7 @@ use p2p_net::{
     SimTime, Simulator, ThreadedNetwork, UniformLatency,
 };
 use p2p_relational::query::{evaluate_certain, parse_query};
-use p2p_relational::{Database, DatabaseSchema, Tuple, Value};
+use p2p_relational::{Database, DatabaseSchema, Tuple, Val};
 use p2p_storage::{MemoryBackend, PeerStorage};
 use p2p_topology::{scc, NodeId};
 use std::collections::BTreeMap;
@@ -110,14 +110,21 @@ impl P2PSystemBuilder {
         Ok(())
     }
 
-    /// Inserts one base tuple at a node.
-    pub fn insert(&mut self, id: u32, relation: &str, values: Vec<Value>) -> CoreResult<()> {
+    /// Inserts one base tuple at a node. Accepts both data-plane [`Val`]s
+    /// and boundary [`p2p_relational::Value`]s (network files), interning
+    /// the latter.
+    pub fn insert<V: Into<Val>>(
+        &mut self,
+        id: u32,
+        relation: &str,
+        values: Vec<V>,
+    ) -> CoreResult<()> {
         let node = NodeId(id);
         let db = self
             .data
             .get_mut(&node)
             .ok_or_else(|| CoreError::UnknownNode(node.to_string()))?;
-        db.insert_values(relation, values)?;
+        db.insert_values(relation, values.into_iter().map(Into::into).collect())?;
         Ok(())
     }
 
@@ -655,10 +662,8 @@ mod tests {
         b.add_node_with_schema(0, "a(x: int, y: int).").unwrap();
         b.add_node_with_schema(1, "b(x: int, y: int).").unwrap();
         b.add_rule("r1", "B:b(X,Y) => A:a(X,Y)").unwrap();
-        b.insert(1, "b", vec![Value::Int(1), Value::Int(2)])
-            .unwrap();
-        b.insert(1, "b", vec![Value::Int(3), Value::Int(4)])
-            .unwrap();
+        b.insert(1, "b", vec![Val::Int(1), Val::Int(2)]).unwrap();
+        b.insert(1, "b", vec![Val::Int(3), Val::Int(4)]).unwrap();
         b
     }
 

@@ -40,7 +40,7 @@ pub use fault::FaultPlan;
 pub use latency::{
     BandwidthLatency, ConstantLatency, LatencyModel, PerEdgeLatency, UniformLatency,
 };
-pub use message::{Envelope, SimTime, Wire};
+pub use message::{encoded_wire_size, Envelope, SimTime, Wire};
 pub use sim::{Context, Peer, RunOutcome, Simulator};
 pub use stats::{NetStats, NodeNetStats};
 pub use threaded::ThreadedNetwork;

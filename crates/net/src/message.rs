@@ -65,14 +65,24 @@ impl fmt::Display for SimTime {
 }
 
 /// What the network layer needs to know about a protocol message: its
-/// approximate wire size (for byte accounting and bandwidth-aware latency)
-/// and a short kind label (for per-kind statistics and Figure-1 style
-/// traces).
+/// wire size (for byte accounting and bandwidth-aware latency) and a short
+/// kind label (for per-kind statistics and Figure-1 style traces).
 pub trait Wire: Clone + fmt::Debug + Send + 'static {
-    /// Approximate serialized size in bytes.
+    /// Serialized size in bytes. Implementations for serde-serializable
+    /// messages should report the **real** encoded size via
+    /// [`encoded_wire_size`] rather than a hand-maintained approximation.
     fn wire_size(&self) -> usize;
     /// Short stable label, e.g. `"Query"`, `"Answer"`, `"requestNodes"`.
     fn kind(&self) -> &'static str;
+}
+
+/// The codec-true wire size of a message: the exact byte length of its
+/// serialized form (the same codec the storage layer frames records with).
+/// This replaced the old per-type `fields * 8` style estimates, so byte
+/// accounting, bandwidth-aware latency and the experiments all see what a
+/// real transport would carry.
+pub fn encoded_wire_size<T: serde::Serialize>(msg: &T) -> usize {
+    serde_json::encoded_len(msg)
 }
 
 /// A message in flight.

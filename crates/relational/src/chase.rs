@@ -20,7 +20,7 @@ use crate::hom::{satisfiable, FactPattern, PatTerm};
 use crate::query::ast::{Atom, Constraint, Term};
 use crate::query::eval::evaluate_bindings;
 use crate::tuple::Tuple;
-use crate::value::{NullFactory, NullId, Value};
+use crate::value::{NullFactory, NullId, Val};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -66,9 +66,9 @@ impl ChaseState {
     }
 
     /// Depth of a value: nulls as recorded (unknown ⇒ 0), constants 0.
-    pub fn depth_of(&self, v: &Value) -> u32 {
+    pub fn depth_of(&self, v: &Val) -> u32 {
         match v {
-            Value::Null(id) => self.depths.get(id).copied().unwrap_or(0),
+            Val::Null(id) => self.depths.get(id).copied().unwrap_or(0),
             _ => 0,
         }
     }
@@ -88,7 +88,7 @@ impl ChaseState {
         tuple
             .values()
             .filter_map(|v| match v {
-                Value::Null(id) => Some((*id, self.depth_of(v))),
+                Val::Null(id) => Some((*id, self.depth_of(v))),
                 _ => None,
             })
             .collect()
@@ -122,7 +122,7 @@ impl ChaseOutcome {
 pub fn apply_head(
     db: &mut Database,
     head: &[Atom],
-    binding: &HashMap<Arc<str>, Value>,
+    binding: &HashMap<Arc<str>, Val>,
     nulls: &mut NullFactory,
     state: &mut ChaseState,
     config: &ChaseConfig,
@@ -147,9 +147,9 @@ pub fn apply_head(
             .terms
             .iter()
             .map(|t| match t {
-                Term::Const(c) => PatTerm::Fixed(c.clone()),
+                Term::Const(c) => PatTerm::Fixed(*c),
                 Term::Var(v) => match binding.get(v) {
-                    Some(val) => PatTerm::Fixed(val.clone()),
+                    Some(val) => PatTerm::Fixed(*val),
                     None => {
                         let next = flex_of.len();
                         PatTerm::Flex(*flex_of.entry(v.clone()).or_insert(next))
@@ -181,10 +181,10 @@ pub fn apply_head(
     }
 
     // Mint one fresh null per distinct existential variable.
-    let mut fresh: HashMap<Arc<str>, Value> = HashMap::new();
+    let mut fresh: HashMap<Arc<str>, Val> = HashMap::new();
     for (var, _) in flex_of.iter() {
         let n = nulls.fresh();
-        if let Value::Null(id) = n {
+        if let Val::Null(id) = n {
             state.record(id, new_depth);
         }
         fresh.insert(var.clone(), n);
@@ -195,12 +195,12 @@ pub fn apply_head(
         nulls_minted: fresh.len(),
     };
     for atom in head {
-        let values: Vec<Value> = atom
+        let values: Vec<Val> = atom
             .terms
             .iter()
             .map(|t| match t {
-                Term::Const(c) => c.clone(),
-                Term::Var(v) => binding.get(v).cloned().unwrap_or_else(|| fresh[v].clone()),
+                Term::Const(c) => *c,
+                Term::Var(v) => binding.get(v).copied().unwrap_or_else(|| fresh[v]),
             })
             .collect();
         let tuple = Tuple::new(values);
@@ -226,12 +226,13 @@ pub fn apply_rule_local(
 ) -> Result<ChaseOutcome> {
     let bindings = evaluate_bindings(body, constraints, db)?;
     let mut total = ChaseOutcome::default();
-    for row in &bindings.rows {
-        let map: HashMap<Arc<str>, Value> = bindings
+    for i in 0..bindings.len() {
+        let row = bindings.row(i);
+        let map: HashMap<Arc<str>, Val> = bindings
             .vars
             .iter()
             .cloned()
-            .zip(row.iter().cloned())
+            .zip(row.iter().copied())
             .collect();
         let outcome = apply_head(db, head, &map, nulls, state, config)?;
         total.nulls_minted += outcome.nulls_minted;
@@ -261,18 +262,15 @@ mod tests {
         )
     }
 
-    fn bind(pairs: &[(&str, Value)]) -> HashMap<Arc<str>, Value> {
-        pairs
-            .iter()
-            .map(|(k, v)| (Arc::from(*k), v.clone()))
-            .collect()
+    fn bind(pairs: &[(&str, Val)]) -> HashMap<Arc<str>, Val> {
+        pairs.iter().map(|(k, v)| (Arc::from(*k), *v)).collect()
     }
 
     #[test]
     fn ground_head_inserts_once() {
         let (mut d, mut nf, mut st, cfg) = setup();
         let head = vec![parse_atom("c(X, Y)").unwrap()];
-        let b = bind(&[("X", Value::Int(1)), ("Y", Value::Int(2))]);
+        let b = bind(&[("X", Val::Int(1)), ("Y", Val::Int(2))]);
         let o1 = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
         assert_eq!(o1.inserted.len(), 1);
         assert_eq!(o1.nulls_minted, 0);
@@ -286,7 +284,7 @@ mod tests {
         let (mut d, mut nf, mut st, cfg) = setup();
         // c(X, Z) with Z existential — the shape of paper rule r2.
         let head = vec![parse_atom("c(X, Z)").unwrap()];
-        let b = bind(&[("X", Value::Int(1))]);
+        let b = bind(&[("X", Val::Int(1))]);
         let o1 = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
         assert_eq!(o1.inserted.len(), 1);
         assert_eq!(o1.nulls_minted, 1);
@@ -300,10 +298,10 @@ mod tests {
     #[test]
     fn existing_constant_satisfies_existential_head() {
         let (mut d, mut nf, mut st, cfg) = setup();
-        d.insert_values("c", vec![Value::Int(1), Value::Int(42)])
+        d.insert_values("c", vec![Val::Int(1), Val::Int(42)])
             .unwrap();
         let head = vec![parse_atom("c(X, Z)").unwrap()];
-        let b = bind(&[("X", Value::Int(1))]);
+        let b = bind(&[("X", Val::Int(1))]);
         // c(1, 42) already witnesses c(1, ∃Z): no insertion.
         let o = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
         assert!(o.is_empty());
@@ -313,7 +311,7 @@ mod tests {
     fn shared_existential_across_head_atoms_uses_one_null() {
         let (mut d, mut nf, mut st, cfg) = setup();
         let head = vec![parse_atom("c(X, Z)").unwrap(), parse_atom("s(Z)").unwrap()];
-        let b = bind(&[("X", Value::Int(3))]);
+        let b = bind(&[("X", Val::Int(3))]);
         let o = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
         assert_eq!(o.inserted.len(), 2);
         assert_eq!(o.nulls_minted, 1);
@@ -327,10 +325,10 @@ mod tests {
         let (mut d, mut nf, mut st, cfg) = setup();
         // c(3, 42) exists but s(42) does not: the conjunction c(3,Z) ∧ s(Z)
         // is NOT satisfied, so the chase must fire.
-        d.insert_values("c", vec![Value::Int(3), Value::Int(42)])
+        d.insert_values("c", vec![Val::Int(3), Val::Int(42)])
             .unwrap();
         let head = vec![parse_atom("c(X, Z)").unwrap(), parse_atom("s(Z)").unwrap()];
-        let b = bind(&[("X", Value::Int(3))]);
+        let b = bind(&[("X", Val::Int(3))]);
         let o = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
         assert_eq!(o.nulls_minted, 1);
         assert_eq!(d.relation("c").unwrap().len(), 2);
@@ -340,9 +338,9 @@ mod tests {
     #[test]
     fn apply_rule_local_computes_all_bindings() {
         let (mut d, mut nf, mut st, cfg) = setup();
-        d.insert_values("b", vec![Value::Int(1), Value::Int(2)])
+        d.insert_values("b", vec![Val::Int(1), Val::Int(2)])
             .unwrap();
-        d.insert_values("b", vec![Value::Int(2), Value::Int(3)])
+        d.insert_values("b", vec![Val::Int(2), Val::Int(3)])
             .unwrap();
         // c(X, Y) :- b(X, Y) — plain copy rule.
         let q = parse_query("q(X, Y) :- b(X, Y)").unwrap();
@@ -379,7 +377,7 @@ mod tests {
         // acyclic; the depth limit must stop it.
         let (mut d, mut nf, mut st, _) = setup();
         let cfg = ChaseConfig { max_null_depth: 5 };
-        d.insert_values("b", vec![Value::Int(1), Value::Int(2)])
+        d.insert_values("b", vec![Val::Int(1), Val::Int(2)])
             .unwrap();
         let r1_body = parse_query("q(X, Y) :- b(X, Y)").unwrap();
         let r1_head = vec![parse_atom("c(Y, Z)").unwrap()];
@@ -421,19 +419,16 @@ mod tests {
     fn head_with_constant_terms() {
         let (mut d, mut nf, mut st, cfg) = setup();
         let head = vec![parse_atom("c(X, 99)").unwrap()];
-        let b = bind(&[("X", Value::Int(1))]);
+        let b = bind(&[("X", Val::Int(1))]);
         let o = apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg).unwrap();
-        assert_eq!(
-            o.inserted[0].1,
-            Tuple::new(vec![Value::Int(1), Value::Int(99)])
-        );
+        assert_eq!(o.inserted[0].1, Tuple::new(vec![Val::Int(1), Val::Int(99)]));
     }
 
     #[test]
     fn qualified_head_atom_rejected() {
         let (mut d, mut nf, mut st, cfg) = setup();
         let head = vec![parse_atom("A:c(X, Y)").unwrap()];
-        let b = bind(&[("X", Value::Int(1)), ("Y", Value::Int(1))]);
+        let b = bind(&[("X", Val::Int(1)), ("Y", Val::Int(1))]);
         assert!(matches!(
             apply_head(&mut d, &head, &b, &mut nf, &mut st, &cfg),
             Err(Error::QualifiedAtom(_))

@@ -4,7 +4,7 @@ use crate::error::{Error, Result};
 use crate::relation::Relation;
 use crate::schema::DatabaseSchema;
 use crate::tuple::Tuple;
-use crate::value::Value;
+use crate::value::Val;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -60,8 +60,8 @@ impl Database {
         Ok(rel.insert(tuple))
     }
 
-    /// Convenience: insert from a `Vec<Value>`.
-    pub fn insert_values(&mut self, relation: &str, values: Vec<Value>) -> Result<bool> {
+    /// Convenience: insert from a `Vec<Val>`.
+    pub fn insert_values(&mut self, relation: &str, values: Vec<Val>) -> Result<bool> {
         self.insert(relation, Tuple::new(values))
     }
 
@@ -86,8 +86,8 @@ impl Database {
     pub fn all_facts(&self) -> Vec<(Arc<str>, Tuple)> {
         let mut out = Vec::with_capacity(self.total_tuples());
         for (name, rel) in &self.relations {
-            for t in rel.iter() {
-                out.push((name.clone(), t.clone()));
+            for row in rel.iter() {
+                out.push((name.clone(), Tuple::from_row(row)));
             }
         }
         out
@@ -108,16 +108,28 @@ impl Database {
         let mut out = Vec::new();
         for (name, rel) in &self.relations {
             let w = watermarks.get(name).copied().unwrap_or(0);
-            for t in rel.since(w) {
-                out.push((name.clone(), t.clone()));
+            for row in rel.since(w) {
+                out.push((name.clone(), Tuple::from_row(row)));
             }
         }
         out
     }
 
-    /// Approximate total serialized size in bytes (statistics module).
-    pub fn wire_size(&self) -> usize {
-        self.relations.values().map(Relation::wire_size).sum()
+    /// Every distinct interned symbol occurring in the database — what a
+    /// persisted copy must carry a dictionary for.
+    pub fn syms(&self) -> Vec<crate::catalog::SymId> {
+        let mut out: Vec<_> = self.relations.values().flat_map(|r| r.syms()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Rewrites every symbol id through `f` (crash recovery remaps foreign
+    /// catalog ids through the live catalog).
+    pub fn remap_syms(&mut self, f: &impl Fn(crate::catalog::SymId) -> crate::catalog::SymId) {
+        for rel in self.relations.values_mut() {
+            rel.remap_syms(f);
+        }
     }
 }
 
@@ -141,7 +153,7 @@ mod tests {
     #[test]
     fn insert_validates_relation_name() {
         let mut d = db();
-        let e = d.insert_values("zzz", vec![Value::Int(1)]).unwrap_err();
+        let e = d.insert_values("zzz", vec![Val::Int(1)]).unwrap_err();
         assert_eq!(e, Error::UnknownRelation("zzz".to_string()));
     }
 
@@ -149,19 +161,19 @@ mod tests {
     fn insert_validates_types() {
         let mut d = db();
         assert!(d
-            .insert_values("b", vec![Value::Int(1), Value::Int(2)])
+            .insert_values("b", vec![Val::Int(1), Val::Int(2)])
             .is_err());
         assert!(d
-            .insert_values("b", vec![Value::Int(1), Value::str("ok")])
+            .insert_values("b", vec![Val::Int(1), Val::str("ok")])
             .unwrap());
     }
 
     #[test]
     fn total_tuples_counts_all_relations() {
         let mut d = db();
-        d.insert_values("a", vec![Value::Int(1)]).unwrap();
-        d.insert_values("a", vec![Value::Int(2)]).unwrap();
-        d.insert_values("b", vec![Value::Int(1), Value::str("x")])
+        d.insert_values("a", vec![Val::Int(1)]).unwrap();
+        d.insert_values("a", vec![Val::Int(2)]).unwrap();
+        d.insert_values("b", vec![Val::Int(1), Val::str("x")])
             .unwrap();
         assert_eq!(d.total_tuples(), 3);
         assert!(!d.is_empty());
@@ -170,24 +182,24 @@ mod tests {
     #[test]
     fn facts_since_respects_watermarks() {
         let mut d = db();
-        d.insert_values("a", vec![Value::Int(1)]).unwrap();
+        d.insert_values("a", vec![Val::Int(1)]).unwrap();
         let w = d.watermarks();
-        d.insert_values("a", vec![Value::Int(2)]).unwrap();
-        d.insert_values("b", vec![Value::Int(1), Value::str("x")])
+        d.insert_values("a", vec![Val::Int(2)]).unwrap();
+        d.insert_values("b", vec![Val::Int(1), Val::str("x")])
             .unwrap();
         let delta = d.facts_since(&w);
         assert_eq!(delta.len(), 2);
         assert_eq!(&*delta[0].0, "a");
-        assert_eq!(delta[0].1, Tuple::new(vec![Value::Int(2)]));
+        assert_eq!(delta[0].1, Tuple::new(vec![Val::Int(2)]));
         assert_eq!(&*delta[1].0, "b");
     }
 
     #[test]
     fn all_facts_is_deterministic_name_order() {
         let mut d = db();
-        d.insert_values("b", vec![Value::Int(1), Value::str("x")])
+        d.insert_values("b", vec![Val::Int(1), Val::str("x")])
             .unwrap();
-        d.insert_values("a", vec![Value::Int(9)]).unwrap();
+        d.insert_values("a", vec![Val::Int(9)]).unwrap();
         let facts = d.all_facts();
         assert_eq!(&*facts[0].0, "a"); // "a" sorts before "b"
         assert_eq!(&*facts[1].0, "b");

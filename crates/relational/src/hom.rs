@@ -14,7 +14,7 @@
 
 use crate::database::Database;
 use crate::tuple::Tuple;
-use crate::value::{NullId, Value};
+use crate::value::{NullId, Val};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -23,7 +23,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PatTerm {
     /// Must match this exact value (constants, and nulls that already exist).
-    Fixed(Value),
+    Fixed(Val),
     /// A variable; all occurrences of the same id must map to one value.
     Flex(usize),
 }
@@ -45,7 +45,7 @@ pub struct FactPattern {
 /// first would be an optimization but head conjunctions are tiny (1–3 atoms)
 /// so plain order suffices.
 pub fn satisfiable(patterns: &[FactPattern], db: &Database) -> bool {
-    let mut assignment: HashMap<usize, Value> = HashMap::new();
+    let mut assignment: HashMap<usize, Val> = HashMap::new();
     backtrack(patterns, 0, db, &mut assignment)
 }
 
@@ -53,7 +53,7 @@ fn backtrack(
     patterns: &[FactPattern],
     idx: usize,
     db: &Database,
-    assignment: &mut HashMap<usize, Value>,
+    assignment: &mut HashMap<usize, Val>,
 ) -> bool {
     let Some(pat) = patterns.get(idx) else {
         return true;
@@ -61,28 +61,28 @@ fn backtrack(
     let Ok(relation) = db.relation(&pat.relation) else {
         return false;
     };
-    'tuples: for tuple in relation.iter() {
-        if tuple.arity() != pat.terms.len() {
+    'tuples: for row in relation.iter() {
+        if row.len() != pat.terms.len() {
             continue;
         }
         let mut newly_bound: Vec<usize> = Vec::new();
         for (pos, term) in pat.terms.iter().enumerate() {
             match term {
                 PatTerm::Fixed(v) => {
-                    if tuple.0[pos] != *v {
+                    if row[pos] != *v {
                         undo(assignment, &newly_bound);
                         continue 'tuples;
                     }
                 }
                 PatTerm::Flex(var) => match assignment.get(var) {
                     Some(bound) => {
-                        if *bound != tuple.0[pos] {
+                        if *bound != row[pos] {
                             undo(assignment, &newly_bound);
                             continue 'tuples;
                         }
                     }
                     None => {
-                        assignment.insert(*var, tuple.0[pos].clone());
+                        assignment.insert(*var, row[pos]);
                         newly_bound.push(*var);
                     }
                 },
@@ -96,7 +96,7 @@ fn backtrack(
     false
 }
 
-fn undo(assignment: &mut HashMap<usize, Value>, vars: &[usize]) {
+fn undo(assignment: &mut HashMap<usize, Val>, vars: &[usize]) {
     for v in vars {
         assignment.remove(v);
     }
@@ -118,14 +118,14 @@ pub fn contained_modulo_nulls(a: &Database, b: &Database) -> bool {
         let nulls: Vec<NullId> = tuple
             .values()
             .filter_map(|v| match v {
-                Value::Null(id) => Some(*id),
+                Val::Null(id) => Some(*id),
                 _ => None,
             })
             .collect();
         if nulls.is_empty() {
             // Fast path: must exist verbatim in b.
             match b.relation(&rel_name) {
-                Ok(rel) if rel.contains(&tuple) => {}
+                Ok(rel) if rel.contains(&tuple.0) => {}
                 _ => return false,
             }
         } else {
@@ -146,7 +146,7 @@ pub fn contained_modulo_nulls(a: &Database, b: &Database) -> bool {
         let terms = tuple
             .values()
             .map(|v| match v {
-                Value::Null(id) => {
+                Val::Null(id) => {
                     let r = null_components.find(*id);
                     rep = Some(r);
                     let flex = *flex_ids.entry(*id).or_insert_with(|| {
@@ -156,7 +156,7 @@ pub fn contained_modulo_nulls(a: &Database, b: &Database) -> bool {
                     });
                     PatTerm::Flex(flex)
                 }
-                other => PatTerm::Fixed(other.clone()),
+                other => PatTerm::Fixed(*other),
             })
             .collect();
         let rep = rep.expect("null-bearing fact has a component representative");
@@ -228,8 +228,8 @@ mod tests {
         DatabaseSchema::parse("r(x: int, y: int). s(x: int).").unwrap()
     }
 
-    fn int_tuple(vals: &[i64]) -> Vec<Value> {
-        vals.iter().map(|&v| Value::Int(v)).collect()
+    fn int_tuple(vals: &[i64]) -> Vec<Val> {
+        vals.iter().map(|&v| Val::Int(v)).collect()
     }
 
     #[test]
@@ -250,7 +250,7 @@ mod tests {
         let mut b = Database::new(schema());
         let mut nf = NullFactory::new(1);
         let n = nf.fresh();
-        a.insert_values("r", vec![Value::Int(1), n]).unwrap();
+        a.insert_values("r", vec![Val::Int(1), n]).unwrap();
         b.insert_values("r", int_tuple(&[1, 7])).unwrap();
         assert!(contained_modulo_nulls(&a, &b));
         assert!(!contained_modulo_nulls(&b, &a)); // 7 cannot map to a null? It can: constants map to themselves only.
@@ -263,8 +263,7 @@ mod tests {
         let mut nf = NullFactory::new(1);
         let n = nf.fresh();
         // a: r(1, N), s(N) — N shared.
-        a.insert_values("r", vec![Value::Int(1), n.clone()])
-            .unwrap();
+        a.insert_values("r", vec![Val::Int(1), n]).unwrap();
         a.insert_values("s", vec![n]).unwrap();
         // b: r(1, 7), s(8) — no consistent image.
         b.insert_values("r", int_tuple(&[1, 7])).unwrap();
@@ -281,9 +280,9 @@ mod tests {
         let mut b = Database::new(schema());
         let mut nfa = NullFactory::new(1);
         let mut nfb = NullFactory::new(2);
-        a.insert_values("r", vec![Value::Int(1), nfa.fresh()])
+        a.insert_values("r", vec![Val::Int(1), nfa.fresh()])
             .unwrap();
-        b.insert_values("r", vec![Value::Int(1), nfb.fresh()])
+        b.insert_values("r", vec![Val::Int(1), nfb.fresh()])
             .unwrap();
         assert!(equivalent_modulo_nulls(&a, &b));
     }
@@ -296,12 +295,11 @@ mod tests {
         let n1 = nf.fresh();
         let n2 = nf.fresh();
         // a has two facts with distinct nulls; b has one null used twice.
-        a.insert_values("r", vec![Value::Int(1), n1]).unwrap();
-        a.insert_values("r", vec![Value::Int(2), n2]).unwrap();
+        a.insert_values("r", vec![Val::Int(1), n1]).unwrap();
+        a.insert_values("r", vec![Val::Int(2), n2]).unwrap();
         let m = nf.fresh();
-        b.insert_values("r", vec![Value::Int(1), m.clone()])
-            .unwrap();
-        b.insert_values("r", vec![Value::Int(2), m]).unwrap();
+        b.insert_values("r", vec![Val::Int(1), m]).unwrap();
+        b.insert_values("r", vec![Val::Int(2), m]).unwrap();
         // a -> b: n1 -> m, n2 -> m. Fine.
         assert!(contained_modulo_nulls(&a, &b));
         // b -> a: m must map to both n1 and n2 — impossible.
@@ -315,13 +313,13 @@ mod tests {
         // Pattern r(1, Z) with Z flexible: satisfied by r(1,9).
         let pat = FactPattern {
             relation: Arc::from("r"),
-            terms: vec![PatTerm::Fixed(Value::Int(1)), PatTerm::Flex(0)],
+            terms: vec![PatTerm::Fixed(Val::Int(1)), PatTerm::Flex(0)],
         };
         assert!(satisfiable(std::slice::from_ref(&pat), &db));
         // Pattern r(2, Z): not satisfied.
         let pat2 = FactPattern {
             relation: Arc::from("r"),
-            terms: vec![PatTerm::Fixed(Value::Int(2)), PatTerm::Flex(0)],
+            terms: vec![PatTerm::Fixed(Val::Int(2)), PatTerm::Flex(0)],
         };
         assert!(!satisfiable(&[pat2], &db));
         // Joint pattern r(1, Z), s(Z): needs s(9).

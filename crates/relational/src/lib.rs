@@ -11,25 +11,31 @@
 //! and conjunctive formulas — possibly with **existential variables** — in
 //! their heads. This crate provides exactly that machinery:
 //!
-//! * [`Value`] — constants (integers, strings) plus **labeled nulls**, the
-//!   fresh values invented for existential head variables ("insert with new
-//!   values for existential", algorithm A6 of the paper);
+//! * [`Val`] — the fixed-width data-plane value: integers, **interned**
+//!   string constants ([`catalog::ConstCatalog`], the paper's shared set `C`
+//!   of constants "acting as URIs"), and **labeled nulls**, the fresh values
+//!   invented for existential head variables ("insert with new values for
+//!   existential", algorithm A6 of the paper). [`Value`] is the boundary
+//!   form carrying strings verbatim for the external JSON formats;
 //! * [`schema::RelationSchema`] / [`schema::DatabaseSchema`] — typed,
 //!   named relation signatures (the paper's `DBS` module);
-//! * [`Relation`] / [`Database`] — deduplicated, insertion-ordered tuple
-//!   stores with per-column hash indexes;
+//! * [`Relation`] / [`Database`] — deduplicated, insertion-ordered
+//!   **columnar** tuple stores (one flat `Vec<Val>` per relation) with
+//!   per-column hash indexes;
 //! * [`query`] — a conjunctive-query AST, a text parser
-//!   (`q(X,Y) :- r(X,Z), s(Z,Y), X != Y`), and a generic-join evaluator
-//!   under naive-table semantics (labeled nulls join only with themselves,
-//!   built-ins involving nulls are *unknown* and therefore excluded — sound
-//!   for certain answers of positive queries);
+//!   (`q(X,Y) :- r(X,Z), s(Z,Y), X != Y`), and a flat-buffer hash-join
+//!   evaluator under naive-table semantics (labeled nulls join only with
+//!   themselves, built-ins involving nulls are *unknown* and therefore
+//!   excluded — sound for certain answers of positive queries);
 //! * [`hom`] — homomorphism checks between sets of facts with nulls, used
 //!   both by the restricted chase and by tests that compare distributed
 //!   results with the global fix-point oracle *modulo null renaming*;
 //! * [`chase`] — restricted-chase application of rule heads: a head is
 //!   instantiated only when no homomorphic image of it is already present,
 //!   which is what bounds null invention and guarantees termination of the
-//!   update fix-point for weakly-acyclic rule sets.
+//!   update fix-point for weakly-acyclic rule sets;
+//! * [`legacy`] — the pre-interning `Value`-based reference evaluator, kept
+//!   as the oracle for equivalence tests and as the benchmark baseline.
 //!
 //! The engine is deliberately self-contained (no external storage, no SQL)
 //! and deterministic: all iteration that can influence observable behaviour
@@ -38,13 +44,13 @@
 //! ## Quick example
 //!
 //! ```
-//! use p2p_relational::{Database, DatabaseSchema, Value};
+//! use p2p_relational::{Database, DatabaseSchema, Val};
 //! use p2p_relational::query::{parse_query, evaluate};
 //!
 //! let schema = DatabaseSchema::parse("b(x: int, y: int).").unwrap();
 //! let mut db = Database::new(schema);
-//! db.insert_values("b", vec![Value::Int(1), Value::Int(2)]).unwrap();
-//! db.insert_values("b", vec![Value::Int(2), Value::Int(3)]).unwrap();
+//! db.insert_values("b", vec![Val::Int(1), Val::Int(2)]).unwrap();
+//! db.insert_values("b", vec![Val::Int(2), Val::Int(3)]).unwrap();
 //!
 //! let q = parse_query("q(X, Z) :- b(X, Y), b(Y, Z)").unwrap();
 //! let ans = evaluate(&q, &db).unwrap();
@@ -54,19 +60,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod chase;
 pub mod database;
 pub mod error;
+pub mod fxhash;
 pub mod hom;
+pub mod legacy;
 pub mod query;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use catalog::{ConstCatalog, SymId, SymRemap};
 pub use database::Database;
 pub use error::{Error, Result};
+pub use fxhash::{fx_hash, FxHashMap, FxHashSet};
 pub use relation::Relation;
 pub use schema::{ColumnType, DatabaseSchema, RelationSchema};
 pub use tuple::Tuple;
-pub use value::{NullFactory, NullId, Value};
+pub use value::{NullFactory, NullId, Val, Value};

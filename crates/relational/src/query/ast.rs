@@ -1,18 +1,52 @@
 //! Abstract syntax for conjunctive queries and rule formulas.
 
-use crate::value::Value;
-use serde::{Deserialize, Serialize};
+use crate::value::{Val, Value};
+use serde::{Content, DeError, Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
 /// A term: a variable or a constant.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Term {
     /// A variable, named as in the source text (`X`, `Year`, …).
     Var(Arc<str>),
     /// A constant value.
-    Const(Value),
+    Const(Val),
+}
+
+// Terms travel inside rules and query fragments (`AddRule`,
+// `BroadcastRules`, `Query`, `WaveQuery` …). Unlike answer rows — which
+// amortise their symbols through per-pipe dictionary deltas — a rule is a
+// one-shot, tiny payload with no delta channel, so its constants serialize
+// in the **boundary** form, string inline (`{"Const":{"Str":"open"}}`,
+// byte-identical to the pre-interning shape): any receiver can resolve it
+// without prior dictionary sync, and the wire accounting pays for the
+// string honestly. Deserialization re-interns.
+impl Serialize for Term {
+    fn to_content(&self) -> Content {
+        match self {
+            Term::Var(v) => Content::Map(vec![("Var".to_string(), v.to_content())]),
+            Term::Const(c) => Content::Map(vec![("Const".to_string(), c.to_value().to_content())]),
+        }
+    }
+}
+
+impl Deserialize for Term {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let m = c
+            .as_map()
+            .filter(|m| m.len() == 1)
+            .ok_or_else(|| DeError::expected("single-key object", "Term"))?;
+        let (k, v) = &m[0];
+        match k.as_str() {
+            "Var" => Ok(Term::Var(Arc::<str>::from_content(v)?)),
+            "Const" => Ok(Term::Const(Value::from_content(v)?.to_val())),
+            other => Err(DeError::custom(format!(
+                "unknown variant `{other}` of Term"
+            ))),
+        }
+    }
 }
 
 impl Term {
@@ -142,8 +176,8 @@ impl CmpOp {
     /// any other comparison touching a null is unknown and therefore does
     /// not hold. This makes built-in filtering sound for certain answers of
     /// positive queries.
-    pub fn certainly_holds(self, lhs: &Value, rhs: &Value) -> bool {
-        use Value::Null;
+    pub fn certainly_holds(self, lhs: &Val, rhs: &Val) -> bool {
+        use Val::Null;
         match (lhs, rhs) {
             (Null(a), Null(b)) => match self {
                 CmpOp::Eq => a == b,
@@ -289,18 +323,18 @@ mod tests {
 
     #[test]
     fn cmp_certain_semantics_on_constants() {
-        assert!(CmpOp::Eq.certainly_holds(&Value::Int(1), &Value::Int(1)));
-        assert!(CmpOp::Neq.certainly_holds(&Value::Int(1), &Value::Int(2)));
-        assert!(CmpOp::Lt.certainly_holds(&Value::Int(1), &Value::Int(2)));
-        assert!(CmpOp::Ge.certainly_holds(&Value::str("b"), &Value::str("a")));
-        assert!(!CmpOp::Gt.certainly_holds(&Value::Int(1), &Value::Int(2)));
+        assert!(CmpOp::Eq.certainly_holds(&Val::Int(1), &Val::Int(1)));
+        assert!(CmpOp::Neq.certainly_holds(&Val::Int(1), &Val::Int(2)));
+        assert!(CmpOp::Lt.certainly_holds(&Val::Int(1), &Val::Int(2)));
+        assert!(CmpOp::Ge.certainly_holds(&Val::str("b"), &Val::str("a")));
+        assert!(!CmpOp::Gt.certainly_holds(&Val::Int(1), &Val::Int(2)));
     }
 
     #[test]
     fn cmp_certain_semantics_on_nulls() {
         use crate::value::NullId;
-        let n1 = Value::Null(NullId::new(0, 1));
-        let n2 = Value::Null(NullId::new(0, 2));
+        let n1 = Val::Null(NullId::new(0, 1));
+        let n2 = Val::Null(NullId::new(0, 2));
         // Same null: certainly equal.
         assert!(CmpOp::Eq.certainly_holds(&n1, &n1));
         assert!(CmpOp::Le.certainly_holds(&n1, &n1));
@@ -308,8 +342,8 @@ mod tests {
         // Distinct nulls / null vs constant: unknown, never holds.
         assert!(!CmpOp::Eq.certainly_holds(&n1, &n2));
         assert!(!CmpOp::Neq.certainly_holds(&n1, &n2));
-        assert!(!CmpOp::Lt.certainly_holds(&n1, &Value::Int(3)));
-        assert!(!CmpOp::Eq.certainly_holds(&Value::Int(3), &n1));
+        assert!(!CmpOp::Lt.certainly_holds(&n1, &Val::Int(3)));
+        assert!(!CmpOp::Eq.certainly_holds(&Val::Int(3), &n1));
     }
 
     #[test]
@@ -328,6 +362,24 @@ mod tests {
             }],
         };
         assert_eq!(q.to_string(), "q(X, Z) :- b(X, Y), b(Y, Z), X != Z");
+    }
+
+    #[test]
+    fn term_constants_serialize_with_strings_inline() {
+        // Rule constants must be self-describing on the wire (no dictionary
+        // channel exists for them) — and byte-identical to the pre-interning
+        // form.
+        let t = Term::Const(Val::str("inline-const"));
+        let text = serde_json::to_string(&t).unwrap();
+        assert_eq!(text, "{\"Const\":{\"Str\":\"inline-const\"}}");
+        let back: Term = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, t);
+        let v = Term::var("X");
+        let back: Term = serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+        let i = Term::Const(Val::Int(-3));
+        let back: Term = serde_json::from_str(&serde_json::to_string(&i).unwrap()).unwrap();
+        assert_eq!(back, i);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Conjunctive-query evaluation: greedy atom ordering + hash joins.
+//! Conjunctive-query evaluation: greedy atom ordering + hash joins over
+//! fixed-width [`Val`] rows.
 //!
 //! Semantics: **naive tables**. Labeled nulls are ordinary values that join
 //! only with themselves; built-in comparisons involving nulls are unknown and
@@ -6,28 +7,50 @@
 //! [`evaluate_certain`] — which additionally drops answer tuples containing
 //! nulls — returns certain answers for positive queries, the semantics under
 //! which the paper's soundness/completeness statements are phrased.
+//!
+//! The evaluator works entirely on flat row buffers: intermediate bindings
+//! are one contiguous `Vec<Val>` with stride = variable count, join keys are
+//! copied `Val` words probed against `Box<[Val]>`-keyed hash indexes, and no
+//! per-row reference counting happens anywhere. The old `Value`-based
+//! evaluator survives as [`crate::legacy`] for equivalence testing and as
+//! the benchmark baseline.
 
 use crate::database::Database;
 use crate::error::{Error, Result};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::query::ast::{Atom, CmpOp, ConjunctiveQuery, Constraint, Term};
 use crate::tuple::Tuple;
-use crate::value::Value;
+use crate::value::Val;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
-/// The result of evaluating a body: a table of variable bindings.
-///
-/// `rows[i][j]` is the value of `vars[j]` in the i-th satisfying assignment.
-/// Rows are deduplicated and listed in a deterministic order.
+/// The result of evaluating a body: a table of variable bindings stored as
+/// one flat buffer (`row i` = `data[i*width .. (i+1)*width]`, column `j` =
+/// the value of `vars[j]`). Rows are deduplicated and listed in a
+/// deterministic order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bindings {
     /// Variable names, in slot order.
     pub vars: Vec<Arc<str>>,
-    /// One row per satisfying assignment.
-    pub rows: Vec<Vec<Value>>,
+    width: usize,
+    data: Vec<Val>,
+    /// A zero-variable body has at most one (empty) satisfying assignment,
+    /// which the flat buffer cannot represent — this flag does.
+    nonempty_zero_width: bool,
 }
 
 impl Bindings {
+    /// An empty table over the given variables.
+    pub fn empty(vars: Vec<Arc<str>>) -> Self {
+        let width = vars.len();
+        Bindings {
+            vars,
+            width,
+            data: Vec::new(),
+            nonempty_zero_width: false,
+        }
+    }
+
     /// Slot index of a variable.
     pub fn slot(&self, var: &str) -> Option<usize> {
         self.vars.iter().position(|v| &**v == var)
@@ -35,12 +58,50 @@ impl Bindings {
 
     /// Number of satisfying assignments.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match self.data.len().checked_div(self.width) {
+            Some(n) => n,
+            // Zero-variable body: at most one (empty) assignment.
+            None => usize::from(self.nonempty_zero_width),
+        }
     }
 
     /// True iff the body has no satisfying assignment.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
+    }
+
+    /// Row accessor.
+    pub fn row(&self, i: usize) -> &[Val] {
+        &self.data[i * self.width..i * self.width + self.width]
+    }
+
+    /// Iterates rows as slices.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[Val]> {
+        // `chunks_exact(0)` panics, so special-case zero width.
+        let width = self.width.max(1);
+        let n = self.len();
+        (0..n).map(move |i| {
+            if self.width == 0 {
+                &self.data[0..0]
+            } else {
+                &self.data[i * width..i * width + width]
+            }
+        })
+    }
+
+    /// Appends one row (caller guarantees dedup and width).
+    pub fn push_row(&mut self, row: &[Val]) {
+        debug_assert_eq!(row.len(), self.width);
+        if self.width == 0 {
+            self.nonempty_zero_width = true;
+        }
+        self.data.extend_from_slice(row);
+    }
+
+    /// Drops all rows, keeping the columns.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.nonempty_zero_width = false;
     }
 
     /// Projects the bindings onto head terms, deduplicating while preserving
@@ -55,21 +116,19 @@ impl Bindings {
                         .ok_or_else(|| Error::UnboundVariable(v.to_string()))?;
                     slots.push(Ok(s));
                 }
-                Term::Const(c) => slots.push(Err(c.clone())),
+                Term::Const(c) => slots.push(Err(*c)),
             }
         }
         let mut seen = HashSet::new();
         let mut out = Vec::new();
-        for row in &self.rows {
-            let tuple = Tuple::new(
-                slots
-                    .iter()
-                    .map(|s| match s {
-                        Ok(idx) => row[*idx].clone(),
-                        Err(c) => c.clone(),
-                    })
-                    .collect(),
-            );
+        let mut buf: Vec<Val> = Vec::with_capacity(head.len());
+        for row in self.rows() {
+            buf.clear();
+            buf.extend(slots.iter().map(|s| match s {
+                Ok(idx) => row[*idx],
+                Err(c) => *c,
+            }));
+            let tuple = Tuple::from_row(&buf);
             if seen.insert(tuple.clone()) {
                 out.push(tuple);
             }
@@ -123,7 +182,7 @@ pub fn evaluate_bindings_since(
     watermarks: &BTreeMap<Arc<str>, usize>,
 ) -> Result<Bindings> {
     let mut out: Option<Bindings> = None;
-    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    let mut seen: FxHashSet<Box<[Val]>> = FxHashSet::default();
     for (i, atom) in atoms.iter().enumerate() {
         if atom.qualifier.is_some() {
             return Err(Error::QualifiedAtom(atom.to_string()));
@@ -135,14 +194,15 @@ pub fn evaluate_bindings_since(
         let delta = evaluate_bindings_restricted(atoms, constraints, db, Some((i, watermark)))?;
         match &mut out {
             None => {
-                seen.extend(delta.rows.iter().cloned());
+                seen.extend(delta.rows().map(Box::from));
                 out = Some(delta);
             }
             Some(acc) => {
                 debug_assert_eq!(acc.vars, delta.vars);
-                for row in delta.rows {
-                    if seen.insert(row.clone()) {
-                        acc.rows.push(row);
+                for row in delta.rows() {
+                    if !seen.contains(row) {
+                        seen.insert(Box::from(row));
+                        acc.push_row(row);
                     }
                 }
             }
@@ -154,10 +214,20 @@ pub fn evaluate_bindings_since(
         None => {
             let mut empty =
                 evaluate_bindings_restricted(atoms, constraints, db, Some((0, usize::MAX)))?;
-            empty.rows.clear();
+            empty.clear();
             Ok(empty)
         }
     }
+}
+
+/// Per-position action when extending a binding row by one matched tuple.
+enum PosAction {
+    /// First occurrence of a variable in this atom: write `tuple[pos]` into
+    /// the binding slot.
+    Bind { pos: usize, slot: usize },
+    /// Repeated occurrence within the same atom: the slot was just written,
+    /// so compare.
+    Recheck { pos: usize, slot: usize },
 }
 
 /// Shared implementation: evaluates a body, optionally restricting one atom
@@ -259,26 +329,50 @@ fn evaluate_bindings_restricted(
     }
 
     // -- join ----------------------------------------------------------------
+    // One flat buffer of candidate bindings; unbound slots hold a harmless
+    // placeholder (the stage-level `bound` set says which slots are live, so
+    // the placeholder is never read).
     let nvars = vars.len();
-    let mut rows: Vec<Vec<Option<Value>>> = vec![vec![None; nvars]];
+    let width = nvars.max(1);
+    let mut rows: Vec<Val> = vec![Val::Int(0); width]; // one empty binding
+    let mut nrows: usize = 1;
     let mut bound: HashSet<usize> = HashSet::new();
     let mut applied: Vec<bool> = vec![false; constraints.len()];
 
-    apply_ready_constraints(constraints, &mut applied, &bound, &slot_of, &mut rows);
+    apply_ready_constraints(
+        constraints,
+        &mut applied,
+        &bound,
+        &slot_of,
+        &mut rows,
+        &mut nrows,
+        width,
+    );
 
+    let mut key: Vec<Val> = Vec::new();
     for &ai in &order {
         let atom = &atoms[ai];
         let relation = db.relation(&atom.relation)?;
 
-        // Positions whose value is determined by the current bindings.
+        // Classify positions: key (value determined by current bindings or a
+        // constant), bind (new variable), recheck (variable repeated within
+        // this atom).
         let mut key_positions: Vec<usize> = Vec::new();
+        let mut actions: Vec<PosAction> = Vec::new();
+        let mut bound_here: HashSet<usize> = HashSet::new();
         for (pos, t) in atom.terms.iter().enumerate() {
-            let det = match t {
-                Term::Const(_) => true,
-                Term::Var(v) => bound.contains(&slot_of[v]),
-            };
-            if det {
-                key_positions.push(pos);
+            match t {
+                Term::Const(_) => key_positions.push(pos),
+                Term::Var(v) => {
+                    let slot = slot_of[v];
+                    if bound.contains(&slot) {
+                        key_positions.push(pos);
+                    } else if bound_here.insert(slot) {
+                        actions.push(PosAction::Bind { pos, slot });
+                    } else {
+                        actions.push(PosAction::Recheck { pos, slot });
+                    }
+                }
             }
         }
 
@@ -288,52 +382,66 @@ fn evaluate_bindings_restricted(
             Some((atom_idx, watermark)) if atom_idx == ai => watermark,
             _ => 0,
         };
-        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        for (ri, tuple) in relation.iter().enumerate().skip(min_pos) {
-            let key: Vec<Value> = key_positions.iter().map(|&p| tuple.0[p].clone()).collect();
-            index.entry(key).or_default().push(ri);
+        let mut index: FxHashMap<Box<[Val]>, Vec<u32>> = FxHashMap::default();
+        for (ri, row) in relation.iter().enumerate().skip(min_pos) {
+            key.clear();
+            key.extend(key_positions.iter().map(|&p| row[p]));
+            match index.get_mut(key.as_slice()) {
+                Some(v) => v.push(ri as u32),
+                None => {
+                    index.insert(Box::from(key.as_slice()), vec![ri as u32]);
+                }
+            }
         }
 
-        let mut next: Vec<Vec<Option<Value>>> = Vec::new();
-        for binding in &rows {
-            let key: Vec<Value> = key_positions
-                .iter()
-                .map(|&p| match &atom.terms[p] {
-                    Term::Const(c) => c.clone(),
-                    Term::Var(v) => binding[slot_of[v]].clone().expect("key var must be bound"),
-                })
-                .collect();
-            let Some(matches) = index.get(&key) else {
+        let mut next: Vec<Val> = Vec::new();
+        let mut next_n: usize = 0;
+        for bi in 0..nrows {
+            let binding = &rows[bi * width..bi * width + width];
+            key.clear();
+            key.extend(key_positions.iter().map(|&p| match &atom.terms[p] {
+                Term::Const(c) => *c,
+                Term::Var(v) => binding[slot_of[v]],
+            }));
+            let Some(matches) = index.get(key.as_slice()) else {
                 continue;
             };
             'rows: for &ri in matches {
-                let tuple = relation.row(ri);
-                let mut extended = binding.clone();
-                for (pos, t) in atom.terms.iter().enumerate() {
-                    if let Term::Var(v) = t {
-                        let slot = slot_of[v];
-                        match &extended[slot] {
-                            Some(existing) => {
-                                if *existing != tuple.0[pos] {
-                                    continue 'rows;
-                                }
+                let tuple = relation.row(ri as usize);
+                let start = next.len();
+                next.extend_from_slice(binding);
+                for act in &actions {
+                    match *act {
+                        PosAction::Bind { pos, slot } => next[start + slot] = tuple[pos],
+                        PosAction::Recheck { pos, slot } => {
+                            if next[start + slot] != tuple[pos] {
+                                next.truncate(start);
+                                continue 'rows;
                             }
-                            None => extended[slot] = Some(tuple.0[pos].clone()),
                         }
                     }
                 }
-                next.push(extended);
+                next_n += 1;
             }
         }
         rows = next;
+        nrows = next_n;
 
         for t in &atom.terms {
             if let Term::Var(v) = t {
                 bound.insert(slot_of[v]);
             }
         }
-        apply_ready_constraints(constraints, &mut applied, &bound, &slot_of, &mut rows);
-        if rows.is_empty() {
+        apply_ready_constraints(
+            constraints,
+            &mut applied,
+            &bound,
+            &slot_of,
+            &mut rows,
+            &mut nrows,
+            width,
+        );
+        if nrows == 0 {
             break;
         }
     }
@@ -341,32 +449,39 @@ fn evaluate_bindings_restricted(
     // Any constraint still unapplied (possible only when `rows` emptied early
     // or the body had no atoms) is applied now if ground, else it already
     // failed validation above.
-    apply_ready_constraints(constraints, &mut applied, &bound, &slot_of, &mut rows);
+    apply_ready_constraints(
+        constraints,
+        &mut applied,
+        &bound,
+        &slot_of,
+        &mut rows,
+        &mut nrows,
+        width,
+    );
 
     // -- materialise ---------------------------------------------------------
-    let mut seen = HashSet::new();
-    let mut out_rows = Vec::with_capacity(rows.len());
-    for r in rows {
-        let full: Vec<Value> = r
-            .into_iter()
-            .map(|v| v.expect("all variables bound after full join"))
-            .collect();
-        if seen.insert(full.clone()) {
-            out_rows.push(full);
+    let mut out = Bindings::empty(vars);
+    let mut seen: FxHashSet<Box<[Val]>> = FxHashSet::default();
+    for i in 0..nrows {
+        let row = &rows[i * width..i * width + width];
+        let row = &row[..nvars]; // drop the width-1 padding of a 0-var body
+        if !seen.contains(row) {
+            seen.insert(Box::from(row));
+            out.push_row(row);
         }
     }
-    Ok(Bindings {
-        vars,
-        rows: out_rows,
-    })
+    Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_ready_constraints(
     constraints: &[Constraint],
     applied: &mut [bool],
     bound: &HashSet<usize>,
     slot_of: &HashMap<Arc<str>, usize>,
-    rows: &mut Vec<Vec<Option<Value>>>,
+    rows: &mut Vec<Val>,
+    nrows: &mut usize,
+    width: usize,
 ) {
     for (ci, c) in constraints.iter().enumerate() {
         if applied[ci] {
@@ -377,26 +492,34 @@ fn apply_ready_constraints(
             continue;
         }
         applied[ci] = true;
-        rows.retain(|row| {
+        // Compact in place, keeping rows that certainly satisfy `c`.
+        let mut keep = 0usize;
+        for i in 0..*nrows {
+            let row = &rows[i * width..i * width + width];
             let lhs = term_value(&c.lhs, row, slot_of);
             let rhs = term_value(&c.rhs, row, slot_of);
-            c.op.certainly_holds(&lhs, &rhs)
-        });
+            if c.op.certainly_holds(&lhs, &rhs) {
+                if keep != i {
+                    rows.copy_within(i * width..i * width + width, keep * width);
+                }
+                keep += 1;
+            }
+        }
+        rows.truncate(keep * width);
+        *nrows = keep;
     }
 }
 
-fn term_value(t: &Term, row: &[Option<Value>], slot_of: &HashMap<Arc<str>, usize>) -> Value {
+fn term_value(t: &Term, row: &[Val], slot_of: &HashMap<Arc<str>, usize>) -> Val {
     match t {
-        Term::Const(c) => c.clone(),
-        Term::Var(v) => row[slot_of[v]]
-            .clone()
-            .expect("constraint applied only when its variables are bound"),
+        Term::Const(c) => *c,
+        Term::Var(v) => row[slot_of[v]],
     }
 }
 
 /// Evaluates the comparison `lhs op rhs` over two ground values — exposed for
 /// reuse by the chase and the distributed layer.
-pub fn compare(op: CmpOp, lhs: &Value, rhs: &Value) -> bool {
+pub fn compare(op: CmpOp, lhs: &Val, rhs: &Val) -> bool {
     op.certainly_holds(lhs, rhs)
 }
 
@@ -409,10 +532,14 @@ mod tests {
     fn db_with_b(pairs: &[(i64, i64)]) -> Database {
         let mut db = Database::new(DatabaseSchema::parse("b(x: int, y: int).").unwrap());
         for &(x, y) in pairs {
-            db.insert_values("b", vec![Value::Int(x), Value::Int(y)])
+            db.insert_values("b", vec![Val::Int(x), Val::Int(y)])
                 .unwrap();
         }
         db
+    }
+
+    fn row_set(b: &Bindings) -> HashSet<Vec<Val>> {
+        b.rows().map(<[Val]>::to_vec).collect()
     }
 
     #[test]
@@ -423,24 +550,22 @@ mod tests {
         assert_eq!(
             ans,
             vec![
-                Tuple::new(vec![Value::Int(1), Value::Int(3)]),
-                Tuple::new(vec![Value::Int(2), Value::Int(4)]),
+                Tuple::new(vec![Val::Int(1), Val::Int(3)]),
+                Tuple::new(vec![Val::Int(2), Val::Int(4)]),
             ]
         );
     }
 
     #[test]
     fn self_join_with_neq_matches_paper_rule_r4_shape() {
-        // b(X,Y), b(X,Z), X != Z — wait, the paper's r4 uses X != Z over two
-        // b-atoms sharing X; replicate that shape literally.
         let db = db_with_b(&[(1, 2), (1, 3), (2, 5)]);
         let q = parse_query("q(X, Y) :- b(X, Y), b(X, Z), Y != Z").unwrap();
         let ans = evaluate(&q, &db).unwrap();
         assert_eq!(
             ans,
             vec![
-                Tuple::new(vec![Value::Int(1), Value::Int(2)]),
-                Tuple::new(vec![Value::Int(1), Value::Int(3)]),
+                Tuple::new(vec![Val::Int(1), Val::Int(2)]),
+                Tuple::new(vec![Val::Int(1), Val::Int(3)]),
             ]
         );
     }
@@ -452,10 +577,7 @@ mod tests {
         let ans = evaluate(&q, &db).unwrap();
         assert_eq!(
             ans,
-            vec![
-                Tuple::new(vec![Value::Int(1)]),
-                Tuple::new(vec![Value::Int(3)]),
-            ]
+            vec![Tuple::new(vec![Val::Int(1)]), Tuple::new(vec![Val::Int(3)])]
         );
     }
 
@@ -466,10 +588,7 @@ mod tests {
         let ans = evaluate(&q, &db).unwrap();
         assert_eq!(
             ans,
-            vec![
-                Tuple::new(vec![Value::Int(1)]),
-                Tuple::new(vec![Value::Int(7)]),
-            ]
+            vec![Tuple::new(vec![Val::Int(1)]), Tuple::new(vec![Val::Int(7)])]
         );
     }
 
@@ -486,7 +605,7 @@ mod tests {
         let db = db_with_b(&[(1, 2), (1, 3)]);
         let q = parse_query("q(X) :- b(X, Y)").unwrap();
         let ans = evaluate(&q, &db).unwrap();
-        assert_eq!(ans, vec![Tuple::new(vec![Value::Int(1)])]);
+        assert_eq!(ans, vec![Tuple::new(vec![Val::Int(1)])]);
     }
 
     #[test]
@@ -537,15 +656,13 @@ mod tests {
         let mut nf = NullFactory::new(1);
         let n1 = nf.fresh();
         let n2 = nf.fresh();
-        db.insert_values("b", vec![Value::Int(1), n1.clone()])
-            .unwrap();
-        db.insert_values("b", vec![n1.clone(), Value::Int(9)])
-            .unwrap();
-        db.insert_values("b", vec![n2, Value::Int(8)]).unwrap();
+        db.insert_values("b", vec![Val::Int(1), n1]).unwrap();
+        db.insert_values("b", vec![n1, Val::Int(9)]).unwrap();
+        db.insert_values("b", vec![n2, Val::Int(8)]).unwrap();
         let q = parse_query("q(X, Z) :- b(X, Y), b(Y, Z)").unwrap();
         let ans = evaluate(&q, &db).unwrap();
         // 1 -> n1 -> 9 joins (same null); n2 chain does not.
-        assert_eq!(ans, vec![Tuple::new(vec![Value::Int(1), Value::Int(9)])]);
+        assert_eq!(ans, vec![Tuple::new(vec![Val::Int(1), Val::Int(9)])]);
     }
 
     #[test]
@@ -553,15 +670,12 @@ mod tests {
         use crate::value::NullFactory;
         let mut db = db_with_b(&[(1, 2)]);
         let mut nf = NullFactory::new(1);
-        db.insert_values("b", vec![Value::Int(3), nf.fresh()])
+        db.insert_values("b", vec![Val::Int(3), nf.fresh()])
             .unwrap();
         let q = parse_query("q(X, Y) :- b(X, Y)").unwrap();
         assert_eq!(evaluate(&q, &db).unwrap().len(), 2);
         let certain = evaluate_certain(&q, &db).unwrap();
-        assert_eq!(
-            certain,
-            vec![Tuple::new(vec![Value::Int(1), Value::Int(2)])]
-        );
+        assert_eq!(certain, vec![Tuple::new(vec![Val::Int(1), Val::Int(2)])]);
     }
 
     #[test]
@@ -569,7 +683,7 @@ mod tests {
         use crate::value::NullFactory;
         let mut db = db_with_b(&[]);
         let mut nf = NullFactory::new(1);
-        db.insert_values("b", vec![Value::Int(1), nf.fresh()])
+        db.insert_values("b", vec![Val::Int(1), nf.fresh()])
             .unwrap();
         // Y != 5 is unknown when Y is a null — excluded.
         let q = parse_query("q(X) :- b(X, Y), Y != 5").unwrap();
@@ -581,15 +695,25 @@ mod tests {
         let mut db = Database::new(
             DatabaseSchema::parse("p(id: int, name: str). w(name: str, year: int).").unwrap(),
         );
-        db.insert_values("p", vec![Value::Int(1), Value::str("ana")])
+        db.insert_values("p", vec![Val::Int(1), Val::str("ana")])
             .unwrap();
-        db.insert_values("w", vec![Value::str("ana"), Value::Int(2001)])
+        db.insert_values("w", vec![Val::str("ana"), Val::Int(2001)])
             .unwrap();
-        db.insert_values("w", vec![Value::str("bob"), Value::Int(2002)])
+        db.insert_values("w", vec![Val::str("bob"), Val::Int(2002)])
             .unwrap();
         let q = parse_query("q(I, Y) :- p(I, N), w(N, Y)").unwrap();
         let ans = evaluate(&q, &db).unwrap();
-        assert_eq!(ans, vec![Tuple::new(vec![Value::Int(1), Value::Int(2001)])]);
+        assert_eq!(ans, vec![Tuple::new(vec![Val::Int(1), Val::Int(2001)])]);
+    }
+
+    #[test]
+    fn string_order_constraints_resolve_through_the_catalog() {
+        let mut db = Database::new(DatabaseSchema::parse("w(name: str).").unwrap());
+        db.insert_values("w", vec![Val::str("zeta")]).unwrap();
+        db.insert_values("w", vec![Val::str("alpha")]).unwrap();
+        let q = parse_query("q(N) :- w(N), N < 'm'").unwrap();
+        let ans = evaluate(&q, &db).unwrap();
+        assert_eq!(ans, vec![Tuple::new(vec![Val::str("alpha")])]);
     }
 
     #[test]
@@ -602,30 +726,27 @@ mod tests {
         // Nothing new: empty delta over the same columns.
         let delta = evaluate_bindings_since(&q.atoms, &q.constraints, &db, &w).unwrap();
         assert_eq!(delta.vars, before.vars);
-        assert!(delta.rows.is_empty());
+        assert!(delta.is_empty());
 
         // Insert b(3,4): new chains 2→3→4 must appear; both delta positions
         // (new-as-first-atom and new-as-second-atom) are exercised.
-        db.insert_values("b", vec![Value::Int(3), Value::Int(4)])
+        db.insert_values("b", vec![Val::Int(3), Val::Int(4)])
             .unwrap();
-        db.insert_values("b", vec![Value::Int(0), Value::Int(1)])
+        db.insert_values("b", vec![Val::Int(0), Val::Int(1)])
             .unwrap();
         let delta = evaluate_bindings_since(&q.atoms, &q.constraints, &db, &w).unwrap();
         let after = evaluate_bindings(&q.atoms, &q.constraints, &db).unwrap();
         // The delta is a subset of the full evaluation …
-        let full: HashSet<_> = after.rows.iter().cloned().collect();
-        assert!(delta.rows.iter().all(|r| full.contains(r)));
+        let full = row_set(&after);
+        let delta_rows = row_set(&delta);
+        assert!(delta_rows.iter().all(|r| full.contains(r)));
         // … and (old ∪ delta) equals the full evaluation.
-        let mut union: HashSet<_> = before.rows.iter().cloned().collect();
-        union.extend(delta.rows.iter().cloned());
+        let mut union = row_set(&before);
+        union.extend(delta_rows.iter().cloned());
         assert_eq!(union, full);
         // The genuinely new chains are in the delta.
-        assert!(delta
-            .rows
-            .contains(&vec![Value::Int(2), Value::Int(3), Value::Int(4)]));
-        assert!(delta
-            .rows
-            .contains(&vec![Value::Int(0), Value::Int(1), Value::Int(2)]));
+        assert!(delta_rows.contains(&vec![Val::Int(2), Val::Int(3), Val::Int(4)]));
+        assert!(delta_rows.contains(&vec![Val::Int(0), Val::Int(1), Val::Int(2)]));
     }
 
     #[test]
@@ -633,12 +754,13 @@ mod tests {
         let mut db = db_with_b(&[(1, 2)]);
         let q = parse_query("q(X, Y) :- b(X, Y), X < Y").unwrap();
         let w = db.watermarks();
-        db.insert_values("b", vec![Value::Int(5), Value::Int(3)])
+        db.insert_values("b", vec![Val::Int(5), Val::Int(3)])
             .unwrap();
-        db.insert_values("b", vec![Value::Int(3), Value::Int(5)])
+        db.insert_values("b", vec![Val::Int(3), Val::Int(5)])
             .unwrap();
         let delta = evaluate_bindings_since(&q.atoms, &q.constraints, &db, &w).unwrap();
-        assert_eq!(delta.rows, vec![vec![Value::Int(3), Value::Int(5)]]);
+        let rows: Vec<Vec<Val>> = delta.rows().map(<[Val]>::to_vec).collect();
+        assert_eq!(rows, vec![vec![Val::Int(3), Val::Int(5)]]);
     }
 
     #[test]
@@ -648,9 +770,7 @@ mod tests {
         let delta =
             evaluate_bindings_since(&q.atoms, &q.constraints, &db, &BTreeMap::new()).unwrap();
         let full = evaluate_bindings(&q.atoms, &q.constraints, &db).unwrap();
-        let d: HashSet<_> = delta.rows.into_iter().collect();
-        let f: HashSet<_> = full.rows.into_iter().collect();
-        assert_eq!(d, f);
+        assert_eq!(row_set(&delta), row_set(&full));
     }
 
     #[test]
@@ -658,9 +778,19 @@ mod tests {
         let db = db_with_b(&[(1, 2)]);
         let q = parse_query("q(X, 'tag') :- b(X, Y)").unwrap();
         let ans = evaluate(&q, &db).unwrap();
-        assert_eq!(
-            ans,
-            vec![Tuple::new(vec![Value::Int(1), Value::str("tag")])]
-        );
+        assert_eq!(ans, vec![Tuple::new(vec![Val::Int(1), Val::str("tag")])]);
+    }
+
+    #[test]
+    fn all_constant_body_yields_one_empty_binding() {
+        let db = db_with_b(&[(1, 2)]);
+        let q = parse_query("q(1) :- b(1, 2)").unwrap();
+        let b = evaluate_bindings(&q.atoms, &q.constraints, &db).unwrap();
+        assert_eq!(b.len(), 1);
+        let ans = evaluate(&q, &db).unwrap();
+        assert_eq!(ans, vec![Tuple::new(vec![Val::Int(1)])]);
+        // Unsatisfied constant body: zero bindings.
+        let q = parse_query("q(1) :- b(8, 9)").unwrap();
+        assert!(evaluate(&q, &db).unwrap().is_empty());
     }
 }

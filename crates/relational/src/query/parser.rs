@@ -20,7 +20,7 @@
 
 use crate::error::{Error, Result};
 use crate::query::ast::{Atom, CmpOp, ConjunctiveQuery, Constraint, Term};
-use crate::value::Value;
+use crate::value::Val;
 use std::sync::Arc;
 
 /// A parsed implication `body => head`: the shape of a coordination rule
@@ -282,7 +282,7 @@ impl<'a> P<'a> {
                 }
                 let s = &self.input[start..self.pos];
                 self.pos += 1;
-                Ok(Term::Const(Value::str(s)))
+                Ok(Term::Const(Val::str(s)))
             }
             Some(b) if b.is_ascii_digit() || b == b'-' => {
                 let start = self.pos;
@@ -297,7 +297,7 @@ impl<'a> P<'a> {
                 let n: i64 = text
                     .parse()
                     .map_err(|_| self.err_at(format!("invalid integer `{text}`")))?;
-                Ok(Term::Const(Value::Int(n)))
+                Ok(Term::Const(Val::Int(n)))
             }
             Some(b) if b.is_ascii_alphabetic() || b == b'_' => {
                 let name = self.ident()?;
@@ -307,7 +307,7 @@ impl<'a> P<'a> {
                 } else {
                     // Lowercase bare word: treat as string constant, matching
                     // common Datalog usage (`status(X, open)`).
-                    Ok(Term::Const(Value::str(name)))
+                    Ok(Term::Const(Val::str(name)))
                 }
             }
             _ => Err(self.err_at("expected term (variable, integer or 'string')")),
@@ -399,8 +399,8 @@ mod tests {
         let q = parse_query("q(X) :- r(X, Y, 'tag'), s(Y, 3), X != Y, Y >= 2").unwrap();
         assert_eq!(q.atoms.len(), 2);
         assert_eq!(q.constraints.len(), 2);
-        assert_eq!(q.atoms[0].terms[2], Term::Const(Value::str("tag")));
-        assert_eq!(q.atoms[1].terms[1], Term::Const(Value::Int(3)));
+        assert_eq!(q.atoms[0].terms[2], Term::Const(Val::str("tag")));
+        assert_eq!(q.atoms[1].terms[1], Term::Const(Val::Int(3)));
         assert_eq!(q.constraints[1].op, CmpOp::Ge);
     }
 
@@ -445,13 +445,13 @@ mod tests {
     #[test]
     fn lowercase_bare_words_are_string_constants() {
         let q = parse_query("q(X) :- status(X, open)").unwrap();
-        assert_eq!(q.atoms[0].terms[1], Term::Const(Value::str("open")));
+        assert_eq!(q.atoms[0].terms[1], Term::Const(Val::str("open")));
     }
 
     #[test]
     fn negative_integers_parse() {
         let q = parse_query("q(X) :- r(X, -5)").unwrap();
-        assert_eq!(q.atoms[0].terms[1], Term::Const(Value::Int(-5)));
+        assert_eq!(q.atoms[0].terms[1], Term::Const(Val::Int(-5)));
     }
 
     #[test]

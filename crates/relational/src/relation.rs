@@ -1,41 +1,60 @@
-//! A single relation instance: deduplicated, insertion-ordered tuples with
-//! per-column hash indexes.
+//! A single relation instance: columnar, deduplicated, insertion-ordered
+//! rows with per-column hash indexes.
+//!
+//! Storage is one flat `Vec<Val>` in row-major order with stride = arity —
+//! a row is a contiguous 16-byte-per-field slice, cache-friendly to scan and
+//! free of per-row allocations. Membership (deduplication) is a hash of the
+//! row slice mapping to candidate positions; there is **no** second
+//! serialized copy of the data (the old `present: HashSet<Tuple>` both
+//! doubled memory and doubled every snapshot on disk).
 //!
 //! Insertion order is preserved so that (a) iteration is deterministic and
 //! (b) *watermarks* work: the update protocol's delta optimization sends a
-//! subscriber only the tuples inserted after the watermark recorded at the
+//! subscriber only the rows inserted after the watermark recorded at the
 //! previous answer, which is exactly the "delta optimization … to minimize
 //! data transfer and duplication" the paper sketches in Section 3.
 
+use crate::fxhash::{fx_hash, FxHashMap};
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
-use crate::value::Value;
-use serde::{Deserialize, Serialize};
+use crate::value::Val;
+use serde::{Content, DeError, Deserialize, Serialize};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+/// Hashes one row slice (used for membership buckets).
+fn row_hash(row: &[Val]) -> u64 {
+    fx_hash(row)
+}
+
 /// A relation instance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     schema: RelationSchema,
-    /// Tuples in insertion order (the authoritative store).
-    rows: Vec<Tuple>,
-    /// Fast membership for deduplication.
-    present: HashSet<Tuple>,
-    /// Lazily built per-column indexes: column -> value -> row positions.
-    #[serde(skip)]
-    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    /// Column count, cached (`schema.arity()`).
+    arity: usize,
+    /// Row-major flat storage: row `i` is `data[i*arity .. (i+1)*arity]`.
+    data: Vec<Val>,
+    /// Number of rows (tracked separately so arity-0 relations work).
+    len: usize,
+    /// Membership: row-slice hash → positions with that hash (collisions
+    /// resolved by comparing slices). Rebuilt on deserialize, never stored.
+    seen: FxHashMap<u64, Vec<u32>>,
+    /// Lazily built per-column indexes: column → value → row positions.
+    indexes: FxHashMap<usize, FxHashMap<Val, Vec<u32>>>,
 }
 
 impl Relation {
     /// Creates an empty relation with the given signature.
     pub fn new(schema: RelationSchema) -> Self {
+        let arity = schema.arity();
         Relation {
             schema,
-            rows: Vec::new(),
-            present: HashSet::new(),
-            indexes: HashMap::new(),
+            arity,
+            data: Vec::new(),
+            len: 0,
+            seen: FxHashMap::default(),
+            indexes: FxHashMap::default(),
         }
     }
 
@@ -46,59 +65,95 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// True iff the relation holds no tuple.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
-    /// Membership test.
-    pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.present.contains(tuple)
-    }
-
-    /// Inserts a tuple; returns `true` iff it was new. The caller is expected
-    /// to have validated the tuple against the schema (see
-    /// [`crate::Database::insert`], which does).
-    pub fn insert(&mut self, tuple: Tuple) -> bool {
-        debug_assert_eq!(tuple.arity(), self.schema.arity());
-        if !self.present.insert(tuple.clone()) {
+    /// Membership test on a row slice.
+    pub fn contains(&self, row: &[Val]) -> bool {
+        if row.len() != self.arity {
             return false;
         }
-        let pos = self.rows.len();
-        for (col, index) in self.indexes.iter_mut() {
-            index.entry(tuple.0[*col].clone()).or_default().push(pos);
+        match self.seen.get(&row_hash(row)) {
+            Some(positions) => positions.iter().any(|&p| self.row(p as usize) == row),
+            None => false,
         }
-        self.rows.push(tuple);
+    }
+
+    /// Inserts a row by copy; returns `true` iff it was new. The caller is
+    /// expected to have validated the row against the schema (see
+    /// [`crate::Database::insert`], which does).
+    pub fn insert_row(&mut self, row: &[Val]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        let hash = row_hash(row);
+        let bucket = self.seen.entry(hash).or_default();
+        // Membership probe against flat storage (no borrow of `self.row`
+        // here because `bucket` borrows `self.seen` mutably).
+        let arity = self.arity;
+        let data = &self.data;
+        if bucket
+            .iter()
+            .any(|&p| &data[p as usize * arity..p as usize * arity + arity] == row)
+        {
+            return false;
+        }
+        let pos = self.len as u32;
+        bucket.push(pos);
+        self.data.extend_from_slice(row);
+        self.len += 1;
+        for (col, index) in self.indexes.iter_mut() {
+            index.entry(row[*col]).or_default().push(pos);
+        }
         true
     }
 
-    /// Iterates tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.rows.iter()
+    /// Inserts a tuple (convenience over [`Relation::insert_row`]).
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        self.insert_row(&tuple.0)
     }
 
-    /// Tuples inserted at or after `watermark` (insertion index), in order.
-    /// `watermark == len()` yields an empty slice.
-    pub fn since(&self, watermark: usize) -> &[Tuple] {
-        &self.rows[watermark.min(self.rows.len())..]
+    /// Row at insertion position `pos`, as a slice into columnar storage.
+    pub fn row(&self, pos: usize) -> &[Val] {
+        &self.data[pos * self.arity..pos * self.arity + self.arity]
+    }
+
+    /// Iterates rows in insertion order (zero-copy slices).
+    pub fn iter(&self) -> RowIter<'_> {
+        RowIter { rel: self, next: 0 }
+    }
+
+    /// Rows inserted at or after `watermark` (insertion index), in order.
+    /// `watermark >= len()` yields an empty iterator.
+    pub fn since(&self, watermark: usize) -> RowIter<'_> {
+        RowIter {
+            rel: self,
+            next: watermark.min(self.len),
+        }
     }
 
     /// Ensures a hash index on `column` exists and returns row positions
     /// whose `column` equals `value` (empty slice if none).
     ///
     /// The index is built on first use and maintained incrementally by
-    /// [`Relation::insert`] afterwards — scans during fix-point computation
-    /// repeatedly probe the same join columns, so this pays off immediately.
-    pub fn rows_matching(&mut self, column: usize, value: &Value) -> &[usize] {
+    /// [`Relation::insert_row`] afterwards — scans during fix-point
+    /// computation repeatedly probe the same join columns, so this pays off
+    /// immediately.
+    pub fn rows_matching(&mut self, column: usize, value: &Val) -> &[u32] {
+        let arity = self.arity;
+        let data = &self.data;
+        let len = self.len;
         let index = match self.indexes.entry(column) {
             Entry::Occupied(o) => o.into_mut(),
             Entry::Vacant(v) => {
-                let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
-                for (pos, t) in self.rows.iter().enumerate() {
-                    idx.entry(t.0[column].clone()).or_default().push(pos);
+                let mut idx: FxHashMap<Val, Vec<u32>> = FxHashMap::default();
+                for pos in 0..len {
+                    idx.entry(data[pos * arity + column])
+                        .or_default()
+                        .push(pos as u32);
                 }
                 v.insert(idx)
             }
@@ -106,27 +161,123 @@ impl Relation {
         index.get(value).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Row at insertion position `pos`.
-    pub fn row(&self, pos: usize) -> &Tuple {
-        &self.rows[pos]
+    /// Every distinct [`crate::catalog::SymId`] occurring in this relation —
+    /// the symbols a persisted copy must carry a dictionary for.
+    pub fn syms(&self) -> impl Iterator<Item = crate::catalog::SymId> + '_ {
+        self.data.iter().filter_map(Val::as_sym)
     }
 
-    /// All tuples as a slice, in insertion order.
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+    /// Rewrites every symbol through `f` (crash recovery remaps foreign
+    /// catalog ids through the live catalog). Membership buckets and column
+    /// indexes are rebuilt.
+    pub fn remap_syms(&mut self, f: &impl Fn(crate::catalog::SymId) -> crate::catalog::SymId) {
+        for v in &mut self.data {
+            if let Val::Sym(id) = v {
+                *id = f(*id);
+            }
+        }
+        self.rebuild_membership();
+        self.indexes.clear();
     }
 
-    /// Approximate total serialized size (statistics module).
-    pub fn wire_size(&self) -> usize {
-        self.rows.iter().map(Tuple::wire_size).sum()
+    /// Rebuilds the membership buckets from flat storage (deserialize,
+    /// remap).
+    fn rebuild_membership(&mut self) {
+        self.seen.clear();
+        for pos in 0..self.len {
+            let hash = row_hash(&self.data[pos * self.arity..pos * self.arity + self.arity]);
+            self.seen.entry(hash).or_default().push(pos as u32);
+        }
+    }
+}
+
+/// Iterator over a relation's rows as slices.
+#[derive(Debug, Clone)]
+pub struct RowIter<'a> {
+    rel: &'a Relation,
+    next: usize,
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = &'a [Val];
+
+    fn next(&mut self) -> Option<&'a [Val]> {
+        if self.next >= self.rel.len {
+            return None;
+        }
+        let row = self.rel.row(self.next);
+        self.next += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.rel.len - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
+// Serialization carries the schema and the rows exactly once, as nested
+// arrays (`"rows": [[...], ...]`); membership and indexes are rebuilt on
+// read. The old derived form additionally serialized a `present` set — a
+// byte-for-byte duplicate of every tuple that roughly doubled snapshots.
+impl Serialize for Relation {
+    fn to_content(&self) -> Content {
+        let rows: Vec<Content> = self
+            .iter()
+            .map(|row| Content::Seq(row.iter().map(|v| v.to_content()).collect()))
+            .collect();
+        Content::Map(vec![
+            ("schema".to_string(), self.schema.to_content()),
+            ("rows".to_string(), Content::Seq(rows)),
+        ])
+    }
+}
+
+impl Deserialize for Relation {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let m = c
+            .as_map()
+            .ok_or_else(|| DeError::expected("object", "Relation"))?;
+        let schema = serde::content_get(m, "schema")
+            .ok_or_else(|| DeError::missing_field("schema", "Relation"))
+            .and_then(RelationSchema::from_content)?;
+        let rows = serde::content_get(m, "rows")
+            .ok_or_else(|| DeError::missing_field("rows", "Relation"))?
+            .as_seq()
+            .ok_or_else(|| DeError::expected("array", "Relation::rows"))?;
+        let mut rel = Relation::new(schema);
+        let mut buf: Vec<Val> = Vec::with_capacity(rel.arity);
+        for row in rows {
+            let fields = row
+                .as_seq()
+                .ok_or_else(|| DeError::expected("array", "Relation row"))?;
+            if fields.len() != rel.arity {
+                return Err(DeError::expected("row of schema arity", "Relation row"));
+            }
+            buf.clear();
+            for f in fields {
+                buf.push(Val::from_content(f)?);
+            }
+            rel.insert_row(&buf);
+        }
+        Ok(rel)
     }
 }
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} [{} tuples]", self.schema, self.rows.len())?;
-        for t in &self.rows {
-            writeln!(f, "  {t}")?;
+        writeln!(f, "{} [{} tuples]", self.schema, self.len)?;
+        for row in self.iter() {
+            write!(f, "  (")?;
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f, ")")?;
         }
         Ok(())
     }
@@ -144,59 +295,106 @@ mod tests {
         ))
     }
 
-    fn tup(x: i64, y: i64) -> Tuple {
-        Tuple::new(vec![Value::Int(x), Value::Int(y)])
+    fn tup(x: i64, y: i64) -> Vec<Val> {
+        vec![Val::Int(x), Val::Int(y)]
     }
 
     #[test]
     fn insert_deduplicates() {
         let mut r = rel();
-        assert!(r.insert(tup(1, 2)));
-        assert!(!r.insert(tup(1, 2)));
-        assert!(r.insert(tup(2, 1)));
+        assert!(r.insert_row(&tup(1, 2)));
+        assert!(!r.insert_row(&tup(1, 2)));
+        assert!(r.insert_row(&tup(2, 1)));
         assert_eq!(r.len(), 2);
+        assert!(r.contains(&tup(1, 2)));
+        assert!(!r.contains(&tup(9, 9)));
     }
 
     #[test]
     fn insertion_order_preserved() {
         let mut r = rel();
-        r.insert(tup(3, 3));
-        r.insert(tup(1, 1));
-        r.insert(tup(2, 2));
-        let got: Vec<_> = r.iter().cloned().collect();
+        r.insert_row(&tup(3, 3));
+        r.insert_row(&tup(1, 1));
+        r.insert_row(&tup(2, 2));
+        let got: Vec<Vec<Val>> = r.iter().map(<[Val]>::to_vec).collect();
         assert_eq!(got, vec![tup(3, 3), tup(1, 1), tup(2, 2)]);
     }
 
     #[test]
     fn since_returns_suffix() {
         let mut r = rel();
-        r.insert(tup(1, 1));
+        r.insert_row(&tup(1, 1));
         let w = r.len();
-        r.insert(tup(2, 2));
-        r.insert(tup(3, 3));
-        assert_eq!(r.since(w), &[tup(2, 2), tup(3, 3)]);
-        assert!(r.since(r.len()).is_empty());
-        assert!(r.since(usize::MAX).is_empty());
+        r.insert_row(&tup(2, 2));
+        r.insert_row(&tup(3, 3));
+        let got: Vec<Vec<Val>> = r.since(w).map(<[Val]>::to_vec).collect();
+        assert_eq!(got, vec![tup(2, 2), tup(3, 3)]);
+        assert_eq!(r.since(r.len()).count(), 0);
+        assert_eq!(r.since(usize::MAX).count(), 0);
     }
 
     #[test]
     fn index_built_lazily_and_maintained() {
         let mut r = rel();
-        r.insert(tup(1, 10));
-        r.insert(tup(2, 20));
+        r.insert_row(&tup(1, 10));
+        r.insert_row(&tup(2, 20));
         // Build index on column 0 after two inserts …
-        assert_eq!(r.rows_matching(0, &Value::Int(1)), &[0]);
+        assert_eq!(r.rows_matching(0, &Val::Int(1)), &[0]);
         // … and it must be maintained by subsequent inserts.
-        r.insert(tup(1, 30));
-        assert_eq!(r.rows_matching(0, &Value::Int(1)), &[0, 2]);
-        assert!(r.rows_matching(0, &Value::Int(9)).is_empty());
+        r.insert_row(&tup(1, 30));
+        assert_eq!(r.rows_matching(0, &Val::Int(1)), &[0, 2]);
+        assert!(r.rows_matching(0, &Val::Int(9)).is_empty());
     }
 
     #[test]
     fn index_on_second_column() {
         let mut r = rel();
-        r.insert(tup(1, 7));
-        r.insert(tup(2, 7));
-        assert_eq!(r.rows_matching(1, &Value::Int(7)), &[0, 1]);
+        r.insert_row(&tup(1, 7));
+        r.insert_row(&tup(2, 7));
+        assert_eq!(r.rows_matching(1, &Val::Int(7)), &[0, 1]);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_membership() {
+        let mut r = rel();
+        r.insert_row(&tup(1, 2));
+        r.insert_row(&tup(3, 4));
+        let text = serde_json::to_string(&r).unwrap();
+        let back: Relation = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(back.contains(&tup(1, 2)));
+        let mut back = back;
+        assert!(!back.insert_row(&tup(3, 4))); // dedup still works
+        assert!(back.insert_row(&tup(5, 6)));
+    }
+
+    #[test]
+    fn serialized_form_has_no_duplicate_row_copy() {
+        let mut r = rel();
+        r.insert_row(&tup(123_456, 654_321));
+        let text = serde_json::to_string(&r).unwrap();
+        assert_eq!(text.matches("123456").count(), 1, "{text}");
+        assert!(!text.contains("present"), "{text}");
+    }
+
+    #[test]
+    fn zero_arity_relation_holds_at_most_one_row() {
+        let mut r = Relation::new(RelationSchema::new("unit", vec![]));
+        assert!(r.insert_row(&[]));
+        assert!(!r.insert_row(&[]));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().count(), 1);
+    }
+
+    #[test]
+    fn remap_syms_rewrites_and_rebuilds() {
+        let mut r = Relation::new(RelationSchema::new("s", vec![("x", ColumnType::Str)]));
+        let a = Val::str("remap-a");
+        let b = Val::str("remap-b");
+        r.insert_row(&[a]);
+        let (a_id, b_id) = (a.as_sym().unwrap(), b.as_sym().unwrap());
+        r.remap_syms(&|id| if id == a_id { b_id } else { id });
+        assert!(r.contains(&[b]));
+        assert!(!r.contains(&[a]));
     }
 }

@@ -10,7 +10,7 @@
 //! ```
 
 use crate::error::{Error, Result};
-use crate::value::Value;
+use crate::value::Val;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -28,12 +28,10 @@ pub enum ColumnType {
 
 impl ColumnType {
     /// Whether `value` inhabits this column type. Nulls inhabit every type.
-    pub fn admits(self, value: &Value) -> bool {
+    pub fn admits(self, value: &Val) -> bool {
         matches!(
             (self, value),
-            (ColumnType::Int, Value::Int(_))
-                | (ColumnType::Str, Value::Str(_))
-                | (_, Value::Null(_))
+            (ColumnType::Int, Val::Int(_)) | (ColumnType::Str, Val::Sym(_)) | (_, Val::Null(_))
         )
     }
 }
@@ -91,7 +89,7 @@ impl RelationSchema {
     }
 
     /// Validates a row against this signature (arity and column types).
-    pub fn check(&self, values: &[Value]) -> Result<()> {
+    pub fn check(&self, values: &[Val]) -> Result<()> {
         if values.len() != self.arity() {
             return Err(Error::ArityMismatch {
                 relation: self.name.to_string(),
@@ -356,13 +354,13 @@ mod tests {
     fn check_validates_arity_and_types() {
         let s = DatabaseSchema::parse("r(x: int, y: str).").unwrap();
         let r = s.relation("r").unwrap();
-        assert!(r.check(&[Value::Int(1), Value::str("a")]).is_ok());
+        assert!(r.check(&[Val::Int(1), Val::str("a")]).is_ok());
         assert!(matches!(
-            r.check(&[Value::Int(1)]),
+            r.check(&[Val::Int(1)]),
             Err(Error::ArityMismatch { .. })
         ));
         assert!(matches!(
-            r.check(&[Value::str("a"), Value::str("b")]),
+            r.check(&[Val::str("a"), Val::str("b")]),
             Err(Error::TypeMismatch { .. })
         ));
     }
@@ -372,8 +370,8 @@ mod tests {
         use crate::value::NullId;
         let s = DatabaseSchema::parse("r(x: int, y: str).").unwrap();
         let r = s.relation("r").unwrap();
-        let n = Value::Null(NullId::new(0, 0));
-        assert!(r.check(&[n.clone(), n]).is_ok());
+        let n = Val::Null(NullId::new(0, 0));
+        assert!(r.check(&[n, n]).is_ok());
     }
 
     #[test]

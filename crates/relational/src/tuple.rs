@@ -1,23 +1,32 @@
-//! Tuples: immutable, cheaply clonable rows.
+//! Tuples: immutable, cheaply clonable rows of fixed-width [`Val`]s.
 
-use crate::value::Value;
+use crate::value::Val;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
-/// An immutable tuple of [`Value`]s.
+/// An immutable tuple of [`Val`]s.
 ///
-/// Tuples are shared between the local store, query answers, and network
-/// messages; `Arc<[Value]>` keeps those copies O(1). Equality, hashing and
-/// ordering are structural (by content), so a tuple can be used directly for
-/// deduplication in answer sets and for the insertion guard of algorithm A6.
+/// Tuples are the in-flight row representation: query answers, protocol
+/// messages and WAL records all ship them, and `Arc<[Val]>` keeps those
+/// copies O(1). At rest, rows live flattened inside [`crate::Relation`]'s
+/// columnar store; a `Tuple` is materialised only at that boundary. Equality,
+/// hashing and ordering are structural (by content), so a tuple can be used
+/// directly for deduplication in answer sets and for the insertion guard of
+/// algorithm A6.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct Tuple(pub Arc<[Value]>);
+pub struct Tuple(pub Arc<[Val]>);
 
 impl Tuple {
     /// Builds a tuple from values.
-    pub fn new(values: Vec<Value>) -> Self {
+    pub fn new(values: Vec<Val>) -> Self {
         Tuple(Arc::from(values))
+    }
+
+    /// Builds a tuple by copying a row slice (e.g. straight out of a
+    /// columnar relation).
+    pub fn from_row(row: &[Val]) -> Self {
+        Tuple(Arc::from(row))
     }
 
     /// Number of fields.
@@ -26,12 +35,12 @@ impl Tuple {
     }
 
     /// Field accessor.
-    pub fn get(&self, idx: usize) -> Option<&Value> {
+    pub fn get(&self, idx: usize) -> Option<&Val> {
         self.0.get(idx)
     }
 
     /// Iterates over the fields.
-    pub fn values(&self) -> impl Iterator<Item = &Value> {
+    pub fn values(&self) -> impl Iterator<Item = &Val> {
         self.0.iter()
     }
 
@@ -39,12 +48,7 @@ impl Tuple {
     /// *certain* (they witness existentially-invented data), so
     /// certain-answer evaluation filters on this.
     pub fn has_null(&self) -> bool {
-        self.0.iter().any(Value::is_null)
-    }
-
-    /// Approximate serialized size in bytes for data-volume accounting.
-    pub fn wire_size(&self) -> usize {
-        2 + self.0.iter().map(Value::wire_size).sum::<usize>()
+        self.0.iter().any(Val::is_null)
     }
 
     /// Projects the tuple onto the given column indices.
@@ -54,7 +58,7 @@ impl Tuple {
     /// schemas validated at construction time, so an out-of-bounds index is a
     /// programming error, not a data error.
     pub fn project(&self, indices: &[usize]) -> Tuple {
-        Tuple::new(indices.iter().map(|&i| self.0[i].clone()).collect())
+        Tuple::new(indices.iter().map(|&i| self.0[i]).collect())
     }
 }
 
@@ -71,8 +75,8 @@ impl fmt::Display for Tuple {
     }
 }
 
-impl From<Vec<Value>> for Tuple {
-    fn from(values: Vec<Value>) -> Self {
+impl From<Vec<Val>> for Tuple {
+    fn from(values: Vec<Val>) -> Self {
         Tuple::new(values)
     }
 }
@@ -82,44 +86,44 @@ mod tests {
     use super::*;
     use crate::value::NullId;
 
-    fn t(vals: Vec<Value>) -> Tuple {
+    fn t(vals: Vec<Val>) -> Tuple {
         Tuple::new(vals)
     }
 
     #[test]
     fn equality_is_structural() {
         assert_eq!(
-            t(vec![Value::Int(1), Value::str("a")]),
-            t(vec![Value::Int(1), Value::str("a")])
+            t(vec![Val::Int(1), Val::str("a")]),
+            t(vec![Val::Int(1), Val::str("a")])
         );
         assert_ne!(
-            t(vec![Value::Int(1), Value::str("a")]),
-            t(vec![Value::Int(1), Value::str("b")])
+            t(vec![Val::Int(1), Val::str("a")]),
+            t(vec![Val::Int(1), Val::str("b")])
         );
     }
 
     #[test]
     fn has_null_detects_nulls() {
-        assert!(!t(vec![Value::Int(1)]).has_null());
-        assert!(t(vec![Value::Int(1), Value::Null(NullId::new(0, 0))]).has_null());
+        assert!(!t(vec![Val::Int(1)]).has_null());
+        assert!(t(vec![Val::Int(1), Val::Null(NullId::new(0, 0))]).has_null());
     }
 
     #[test]
     fn project_selects_columns_in_order() {
-        let tup = t(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
-        assert_eq!(tup.project(&[2, 0]), t(vec![Value::Int(3), Value::Int(1)]));
+        let tup = t(vec![Val::Int(1), Val::Int(2), Val::Int(3)]);
+        assert_eq!(tup.project(&[2, 0]), t(vec![Val::Int(3), Val::Int(1)]));
         assert_eq!(tup.project(&[]), t(vec![]));
     }
 
     #[test]
-    fn display_is_parenthesised() {
-        let tup = t(vec![Value::Int(1), Value::str("x")]);
-        assert_eq!(tup.to_string(), "(1, 'x')");
+    fn from_row_copies_a_slice() {
+        let row = [Val::Int(4), Val::str("s")];
+        assert_eq!(Tuple::from_row(&row), t(vec![Val::Int(4), Val::str("s")]));
     }
 
     #[test]
-    fn wire_size_sums_fields() {
-        let tup = t(vec![Value::Int(1), Value::str("xy")]);
-        assert_eq!(tup.wire_size(), 2 + 8 + 6);
+    fn display_is_parenthesised() {
+        let tup = t(vec![Val::Int(1), Val::str("x")]);
+        assert_eq!(tup.to_string(), "(1, 'x')");
     }
 }

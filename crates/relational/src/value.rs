@@ -7,8 +7,22 @@
 //! performing the insertion (algorithm A6: "insert with new values for
 //! existential"). A labeled null is equal only to itself, so nulls behave as
 //! the marked nulls of naive tables.
+//!
+//! Two value types live here:
+//!
+//! * [`Val`] — the data-plane representation: a `Copy`, 16-byte word.
+//!   String constants are interned through the [`crate::catalog::ConstCatalog`]
+//!   and carried as a [`SymId`]; equality and hashing are O(1) word
+//!   operations, which is what makes columnar storage and hash joins cheap.
+//! * [`Value`] — the boundary representation carrying the actual string
+//!   (`Arc<str>`), used by the external JSON formats (network files, CLI)
+//!   and by the legacy reference evaluator. Its serde form is unchanged
+//!   (`{"Int":1}` / `{"Str":"x"}` / `{"Null":n}`), keeping those formats
+//!   byte-compatible.
 
+use crate::catalog::{ConstCatalog, SymId};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
 
@@ -47,20 +61,127 @@ impl fmt::Display for NullId {
     }
 }
 
-/// A database value: an integer constant, a string constant, or a labeled
-/// null.
+/// A data-plane value: an integer constant, an interned string constant, or
+/// a labeled null. `Copy` and at most 16 bytes, so tuples are flat arrays
+/// and join keys are plain words — no reference counting on any hot path.
 ///
-/// `Ord` is total (Int < Str < Null, then by content) so values can key
-/// ordered collections; deterministic ordering is what makes the whole
-/// simulation reproducible.
+/// `Ord` is total (Int < Sym < Null) and matches the pre-interning semantics:
+/// symbols compare by their *string contents* (resolved through the global
+/// catalog), not by raw id, so sorts and range built-ins are independent of
+/// intern order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Val {
+    /// 64-bit integer constant.
+    Int(i64),
+    /// Interned string constant (resolve via [`ConstCatalog::global`]).
+    Sym(SymId),
+    /// Labeled null invented for an existential head variable.
+    Null(NullId),
+}
+
+// The whole point: a fixed-width word the columnar store can pack flat.
+const _: () = assert!(std::mem::size_of::<Val>() <= 16);
+
+impl Val {
+    /// Interns a string constant into the global catalog.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Val::Sym(ConstCatalog::global().intern(s.as_ref()))
+    }
+
+    /// True iff this value is a labeled null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Val::Null(_))
+    }
+
+    /// A short type tag used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Val::Int(_) => "int",
+            Val::Sym(_) => "str",
+            Val::Null(_) => "null",
+        }
+    }
+
+    /// The symbol id, if this is an interned string.
+    pub fn as_sym(&self) -> Option<SymId> {
+        match self {
+            Val::Sym(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Converts to the boundary representation, resolving interned strings.
+    pub fn to_value(self) -> Value {
+        match self {
+            Val::Int(i) => Value::Int(i),
+            Val::Sym(id) => Value::Str(ConstCatalog::global().resolve(id)),
+            Val::Null(n) => Value::Null(n),
+        }
+    }
+}
+
+impl PartialOrd for Val {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Val {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Val::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Sym(a), Sym(b)) => ConstCatalog::global().cmp_syms(*a, *b),
+            (Null(a), Null(b)) => a.cmp(b),
+            (Int(_), _) => Ordering::Less,
+            (_, Int(_)) => Ordering::Greater,
+            (Sym(_), Null(_)) => Ordering::Less,
+            (Null(_), Sym(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl From<i64> for Val {
+    fn from(v: i64) -> Self {
+        Val::Int(v)
+    }
+}
+
+impl From<&str> for Val {
+    fn from(v: &str) -> Self {
+        Val::str(v)
+    }
+}
+
+impl From<String> for Val {
+    fn from(v: String) -> Self {
+        Val::str(v)
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Sym(id) => match ConstCatalog::global().try_resolve(*id) {
+                Some(s) => write!(f, "'{s}'"),
+                None => write!(f, "'<{id}>'"),
+            },
+            Val::Null(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A boundary value carrying its string in full — the shape of the external
+/// JSON formats and the legacy reference evaluator. Convert with
+/// [`Value::to_val`] (interning) and [`Val::to_value`] (resolving).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Value {
     /// 64-bit integer constant.
     Int(i64),
-    /// Interned string constant. `Arc` keeps tuple cloning cheap: answers are
-    /// copied into messages constantly during update propagation.
+    /// String constant, carried verbatim.
     Str(Arc<str>),
-    /// Labeled null invented for an existential head variable.
+    /// Labeled null.
     Null(NullId),
 }
 
@@ -75,42 +196,32 @@ impl Value {
         matches!(self, Value::Null(_))
     }
 
-    /// A short type tag used in error messages.
-    pub fn type_name(&self) -> &'static str {
+    /// Converts to the data-plane representation, interning strings into the
+    /// global catalog.
+    pub fn to_val(&self) -> Val {
         match self {
-            Value::Int(_) => "int",
-            Value::Str(_) => "str",
-            Value::Null(_) => "null",
-        }
-    }
-
-    /// Approximate serialized size in bytes, used by the network layer to
-    /// account for data volume on pipes (the paper's statistics module
-    /// tracks "volumes of data transferred onto pipes").
-    pub fn wire_size(&self) -> usize {
-        match self {
-            Value::Int(_) => 8,
-            Value::Str(s) => 4 + s.len(),
-            Value::Null(_) => 8,
+            Value::Int(i) => Val::Int(*i),
+            Value::Str(s) => Val::Sym(ConstCatalog::global().intern(s)),
+            Value::Null(n) => Val::Null(*n),
         }
     }
 }
 
-impl From<i64> for Value {
-    fn from(v: i64) -> Self {
-        Value::Int(v)
+impl From<Val> for Value {
+    fn from(v: Val) -> Self {
+        v.to_value()
     }
 }
 
-impl From<&str> for Value {
-    fn from(v: &str) -> Self {
-        Value::str(v)
+impl From<&Value> for Val {
+    fn from(v: &Value) -> Self {
+        v.to_val()
     }
 }
 
-impl From<String> for Value {
-    fn from(v: String) -> Self {
-        Value::Str(Arc::from(v.as_str()))
+impl From<Value> for Val {
+    fn from(v: Value) -> Self {
+        v.to_val()
     }
 }
 
@@ -148,10 +259,10 @@ impl NullFactory {
     }
 
     /// Returns a fresh, never-before-seen null value.
-    pub fn fresh(&mut self) -> Value {
+    pub fn fresh(&mut self) -> Val {
         let id = NullId::new(self.node, self.next);
         self.next += 1;
-        Value::Null(id)
+        Val::Null(id)
     }
 
     /// Number of nulls minted so far (used by the statistics module).
@@ -188,48 +299,80 @@ mod tests {
     }
 
     #[test]
-    fn value_ordering_is_total_and_by_kind() {
+    fn val_is_a_fixed_width_word() {
+        assert!(std::mem::size_of::<Val>() <= 16);
+    }
+
+    #[test]
+    fn val_ordering_is_total_and_by_kind() {
+        // Intern in reverse order so id order and string order disagree —
+        // the sort must still be lexicographic.
+        let b = Val::str("ord_b");
+        let a = Val::str("ord_a");
         let vals = vec![
-            Value::Null(NullId::new(0, 0)),
-            Value::str("a"),
-            Value::Int(5),
-            Value::Int(-1),
-            Value::str("b"),
+            Val::Null(NullId::new(0, 0)),
+            a,
+            Val::Int(5),
+            Val::Int(-1),
+            b,
         ];
         let mut sorted = vals.clone();
         sorted.sort();
         assert_eq!(
             sorted,
             vec![
-                Value::Int(-1),
-                Value::Int(5),
-                Value::str("a"),
-                Value::str("b"),
-                Value::Null(NullId::new(0, 0)),
+                Val::Int(-1),
+                Val::Int(5),
+                a,
+                b,
+                Val::Null(NullId::new(0, 0))
             ]
         );
     }
 
     #[test]
-    fn nulls_equal_only_themselves() {
-        let n1 = Value::Null(NullId::new(0, 0));
-        let n2 = Value::Null(NullId::new(0, 1));
-        assert_eq!(n1, n1.clone());
-        assert_ne!(n1, n2);
-        assert_ne!(n1, Value::Int(0));
+    fn equal_strings_intern_to_equal_syms() {
+        assert_eq!(Val::str("same"), Val::str("same"));
+        assert_ne!(Val::str("same"), Val::str("other"));
     }
 
     #[test]
-    fn wire_size_accounts_for_string_length() {
-        assert_eq!(Value::Int(1).wire_size(), 8);
-        assert_eq!(Value::str("abcd").wire_size(), 8);
-        assert_eq!(Value::Null(NullId::new(0, 0)).wire_size(), 8);
+    fn nulls_equal_only_themselves() {
+        let n1 = Val::Null(NullId::new(0, 0));
+        let n2 = Val::Null(NullId::new(0, 1));
+        assert_eq!(n1, n1);
+        assert_ne!(n1, n2);
+        assert_ne!(n1, Val::Int(0));
     }
 
     #[test]
     fn display_forms() {
-        assert_eq!(Value::Int(42).to_string(), "42");
-        assert_eq!(Value::str("x").to_string(), "'x'");
-        assert_eq!(Value::Null(NullId::new(2, 9)).to_string(), "_:n2_9");
+        assert_eq!(Val::Int(42).to_string(), "42");
+        assert_eq!(Val::str("x").to_string(), "'x'");
+        assert_eq!(Val::Null(NullId::new(2, 9)).to_string(), "_:n2_9");
+    }
+
+    #[test]
+    fn boundary_round_trip() {
+        for v in [
+            Value::Int(7),
+            Value::str("round-trip"),
+            Value::Null(NullId::new(1, 2)),
+        ] {
+            assert_eq!(v.to_val().to_value(), v);
+        }
+    }
+
+    #[test]
+    fn boundary_serde_form_is_stable() {
+        // The external JSON formats depend on this exact shape.
+        assert_eq!(
+            serde_json::to_string(&Value::Int(1)).unwrap(),
+            "{\"Int\":1}"
+        );
+        assert_eq!(
+            serde_json::to_string(&Value::str("x")).unwrap(),
+            "{\"Str\":\"x\"}"
+        );
     }
 }

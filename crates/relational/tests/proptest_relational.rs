@@ -5,7 +5,7 @@ use p2p_relational::chase::{apply_rule_local, ChaseConfig, ChaseState};
 use p2p_relational::hom::{contained_modulo_nulls, equivalent_modulo_nulls};
 use p2p_relational::query::ast::{Atom, CmpOp, ConjunctiveQuery, Constraint, Term};
 use p2p_relational::query::evaluate;
-use p2p_relational::{Database, DatabaseSchema, NullFactory, Tuple, Value};
+use p2p_relational::{Database, DatabaseSchema, NullFactory, Tuple, Val};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -29,11 +29,11 @@ fn db_of(inst: &Instance) -> Database {
     let mut db =
         Database::new(DatabaseSchema::parse("r(x: int, y: int). s(x: int, y: int).").unwrap());
     for &(x, y) in &inst.r {
-        db.insert_values("r", vec![Value::Int(x), Value::Int(y)])
+        db.insert_values("r", vec![Val::Int(x), Val::Int(y)])
             .unwrap();
     }
     for &(x, y) in &inst.s {
-        db.insert_values("s", vec![Value::Int(x), Value::Int(y)])
+        db.insert_values("s", vec![Val::Int(x), Val::Int(y)])
             .unwrap();
     }
     db
@@ -148,7 +148,7 @@ fn enumerate(
         });
         if sat_atoms && sat_con {
             out.push(Tuple::new(
-                q.head.iter().map(|v| Value::Int(assignment[v])).collect(),
+                q.head.iter().map(|v| Val::Int(assignment[v])).collect(),
             ));
         }
         return;
@@ -181,7 +181,7 @@ proptest! {
             DatabaseSchema::parse("r(x: int, y: int). s(x: int, y: int).").unwrap(),
         );
         for &(x, y) in &inst.r {
-            db.insert_values("r", vec![Value::Int(x), Value::Int(y)]).unwrap();
+            db.insert_values("r", vec![Val::Int(x), Val::Int(y)]).unwrap();
         }
         let body = vec![Atom::new("r", vec![var(0), var(1)])];
         let head = vec![Atom::new("s", vec![var(0), var(1)])];
@@ -208,7 +208,7 @@ proptest! {
         prop_assert!(equivalent_modulo_nulls(&db, &db));
         let mut bigger = db.clone();
         bigger
-            .insert_values("r", vec![Value::Int(extra.0), Value::Int(extra.1)])
+            .insert_values("r", vec![Val::Int(extra.0), Val::Int(extra.1)])
             .unwrap();
         prop_assert!(contained_modulo_nulls(&db, &bigger));
     }

@@ -4,7 +4,7 @@ use crate::backend::StorageBackend;
 use crate::wal::WalRecord;
 use crate::{StorageError, StorageResult};
 use p2p_relational::value::NullId;
-use p2p_relational::{Database, Tuple};
+use p2p_relational::{ConstCatalog, Database, SymId, SymRemap, Tuple, Val};
 use p2p_topology::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
@@ -14,7 +14,10 @@ use std::sync::Arc;
 ///
 /// `wal_len` records how many WAL frames precede the snapshot; recovery may
 /// skip re-inserting those (they are already in `db`), though replaying them
-/// anyway is harmless by idempotence.
+/// anyway is harmless by idempotence. `catalog` carries the `(SymId, string)`
+/// definition of every interned constant in `db`, so the snapshot is
+/// self-contained: a reader process with a different catalog re-interns and
+/// remaps.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DatabaseSnapshot {
     /// WAL frames already reflected in `db`.
@@ -23,6 +26,9 @@ pub struct DatabaseSnapshot {
     pub nulls_next: u64,
     /// Chase depths of every null known to the peer.
     pub depths: Vec<(NullId, u32)>,
+    /// Symbol definitions for every interned constant in `db`.
+    #[serde(default)]
+    pub catalog: Vec<(SymId, Arc<str>)>,
     /// The full local database.
     pub db: Database,
 }
@@ -62,6 +68,9 @@ pub struct PeerStorage {
     snapshot_every: u64,
     since_snapshot: u64,
     wal_len: u64,
+    /// Symbols whose `(id, string)` definition this store has already
+    /// persisted — the first-use filter for WAL dictionaries.
+    persisted_syms: HashSet<SymId>,
 }
 
 impl PeerStorage {
@@ -75,6 +84,7 @@ impl PeerStorage {
             snapshot_every,
             since_snapshot: 0,
             wal_len,
+            persisted_syms: HashSet::new(),
         }
     }
 
@@ -83,27 +93,57 @@ impl PeerStorage {
         self.wal_len
     }
 
+    /// The first-use dictionary for a set of values: `(id, string)` pairs
+    /// for every symbol among `vals` that this store has not yet persisted,
+    /// which are thereby marked persisted. The caller puts the result in the
+    /// record it is about to [`PeerStorage::log`].
+    pub fn first_use_dict<'a>(
+        &mut self,
+        vals: impl IntoIterator<Item = &'a Val>,
+    ) -> Vec<(SymId, Arc<str>)> {
+        let fresh: Vec<SymId> = vals
+            .into_iter()
+            .filter_map(Val::as_sym)
+            .filter(|id| self.persisted_syms.insert(*id))
+            .collect();
+        ConstCatalog::global().export(fresh)
+    }
+
     /// Appends one record. Returns `true` when the snapshot cadence is due
     /// — the owner should follow up with [`PeerStorage::snapshot`] (the
     /// store cannot take one itself: it does not own the database).
+    ///
+    /// On append failure the record's dictionary symbols are un-marked, so
+    /// a later record re-ships their definitions — otherwise a single
+    /// failed write would permanently strip those symbols from the log and
+    /// recovery in another process could not resolve them.
     pub fn log(&mut self, record: &WalRecord) -> StorageResult<bool> {
-        self.backend.append_wal(&record.to_frame())?;
+        if let Err(e) = self.backend.append_wal(&record.to_frame()) {
+            for (id, _) in record.dict() {
+                self.persisted_syms.remove(id);
+            }
+            return Err(e);
+        }
         self.wal_len += 1;
         self.since_snapshot += 1;
         Ok(self.snapshot_every > 0 && self.since_snapshot >= self.snapshot_every)
     }
 
-    /// Writes a snapshot of the current database and chase bookkeeping.
+    /// Writes a snapshot of the current database and chase bookkeeping,
+    /// including the symbol dictionary that makes it self-contained.
     pub fn snapshot(
         &mut self,
         db: &Database,
         nulls_next: u64,
         depths: Vec<(NullId, u32)>,
     ) -> StorageResult<()> {
+        let syms = db.syms();
+        self.persisted_syms.extend(syms.iter().copied());
         let snap = DatabaseSnapshot {
             wal_len: self.wal_len,
             nulls_next,
             depths,
+            catalog: ConstCatalog::global().export(syms),
             db: db.clone(),
         };
         let text = serde_json::to_string(&snap)
@@ -114,6 +154,12 @@ impl PeerStorage {
     }
 
     /// Rebuilds the pre-crash state: latest snapshot + WAL replay.
+    ///
+    /// Every persisted dictionary — the snapshot's catalog section and each
+    /// record's first-use delta — is folded into the live catalog first, and
+    /// the accumulated [`SymRemap`] rewrites rows as they are replayed. In
+    /// the same process the remap is the identity and the rewrite is
+    /// skipped; a different process re-interns and lands on its own ids.
     ///
     /// `node` is the recovering peer's id, used to advance the null mint
     /// past any own null that appears in replayed insertions. Returns
@@ -126,25 +172,34 @@ impl PeerStorage {
         };
         let snap: DatabaseSnapshot = serde_json::from_str(&snap_text)
             .map_err(|e| StorageError::Corrupt(format!("snapshot decode: {e}")))?;
+        let catalog = ConstCatalog::global();
+        let mut remap = catalog.absorb(&snap.catalog);
         let mut db = snap.db;
+        if !remap.is_identity() {
+            db.remap_syms(&|id| remap.map(id));
+        }
         let mut nulls_next = snap.nulls_next;
         let mut depths: BTreeMap<NullId, u32> = snap.depths.into_iter().collect();
         let mut marks: BTreeMap<(u32, NodeId), FragmentMark> = BTreeMap::new();
         let mut mark_sets: BTreeMap<(u32, NodeId), HashSet<Tuple>> = BTreeMap::new();
 
         for (pos, frame) in self.backend.read_wal()?.iter().enumerate() {
-            match WalRecord::from_frame(frame)? {
+            let record = WalRecord::from_frame(frame)?;
+            remap.extend(catalog.absorb(record.dict()));
+            match record {
                 WalRecord::Insert {
                     relation,
                     tuple,
                     depths: rec_depths,
+                    dict: _,
                 } => {
+                    let tuple = remap_tuple(&remap, tuple);
                     // Frames already reflected in the snapshot are skipped
                     // for the database (replaying them would be a dedup
                     // no-op anyway) but still feed the null mint and depth
                     // maps, which merge idempotently.
                     for v in tuple.values() {
-                        if let p2p_relational::Value::Null(id) = v {
+                        if let Val::Null(id) = v {
                             if id.node() == node && id.counter() + 1 > nulls_next {
                                 nulls_next = id.counter() + 1;
                             }
@@ -167,6 +222,7 @@ impl PeerStorage {
                     vars,
                     rows,
                     watermarks,
+                    dict: _,
                 } => {
                     // Fragment marks fold across the whole log: rows
                     // accumulate (deduplicated), the watermark is replaced
@@ -178,6 +234,7 @@ impl PeerStorage {
                         mark.vars = vars;
                     }
                     for t in rows {
+                        let t = remap_tuple(&remap, t);
                         if seen.insert(t.clone()) {
                             mark.rows.push(t);
                         }
@@ -195,14 +252,29 @@ impl PeerStorage {
     }
 }
 
+/// Rewrites a tuple's symbols through the recovery remap (identity ⇒ free).
+fn remap_tuple(remap: &SymRemap, t: Tuple) -> Tuple {
+    if remap.is_identity() {
+        return t;
+    }
+    Tuple::new(
+        t.0.iter()
+            .map(|v| match v {
+                Val::Sym(id) => Val::Sym(remap.map(*id)),
+                other => *other,
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::backend::MemoryBackend;
-    use p2p_relational::{DatabaseSchema, Value};
+    use p2p_relational::DatabaseSchema;
 
     fn schema() -> DatabaseSchema {
-        DatabaseSchema::parse("a(x: int, y: int). b(x: int).").unwrap()
+        DatabaseSchema::parse("a(x: int, y: int). b(x: int). s(x: str).").unwrap()
     }
 
     fn store(snapshot_every: u64) -> (PeerStorage, Database) {
@@ -212,13 +284,15 @@ mod tests {
         (st, db)
     }
 
-    fn insert(st: &mut PeerStorage, db: &mut Database, rel: &str, vals: Vec<Value>) -> bool {
+    fn insert(st: &mut PeerStorage, db: &mut Database, rel: &str, vals: Vec<Val>) -> bool {
         let tuple = Tuple::new(vals);
         db.insert(rel, tuple.clone()).unwrap();
+        let dict = st.first_use_dict(tuple.values());
         st.log(&WalRecord::Insert {
             relation: Arc::from(rel),
             tuple,
             depths: Vec::new(),
+            dict,
         })
         .unwrap()
     }
@@ -226,8 +300,8 @@ mod tests {
     #[test]
     fn recover_replays_wal_onto_snapshot() {
         let (mut st, mut db) = store(0);
-        insert(&mut st, &mut db, "a", vec![Value::Int(1), Value::Int(2)]);
-        insert(&mut st, &mut db, "b", vec![Value::Int(7)]);
+        insert(&mut st, &mut db, "a", vec![Val::Int(1), Val::Int(2)]);
+        insert(&mut st, &mut db, "b", vec![Val::Int(7)]);
         let rec = st.recover(0).unwrap().unwrap();
         assert_eq!(rec.db.all_facts(), db.all_facts());
         assert_eq!(rec.db.watermarks(), db.watermarks());
@@ -242,11 +316,11 @@ mod tests {
     #[test]
     fn snapshot_cadence_fires_every_k_records() {
         let (mut st, mut db) = store(2);
-        assert!(!insert(&mut st, &mut db, "b", vec![Value::Int(1)]));
-        assert!(insert(&mut st, &mut db, "b", vec![Value::Int(2)]));
+        assert!(!insert(&mut st, &mut db, "b", vec![Val::Int(1)]));
+        assert!(insert(&mut st, &mut db, "b", vec![Val::Int(2)]));
         st.snapshot(&db, 0, Vec::new()).unwrap();
-        assert!(!insert(&mut st, &mut db, "b", vec![Value::Int(3)]));
-        assert!(insert(&mut st, &mut db, "b", vec![Value::Int(4)]));
+        assert!(!insert(&mut st, &mut db, "b", vec![Val::Int(3)]));
+        assert!(insert(&mut st, &mut db, "b", vec![Val::Int(4)]));
         // Recovery from the mid-stream snapshot is still exact.
         let rec = st.recover(0).unwrap().unwrap();
         assert_eq!(rec.db.all_facts(), db.all_facts());
@@ -257,15 +331,13 @@ mod tests {
         let (mut st, mut db) = store(0);
         let own = NullId::new(3, 9);
         let foreign = NullId::new(8, 100);
-        db.insert(
-            "a",
-            Tuple::new(vec![Value::Null(own), Value::Null(foreign)]),
-        )
-        .unwrap();
+        db.insert("a", Tuple::new(vec![Val::Null(own), Val::Null(foreign)]))
+            .unwrap();
         st.log(&WalRecord::Insert {
             relation: Arc::from("a"),
-            tuple: Tuple::new(vec![Value::Null(own), Value::Null(foreign)]),
+            tuple: Tuple::new(vec![Val::Null(own), Val::Null(foreign)]),
             depths: vec![(own, 2), (foreign, 5)],
+            dict: vec![],
         })
         .unwrap();
         let rec = st.recover(3).unwrap().unwrap();
@@ -278,8 +350,8 @@ mod tests {
     #[test]
     fn answer_records_fold_into_marks() {
         let (mut st, _db) = store(0);
-        let row1 = Tuple::new(vec![Value::Int(1)]);
-        let row2 = Tuple::new(vec![Value::Int(2)]);
+        let row1 = Tuple::new(vec![Val::Int(1)]);
+        let row2 = Tuple::new(vec![Val::Int(2)]);
         let mut w1 = BTreeMap::new();
         w1.insert(Arc::<str>::from("b"), 1usize);
         let mut w2 = BTreeMap::new();
@@ -294,6 +366,7 @@ mod tests {
                 vars: vec![Arc::from("X")],
                 rows,
                 watermarks: marks,
+                dict: vec![],
             })
             .unwrap();
         }
@@ -309,11 +382,112 @@ mod tests {
         // recovering from a storage whose snapshot predates some frames:
         // the dedup guarantees an exact rebuild regardless.
         let (mut st, mut db) = store(0);
-        insert(&mut st, &mut db, "b", vec![Value::Int(1)]);
+        insert(&mut st, &mut db, "b", vec![Val::Int(1)]);
         st.snapshot(&db, 0, Vec::new()).unwrap();
-        insert(&mut st, &mut db, "b", vec![Value::Int(2)]);
-        insert(&mut st, &mut db, "b", vec![Value::Int(1)]); // dup in WAL
+        insert(&mut st, &mut db, "b", vec![Val::Int(2)]);
+        insert(&mut st, &mut db, "b", vec![Val::Int(1)]); // dup in WAL
         let rec = st.recover(0).unwrap().unwrap();
         assert_eq!(rec.db.all_facts(), db.all_facts());
+    }
+
+    #[test]
+    fn string_facts_round_trip_through_snapshot_and_wal() {
+        let (mut st, mut db) = store(0);
+        insert(&mut st, &mut db, "s", vec![Val::str("snap-sym")]);
+        st.snapshot(&db, 0, Vec::new()).unwrap();
+        insert(&mut st, &mut db, "s", vec![Val::str("wal-sym")]);
+        let rec = st.recover(0).unwrap().unwrap();
+        assert_eq!(rec.db.all_facts(), db.all_facts());
+        let rel = rec.db.relation("s").unwrap();
+        assert!(rel.contains(&[Val::str("snap-sym")]));
+        assert!(rel.contains(&[Val::str("wal-sym")]));
+    }
+
+    #[test]
+    fn first_use_dict_ships_each_symbol_once() {
+        let (mut st, _db) = store(0);
+        let v = Val::str("first-use-once");
+        let d1 = st.first_use_dict([v].iter());
+        assert_eq!(d1.len(), 1);
+        assert_eq!(&*d1[0].1, "first-use-once");
+        assert!(st.first_use_dict([v].iter()).is_empty());
+    }
+
+    /// Regression: the pre-columnar `Relation` serialized a `present` set —
+    /// a byte-for-byte duplicate of every tuple — into every snapshot. The
+    /// new form must carry each row exactly once, making data-dominated
+    /// snapshots roughly half the size of the old format (reconstructed
+    /// here by appending a second copy of each relation's rows, which is
+    /// exactly what `present` serialized to).
+    #[test]
+    fn snapshot_size_regression_rows_serialized_once() {
+        use serde::{Content, Serialize};
+        let mut db = Database::new(schema());
+        for i in 0..300i64 {
+            db.insert("a", Tuple::new(vec![Val::Int(700_000 + i), Val::Int(i)]))
+                .unwrap();
+        }
+        let snap = DatabaseSnapshot {
+            wal_len: 0,
+            nulls_next: 0,
+            depths: Vec::new(),
+            catalog: Vec::new(),
+            db: db.clone(),
+        };
+        let text = serde_json::to_string(&snap).unwrap();
+        // Every tuple appears exactly once.
+        assert_eq!(text.matches("700123").count(), 1);
+        assert!(!text.contains("present"));
+
+        // Reconstruct the old duplicated form and compare sizes.
+        let old_form = match snap.to_content() {
+            Content::Map(mut fields) => {
+                for (_, v) in fields.iter_mut() {
+                    duplicate_rows_as_present(v);
+                }
+                Content::Map(fields)
+            }
+            other => other,
+        };
+        let old_len = serde_json::encoded_len(&old_form);
+        assert!(
+            text.len() * 9 <= old_len * 5,
+            "snapshot must be ~2x smaller than the duplicated form: \
+             new {} vs old {}",
+            text.len(),
+            old_len
+        );
+    }
+
+    /// Recursively appends a `present` duplicate next to every `rows` array
+    /// (the old `Relation` serialization).
+    fn duplicate_rows_as_present(c: &mut serde::Content) {
+        use serde::Content;
+        if let Content::Map(entries) = c {
+            let dup: Vec<(String, Content)> = entries
+                .iter()
+                .filter(|(k, _)| k == "rows")
+                .map(|(_, v)| ("present".to_string(), v.clone()))
+                .collect();
+            for (_, v) in entries.iter_mut() {
+                duplicate_rows_as_present(v);
+            }
+            entries.extend(dup);
+        }
+    }
+
+    #[test]
+    fn snapshot_carries_its_symbol_dictionary() {
+        let (mut st, mut db) = store(0);
+        db.insert_values("s", vec![Val::str("self-contained")])
+            .unwrap();
+        st.snapshot(&db, 0, Vec::new()).unwrap();
+        // The snapshot text must embed the string, not just the raw id.
+        let rec = st.recover(0).unwrap().unwrap();
+        assert!(rec
+            .db
+            .relation("s")
+            .unwrap()
+            .contains(&[Val::str("self-contained")]));
     }
 }

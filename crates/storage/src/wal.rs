@@ -6,9 +6,17 @@
 //! tuple is a no-op at the relation layer and depth records merge by
 //! maximum, so recovery may safely replay the whole log over any
 //! snapshot.
+//!
+//! Rows carry interned [`p2p_relational::Val`]s, whose 4-byte symbol ids
+//! are only meaningful relative to a catalog. Every record therefore ships
+//! a **first-use dictionary** (`dict`): the `(SymId, string)` definitions
+//! of symbols this store has never persisted before. Recovery folds those
+//! into the live catalog and remaps ids, so a log written by one process
+//! round-trips in another — the on-disk analogue of the wire protocol's
+//! dictionary deltas.
 
 use p2p_relational::value::NullId;
-use p2p_relational::Tuple;
+use p2p_relational::{SymId, Tuple};
 use p2p_topology::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -26,6 +34,9 @@ pub enum WalRecord {
         /// Chase depths of any labeled nulls aboard the tuple (the global
         /// null-depth safety valve must survive recovery).
         depths: Vec<(NullId, u32)>,
+        /// First-use symbol definitions for interned constants in `tuple`.
+        #[serde(default)]
+        dict: Vec<(SymId, Arc<str>)>,
     },
     /// A fragment answer this peer processed: the rows and, crucially, the
     /// answerer's database watermarks at answer time. The latest record per
@@ -42,6 +53,9 @@ pub enum WalRecord {
         rows: Vec<Tuple>,
         /// The answerer's per-relation insertion watermarks at answer time.
         watermarks: BTreeMap<Arc<str>, usize>,
+        /// First-use symbol definitions for interned constants in `rows`.
+        #[serde(default)]
+        dict: Vec<(SymId, Arc<str>)>,
     },
 }
 
@@ -56,21 +70,43 @@ impl WalRecord {
         serde_json::from_str(frame)
             .map_err(|e| crate::StorageError::Corrupt(format!("WAL frame: {e}")))
     }
+
+    /// The record's dictionary delta.
+    pub fn dict(&self) -> &[(SymId, Arc<str>)] {
+        match self {
+            WalRecord::Insert { dict, .. } | WalRecord::Answer { dict, .. } => dict,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2p_relational::Value;
+    use p2p_relational::Val;
 
     #[test]
     fn insert_record_roundtrips() {
         let rec = WalRecord::Insert {
             relation: Arc::from("a"),
-            tuple: Tuple::new(vec![Value::Int(1), Value::Null(NullId::new(2, 5))]),
+            tuple: Tuple::new(vec![Val::Int(1), Val::Null(NullId::new(2, 5))]),
             depths: vec![(NullId::new(2, 5), 3)],
+            dict: vec![],
         };
         let frame = rec.to_frame();
+        assert_eq!(WalRecord::from_frame(&frame).unwrap(), rec);
+    }
+
+    #[test]
+    fn record_dict_roundtrips_symbol_definitions() {
+        let v = Val::str("wal-dict-sym");
+        let rec = WalRecord::Insert {
+            relation: Arc::from("a"),
+            tuple: Tuple::new(vec![v]),
+            depths: vec![],
+            dict: vec![(v.as_sym().unwrap(), Arc::from("wal-dict-sym"))],
+        };
+        let frame = rec.to_frame();
+        assert!(frame.contains("wal-dict-sym"));
         assert_eq!(WalRecord::from_frame(&frame).unwrap(), rec);
     }
 
@@ -82,8 +118,9 @@ mod tests {
             rule: 4,
             node: NodeId(3),
             vars: vec![Arc::from("X"), Arc::from("Y")],
-            rows: vec![Tuple::new(vec![Value::Int(1), Value::Int(2)])],
+            rows: vec![Tuple::new(vec![Val::Int(1), Val::Int(2)])],
             watermarks,
+            dict: vec![],
         };
         let frame = rec.to_frame();
         assert_eq!(WalRecord::from_frame(&frame).unwrap(), rec);

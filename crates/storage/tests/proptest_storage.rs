@@ -3,7 +3,7 @@
 //! order (watermarks), the null mint, and chase depths.
 
 use p2p_relational::value::NullId;
-use p2p_relational::{Database, DatabaseSchema, Tuple, Value};
+use p2p_relational::{Database, DatabaseSchema, Tuple, Val};
 use p2p_storage::{MemoryBackend, PeerStorage, WalRecord};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -14,6 +14,9 @@ use std::sync::Arc;
 enum Op {
     /// Insert `r(x, y)` or `s(x)` (arity decided by the relation pick).
     Insert { rel: bool, x: i64, y: i64 },
+    /// Insert an interned-string fact `t(name)` (exercises the persisted
+    /// catalog: first-use WAL dictionaries + the snapshot catalog section).
+    InsertStr { pick: i64 },
     /// Insert a tuple carrying an own-minted null with a depth.
     InsertNull { counter: u64, depth: u32 },
     /// Take a snapshot right here.
@@ -22,11 +25,12 @@ enum Op {
 
 fn op() -> impl Strategy<Value = Op> {
     // (selector, rel, x, y) — the vendored proptest stand-in has no
-    // `prop_oneof`, so the variant pick is a mapped selector: 0–5 insert,
-    // 6–7 null insert, 8–9 snapshot.
+    // `prop_oneof`, so the variant pick is a mapped selector: 0–4 insert,
+    // 5–6 string insert, 7–8 null insert, 9 snapshot.
     (0..10u8, any::<bool>(), 0..8i64, 0..8i64).prop_map(|(sel, rel, x, y)| match sel {
-        0..=5 => Op::Insert { rel, x, y },
-        6 | 7 => Op::InsertNull {
+        0..=4 => Op::Insert { rel, x, y },
+        5 | 6 => Op::InsertStr { pick: x },
+        7 | 8 => Op::InsertNull {
             counter: x as u64,
             depth: y as u32,
         },
@@ -41,7 +45,8 @@ proptest! {
 
     #[test]
     fn snapshot_plus_replay_equals_live_database(ops in proptest::collection::vec(op(), 0..60)) {
-        let schema = DatabaseSchema::parse("r(x: int, y: int). s(x: int).").unwrap();
+        let schema =
+            DatabaseSchema::parse("r(x: int, y: int). s(x: int). t(name: str).").unwrap();
         let mut db = Database::new(schema);
         let mut store = PeerStorage::new(Box::<MemoryBackend>::default(), 0);
         store.snapshot(&db, 0, Vec::new()).unwrap();
@@ -52,25 +57,40 @@ proptest! {
             match o {
                 Op::Insert { rel, x, y } => {
                     let (name, tuple) = if *rel {
-                        ("r", Tuple::new(vec![Value::Int(*x), Value::Int(*y)]))
+                        ("r", Tuple::new(vec![Val::Int(*x), Val::Int(*y)]))
                     } else {
-                        ("s", Tuple::new(vec![Value::Int(*x)]))
+                        ("s", Tuple::new(vec![Val::Int(*x)]))
                     };
                     db.insert(name, tuple.clone()).unwrap();
+                    let dict = store.first_use_dict(tuple.values());
                     store.log(&WalRecord::Insert {
                         relation: Arc::from(name),
                         tuple,
                         depths: Vec::new(),
+                        dict,
+                    }).unwrap();
+                }
+                Op::InsertStr { pick } => {
+                    let tuple =
+                        Tuple::new(vec![Val::str(format!("durable-const-{pick}"))]);
+                    db.insert("t", tuple.clone()).unwrap();
+                    let dict = store.first_use_dict(tuple.values());
+                    store.log(&WalRecord::Insert {
+                        relation: Arc::from("t"),
+                        tuple,
+                        depths: Vec::new(),
+                        dict,
                     }).unwrap();
                 }
                 Op::InsertNull { counter, depth } => {
                     let id = NullId::new(NODE, *counter);
-                    let tuple = Tuple::new(vec![Value::Null(id)]);
+                    let tuple = Tuple::new(vec![Val::Null(id)]);
                     db.insert("s", tuple.clone()).unwrap();
                     store.log(&WalRecord::Insert {
                         relation: Arc::from("s"),
                         tuple,
                         depths: vec![(id, *depth)],
+                        dict: vec![],
                     }).unwrap();
                     if counter + 1 > nulls_next {
                         nulls_next = counter + 1;

@@ -15,7 +15,7 @@
 //! `templates_weakly_acyclic_on_cliques` test).
 
 use crate::dblp::Publication;
-use p2p_relational::Value;
+use p2p_relational::Val;
 
 /// Which of the three schemas a node uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,38 +54,38 @@ impl SchemaFamily {
     }
 
     /// Encodes one publication as tuples of this schema.
-    pub fn tuples_for(self, p: &Publication) -> Vec<(&'static str, Vec<Value>)> {
+    pub fn tuples_for(self, p: &Publication) -> Vec<(&'static str, Vec<Val>)> {
         match self {
             SchemaFamily::S1 => {
                 let mut out = vec![(
                     "pub",
-                    vec![Value::Int(p.id), Value::str(&p.title), Value::Int(p.year)],
+                    vec![Val::Int(p.id), Val::str(&p.title), Val::Int(p.year)],
                 )];
                 for a in &p.authors {
-                    out.push(("author", vec![Value::Int(p.id), Value::str(a)]));
+                    out.push(("author", vec![Val::Int(p.id), Val::str(a)]));
                 }
                 out
             }
             SchemaFamily::S2 => vec![(
                 "article",
                 vec![
-                    Value::Int(p.id),
-                    Value::str(&p.title),
-                    Value::str(&p.venue),
-                    Value::Int(p.year),
-                    Value::str(&p.authors[0]),
+                    Val::Int(p.id),
+                    Val::str(&p.title),
+                    Val::str(&p.venue),
+                    Val::Int(p.year),
+                    Val::str(&p.authors[0]),
                 ],
             )],
             SchemaFamily::S3 => {
                 let mut out = vec![
                     (
                         "paper",
-                        vec![Value::Int(p.id), Value::str(&p.title), Value::Int(p.year)],
+                        vec![Val::Int(p.id), Val::str(&p.title), Val::Int(p.year)],
                     ),
-                    ("at_venue", vec![Value::Int(p.id), Value::str(&p.venue)]),
+                    ("at_venue", vec![Val::Int(p.id), Val::str(&p.venue)]),
                 ];
                 for a in &p.authors {
-                    out.push(("wrote", vec![Value::str(a), Value::Int(p.id)]));
+                    out.push(("wrote", vec![Val::str(a), Val::Int(p.id)]));
                 }
                 out
             }

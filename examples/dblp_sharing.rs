@@ -65,7 +65,7 @@ fn main() {
     // A peer with the wide S2 schema materialised nulls for unknown venues.
     let s2 = sys.database(NodeId(1)).unwrap();
     let articles = s2.relation("article").unwrap();
-    let with_null_venue = articles.iter().filter(|t| t.0[2].is_null()).count();
+    let with_null_venue = articles.iter().filter(|row| row[2].is_null()).count();
     println!(
         "node B (S2): {} articles, {} with venue unknown (labeled nulls from S1 imports)",
         articles.len(),

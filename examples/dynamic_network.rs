@@ -11,7 +11,7 @@ use p2pdb::core::dynamic::{lower_reference, upper_reference, ChangeScript};
 use p2pdb::core::system::P2PSystemBuilder;
 use p2pdb::net::SimTime;
 use p2pdb::relational::hom::contained_modulo_nulls;
-use p2pdb::relational::Value;
+use p2pdb::relational::Val;
 use p2pdb::topology::NodeId;
 
 fn main() {
@@ -21,9 +21,9 @@ fn main() {
     b.add_node_with_schema(2, "c(x: int, y: int).").unwrap();
     b.add_rule("r0", "B:b(X,Y) => A:a(X,Y)").unwrap();
     for i in 0..25i64 {
-        b.insert(1, "b", vec![Value::Int(i), Value::Int(i + 1)])
+        b.insert(1, "b", vec![Val::Int(i), Val::Int(i + 1)])
             .unwrap();
-        b.insert(2, "c", vec![Value::Int(100 + i), Value::Int(i)])
+        b.insert(2, "c", vec![Val::Int(100 + i), Val::Int(i)])
             .unwrap();
     }
     let mut sys = b.build().unwrap();

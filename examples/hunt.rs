@@ -5,7 +5,7 @@
 use p2pdb::core::dynamic::ChangeScript;
 use p2pdb::core::system::P2PSystemBuilder;
 use p2pdb::net::SimTime;
-use p2pdb::relational::Value;
+use p2pdb::relational::Val;
 use p2pdb::topology::NodeId;
 use rand::{Rng, SeedableRng};
 
@@ -46,10 +46,7 @@ fn main() {
             let _ = b.insert(
                 node,
                 &format!("t{node}"),
-                vec![
-                    Value::Int(rng.gen_range(0..6)),
-                    Value::Int(rng.gen_range(0..6)),
-                ],
+                vec![Val::Int(rng.gen_range(0..6)), Val::Int(rng.gen_range(0..6))],
             );
         }
         b.config_mut().max_events = 300_000;

@@ -8,7 +8,7 @@
 
 use p2pdb::core::config::Initiation;
 use p2pdb::core::system::P2PSystemBuilder;
-use p2pdb::relational::Value;
+use p2pdb::relational::Val;
 use p2pdb::topology::paths::format_path;
 use p2pdb::topology::NodeId;
 
@@ -70,8 +70,7 @@ fn main() {
     b.config_mut().initiation = Initiation::QueryPropagation;
     // Seed E with a 3-cycle of e-facts.
     for (x, y) in [(1, 2), (2, 3), (3, 1)] {
-        b.insert(4, "e", vec![Value::Int(x), Value::Int(y)])
-            .unwrap();
+        b.insert(4, "e", vec![Val::Int(x), Val::Int(y)]).unwrap();
     }
     let mut sys = b.build().unwrap();
     let report = sys.run_update();

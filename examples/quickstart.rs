@@ -6,7 +6,7 @@
 //! ```
 
 use p2pdb::core::system::P2PSystemBuilder;
-use p2pdb::relational::Value;
+use p2pdb::relational::Val;
 use p2pdb::topology::NodeId;
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
     // Base data lives at B.
     for (x, y) in [(1, 2), (2, 3), (3, 4)] {
         builder
-            .insert(1, "b", vec![Value::Int(x), Value::Int(y)])
+            .insert(1, "b", vec![Val::Int(x), Val::Int(y)])
             .unwrap();
     }
 

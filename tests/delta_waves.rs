@@ -11,7 +11,7 @@ use p2pdb::core::rule::CoordinationRule;
 use p2pdb::core::stats::PeerStats;
 use p2pdb::core::system::{P2PSystem, P2PSystemBuilder};
 use p2pdb::net::{SimTime, Simulator, UniformLatency};
-use p2pdb::relational::{Database, DatabaseSchema, Tuple, Value};
+use p2pdb::relational::{Database, DatabaseSchema, Tuple, Val};
 use p2pdb::topology::{NodeId, Topology};
 use p2pdb::workload::{build_system, Distribution, WorkloadConfig};
 use proptest::prelude::*;
@@ -33,8 +33,7 @@ fn paper_builder(delta_waves: bool) -> P2PSystemBuilder {
     b.add_rule("r4", "B:b(X,Y), B:b(X,Z), X != Z => A:a(X,Y)")
         .unwrap();
     for (x, y) in [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)] {
-        b.insert(4, "e", vec![Value::Int(x), Value::Int(y)])
-            .unwrap();
+        b.insert(4, "e", vec![Val::Int(x), Val::Int(y)]).unwrap();
     }
     b.config_mut().mode = UpdateMode::Rounds;
     b.config_mut().delta_waves = delta_waves;
@@ -143,7 +142,7 @@ fn stale_wave_query_ships_empty_ack_not_full_extension() {
     b.add_rule("rbc", "C:c(X,Y) => B:b(X,Y)").unwrap();
     b.add_rule("rca", "A:a(X,Y) => C:c(Y,X)").unwrap();
     for i in 0..10i64 {
-        b.insert(2, "c", vec![Value::Int(i), Value::Int(i + 1)])
+        b.insert(2, "c", vec![Val::Int(i), Val::Int(i + 1)])
             .unwrap();
     }
     b.config_mut().mode = UpdateMode::Rounds;
@@ -234,7 +233,7 @@ proptest! {
         let mut cached: HashSet<Tuple> = HashSet::new();
         for batch in batches {
             for (x, y) in batch {
-                db.insert_values("b", vec![Value::Int(x), Value::Int(y)]).unwrap();
+                db.insert_values("b", vec![Val::Int(x), Val::Int(y)]).unwrap();
             }
             let delta = eval_part_delta(part, &db, &watermarks).unwrap();
             watermarks = db.watermarks();
@@ -258,8 +257,8 @@ proptest! {
         let mut db = Database::new(
             DatabaseSchema::parse("a(x: int). b(x: int, y: int).").unwrap());
         for (x, y) in &first {
-            db.insert_values("b", vec![Value::Int(*x), Value::Int(*y)]).unwrap();
-            db.insert_values("a", vec![Value::Int(*x)]).unwrap();
+            db.insert_values("b", vec![Val::Int(*x), Val::Int(*y)]).unwrap();
+            db.insert_values("a", vec![Val::Int(*x)]).unwrap();
         }
         let w = db.watermarks();
 
@@ -272,7 +271,7 @@ proptest! {
         // Inserting the same facts into all three yields the same deltas.
         for (x, y) in &second {
             for d in [&mut db, &mut cloned, &mut restored] {
-                d.insert_values("b", vec![Value::Int(*x), Value::Int(*y)]).unwrap();
+                d.insert_values("b", vec![Val::Int(*x), Val::Int(*y)]).unwrap();
             }
         }
         prop_assert_eq!(db.facts_since(&w), cloned.facts_since(&w));

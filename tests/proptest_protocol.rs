@@ -8,7 +8,7 @@ use p2pdb::core::dynamic::{lower_reference, upper_reference, ChangeScript};
 use p2pdb::core::system::P2PSystemBuilder;
 use p2pdb::net::{FaultPlan, SimTime};
 use p2pdb::relational::hom::contained_modulo_nulls;
-use p2pdb::relational::Value;
+use p2pdb::relational::Val;
 use p2pdb::topology::NodeId;
 use proptest::prelude::*;
 
@@ -58,12 +58,8 @@ fn build(spec: &NetSpec, mode: UpdateMode) -> P2PSystemBuilder {
         .unwrap();
     }
     for (node, x, y) in &spec.tuples {
-        b.insert(
-            *node,
-            &format!("t{node}"),
-            vec![Value::Int(*x), Value::Int(*y)],
-        )
-        .unwrap();
+        b.insert(*node, &format!("t{node}"), vec![Val::Int(*x), Val::Int(*y)])
+            .unwrap();
     }
     b.config_mut().mode = mode;
     b

@@ -12,7 +12,7 @@
 use p2pdb::core::system::{run_update_threaded, P2PSystemBuilder};
 use p2pdb::net::FaultPlan;
 use p2pdb::relational::hom::contained_modulo_nulls;
-use p2pdb::relational::Value;
+use p2pdb::relational::Val;
 use p2pdb::topology::NodeId;
 
 fn builder() -> P2PSystemBuilder {
@@ -24,7 +24,7 @@ fn builder() -> P2PSystemBuilder {
     b.add_rule("r2", "C:c(X,Y) => B:b(X,Y)").unwrap();
     b.add_rule("r3", "A:a(X,Y) => C:c(Y,X)").unwrap(); // cycle A→C→B→A
     for i in 0..15i64 {
-        b.insert(2, "c", vec![Value::Int(i), Value::Int(i + 1)])
+        b.insert(2, "c", vec![Val::Int(i), Val::Int(i + 1)])
             .unwrap();
     }
     b

@@ -104,6 +104,12 @@ pub trait Deserialize: Sized {
     fn from_content(c: &Content) -> Result<Self, DeError>;
 }
 
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
 // ---------------------------------------------------------------- scalars
 
 macro_rules! impl_unsigned {

@@ -61,6 +61,66 @@ pub fn to_string_pretty<T: Serialize>(v: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Exact byte length of the compact JSON encoding of `v` — i.e.
+/// `to_string(v).len()` without materialising the string. Used for wire and
+/// storage byte accounting.
+pub fn encoded_len<T: Serialize>(v: &T) -> usize {
+    content_len(&v.to_content())
+}
+
+fn content_len(c: &Content) -> usize {
+    match c {
+        Content::Null => 4,
+        Content::Bool(true) => 4,
+        Content::Bool(false) => 5,
+        Content::I64(v) => {
+            let neg = usize::from(*v < 0);
+            neg + digits(v.unsigned_abs())
+        }
+        Content::U64(v) => digits(*v),
+        Content::F64(v) => {
+            if v.is_finite() {
+                v.to_string().len()
+            } else {
+                4 // rendered as null
+            }
+        }
+        Content::Str(s) => string_len(s),
+        Content::Seq(items) => {
+            // brackets + commas + items
+            2 + items.len().saturating_sub(1) + items.iter().map(content_len).sum::<usize>()
+        }
+        Content::Map(entries) => {
+            2 + entries.len().saturating_sub(1)
+                + entries
+                    .iter()
+                    .map(|(k, v)| string_len(k) + 1 + content_len(v))
+                    .sum::<usize>()
+        }
+    }
+}
+
+fn digits(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 10 {
+        v /= 10;
+        n += 1;
+    }
+    n
+}
+
+fn string_len(s: &str) -> usize {
+    let mut n = 2; // quotes
+    for ch in s.chars() {
+        n += match ch {
+            '"' | '\\' | '\n' | '\r' | '\t' | '\u{08}' | '\u{0c}' => 2,
+            c if (c as u32) < 0x20 => 6,
+            c => c.len_utf8(),
+        };
+    }
+    n
+}
+
 // -------------------------------------------------------------- printer
 
 fn write_content(out: &mut String, c: &Content, indent: Option<usize>, level: usize) {
@@ -469,6 +529,21 @@ mod tests {
         // Ordinary documents with a few levels still round-trip.
         let v: Vec<Vec<u64>> = from_str("[[1,2],[3]]").unwrap();
         assert_eq!(v, vec![vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn encoded_len_matches_to_string() {
+        let v: Vec<(i64, String)> = vec![
+            (-42, "plain".into()),
+            (0, "esc\"\\\n\t\u{01}😀".into()),
+            (i64::MIN, String::new()),
+        ];
+        assert_eq!(encoded_len(&v), to_string(&v).unwrap().len());
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("k\"ey".to_string(), vec![1.5f64, -0.25]);
+        assert_eq!(encoded_len(&m), to_string(&m).unwrap().len());
+        assert_eq!(encoded_len(&None::<u32>), 4);
+        assert_eq!(encoded_len(&Vec::<u8>::new()), 2);
     }
 
     #[test]
