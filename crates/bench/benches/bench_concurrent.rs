@@ -1,0 +1,51 @@
+//! E17 — concurrent update sessions: what interleaving N initiators costs
+//! and saves.
+//!
+//! Times the ring(8) concurrent-writers scenario (a) as four serial
+//! sessions — insert a writer's fresh records, drive its session to the
+//! fix-point, repeat — and (b) as one interleaved `run_updates` launch. The
+//! equivalence/leak/speedup assertions run once up front; the timed halves
+//! then measure the driver cost of each execution style.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2p_bench::experiments::{concurrent_writers_config, e17_concurrent, run_concurrent_once};
+use p2p_bench::Scale;
+
+fn bench_concurrent(c: &mut Criterion) {
+    // Report the interleaving economics the timing alone cannot show.
+    let (table, summary) = e17_concurrent(Scale::Quick);
+    println!("\nE17 — concurrent update sessions (per-session attribution)\n");
+    println!("{}", table.render());
+    println!(
+        "interleaved {:.2} ms vs serial {:.2} ms, peak {} concurrent, {} leaked entries\n",
+        summary.concurrent_time_ms,
+        summary.serial_time_ms,
+        summary.concurrent_peak,
+        summary.leaked_entries,
+    );
+    assert!(summary.ok(), "concurrent-sessions regression: {summary:?}");
+
+    let mut group = c.benchmark_group("e17_concurrent");
+    group.sample_size(10);
+    group.bench_function("ring8_four_writers_serial", |b| {
+        b.iter(|| {
+            let cfg = concurrent_writers_config(Scale::Quick);
+            let scenario = p2p_workload::concurrent_scenario(&cfg).expect("scenario");
+            let mut sys = scenario.builder.build().expect("system builds");
+            for d in &scenario.deltas {
+                for (rel, vals) in &d.tuples {
+                    sys.insert(d.node, rel, vals.clone()).expect("delta");
+                }
+                sys.run_update_from(d.node);
+            }
+            sys
+        })
+    });
+    group.bench_function("ring8_four_writers_interleaved", |b| {
+        b.iter(|| run_concurrent_once(Scale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent);
+criterion_main!(benches);

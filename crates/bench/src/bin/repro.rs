@@ -125,6 +125,36 @@ fn main() {
             }
         );
     }
+    if want("e17") {
+        println!("E17 — concurrent update sessions: interleaved initiators vs serial runs\n");
+        let (table, summary) = exp::e17_concurrent(scale);
+        println!("{}", table.render());
+        println!(
+            "ring(8), {} writer sessions: interleaved {:.2} ms vs serial {:.2} ms ({:.2}x), \
+             {:.1} sessions/s, peak {} concurrent, {} leaked entries",
+            summary.sessions,
+            summary.concurrent_time_ms,
+            summary.serial_time_ms,
+            summary.serial_time_ms / summary.concurrent_time_ms.max(1e-9),
+            summary.sessions_per_s,
+            summary.concurrent_peak,
+            summary.leaked_entries,
+        );
+        let json = exp::concurrent_summary_json(&summary);
+        match std::fs::write("BENCH_e17.json", &json) {
+            Ok(()) => println!("wrote BENCH_e17.json"),
+            Err(e) => println!("could not write BENCH_e17.json: {e}"),
+        }
+        println!(
+            "concurrent smoke: {}\n",
+            if summary.ok() {
+                "OK"
+            } else {
+                "FAILED (fix-point mismatch, unclosed session, leaked session state, \
+                 or no interleaving speedup)"
+            }
+        );
+    }
     if want("e16") {
         println!("E16 — interned values + columnar relations (data-plane rewrite)\n");
         let (table, summary) = exp::e16_interning(scale);

@@ -3,11 +3,19 @@
 //! Message kinds reuse the paper's names where one exists (`requestNodes`,
 //! `Query`, `Answer` — see Figure 1); the wire-size estimates drive the
 //! byte accounting and bandwidth-aware latency of `p2p-net`.
+//!
+//! Every message belonging to an update session carries its
+//! [`SessionId`] — the pair `(root, epoch)` identifying the diffusing
+//! computation it serves. Any number of sessions, initiated by any nodes,
+//! run interleaved in one network run; the session tag is what routes each
+//! message to the right per-session state table at the receiving peer and
+//! what the transport layer attributes traces and per-session traffic
+//! counters by.
 
 use crate::dynamic::ChangeOp;
 use crate::rule::{BodyPart, CoordinationRule, RuleId};
 use crate::stats::PeerStats;
-use p2p_net::Wire;
+use p2p_net::{SessionId, Wire};
 use p2p_relational::value::NullId;
 use p2p_relational::{SymId, Tuple};
 use p2p_topology::NodeId;
@@ -105,21 +113,21 @@ impl AnswerRows {
 /// super-peer).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ProtocolMsg {
-    // ---------------- driver → super-peer commands ----------------
+    // ---------------- driver → root commands ----------------
     /// Kick off topology discovery (algorithm A1).
     StartDiscovery,
-    /// Kick off a global update session.
+    /// Kick off a global update session rooted at the receiving node.
     StartUpdate {
-        /// Session epoch (increases across re-runs).
-        epoch: u32,
+        /// The session (the receiving node is its root).
+        session: SessionId,
     },
     /// Kick off a **query-dependent** update (Section 5: the prototype
     /// "supports both global and query-dependent updates handling"): the
     /// receiving node refreshes only the data its own dependency paths can
     /// reach, via pure A4 query propagation — no flood, no other roots.
     StartScopedUpdate {
-        /// Session epoch.
-        epoch: u32,
+        /// The session (the receiving node is its root).
+        session: SessionId,
     },
     /// Apply one dynamic network change (Section 4). The super-peer routes
     /// the resulting `addRule`/`deleteRule` notification to the head node.
@@ -168,14 +176,14 @@ pub enum ProtocolMsg {
     /// Global update request flooded along pipes (see
     /// [`crate::config::Initiation::Flood`]).
     UpdateFlood {
-        /// Update session epoch.
-        epoch: u32,
+        /// Update session.
+        session: SessionId,
     },
     /// `Query(IDs, Q, SN)`: the head node of `rule` asks a body node for its
     /// fragment's extension, subscribing itself for deltas.
     Query {
-        /// Update session epoch.
-        epoch: u32,
+        /// Update session.
+        session: SessionId,
         /// The rule this query serves.
         rule: RuleId,
         /// The fragment to evaluate (atoms + pushed-down constraints).
@@ -185,8 +193,8 @@ pub enum ProtocolMsg {
     },
     /// `Answer(ID, QA, SN, state)`: fragment extension (delta or full).
     Answer {
-        /// Update session epoch.
-        epoch: u32,
+        /// Update session.
+        session: SessionId,
         /// The rule being answered.
         rule: RuleId,
         /// The bindings.
@@ -201,31 +209,41 @@ pub enum ProtocolMsg {
     /// Head node dropped the rule (dynamic `deleteLink`); the body node
     /// removes the subscription.
     Unsubscribe {
-        /// Update session epoch.
-        epoch: u32,
+        /// Update session.
+        session: SessionId,
         /// Rule whose subscription dies.
         rule: RuleId,
     },
     /// Root's fix-point broadcast: the diffusing computation terminated;
-    /// everyone still open closes (`ClosedBy::RootBroadcast`).
+    /// everyone still open closes (`ClosedBy::RootBroadcast`) and retires
+    /// the session's state.
     Fixpoint {
-        /// Update session epoch.
-        epoch: u32,
+        /// Update session.
+        session: SessionId,
         /// Broadcast generation (re-broadcasts happen when dynamic changes
-        /// re-open and re-quiesce the same epoch).
+        /// re-open and re-quiesce the same session).
         generation: u32,
     },
-    /// Dijkstra–Scholten acknowledgement (control plane).
-    Ack,
+    /// Dijkstra–Scholten acknowledgement (control plane). Session-tagged so
+    /// the receiver debits the right session's deficit counter — each
+    /// session is its own diffusing computation with its own detector.
+    Ack {
+        /// The session whose basic message is being acknowledged.
+        session: SessionId,
+    },
 
     // ---------------- update, rounds mode ----------------
     /// Round `round` begins: flooded along pipes, building the echo tree.
     RoundStart {
-        /// Round number (1-based within an epoch).
+        /// Update session.
+        session: SessionId,
+        /// Round number (1-based within a session).
         round: u32,
     },
     /// Echo to the flood parent: this subtree is done with the round.
     RoundEcho {
+        /// Update session.
+        session: SessionId,
         /// Round number.
         round: u32,
         /// Whether anything was inserted in the subtree this round.
@@ -233,6 +251,8 @@ pub enum ProtocolMsg {
     },
     /// Per-rule fragment query within a round.
     WaveQuery {
+        /// Update session.
+        session: SessionId,
         /// Round number.
         round: u32,
         /// Rule served.
@@ -242,6 +262,8 @@ pub enum ProtocolMsg {
     },
     /// Fragment extension for a round.
     WaveAnswer {
+        /// Update session.
+        session: SessionId,
         /// Round number.
         round: u32,
         /// Rule served.
@@ -251,10 +273,12 @@ pub enum ProtocolMsg {
     },
     /// Delta fragment extension for a round (`SystemConfig::delta_waves`):
     /// only the rows derived from facts inserted since the answerer's last
-    /// answer to this requester. First contact always uses a full
-    /// [`ProtocolMsg::WaveAnswer`]; the requester merges deltas into its
-    /// per-fragment cache and joins semi-naively.
+    /// answer to this requester **within this session**. First contact
+    /// always uses a full [`ProtocolMsg::WaveAnswer`]; the requester merges
+    /// deltas into its per-session fragment cache and joins semi-naively.
     WaveAnswerDelta {
+        /// Update session.
+        session: SessionId,
         /// Round number.
         round: u32,
         /// Rule served.
@@ -262,8 +286,11 @@ pub enum ProtocolMsg {
         /// The new bindings only.
         rows: AnswerRows,
     },
-    /// Clean-round broadcast: fix-point reached, close everywhere.
+    /// Clean-round broadcast: fix-point reached, close everywhere and retire
+    /// the session's state.
     RoundsClosed {
+        /// Update session.
+        session: SessionId,
         /// Total rounds executed.
         rounds: u32,
     },
@@ -276,6 +303,9 @@ pub enum ProtocolMsg {
     /// degenerates to the full extension). This reuses the delta-wave
     /// watermark machinery, so recovery never re-propagates the world.
     ResyncRequest {
+        /// The session whose durable answer log the cursor came from (the
+        /// repaired rows flow back into that session's fragment cache).
+        session: SessionId,
         /// The rule whose fragment is being reconciled.
         rule: RuleId,
         /// The fragment to evaluate.
@@ -287,6 +317,8 @@ pub enum ProtocolMsg {
     /// The body node's reply: the delta since the requested watermark (the
     /// payload's `marks` carry the new watermark, as in every answer).
     ResyncAnswer {
+        /// The session being repaired (echoed from the request).
+        session: SessionId,
         /// The rule being reconciled.
         rule: RuleId,
         /// The missed rows.
@@ -298,18 +330,25 @@ pub enum ProtocolMsg {
     /// re-drives). Delta state — wave subscriptions and caches — survives,
     /// so the resumed wave ships deltas, not the world.
     ResumeRounds {
+        /// The stalled session to resume.
+        session: SessionId,
         /// The round to start (strictly above every peer's current round).
         round: u32,
     },
 
     // ---------------- dynamic changes (Section 4) ----------------
-    /// `addRule(i, j, rule, id)` notification to the head node.
+    /// `addRule(i, j, rule, id)` notification to the head node, applied
+    /// within `session`.
     AddRule {
+        /// The session the change joins (the super-peer's current one).
+        session: SessionId,
         /// The new rule (already carrying its network-unique id).
         rule: CoordinationRule,
     },
     /// `deleteRule(i, j, id)` notification to the head node.
     DeleteRule {
+        /// The session the change joins.
+        session: SessionId,
         /// The rule to drop.
         rule: RuleId,
     },
@@ -323,11 +362,12 @@ pub enum ProtocolMsg {
 }
 
 impl ProtocolMsg {
-    /// True iff the message belongs to the eager update's diffusing
+    /// True iff the message belongs to an eager update's diffusing
     /// computation and must be tracked by Dijkstra–Scholten. Resync
     /// traffic is deliberately control-plane: it flows outside any
-    /// session (a restarted peer has no Dijkstra–Scholten state), and the
-    /// driver's post-stall re-drive is what re-certifies closure.
+    /// session's detector (a restarted peer has no Dijkstra–Scholten
+    /// state), and the driver's post-stall re-drive is what re-certifies
+    /// closure.
     pub fn is_basic(&self) -> bool {
         matches!(
             self,
@@ -340,15 +380,30 @@ impl ProtocolMsg {
         )
     }
 
-    /// The update-session epoch carried by a basic message, if any
-    /// (dynamic-change notifications are epoch-less). Used to retire stale
-    /// Dijkstra–Scholten state when a newer epoch's first message arrives.
-    pub fn session_epoch(&self) -> Option<u32> {
+    /// The update session the message belongs to, if any. Session-tagged
+    /// messages are routed to the per-session state table at the receiving
+    /// peer; the rest is session-less control or discovery traffic.
+    pub fn session(&self) -> Option<SessionId> {
         match self {
-            ProtocolMsg::UpdateFlood { epoch }
-            | ProtocolMsg::Query { epoch, .. }
-            | ProtocolMsg::Answer { epoch, .. }
-            | ProtocolMsg::Unsubscribe { epoch, .. } => Some(*epoch),
+            ProtocolMsg::StartUpdate { session }
+            | ProtocolMsg::StartScopedUpdate { session }
+            | ProtocolMsg::UpdateFlood { session }
+            | ProtocolMsg::Query { session, .. }
+            | ProtocolMsg::Answer { session, .. }
+            | ProtocolMsg::Unsubscribe { session, .. }
+            | ProtocolMsg::Fixpoint { session, .. }
+            | ProtocolMsg::Ack { session }
+            | ProtocolMsg::RoundStart { session, .. }
+            | ProtocolMsg::RoundEcho { session, .. }
+            | ProtocolMsg::WaveQuery { session, .. }
+            | ProtocolMsg::WaveAnswer { session, .. }
+            | ProtocolMsg::WaveAnswerDelta { session, .. }
+            | ProtocolMsg::RoundsClosed { session, .. }
+            | ProtocolMsg::ResyncRequest { session, .. }
+            | ProtocolMsg::ResyncAnswer { session, .. }
+            | ProtocolMsg::ResumeRounds { session, .. }
+            | ProtocolMsg::AddRule { session, .. }
+            | ProtocolMsg::DeleteRule { session, .. } => Some(*session),
             _ => None,
         }
     }
@@ -382,7 +437,7 @@ impl Wire for ProtocolMsg {
             ProtocolMsg::Answer { .. } => "Answer",
             ProtocolMsg::Unsubscribe { .. } => "Unsubscribe",
             ProtocolMsg::Fixpoint { .. } => "Fixpoint",
-            ProtocolMsg::Ack => "Ack",
+            ProtocolMsg::Ack { .. } => "Ack",
             ProtocolMsg::RoundStart { .. } => "RoundStart",
             ProtocolMsg::RoundEcho { .. } => "RoundEcho",
             ProtocolMsg::WaveQuery { .. } => "WaveQuery",
@@ -397,6 +452,12 @@ impl Wire for ProtocolMsg {
             ProtocolMsg::StatsReport { .. } => "StatsReport",
         }
     }
+
+    /// Per-session traffic attribution for the transport layer's traces and
+    /// counters.
+    fn session(&self) -> Option<SessionId> {
+        ProtocolMsg::session(self)
+    }
 }
 
 #[cfg(test)]
@@ -404,30 +465,63 @@ mod tests {
     use super::*;
     use p2p_relational::Val;
 
+    fn sid(epoch: u64) -> SessionId {
+        SessionId::new(NodeId(0), epoch)
+    }
+
     #[test]
     fn basic_classification() {
-        assert!(ProtocolMsg::UpdateFlood { epoch: 1 }.is_basic());
-        assert!(!ProtocolMsg::Ack.is_basic());
+        assert!(ProtocolMsg::UpdateFlood { session: sid(1) }.is_basic());
+        assert!(!ProtocolMsg::Ack { session: sid(1) }.is_basic());
         assert!(!ProtocolMsg::Fixpoint {
-            epoch: 1,
+            session: sid(1),
             generation: 0
         }
         .is_basic());
         assert!(!ProtocolMsg::RequestNodes { owner: NodeId(0) }.is_basic());
-        assert!(!ProtocolMsg::RoundStart { round: 1 }.is_basic());
+        assert!(!ProtocolMsg::RoundStart {
+            session: sid(1),
+            round: 1
+        }
+        .is_basic());
+    }
+
+    #[test]
+    fn session_tags_cover_all_update_traffic() {
+        assert_eq!(
+            ProtocolMsg::UpdateFlood { session: sid(3) }.session(),
+            Some(sid(3))
+        );
+        assert_eq!(ProtocolMsg::Ack { session: sid(2) }.session(), Some(sid(2)));
+        assert_eq!(
+            ProtocolMsg::RoundEcho {
+                session: sid(4),
+                round: 1,
+                dirty: false
+            }
+            .session(),
+            Some(sid(4))
+        );
+        assert_eq!(ProtocolMsg::StartDiscovery.session(), None);
+        assert_eq!(ProtocolMsg::CollectStats.session(), None);
+        // The Wire impl exposes the same attribution to the runtimes.
+        assert_eq!(
+            Wire::session(&ProtocolMsg::UpdateFlood { session: sid(3) }),
+            Some(sid(3))
+        );
     }
 
     #[test]
     fn answer_size_scales_with_rows() {
         let empty = ProtocolMsg::Answer {
-            epoch: 1,
+            session: sid(1),
             rule: RuleId(0),
             rows: AnswerRows::default(),
             complete: false,
             reopen: false,
         };
         let full = ProtocolMsg::Answer {
-            epoch: 1,
+            session: sid(1),
             rule: RuleId(0),
             rows: AnswerRows {
                 vars: vec![Arc::from("X")],
@@ -445,7 +539,7 @@ mod tests {
     #[test]
     fn wire_size_is_the_exact_encoded_length() {
         let msg = ProtocolMsg::Answer {
-            epoch: 3,
+            session: sid(3),
             rule: RuleId(1),
             rows: AnswerRows {
                 vars: vec![Arc::from("X")],
@@ -467,6 +561,7 @@ mod tests {
     fn dict_strings_cost_bytes_once_rows_cost_ids() {
         let row = || Tuple::new(vec![Val::str("a-rather-long-shared-constant")]);
         let with_dict = ProtocolMsg::WaveAnswer {
+            session: sid(1),
             round: 1,
             rule: RuleId(0),
             rows: AnswerRows {
@@ -481,6 +576,7 @@ mod tests {
             },
         };
         let without_dict = ProtocolMsg::WaveAnswer {
+            session: sid(1),
             round: 1,
             rule: RuleId(0),
             rows: AnswerRows {

@@ -9,44 +9,49 @@
 //!   ([`p2p_storage::WalRecord::Insert`], written from
 //!   [`DbPeer::apply_rule_bindings`]);
 //! * every fragment answer it processes
-//!   ([`p2p_storage::WalRecord::Answer`]) — the rows (so the head-side
-//!   fragment caches can be rebuilt) and the answerer's database
-//!   watermarks (the **resync cursor**).
+//!   ([`p2p_storage::WalRecord::Answer`]) — **session-tagged**: the rows
+//!   (so each interleaved session's head-side fragment caches can be
+//!   rebuilt) and the answerer's database watermarks (the **resync
+//!   cursor**, one per session-scoped delta stream).
 //!
 //! ## Crash and recovery
 //!
 //! A crash ([`DbPeer::crash_volatile_state`]) wipes everything in memory:
-//! database, null mint, chase depths, update/rounds/discovery state,
-//! Dijkstra–Scholten counters, dedup sets. Static configuration — the
-//! coordination rules targeting the node, its pipes, the roster — survives,
-//! just as a real peer would re-read the network rule file at boot
-//! (Section 5). Statistics survive too: they are the experiment's
-//! measurement apparatus, not modelled peer state.
+//! database, null mint, chase depths, the whole per-session state table
+//! (update/rounds/Dijkstra–Scholten state of every interleaved session),
+//! discovery state, dedup sets. Static configuration — the coordination
+//! rules targeting the node, its pipes, the roster — survives, just as a
+//! real peer would re-read the network rule file at boot (Section 5).
+//! Statistics survive too: they are the experiment's measurement apparatus,
+//! not modelled peer state.
 //!
 //! At restart ([`DbPeer::restart_and_resync`]) the peer replays
 //! `snapshot + WAL` into a database **tuple-identical** to the pre-crash
-//! one (soundness of recovery), then sends one
-//! [`crate::messages::ProtocolMsg::ResyncRequest`] per rule fragment,
-//! carrying the last durably-processed watermark of that fragment's body
-//! node. The body node answers with a delta evaluation from exactly that
-//! watermark — the same machinery as the PR-2 delta waves — so only facts
-//! inserted there *since the crash horizon* are re-shipped, never the full
-//! extension (completeness of recovery, at delta cost). FIFO pipes make
-//! the cursor sound: if the peer durably logged an answer with watermark
-//! `W`, it had processed every earlier answer of that subscription, so
-//! everything it can possibly be missing is derivable from facts past `W`.
+//! one (soundness of recovery), re-creates one session entry per session
+//! found in the durable answer log (priming its fragment caches), and sends
+//! one [`crate::messages::ProtocolMsg::ResyncRequest`] per session and rule
+//! fragment, carrying the last durably-processed watermark of that
+//! fragment's body node *in that session*. The body node answers with a
+//! delta evaluation from exactly that watermark — the same machinery as the
+//! delta waves — so only facts inserted there *since the crash horizon* are
+//! re-shipped, never the full extension (completeness of recovery, at delta
+//! cost). FIFO pipes make the cursor sound: if the peer durably logged an
+//! answer with watermark `W`, it had processed every earlier answer of that
+//! subscription, so everything it can possibly be missing is derivable from
+//! facts past `W`. A crash mid-run therefore recovers **all** interleaved
+//! sessions, not just one.
 //!
 //! Liveness after a mid-wave crash is the driver's job: a crashed peer
 //! cannot echo, so the wave stalls and the simulator quiesces unclosed;
 //! [`crate::system::P2PSystem::run_update_resilient`] then re-drives the
-//! session (a fresh round for rounds mode, a fresh epoch for eager mode)
-//! until closure is re-certified.
+//! session (a fresh round of the same session for rounds mode, a fresh
+//! session-tagged epoch for eager mode) until closure is re-certified.
 
 use crate::joins::{join_parts, VarRows};
 use crate::messages::{AnswerRows, ProtocolMsg};
 use crate::peer::DbPeer;
 use crate::rule::{BodyPart, RuleId};
-use p2p_net::Context;
+use p2p_net::{Context, SessionId};
 use p2p_relational::chase::ChaseState;
 use p2p_relational::{Database, NullFactory, Tuple};
 use p2p_storage::{FragmentMark, PeerStorage, StorageResult, WalRecord};
@@ -74,13 +79,7 @@ impl DbPeer {
                 for (id, depth) in rec.depths {
                     self.chase.record(id, depth);
                 }
-                for (&(rule_raw, node), mark) in &rec.marks {
-                    self.rnd
-                        .wave_cache
-                        .entry((RuleId(rule_raw), node))
-                        .or_default()
-                        .merge(&mark.vars, mark.rows.clone());
-                }
+                self.prime_session_caches(&rec.marks);
             }
             None => storage.snapshot(&self.db, self.nulls.minted(), self.chase.export())?,
         }
@@ -91,6 +90,23 @@ impl DbPeer {
     /// Whether a durable store is attached.
     pub fn has_storage(&self) -> bool {
         self.storage.is_some()
+    }
+
+    /// Inserts one base fact **durably**: into the live database and — when
+    /// a store is attached — the write-ahead log, exactly like a
+    /// protocol-applied insertion. The seeding path for data arriving after
+    /// build time (concurrent-writer deltas); going around the WAL here
+    /// would make a later crash silently lose the fact.
+    pub fn insert_base_fact(
+        &mut self,
+        relation: &str,
+        values: Vec<p2p_relational::Val>,
+    ) -> p2p_relational::error::Result<()> {
+        let tuple = Tuple::new(values);
+        if self.db.insert(relation, tuple.clone())? {
+            self.log_insertions(&[(Arc::from(relation), tuple)]);
+        }
+        Ok(())
     }
 
     /// Write-ahead-logs freshly applied insertions (no-op without storage).
@@ -122,10 +138,17 @@ impl DbPeer {
         }
     }
 
-    /// Write-ahead-logs one processed fragment answer: the rows (cache
-    /// rebuild) and the answerer's watermarks (resync cursor). Payload-free
-    /// acknowledgements (empty `marks`) carry no durable information.
-    pub(crate) fn log_answer_mark(&mut self, rule: RuleId, from: NodeId, rows: &AnswerRows) {
+    /// Write-ahead-logs one processed fragment answer: the session it
+    /// belongs to, the rows (cache rebuild) and the answerer's watermarks
+    /// (resync cursor). Payload-free acknowledgements (empty `marks`) carry
+    /// no durable information.
+    pub(crate) fn log_answer_mark(
+        &mut self,
+        sid: SessionId,
+        rule: RuleId,
+        from: NodeId,
+        rows: &AnswerRows,
+    ) {
         if self.storage.is_none() || rows.marks.is_empty() {
             return;
         }
@@ -133,6 +156,7 @@ impl DbPeer {
         let mut error = None;
         if let Some(st) = self.storage.as_mut() {
             let record = WalRecord::Answer {
+                session: sid,
                 rule: rule.0,
                 node: from,
                 vars: rows.vars.clone(),
@@ -168,27 +192,47 @@ impl DbPeer {
         }
     }
 
-    /// Churn: the process dies. Everything in memory goes; storage (and
-    /// static configuration — rules, pipes, roster) survives.
+    /// Rebuilds each logged session's head-side fragment caches from the
+    /// recovered marks: one session entry per session the durable answer
+    /// log knows, so every interleaved session a crash interrupted can
+    /// resume with its caches whole. Must run before any delta answer
+    /// arrives — a delta joins against the *full* cached extensions, so a
+    /// hole in a cache would silently lose bindings.
+    fn prime_session_caches(&mut self, marks: &BTreeMap<(SessionId, u32, NodeId), FragmentMark>) {
+        for (&(sid, rule_raw, node), mark) in marks {
+            self.sessions
+                .entry(sid)
+                .or_default()
+                .rnd
+                .wave_cache
+                .entry((RuleId(rule_raw), node))
+                .or_default()
+                .merge(&mark.vars, mark.rows.clone());
+        }
+    }
+
+    /// Churn: the process dies. Everything in memory goes — including the
+    /// whole per-session table; storage (and static configuration — rules,
+    /// pipes, roster) survives.
     pub(crate) fn crash_volatile_state(&mut self) {
         self.stats.crashes += 1;
         self.db = Database::new(self.db.schema().clone());
         self.nulls = NullFactory::new(self.id.0);
         self.chase = ChaseState::new();
-        self.upd = Default::default();
-        self.rnd = Default::default();
+        self.sessions.clear();
+        self.done.clear();
         self.disc = Default::default();
-        self.ds.reset();
         self.seen_msgs.clear();
         self.pending_resync.clear();
         self.sym_sent.clear();
     }
 
     /// Churn: the process comes back. Rebuilds the database from storage,
-    /// resumes the null mint past every pre-crash id, primes the head-side
-    /// fragment caches from the durable answer log, and asks every rule
-    /// fragment's body node for the delta since the last durably-processed
-    /// watermark.
+    /// resumes the null mint past every pre-crash id, re-creates the
+    /// session entries found in the durable answer log (priming their
+    /// head-side fragment caches), and asks every rule fragment's body node
+    /// for the delta since the last durably-processed watermark, per
+    /// session.
     pub(crate) fn restart_and_resync(&mut self, ctx: &mut Context<ProtocolMsg>) {
         let Some(st) = self.storage.as_ref() else {
             // Amnesia baseline: without storage there is no durable state to
@@ -196,7 +240,7 @@ impl DbPeer {
             // lost everything and rejoins empty at the next session.
             return;
         };
-        let mut marks: BTreeMap<(u32, NodeId), FragmentMark> = BTreeMap::new();
+        let mut marks: BTreeMap<(SessionId, u32, NodeId), FragmentMark> = BTreeMap::new();
         let mut outcome: Result<bool, String> = Ok(false);
         match st.recover(self.id.0) {
             Ok(Some(rec)) => {
@@ -217,40 +261,48 @@ impl DbPeer {
             Err(e) => self.fail(e),
         }
 
-        // Head-side fragment caches must be whole before any delta answer
-        // arrives: a delta joins against the *full* cached extensions, so a
-        // hole in the cache would silently lose bindings.
-        for (&(rule_raw, node), mark) in &marks {
-            self.rnd
-                .wave_cache
-                .entry((RuleId(rule_raw), node))
-                .or_default()
-                .merge(&mark.vars, mark.rows.clone());
-        }
+        self.prime_session_caches(&marks);
 
-        // Watermark-based resync (control plane, outside any session). Each
-        // request is tracked in `pending_resync` until its answer arrives:
-        // the peer refuses to close while any is outstanding and re-sends
-        // on every session (re-)entry, so a dropped resync message stalls
-        // the session (which the driver re-drives) instead of silently
-        // losing the missed rows forever.
+        // The sessions the log knows about, newest first as a fallback tag
+        // for fragments never durably answered in any session.
+        let logged_sessions: Vec<SessionId> = marks.keys().map(|k| k.0).collect();
+        let fallback = logged_sessions.iter().copied().max().unwrap_or_default();
+
+        // Watermark-based resync (control plane, outside any session's
+        // termination detector). Each request is tracked in
+        // `pending_resync` until its answer arrives: the peer refuses to
+        // close while any is outstanding and re-sends on every session
+        // (re-)entry, so a dropped resync message stalls the session (which
+        // the driver re-drives) instead of silently losing the missed rows
+        // forever.
         let rules: Vec<_> = self.rules.values().cloned().collect();
         for rule in &rules {
             for part in &rule.parts {
-                let since = marks
-                    .get(&(rule.id.0, part.node))
-                    .map(|m| m.watermarks.clone())
-                    .unwrap_or_default();
-                self.pending_resync
-                    .insert((rule.id, part.node), since.clone());
-                ctx.send(
-                    part.node,
-                    ProtocolMsg::ResyncRequest {
-                        rule: rule.id,
-                        part: part.clone(),
-                        since,
-                    },
-                );
+                // One request per session that durably processed answers of
+                // this fragment; a fragment with no durable answer at all is
+                // asked once, from the empty watermark, under the newest
+                // logged session's tag.
+                let mut tagged: Vec<(SessionId, Marks)> = marks
+                    .iter()
+                    .filter(|((_, r, n), _)| *r == rule.id.0 && *n == part.node)
+                    .map(|((sid, _, _), m)| (*sid, m.watermarks.clone()))
+                    .collect();
+                if tagged.is_empty() {
+                    tagged.push((fallback, Marks::new()));
+                }
+                for (sid, since) in tagged {
+                    self.pending_resync
+                        .insert((sid, rule.id, part.node), since.clone());
+                    ctx.send(
+                        part.node,
+                        ProtocolMsg::ResyncRequest {
+                            session: sid,
+                            rule: rule.id,
+                            part: part.clone(),
+                            since,
+                        },
+                    );
+                }
             }
         }
     }
@@ -264,22 +316,30 @@ impl DbPeer {
         if self.pending_resync.is_empty() {
             return;
         }
-        let pending: Vec<((RuleId, NodeId), Marks)> = self
+        let pending: Vec<((SessionId, RuleId, NodeId), Marks)> = self
             .pending_resync
             .iter()
             .map(|(k, v)| (*k, v.clone()))
             .collect();
-        for ((rule, node), since) in pending {
+        for ((sid, rule, node), since) in pending {
             let part = self
                 .rules
                 .get(&rule)
                 .and_then(|r| r.parts.iter().find(|p| p.node == node).cloned());
             match part {
-                Some(part) => ctx.send(node, ProtocolMsg::ResyncRequest { rule, part, since }),
+                Some(part) => ctx.send(
+                    node,
+                    ProtocolMsg::ResyncRequest {
+                        session: sid,
+                        rule,
+                        part,
+                        since,
+                    },
+                ),
                 // The rule (or this fragment) is gone — nothing left to
                 // reconcile.
                 None => {
-                    self.pending_resync.remove(&(rule, node));
+                    self.pending_resync.remove(&(sid, rule, node));
                 }
             }
         }
@@ -288,21 +348,37 @@ impl DbPeer {
     /// Body-node side of resync: evaluate the fragment's delta past the
     /// requester's durable watermark and ship it. An empty `since` (the
     /// requester never durably processed an answer) degenerates to the full
-    /// extension — of this one fragment, never of the network.
+    /// extension — of this one fragment, never of the network. Answered
+    /// regardless of what this node holds for the session: repair is
+    /// control-plane data movement.
+    ///
+    /// A resync request also means the requester **lost its volatile
+    /// fragment caches**: every delta subscription this node holds for that
+    /// requester and rule — in *any* session — is dropped, so the next wave
+    /// or cascade answer ships the full extension instead of a delta the
+    /// requester could not join soundly. (A delta joins against the full
+    /// cached extension; an answer stream resumed against a partially
+    /// recovered cache would silently lose bindings.)
     pub(crate) fn on_resync_request(
         &mut self,
         from: NodeId,
+        sid: SessionId,
         rule: RuleId,
         part: BodyPart,
         since: BTreeMap<Arc<str>, usize>,
         ctx: &mut Context<ProtocolMsg>,
     ) {
         self.add_pipe(from);
+        for st in self.sessions.values_mut() {
+            st.rnd.wave_subs.remove(&(from, rule));
+            st.upd.subs.remove(&(from, rule));
+        }
         let rows = self.eval_part_delta_local(&part, &since, ctx);
         let payload = self.make_answer_rows(from, &part.vars, rows);
         ctx.send(
             from,
             ProtocolMsg::ResyncAnswer {
+                session: sid,
                 rule,
                 rows: payload,
             },
@@ -310,44 +386,62 @@ impl DbPeer {
     }
 
     /// Requester side of resync: log the answer durably, merge it into the
-    /// fragment cache, and re-derive the rule once every fragment is
-    /// cached. Insertions go through the standard chase (and hence the
-    /// WAL), so a crash *during* recovery is itself recoverable.
-    pub(crate) fn on_resync_answer(&mut self, from: NodeId, rule: RuleId, rows: AnswerRows) {
-        self.pending_resync.remove(&(rule, from));
+    /// tagged session's fragment cache — re-creating the entry if the tag
+    /// names a session this peer no longer (or never) holds, such as the
+    /// fallback tag of a fragment never durably answered — and re-derive
+    /// the rule once every fragment is cached, so the repair's derivations
+    /// land even without a driver re-drive. Insertions go through the
+    /// standard chase (and hence the WAL), so a crash *during* recovery is
+    /// itself recoverable. Once the last outstanding resync drains, entries
+    /// that only ever held repair caches are swept: their facts live in the
+    /// database (and WAL), and any resumed session's answers arrive as full
+    /// extensions anyway (the body dropped its delta subscriptions on the
+    /// resync request), so nothing references the caches again.
+    pub(crate) fn on_resync_answer(
+        &mut self,
+        sid: SessionId,
+        from: NodeId,
+        rule: RuleId,
+        rows: AnswerRows,
+    ) {
+        self.pending_resync.remove(&(sid, rule, from));
         self.stats.resync_rows += rows.rows.len() as u64;
         self.absorb_dict(from, &rows);
         self.absorb_null_depths(&rows);
-        self.log_answer_mark(rule, from, &rows);
-        self.rnd
+        self.log_answer_mark(sid, rule, from, &rows);
+        let mut st = self.sessions.remove(&sid).unwrap_or_default();
+        st.rnd
             .wave_cache
             .entry((rule, from))
             .or_default()
             .merge(&rows.vars, rows.rows);
-        let Some(rule_obj) = self.rules.get(&rule).cloned() else {
-            return;
-        };
-        if !rule_obj
-            .parts
-            .iter()
-            .all(|p| self.rnd.wave_cache.contains_key(&(rule, p.node)))
-        {
-            return; // other fragments' resync answers still in flight
-        }
-        let staged: Vec<VarRows> = rule_obj
-            .parts
-            .iter()
-            .map(|p| {
-                let c = &self.rnd.wave_cache[&(rule, p.node)];
-                VarRows {
-                    vars: c.vars.clone(),
-                    rows: c.rows.clone(),
+        if let Some(rule_obj) = self.rules.get(&rule).cloned() {
+            if rule_obj
+                .parts
+                .iter()
+                .all(|p| st.rnd.wave_cache.contains_key(&(rule, p.node)))
+            {
+                let staged: Vec<VarRows> = rule_obj
+                    .parts
+                    .iter()
+                    .map(|p| {
+                        let c = &st.rnd.wave_cache[&(rule, p.node)];
+                        VarRows {
+                            vars: c.vars.clone(),
+                            rows: c.rows.clone(),
+                        }
+                    })
+                    .collect();
+                let bindings = join_parts(&staged, &rule_obj.join_constraints);
+                if self.apply_rule_bindings(&rule_obj, &bindings) > 0 {
+                    st.rnd.dirty_self = true;
                 }
-            })
-            .collect();
-        let bindings = join_parts(&staged, &rule_obj.join_constraints);
-        if self.apply_rule_bindings(&rule_obj, &bindings) > 0 {
-            self.rnd.dirty_self = true;
+            }
+        }
+        self.sessions.insert(sid, st);
+        if self.pending_resync.is_empty() {
+            self.sessions
+                .retain(|_, s| s.joined() || s.ds.engaged() || s.ds.deficit() > 0);
         }
     }
 }
@@ -430,5 +524,126 @@ mod tests {
         assert!(ctx.take_outgoing().is_empty(), "no resync without storage");
         assert_eq!(peer.stats.crashes, 1);
         assert_eq!(peer.stats.recoveries, 0);
+    }
+
+    /// Post-build seeding goes through the WAL: a fact inserted via
+    /// `insert_base_fact` (the concurrent-writer delta path) survives a
+    /// crash exactly like a protocol-applied insertion.
+    #[test]
+    fn insert_base_fact_is_durable() {
+        let mut peer = DbPeer::new(NodeId(1), Database::new(schema()), durable_config());
+        let st = PeerStorage::new(Box::<p2p_storage::MemoryBackend>::default(), 0);
+        peer.attach_storage(st).unwrap();
+        peer.insert_base_fact("a", vec![Val::Int(41)]).unwrap();
+        peer.insert_base_fact("a", vec![Val::Int(41)]).unwrap(); // dup: one WAL frame
+        peer.crash_volatile_state();
+        assert!(peer.database().is_empty());
+        let mut ctx = Context::new(p2p_net::SimTime::ZERO, NodeId(1));
+        peer.restart_and_resync(&mut ctx);
+        assert_eq!(peer.database().total_tuples(), 1, "writer delta recovered");
+    }
+
+    /// A head that crashed before durably processing **any** answer resyncs
+    /// under the fallback session tag; the repair must still merge, derive
+    /// the head rule, and leave no session entry behind once the last
+    /// outstanding resync drains.
+    #[test]
+    fn fallback_tagged_resync_repairs_and_drains() {
+        use p2p_net::SessionId;
+
+        let schema = DatabaseSchema::parse("a(x: int).").unwrap();
+        let mut peer = DbPeer::new(NodeId(0), Database::new(schema), durable_config());
+        let resolve = |s: &str| match s {
+            "A" => Some(NodeId(0)),
+            "B" => Some(NodeId(1)),
+            _ => None,
+        };
+        let rule =
+            crate::rule::CoordinationRule::parse("r", "B:b(X) => A:a(X)", None, &resolve).unwrap();
+        let rule_id = rule.id;
+        peer.install_rule(rule.clone());
+        let st = PeerStorage::new(Box::<p2p_storage::MemoryBackend>::default(), 0);
+        peer.attach_storage(st).unwrap();
+
+        peer.crash_volatile_state();
+        let mut ctx = Context::new(p2p_net::SimTime::ZERO, NodeId(0));
+        peer.restart_and_resync(&mut ctx);
+        // No durable answer marks existed, so the one request carries the
+        // fallback tag and an empty cursor.
+        let out = ctx.take_outgoing();
+        assert_eq!(out.len(), 1);
+        let ProtocolMsg::ResyncRequest { session, since, .. } = &out[0].msg else {
+            panic!("expected a resync request, got {:?}", out[0].msg);
+        };
+        assert_eq!(*session, SessionId::default());
+        assert!(since.is_empty());
+
+        // The body's answer under that tag must still repair the head rule.
+        let mut marks = BTreeMap::new();
+        marks.insert(Arc::<str>::from("b"), 1usize);
+        let mut ctx = Context::new(p2p_net::SimTime::ZERO, NodeId(0));
+        use p2p_net::Peer as _;
+        peer.on_message(
+            NodeId(1),
+            ProtocolMsg::ResyncAnswer {
+                session: SessionId::default(),
+                rule: rule_id,
+                rows: AnswerRows {
+                    vars: rule.parts[0].vars.clone(),
+                    rows: vec![Tuple::new(vec![Val::Int(7)])],
+                    marks,
+                    ..Default::default()
+                },
+            },
+            &mut ctx,
+        );
+        assert!(
+            peer.database()
+                .relation("a")
+                .unwrap()
+                .contains(&[Val::Int(7)]),
+            "the repair must derive the head rule without a redrive"
+        );
+        assert!(peer.pending_resync.is_empty());
+        assert_eq!(
+            peer.session_table_len(),
+            0,
+            "repair-only entries are swept once the last resync drains"
+        );
+    }
+
+    /// A crash wipes the whole per-session table; recovery re-creates one
+    /// entry per session the durable answer log knows, caches primed.
+    #[test]
+    fn recovery_primes_caches_per_session() {
+        let mut peer = DbPeer::new(NodeId(1), Database::new(schema()), durable_config());
+        let st = PeerStorage::new(Box::<p2p_storage::MemoryBackend>::default(), 0);
+        peer.attach_storage(st).unwrap();
+        let s1 = SessionId::new(NodeId(0), 1);
+        let s2 = SessionId::new(NodeId(2), 2);
+        for (sid, v) in [(s1, 1i64), (s2, 2)] {
+            let mut marks = BTreeMap::new();
+            marks.insert(Arc::<str>::from("a"), v as usize);
+            peer.log_answer_mark(
+                sid,
+                RuleId(9),
+                NodeId(3),
+                &AnswerRows {
+                    vars: vec![Arc::from("X")],
+                    rows: vec![Tuple::new(vec![Val::Int(v)])],
+                    marks,
+                    ..Default::default()
+                },
+            );
+        }
+        peer.crash_volatile_state();
+        assert_eq!(peer.session_table_len(), 0, "crash wipes the table");
+        let mut ctx = Context::new(p2p_net::SimTime::ZERO, NodeId(1));
+        peer.restart_and_resync(&mut ctx);
+        assert_eq!(peer.session_table_len(), 2, "one primed entry per session");
+        for (sid, v) in [(s1, 1i64), (s2, 2)] {
+            let cache = &peer.session_state(sid).unwrap().rnd.wave_cache[&(RuleId(9), NodeId(3))];
+            assert_eq!(cache.rows, vec![Tuple::new(vec![Val::Int(v)])]);
+        }
     }
 }

@@ -11,20 +11,29 @@
 //! propagating a result set R iff N is contained in the path … and there is
 //! no new data in R".
 //!
+//! All of this state is **per session** ([`EagerState`] lives inside
+//! [`crate::peer::SessionState`]): concurrent sessions from different roots
+//! keep separate fragment progress, subscriptions and closure flags over
+//! the shared local database, so any number of initiators interleave
+//! soundly — monotone inserts commute, and each global session's
+//! subscription graph independently covers every rule.
+//!
 //! Closure: answers carry the sender's `state_u` (A5's completeness flag);
 //! a node closes bottom-up when all its rules' fragments are complete (the
 //! `Rules` flag criterion of Lemma 1), which resolves all of any acyclic
-//! region. Cyclic regions cannot self-certify this way; there the
-//! super-peer's Dijkstra–Scholten detector (see
-//! [`crate::termination`]) observes global quiescence and broadcasts
+//! region. Cyclic regions cannot self-certify this way; there the session
+//! root's Dijkstra–Scholten detector (see [`crate::termination`], one
+//! instance per session) observes the session's quiescence and broadcasts
 //! `Fixpoint`, standing in for the paper's maximal-dependency-path flags
-//! (DESIGN.md §3, substitution 3).
+//! (DESIGN.md §3, substitution 3). The broadcast also **retires** the
+//! session's state everywhere — sound because Dijkstra–Scholten guarantees
+//! no session traffic is still in flight at termination.
 
 use crate::messages::ProtocolMsg;
-use crate::peer::DbPeer;
+use crate::peer::{DbPeer, SessionState};
 use crate::rule::{BodyPart, RuleId};
 use crate::stats::ClosedBy;
-use p2p_net::Context;
+use p2p_net::{Context, SessionId};
 use p2p_relational::Tuple;
 use p2p_topology::NodeId;
 use std::collections::{BTreeMap, HashSet};
@@ -63,12 +72,10 @@ pub struct Subscription {
     pub watermarks: Watermarks,
 }
 
-/// Eager-mode update session state.
+/// Eager-mode state of one update session at one peer.
 #[derive(Debug, Clone, Default)]
 pub struct EagerState {
-    /// Session epoch.
-    pub epoch: u32,
-    /// A session is in progress (or finished) at this node.
+    /// The session is in progress (or finished) at this node.
     pub active: bool,
     /// The start-request flood passed through here.
     pub flood_seen: bool,
@@ -82,38 +89,36 @@ pub struct EagerState {
     pub fixpoint_gen: u32,
     /// A dynamic change touched this node (rule added/removed here, or a
     /// reopen reached it). From then on the per-rule-flags early closure is
-    /// disabled for the epoch: a dynamically created dependency cycle would
-    /// otherwise let close/reopen notification waves chase each other around
-    /// the ring forever (each member re-closing on its predecessor's stale
-    /// completeness). Closure then comes from the root's fix-point
+    /// disabled for the session: a dynamically created dependency cycle
+    /// would otherwise let close/reopen notification waves chase each other
+    /// around the ring forever (each member re-closing on its predecessor's
+    /// stale completeness). Closure then comes from the root's fix-point
     /// broadcast, which is always sound.
     pub suppress_flag_closure: bool,
 }
 
 impl DbPeer {
-    /// Starts (or joins) the update session for `epoch`. `sn_base` is the
-    /// path of the query that caused the node to join (empty when joining
-    /// via flood or as the initiator). Returns true if a new session began.
-    pub(crate) fn begin_epoch(
+    /// Starts (or joins) the update session. `sn_base` is the path of the
+    /// query that caused the node to join (empty when joining via flood or
+    /// as the initiator). Returns true if participation began now.
+    pub(crate) fn begin_session(
         &mut self,
-        epoch: u32,
+        st: &mut SessionState,
+        sid: SessionId,
         ctx: &mut Context<ProtocolMsg>,
         sn_base: &[NodeId],
     ) -> bool {
-        if self.upd.active && self.upd.epoch >= epoch {
+        if st.upd.active {
             return false;
         }
-        self.upd = EagerState {
-            epoch,
+        st.upd = EagerState {
             active: true,
-            flood_seen: false,
             closed: self.rules.is_empty(),
-            parts: BTreeMap::new(),
-            subs: BTreeMap::new(),
-            fixpoint_gen: 0,
-            suppress_flag_closure: false,
+            ..Default::default()
         };
-        if self.upd.closed {
+        st.retired = false;
+        self.note_session_joined();
+        if st.upd.closed {
             // A node with no rules is trivially at its fix-point.
             self.stats.closed_by = ClosedBy::RulesFlags;
         } else {
@@ -122,7 +127,7 @@ impl DbPeer {
         let rules: Vec<_> = self.rules.values().cloned().collect();
         for rule in &rules {
             for part in &rule.parts {
-                self.upd.parts.insert(
+                st.upd.parts.insert(
                     (rule.id, part.node),
                     PartProgress {
                         vars: part.vars.clone(),
@@ -131,30 +136,46 @@ impl DbPeer {
                 );
             }
         }
-        self.issue_queries(&rules, ctx, sn_base);
+        self.issue_queries(st, sid, &rules, ctx, sn_base);
         // Crash recovery: give any still-unanswered resync request another
-        // chance with the new epoch (at-least-once; see `durability`).
+        // chance with the new session (at-least-once; see `durability`).
         self.resend_pending_resyncs(ctx);
         true
     }
 
+    /// Statistics hook for a session activation: counts participation and
+    /// tracks the peak number of simultaneously open sessions (the entry
+    /// being activated is not in the table while taken out, hence `+ 1`).
+    pub(crate) fn note_session_joined(&mut self) {
+        self.stats.sessions_participated += 1;
+        let open = self
+            .sessions
+            .values()
+            .filter(|s| s.open(self.config.mode))
+            .count() as u64
+            + 1;
+        self.stats.concurrent_peak = self.stats.concurrent_peak.max(open);
+    }
+
     fn issue_queries(
         &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
         rules: &[crate::rule::CoordinationRule],
         ctx: &mut Context<ProtocolMsg>,
         sn_base: &[NodeId],
     ) {
         let mut sn = sn_base.to_vec();
         sn.push(self.id);
-        let epoch = self.upd.epoch;
         for rule in rules {
             for part in &rule.parts {
                 self.stats.queries_sent += 1;
                 self.send_basic(
+                    st,
                     ctx,
                     part.node,
                     ProtocolMsg::Query {
-                        epoch,
+                        session: sid,
                         rule: rule.id,
                         part: part.clone(),
                         sn: sn.clone(),
@@ -167,44 +188,41 @@ impl DbPeer {
     /// Handles the flooded global update request.
     pub(crate) fn on_update_flood(
         &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
         from: NodeId,
-        epoch: u32,
         ctx: &mut Context<ProtocolMsg>,
     ) {
-        if self.upd.active && epoch < self.upd.epoch {
-            return;
-        }
         self.add_pipe(from);
-        self.begin_epoch(epoch, ctx, &[]);
-        if !self.upd.flood_seen {
-            self.upd.flood_seen = true;
+        self.begin_session(st, sid, ctx, &[]);
+        if !st.upd.flood_seen {
+            st.upd.flood_seen = true;
             for p in self.pipes.clone() {
                 if p != from {
-                    self.send_basic(ctx, p, ProtocolMsg::UpdateFlood { epoch });
+                    self.send_basic(st, ctx, p, ProtocolMsg::UpdateFlood { session: sid });
                 }
             }
         }
     }
 
     /// A4 — `Query(IDs, Q, SN)`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_query(
         &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
         from: NodeId,
-        epoch: u32,
         rule: RuleId,
         part: BodyPart,
         sn: Vec<NodeId>,
         ctx: &mut Context<ProtocolMsg>,
     ) {
         self.stats.queries_received += 1;
-        if self.upd.active && epoch < self.upd.epoch {
-            return;
-        }
         self.add_pipe(from);
         // Joining via a query = A4's forwarding: our own queries extend SN.
-        self.begin_epoch(epoch, ctx, &sn);
+        self.begin_session(st, sid, ctx, &sn);
 
-        if self.upd.subs.contains_key(&(from, rule)) {
+        if st.upd.subs.contains_key(&(from, rule)) {
             self.stats.duplicate_queries += 1;
         }
         let mut sub = Subscription {
@@ -215,19 +233,20 @@ impl DbPeer {
         };
         let rows = self.eval_part_local(&sub.part.clone(), ctx);
         sub.watermarks = self.db.watermarks();
-        let complete = self.upd.closed;
+        let complete = st.upd.closed;
         let ship: Vec<Tuple> = rows.clone();
         sub.sent.extend(rows);
         sub.sent_complete = complete;
         self.stats.answers_sent += 1;
         self.stats.rows_shipped += ship.len() as u64;
         let payload = self.make_answer_rows(from, &sub.part.vars.clone(), ship);
-        self.upd.subs.insert((from, rule), sub);
+        st.upd.subs.insert((from, rule), sub);
         self.send_basic(
+            st,
             ctx,
             from,
             ProtocolMsg::Answer {
-                epoch,
+                session: sid,
                 rule,
                 rows: payload,
                 complete,
@@ -240,8 +259,9 @@ impl DbPeer {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_answer(
         &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
         from: NodeId,
-        epoch: u32,
         rule: RuleId,
         rows: crate::messages::AnswerRows,
         complete: bool,
@@ -249,15 +269,24 @@ impl DbPeer {
         ctx: &mut Context<ProtocolMsg>,
     ) {
         self.stats.answers_received += 1;
-        if !self.upd.active || epoch != self.upd.epoch {
-            return;
+        if !st.upd.active {
+            if rows.rows.is_empty() {
+                return;
+            }
+            // Data arrived for a session this peer is not (or no longer)
+            // participating in — the defensive counterpart of the old
+            // reopen-on-late-data path: a retired subscriber must not
+            // silently drop a cascade a re-woken session pushed to it.
+            // Re-join; the fresh queries rebuild fragment progress and the
+            // session re-quiesces through the normal machinery.
+            self.begin_session(st, sid, ctx, &[]);
         }
         self.absorb_dict(from, &rows);
         self.absorb_null_depths(&rows);
         // Durable peers log the processed answer (rows + the answerer's
         // watermarks — the crash-resync cursor).
-        self.log_answer_mark(rule, from, &rows);
-        let Some(part) = self.upd.parts.get_mut(&(rule, from)) else {
+        self.log_answer_mark(sid, rule, from, &rows);
+        let Some(part) = st.upd.parts.get_mut(&(rule, from)) else {
             // The rule was deleted while the answer was in flight.
             return;
         };
@@ -272,31 +301,31 @@ impl DbPeer {
         }
         if reopen {
             part.complete = false;
-            self.upd.suppress_flag_closure = true;
-            self.reopen_if_closed(ctx);
+            st.upd.suppress_flag_closure = true;
+            self.reopen_if_closed(st, sid, ctx);
         } else if complete {
             part.complete = true;
         }
         if grew || first {
-            let inserted = self.recompute_rule(rule);
+            let inserted = self.recompute_rule(st, rule);
             if inserted > 0 {
                 // New local facts: cascade to subscribers (A5's trailing
                 // `foreach node ∈ π₁(owner)`).
-                self.reopen_if_closed(ctx);
-                self.push_deltas(ctx);
+                self.reopen_if_closed(st, sid, ctx);
+                self.push_deltas(st, sid, ctx);
             }
         }
-        self.maybe_close_by_rules(ctx);
+        self.maybe_close_by_rules(st, sid, ctx);
     }
 
     /// A6 applied to one rule: joins accumulated fragments and chases.
-    pub(crate) fn recompute_rule(&mut self, rule_id: RuleId) -> usize {
+    pub(crate) fn recompute_rule(&mut self, st: &mut SessionState, rule_id: RuleId) -> usize {
         let Some(rule) = self.rules.get(&rule_id) else {
             return 0;
         };
         let mut parts = Vec::with_capacity(rule.parts.len());
         for part in &rule.parts {
-            let Some(progress) = self.upd.parts.get(&(rule_id, part.node)) else {
+            let Some(progress) = st.upd.parts.get(&(rule_id, part.node)) else {
                 return 0;
             };
             if !progress.received {
@@ -318,21 +347,25 @@ impl DbPeer {
     /// instead of re-running the full conjunctive query on every cascade.
     /// The `sent` filter stays as the exactness layer: delta evaluation may
     /// re-derive an already-shipped row from a new fact.
-    pub(crate) fn push_deltas(&mut self, ctx: &mut Context<ProtocolMsg>) {
-        let keys: Vec<(NodeId, RuleId)> = self.upd.subs.keys().copied().collect();
-        let epoch = self.upd.epoch;
+    pub(crate) fn push_deltas(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        let keys: Vec<(NodeId, RuleId)> = st.upd.subs.keys().copied().collect();
         let delta_eval = self.config.delta_waves && self.config.delta_optimization;
         for key in keys {
-            let part = self.upd.subs[&key].part.clone();
+            let part = st.upd.subs[&key].part.clone();
             let rows = if delta_eval {
-                let watermarks = self.upd.subs[&key].watermarks.clone();
+                let watermarks = st.upd.subs[&key].watermarks.clone();
                 self.eval_part_delta_local(&part, &watermarks, ctx)
             } else {
                 self.eval_part_local(&part, ctx)
             };
             let marks = self.db.watermarks();
-            let closed = self.upd.closed;
-            let Some(sub) = self.upd.subs.get_mut(&key) else {
+            let closed = st.upd.closed;
+            let Some(sub) = st.upd.subs.get_mut(&key) else {
                 continue;
             };
             sub.watermarks = marks;
@@ -356,16 +389,17 @@ impl DbPeer {
                 // What a full re-ship would have re-sent: the whole current
                 // extension, which (by monotonicity) is exactly `sent`.
                 self.stats.delta_answers_sent += 1;
-                self.stats.rows_saved += (sub.sent.len() - ship.len()) as u64;
+                self.stats.rows_saved += (st.upd.subs[&key].sent.len() - ship.len()) as u64;
             }
             self.stats.answers_sent += 1;
             self.stats.rows_shipped += ship.len() as u64;
             let payload = self.make_answer_rows(key.0, &part.vars, ship);
             self.send_basic(
+                st,
                 ctx,
                 key.0,
                 ProtocolMsg::Answer {
-                    epoch,
+                    session: sid,
                     rule: key.1,
                     rows: payload,
                     complete: closed,
@@ -377,10 +411,15 @@ impl DbPeer {
 
     /// Lemma 1's `Rules` criterion: every fragment of every rule reported
     /// final data.
-    pub(crate) fn maybe_close_by_rules(&mut self, ctx: &mut Context<ProtocolMsg>) {
-        if self.upd.closed
-            || !self.upd.active
-            || self.upd.suppress_flag_closure
+    pub(crate) fn maybe_close_by_rules(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        if st.upd.closed
+            || !st.upd.active
+            || st.upd.suppress_flag_closure
             || !self.pending_resync.is_empty()
         {
             return;
@@ -389,44 +428,48 @@ impl DbPeer {
             .rules
             .values()
             .flat_map(|r| r.parts.iter().map(move |p| (r.id, p.node)))
-            .all(|key| {
-                self.upd
-                    .parts
-                    .get(&key)
-                    .map(|p| p.complete)
-                    .unwrap_or(false)
-            });
+            .all(|key| st.upd.parts.get(&key).map(|p| p.complete).unwrap_or(false));
         if all_complete {
-            self.close(ClosedBy::RulesFlags, ctx);
+            self.close(st, sid, ClosedBy::RulesFlags, ctx);
         }
     }
 
     /// Sets `state_u = closed` and (unless closed by the terminal broadcast,
     /// after which nobody is listening) ships final completeness answers.
-    pub(crate) fn close(&mut self, by: ClosedBy, ctx: &mut Context<ProtocolMsg>) {
-        self.upd.closed = true;
+    pub(crate) fn close(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        by: ClosedBy,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        st.upd.closed = true;
         self.stats.closed_by = by;
         if by != ClosedBy::RootBroadcast {
-            self.push_deltas(ctx);
+            self.push_deltas(st, sid, ctx);
         }
     }
 
     /// Re-opens after a dynamic change (or defensively when data arrives
     /// post-closure) and cascades the invalidation to subscribers.
-    pub(crate) fn reopen_if_closed(&mut self, ctx: &mut Context<ProtocolMsg>) {
-        if !self.upd.closed {
+    pub(crate) fn reopen_if_closed(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        if !st.upd.closed {
             return;
         }
-        self.upd.closed = false;
-        self.upd.suppress_flag_closure = true;
+        st.upd.closed = false;
+        st.upd.suppress_flag_closure = true;
         self.stats.reopened += 1;
         self.stats.closed_by = ClosedBy::Open;
-        let epoch = self.upd.epoch;
-        let keys: Vec<(NodeId, RuleId)> = self.upd.subs.keys().copied().collect();
+        let keys: Vec<(NodeId, RuleId)> = st.upd.subs.keys().copied().collect();
         for key in keys {
             // Only subscribers that saw `complete = true` hold stale
             // completeness to invalidate.
-            let needs_reopen = match self.upd.subs.get_mut(&key) {
+            let needs_reopen = match st.upd.subs.get_mut(&key) {
                 Some(sub) if sub.sent_complete => {
                     sub.sent_complete = false;
                     true
@@ -438,10 +481,11 @@ impl DbPeer {
             }
             self.stats.answers_sent += 1;
             self.send_basic(
+                st,
                 ctx,
                 key.0,
                 ProtocolMsg::Answer {
-                    epoch,
+                    session: sid,
                     rule: key.1,
                     rows: Default::default(),
                     complete: false,
@@ -451,69 +495,104 @@ impl DbPeer {
         }
     }
 
-    /// Fix-point broadcast from the super-peer.
-    pub(crate) fn on_fixpoint(&mut self, epoch: u32, generation: u32) {
-        if !self.upd.active {
+    /// Fix-point broadcast from the session root. Closes (unless a crash
+    /// resync is still outstanding) and **retires** the session's state —
+    /// termination detection guarantees no session traffic of the broadcast
+    /// quiet period is in flight, so nothing can dangle.
+    pub(crate) fn on_fixpoint(&mut self, st: &mut SessionState, generation: u32) {
+        if st.ds.deficit() > 0 || (st.ds.engaged() && !st.ds.is_root()) {
+            // Mid-diffusing: a post-fixpoint dynamic change re-engaged this
+            // peer while a broadcast of the *previous* quiet period was
+            // still in flight. That stale broadcast must neither close nor
+            // retire live Dijkstra–Scholten state (a discarded deferred ack
+            // would wedge the re-woken computation); the re-quiesce
+            // broadcast — strictly newer generation — lands when this peer
+            // is passive again. Deliberately does not record `generation`.
+            return;
+        }
+        if !st.upd.active {
             // The session never reached this node (no pipes connect it to
-            // the super-peer's component). A rule-less node is trivially at
-            // its fix-point and may close; a node *with* rules in a
+            // the root's component). A rule-less node is trivially at its
+            // fix-point and may close; a node *with* rules in a
             // disconnected component genuinely was not updated and must
             // stay open (Lemma 1: closed ⇔ fix-point reached *here*).
             if self.rules.is_empty() {
-                self.upd = EagerState {
-                    epoch,
-                    active: true,
-                    closed: true,
-                    fixpoint_gen: generation,
-                    ..Default::default()
-                };
+                st.upd.active = true;
+                st.upd.closed = true;
+                st.upd.fixpoint_gen = generation;
+                st.retired = true;
                 self.stats.closed_by = ClosedBy::RootBroadcast;
             }
             return;
         }
-        if epoch != self.upd.epoch || generation <= self.upd.fixpoint_gen {
+        if generation <= st.upd.fixpoint_gen {
             return;
         }
-        self.upd.fixpoint_gen = generation;
-        if !self.upd.closed && self.pending_resync.is_empty() {
+        st.upd.fixpoint_gen = generation;
+        if !st.upd.closed && self.pending_resync.is_empty() {
             // A peer still reconciling a crash stays open — the driver sees
             // it and re-drives, which re-sends the resync. Closing here
             // would certify a fix-point with a silent hole if the resync
             // answer was lost.
-            self.upd.closed = true;
+            st.upd.closed = true;
             self.stats.closed_by = ClosedBy::RootBroadcast;
+        }
+        if st.upd.closed {
+            st.retired = true;
         }
     }
 
     /// Root side of the broadcast (invoked by the Dijkstra–Scholten hook).
-    pub(crate) fn broadcast_fixpoint(&mut self, ctx: &mut Context<ProtocolMsg>) {
+    /// The generation counter lives in [`crate::peer::SuperState`] so it
+    /// survives a post-fixpoint re-wake of the session: the re-broadcast is
+    /// strictly newer than any still-in-flight copy of the original.
+    pub(crate) fn broadcast_fixpoint(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
         self.sup.fixpoint_generation += 1;
         let generation = self.sup.fixpoint_generation;
-        let epoch = self.upd.epoch;
         for n in self.sup.all_nodes.clone() {
             if n != self.id {
-                ctx.send(n, ProtocolMsg::Fixpoint { epoch, generation });
+                ctx.send(
+                    n,
+                    ProtocolMsg::Fixpoint {
+                        session: sid,
+                        generation,
+                    },
+                );
             }
         }
-        self.on_fixpoint(epoch, generation);
+        self.on_fixpoint(st, generation);
     }
 
     /// `addRule` notification (dynamic change, Section 4).
     pub(crate) fn on_add_rule(
         &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
         rule: crate::rule::CoordinationRule,
         ctx: &mut Context<ProtocolMsg>,
     ) {
         let parts: Vec<BodyPart> = rule.parts.clone();
         let rule_id = rule.id;
-        let epoch = self.upd.epoch;
         self.install_rule(rule);
-        if !self.upd.active {
-            return; // Will be queried at the next session start.
+        if !st.upd.active {
+            if sid.epoch == 0 {
+                return; // No session yet: queried at the next session start.
+            }
+            // The change reached a retired (or not-yet-joined) session
+            // entry: re-join so the change propagates within this run. The
+            // session start queries every rule, including the new one.
+            self.begin_session(st, sid, ctx, &[]);
+            st.upd.suppress_flag_closure = true;
+            return;
         }
-        self.upd.suppress_flag_closure = true;
+        st.upd.suppress_flag_closure = true;
         for part in &parts {
-            self.upd.parts.insert(
+            st.upd.parts.insert(
                 (rule_id, part.node),
                 PartProgress {
                     vars: part.vars.clone(),
@@ -521,16 +600,16 @@ impl DbPeer {
                 },
             );
         }
-        self.reopen_if_closed(ctx);
-        let mut sn = vec![self.id];
-        sn.shrink_to_fit();
+        self.reopen_if_closed(st, sid, ctx);
+        let sn = vec![self.id];
         for part in parts {
             self.stats.queries_sent += 1;
             self.send_basic(
+                st,
                 ctx,
                 part.node,
                 ProtocolMsg::Query {
-                    epoch,
+                    session: sid,
                     rule: rule_id,
                     part,
                     sn: sn.clone(),
@@ -542,34 +621,40 @@ impl DbPeer {
     /// `deleteRule` notification (dynamic change, Section 4). Previously
     /// imported data is kept — consistent with Definition 9 (see
     /// `crate::dynamic`).
-    pub(crate) fn on_delete_rule(&mut self, rule_id: RuleId, ctx: &mut Context<ProtocolMsg>) {
+    pub(crate) fn on_delete_rule(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        rule_id: RuleId,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
         let Some(rule) = self.rules.remove(&rule_id) else {
             return;
         };
         // A pending resync for a deleted rule has nothing left to repair.
-        self.pending_resync.retain(|(r, _), _| *r != rule_id);
-        if self.upd.active {
-            self.upd.suppress_flag_closure = true;
-            let epoch = self.upd.epoch;
+        self.pending_resync.retain(|(_, r, _), _| *r != rule_id);
+        if st.upd.active {
+            st.upd.suppress_flag_closure = true;
             for part in &rule.parts {
-                self.upd.parts.remove(&(rule_id, part.node));
+                st.upd.parts.remove(&(rule_id, part.node));
                 self.send_basic(
+                    st,
                     ctx,
                     part.node,
                     ProtocolMsg::Unsubscribe {
-                        epoch,
+                        session: sid,
                         rule: rule_id,
                     },
                 );
             }
-            self.maybe_close_by_rules(ctx);
+            self.maybe_close_by_rules(st, sid, ctx);
         }
     }
 
     /// Body-node side of `deleteRule`.
-    pub(crate) fn on_unsubscribe(&mut self, from: NodeId, epoch: u32, rule: RuleId) {
-        if self.upd.active && epoch == self.upd.epoch {
-            self.upd.subs.remove(&(from, rule));
+    pub(crate) fn on_unsubscribe(&mut self, st: &mut SessionState, from: NodeId, rule: RuleId) {
+        if st.upd.active {
+            st.upd.subs.remove(&(from, rule));
         }
     }
 }

@@ -14,6 +14,21 @@
 //! * durable peers: WAL logging, crash recovery from storage, and the
 //!   watermark-based resync protocol — [`durability`].
 //!
+//! ## Concurrent update sessions
+//!
+//! The update session is a first-class object: every session-tagged message
+//! carries a [`SessionId`] `(root, epoch)` and is routed to that session's
+//! entry in the peer's [`DbPeer::sessions`] table. Any number of sessions —
+//! initiated by any nodes — run interleaved; each owns its full protocol
+//! state ([`SessionState`]: eager subscriptions and fragment progress, its
+//! own Dijkstra–Scholten detector, rounds-mode wave state with session-
+//! scoped watermarks and caches). Entries are **retired** when the session's
+//! terminal broadcast lands (`Fixpoint` in eager mode, `RoundsClosed` in
+//! rounds mode) — the table must be empty again after every session reaches
+//! its fix-point, so interleaving leaks no state. A message of a newer
+//! same-root session retires any stranded state of older epochs (the
+//! churn-redrive path).
+//!
 //! Handlers are atomic; all cross-node effects go through the runtime
 //! context, and every observable iteration order is deterministic.
 
@@ -28,7 +43,7 @@ use crate::messages::ProtocolMsg;
 use crate::rule::{CoordinationRule, RuleId};
 use crate::stats::{ClosedBy, PeerStats};
 use crate::termination::{AckDecision, DiffusingState, Disengage};
-use p2p_net::{Context, Peer};
+use p2p_net::{Context, Peer, SessionId};
 use p2p_relational::chase::{ChaseConfig, ChaseState};
 use p2p_relational::{ConstCatalog, Database, NullFactory, SymId, Tuple, Val};
 use p2p_topology::NodeId;
@@ -39,6 +54,62 @@ pub use discovery::DiscoveryState;
 pub use eager::{EagerState, PartProgress, Subscription};
 pub use rounds::RoundsState;
 pub use superpeer::SuperState;
+
+/// Everything one peer holds for one update session. One entry per
+/// interleaved session lives in [`DbPeer::sessions`]; the entry is created
+/// on first contact with the session's traffic and retired when the
+/// session's terminal broadcast lands.
+#[derive(Debug, Clone, Default)]
+pub struct SessionState {
+    /// Eager-mode state: fragment progress, subscriptions, closure flags.
+    pub upd: EagerState,
+    /// This session's own Dijkstra–Scholten detector — one diffusing
+    /// computation per session, as Dijkstra–Scholten intends.
+    pub ds: DiffusingState,
+    /// Rounds-mode state: echo tree, session-scoped wave watermarks and
+    /// fragment caches.
+    pub rnd: RoundsState,
+    /// Root side: the root already broadcast for the current quiet period.
+    /// (The broadcast generation itself lives in
+    /// [`SuperState::fixpoint_generation`] so it survives a post-fixpoint
+    /// re-wake of the session.)
+    pub root_quiet: bool,
+    /// Terminal broadcast processed — the dispatcher moves the entry to
+    /// [`DbPeer::done`] instead of re-inserting it.
+    pub retired: bool,
+}
+
+impl SessionState {
+    /// The peer joined this session (as opposed to a placeholder entry
+    /// holding only recovered caches).
+    pub fn joined(&self) -> bool {
+        self.upd.active || self.rnd.active
+    }
+
+    /// `state_u == closed` for this session under the given mode.
+    pub fn closed(&self, mode: UpdateMode) -> bool {
+        match mode {
+            UpdateMode::Eager => self.upd.closed,
+            UpdateMode::Rounds => self.rnd.closed,
+        }
+    }
+
+    /// Currently participating and not yet closed.
+    pub fn open(&self, mode: UpdateMode) -> bool {
+        self.joined() && !self.closed(mode)
+    }
+
+    /// Nothing worth keeping: never joined, not engaged in termination
+    /// detection, and no recovered caches. Entries created as a side effect
+    /// of dropped or ignored messages are swept through this.
+    fn vacant(&self) -> bool {
+        !self.joined()
+            && !self.ds.engaged()
+            && self.ds.deficit() == 0
+            && self.rnd.wave_cache.is_empty()
+            && self.rnd.wave_subs.is_empty()
+    }
+}
 
 /// A database peer: local database, coordination rules targeting it, and
 /// all protocol state.
@@ -70,12 +141,13 @@ pub struct DbPeer {
     pub(crate) stats: PeerStats,
     /// Discovery protocol state.
     pub(crate) disc: DiscoveryState,
-    /// Eager update state.
-    pub(crate) upd: EagerState,
-    /// Dijkstra–Scholten state (eager mode).
-    pub(crate) ds: DiffusingState,
-    /// Rounds update state.
-    pub(crate) rnd: RoundsState,
+    /// Per-session protocol state, keyed by session identity. The heart of
+    /// the concurrent control plane: each interleaved session lives in its
+    /// own entry and is retired on fix-point.
+    pub(crate) sessions: BTreeMap<SessionId, SessionState>,
+    /// Sessions that closed and retired here, with the rounds executed
+    /// (0 in eager mode) — the summary reports and supersession read.
+    pub(crate) done: BTreeMap<SessionId, u32>,
     /// Super-peer driver state.
     pub(crate) sup: SuperState,
     /// Errors recorded during handlers (runtime handlers cannot return
@@ -91,11 +163,12 @@ pub struct DbPeer {
     /// on; `None` = the amnesia baseline, where a crash loses everything.
     pub(crate) storage: Option<p2p_storage::PeerStorage>,
     /// Resync requests sent after a restart whose answers have not arrived
-    /// yet, with the watermark each was asked from. While non-empty the
-    /// peer refuses to close (a lost resync message must stall the
-    /// session, never silently lose data) and re-sends on every session
-    /// (re-)entry — at-least-once delivery, idempotent at both ends.
-    pub(crate) pending_resync: BTreeMap<(RuleId, NodeId), BTreeMap<Arc<str>, usize>>,
+    /// yet, keyed by the session they repair, with the watermark each was
+    /// asked from. While non-empty the peer refuses to close **any**
+    /// session (a lost resync message must stall, never silently lose
+    /// data) and re-sends on every session (re-)entry — at-least-once
+    /// delivery, idempotent at both ends.
+    pub(crate) pending_resync: BTreeMap<(SessionId, RuleId, NodeId), BTreeMap<Arc<str>, usize>>,
     /// Per-pipe dictionary state: the interned symbols each neighbour is
     /// known to know (we shipped them a definition, or they shipped us one).
     /// Drives the first-use dictionary deltas in [`DbPeer::make_answer_rows`]
@@ -122,9 +195,8 @@ impl DbPeer {
             in_cycle: true,
             stats: PeerStats::default(),
             disc: DiscoveryState::default(),
-            upd: EagerState::default(),
-            ds: DiffusingState::new(),
-            rnd: RoundsState::default(),
+            sessions: BTreeMap::new(),
+            done: BTreeMap::new(),
             sup: SuperState::default(),
             errors: Vec::new(),
             seen_msgs: HashSet::new(),
@@ -134,16 +206,16 @@ impl DbPeer {
         }
     }
 
-    /// Marks this node as the super-peer, telling it the full node roster
-    /// (the paper's super-peer reads the network's rule file, so global
-    /// rosters are within its powers).
+    /// Marks this node as the designated super-peer (any node may root a
+    /// session; the super-peer additionally answers driver commands like
+    /// statistics collection and rule broadcast).
     pub fn make_super(&mut self, all_nodes: Vec<NodeId>) {
         self.is_super = true;
         self.sup.all_nodes = all_nodes;
     }
 
     /// Installs the node roster (every peer gets one at build time so any
-    /// node can act as the root of a query-dependent update).
+    /// node can act as the root of an update session).
     pub fn set_roster(&mut self, all_nodes: Vec<NodeId>) {
         self.sup.all_nodes = all_nodes;
     }
@@ -196,15 +268,63 @@ impl DbPeer {
         &self.stats
     }
 
-    /// `state_u == closed`.
+    /// `state_u == closed`, summarised over sessions: every session this
+    /// peer is currently participating in has closed — or, with no live
+    /// participation, at least one session completed here. A peer that
+    /// never saw any session (or whose sessions are stranded open) reads
+    /// `false`.
     pub fn update_closed(&self) -> bool {
-        match self.config.mode {
-            UpdateMode::Eager => self.upd.closed,
-            UpdateMode::Rounds => self.rnd.closed,
+        let joined: Vec<&SessionState> = self.sessions.values().filter(|st| st.joined()).collect();
+        if joined.is_empty() {
+            !self.done.is_empty()
+        } else {
+            joined.iter().all(|st| st.closed(self.config.mode))
         }
     }
 
-    /// How the node closed.
+    /// Whether one specific session reached closure at this peer: a live
+    /// entry that closed, or a retired one. Peers with rules that were
+    /// never reached by the session read `false` (Lemma 1: closed ⇔
+    /// fix-point reached *here*).
+    pub fn session_closed(&self, sid: SessionId) -> bool {
+        match self.sessions.get(&sid) {
+            Some(st) => st.joined() && st.closed(self.config.mode),
+            None => self.done.contains_key(&sid),
+        }
+    }
+
+    /// Rounds executed for one session at this peer (0 in eager mode or if
+    /// unknown).
+    pub fn session_rounds(&self, sid: SessionId) -> u32 {
+        match self.sessions.get(&sid) {
+            Some(st) => st.rnd.rounds_done,
+            None => self.done.get(&sid).copied().unwrap_or(0),
+        }
+    }
+
+    /// The current round of one session (rounds-mode redrive probe).
+    pub fn session_round(&self, sid: SessionId) -> u32 {
+        self.sessions.get(&sid).map(|st| st.rnd.round).unwrap_or(0)
+    }
+
+    /// Live session-table entries. The retirement invariant every test can
+    /// lean on: after all sessions reach their fix-point, this is 0 — no
+    /// leaked `DiffusingState`, watermarks or fragment caches.
+    pub fn session_table_len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Read access to one live session entry (assertions).
+    pub fn session_state(&self, sid: SessionId) -> Option<&SessionState> {
+        self.sessions.get(&sid)
+    }
+
+    /// Sessions that completed and retired at this peer.
+    pub fn sessions_done(&self) -> usize {
+        self.done.len()
+    }
+
+    /// How the node closed (most recent closure event).
     pub fn closed_by(&self) -> ClosedBy {
         self.stats.closed_by
     }
@@ -433,36 +553,289 @@ impl DbPeer {
         known.extend(rows.dict.iter().map(|(id, _)| remap.map(*id)));
     }
 
-    /// Sends a Dijkstra–Scholten *basic* message (eager mode): counts the
-    /// deficit and wakes the root-quiet flag.
+    /// Sends a Dijkstra–Scholten *basic* message of one session (eager
+    /// mode): counts the deficit on that session's detector and wakes its
+    /// root-quiet flag.
     pub(crate) fn send_basic(
         &mut self,
+        st: &mut SessionState,
         ctx: &mut Context<ProtocolMsg>,
         to: NodeId,
         msg: ProtocolMsg,
     ) {
         debug_assert!(msg.is_basic(), "send_basic used for a control message");
-        self.ds.on_send();
-        self.sup.root_quiet = false;
+        st.ds.on_send();
+        st.root_quiet = false;
         ctx.send(to, msg);
     }
 
-    /// Post-event hook: runs Dijkstra–Scholten disengagement and, at the
-    /// root, the fix-point broadcast.
-    fn after_event(&mut self, ctx: &mut Context<ProtocolMsg>) {
+    /// Post-event hook for one session: runs Dijkstra–Scholten
+    /// disengagement and, at the session's root, the fix-point broadcast.
+    fn after_event(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
         if self.config.mode != UpdateMode::Eager {
             return;
         }
-        match self.ds.try_disengage() {
+        match st.ds.try_disengage() {
             Disengage::None => {}
-            Disengage::AckParent(parent) => ctx.send(parent, ProtocolMsg::Ack),
+            Disengage::AckParent(parent) => ctx.send(parent, ProtocolMsg::Ack { session: sid }),
             Disengage::RootTerminated => {
-                if self.is_super && self.upd.active && !self.sup.root_quiet {
-                    self.sup.root_quiet = true;
-                    self.broadcast_fixpoint(ctx);
+                if st.ds.is_root() && st.upd.active && !st.root_quiet {
+                    st.root_quiet = true;
+                    self.broadcast_fixpoint(st, sid, ctx);
                 }
             }
         }
+    }
+
+    // ----------------------------------------------------------------
+    // Session dispatch
+    // ----------------------------------------------------------------
+
+    /// True iff traffic of `sid` is stale here: a newer session of the same
+    /// root is already known (live or completed) — the supersession
+    /// relation that retires churn-stranded epochs. `SessionId` orders
+    /// root-first, so one range probe past `sid` answers this in
+    /// O(log sessions) instead of scanning both maps.
+    fn session_is_stale(&self, sid: SessionId) -> bool {
+        fn newer_same_root<V>(map: &BTreeMap<SessionId, V>, sid: SessionId) -> bool {
+            map.range((
+                std::ops::Bound::Excluded(sid),
+                std::ops::Bound::Included(SessionId::new(sid.root, u64::MAX)),
+            ))
+            .next()
+            .is_some()
+        }
+        newer_same_root(&self.sessions, sid) || newer_same_root(&self.done, sid)
+    }
+
+    /// Retires live entries of older same-root sessions when `sid`'s first
+    /// message arrives: a churn-stranded epoch can leave a permanent
+    /// Dijkstra–Scholten deficit (acks addressed to a crashed peer were
+    /// dropped), which would otherwise leak and wedge nothing — but the
+    /// table must not grow without bound. Re-drives start from quiescence,
+    /// so nothing of the old session is in flight and dropping is safe.
+    fn supersede_older(&mut self, sid: SessionId) {
+        let older: Vec<SessionId> = self
+            .sessions
+            .range(SessionId::new(sid.root, 0)..sid)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in older {
+            self.sessions.remove(&k);
+        }
+    }
+
+    /// Message kinds that may re-create state for a completed session: a
+    /// dynamic change arriving after the fix-point broadcast legitimately
+    /// re-opens the session (the root then re-quiesces and re-broadcasts).
+    /// A row-carrying `Answer` re-wakes too — a re-woken region may cascade
+    /// data to a subscriber that already retired, and dropping it would
+    /// lose derived facts (the defensive re-join in `on_answer`).
+    fn can_rewake(msg: &ProtocolMsg) -> bool {
+        match msg {
+            ProtocolMsg::StartUpdate { .. }
+            | ProtocolMsg::StartScopedUpdate { .. }
+            | ProtocolMsg::UpdateFlood { .. }
+            | ProtocolMsg::Query { .. }
+            | ProtocolMsg::AddRule { .. }
+            | ProtocolMsg::DeleteRule { .. }
+            | ProtocolMsg::ResumeRounds { .. } => true,
+            ProtocolMsg::Answer { rows, .. } => !rows.rows.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// Minimal response to a message of a stale or completed session, so
+    /// the sender's bookkeeping drains without re-creating any state: basic
+    /// messages get their Dijkstra–Scholten ack, wave queries an empty
+    /// stale acknowledgement, round floods a clean echo.
+    fn acknowledge_stale(
+        &mut self,
+        from: NodeId,
+        sid: SessionId,
+        msg: &ProtocolMsg,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        // Delivery counters keep their transport-level meaning even for
+        // traffic of finished sessions.
+        match msg {
+            ProtocolMsg::Answer { .. }
+            | ProtocolMsg::WaveAnswer { .. }
+            | ProtocolMsg::WaveAnswerDelta { .. } => self.stats.answers_received += 1,
+            ProtocolMsg::Query { .. } | ProtocolMsg::WaveQuery { .. } => {
+                self.stats.queries_received += 1
+            }
+            _ => {}
+        }
+        if self.config.mode == UpdateMode::Eager && msg.is_basic() {
+            ctx.send(from, ProtocolMsg::Ack { session: sid });
+            return;
+        }
+        match msg {
+            ProtocolMsg::WaveQuery {
+                round, rule, part, ..
+            } => {
+                self.stats.stale_answers_sent += 1;
+                let payload = crate::messages::AnswerRows {
+                    vars: part.vars.clone(),
+                    ..Default::default()
+                };
+                ctx.send(
+                    from,
+                    ProtocolMsg::WaveAnswer {
+                        session: sid,
+                        round: *round,
+                        rule: *rule,
+                        rows: payload,
+                    },
+                );
+            }
+            ProtocolMsg::RoundStart { round, .. } => {
+                ctx.send(
+                    from,
+                    ProtocolMsg::RoundEcho {
+                        session: sid,
+                        round: *round,
+                        dirty: false,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Re-inserts a session entry after an event, retiring it if its
+    /// terminal broadcast was processed and sweeping placeholder entries
+    /// that hold nothing. The `done` summary keeps only the newest
+    /// completed epoch per root — staleness and reporting both read the
+    /// newest entry, so a long-lived system's summary stays bounded by its
+    /// root count, not its session count.
+    fn finish_session_event(&mut self, sid: SessionId, st: SessionState) {
+        if st.retired {
+            let superseded: Vec<SessionId> = self
+                .done
+                .range(SessionId::new(sid.root, 0)..sid)
+                .map(|(k, _)| *k)
+                .collect();
+            for k in superseded {
+                self.done.remove(&k);
+            }
+            self.done.insert(sid, st.rnd.rounds_done);
+        } else if !st.vacant() {
+            self.sessions.insert(sid, st);
+        }
+    }
+
+    /// Routes one session-tagged message: takes the session's entry out of
+    /// the table (creating it on first contact), runs the per-session
+    /// Dijkstra–Scholten transport layer and the protocol handler, then
+    /// re-inserts or retires the entry.
+    fn on_session_message(
+        &mut self,
+        from: NodeId,
+        sid: SessionId,
+        msg: ProtocolMsg,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        // Dijkstra–Scholten ack fast path: debit the session's detector.
+        if let ProtocolMsg::Ack { .. } = msg {
+            if let Some(mut st) = self.sessions.remove(&sid) {
+                st.ds.on_ack();
+                self.after_event(&mut st, sid, ctx);
+                self.finish_session_event(sid, st);
+            }
+            return;
+        }
+
+        // Crash-recovery resync is control-plane: it repairs the database
+        // regardless of what this peer currently holds for the session
+        // (the requester may be reconciling an epoch the redrive already
+        // superseded, or a fragment never durably answered under any
+        // session), so both directions bypass the staleness rules below —
+        // a dropped repair would leave `pending_resync` outstanding forever
+        // and wedge every later closure.
+        if matches!(msg, ProtocolMsg::ResyncRequest { .. }) {
+            if let ProtocolMsg::ResyncRequest {
+                rule, part, since, ..
+            } = msg
+            {
+                self.on_resync_request(from, sid, rule, part, since, ctx);
+            }
+            return;
+        }
+        if matches!(msg, ProtocolMsg::ResyncAnswer { .. }) {
+            if let ProtocolMsg::ResyncAnswer { rule, rows, .. } = msg {
+                self.on_resync_answer(sid, from, rule, rows);
+            }
+            return;
+        }
+
+        if self.session_is_stale(sid) || (self.done.contains_key(&sid) && !Self::can_rewake(&msg)) {
+            self.acknowledge_stale(from, sid, &msg, ctx);
+            return;
+        }
+        self.supersede_older(sid);
+        self.done.remove(&sid);
+
+        let mut st = self.sessions.remove(&sid).unwrap_or_default();
+        let ack = if self.config.mode == UpdateMode::Eager && msg.is_basic() {
+            Some(st.ds.on_receive(from))
+        } else {
+            None
+        };
+
+        match msg {
+            ProtocolMsg::StartUpdate { .. } => self.start_update(&mut st, sid, ctx),
+            ProtocolMsg::StartScopedUpdate { .. } => self.start_scoped_update(&mut st, sid, ctx),
+            ProtocolMsg::UpdateFlood { .. } => self.on_update_flood(&mut st, sid, from, ctx),
+            ProtocolMsg::Query { rule, part, sn, .. } => {
+                self.on_query(&mut st, sid, from, rule, part, sn, ctx)
+            }
+            ProtocolMsg::Answer {
+                rule,
+                rows,
+                complete,
+                reopen,
+                ..
+            } => self.on_answer(&mut st, sid, from, rule, rows, complete, reopen, ctx),
+            ProtocolMsg::Unsubscribe { rule, .. } => self.on_unsubscribe(&mut st, from, rule),
+            ProtocolMsg::Fixpoint { generation, .. } => self.on_fixpoint(&mut st, generation),
+            ProtocolMsg::AddRule { rule, .. } => self.on_add_rule(&mut st, sid, rule, ctx),
+            ProtocolMsg::DeleteRule { rule, .. } => self.on_delete_rule(&mut st, sid, rule, ctx),
+            ProtocolMsg::RoundStart { round, .. } => {
+                self.on_round_start(&mut st, sid, from, round, ctx)
+            }
+            ProtocolMsg::RoundEcho { round, dirty, .. } => {
+                self.on_round_echo(&mut st, sid, round, dirty, ctx)
+            }
+            ProtocolMsg::WaveQuery {
+                round, rule, part, ..
+            } => self.on_wave_query(&mut st, sid, from, round, rule, part, ctx),
+            ProtocolMsg::WaveAnswer {
+                round, rule, rows, ..
+            } => self.on_wave_answer(&mut st, sid, from, round, rule, rows, false, ctx),
+            ProtocolMsg::WaveAnswerDelta {
+                round, rule, rows, ..
+            } => self.on_wave_answer(&mut st, sid, from, round, rule, rows, true, ctx),
+            ProtocolMsg::RoundsClosed { rounds, .. } => self.on_rounds_closed(&mut st, rounds),
+            ProtocolMsg::ResumeRounds { round, .. } => {
+                self.on_resume_rounds(&mut st, sid, round, ctx)
+            }
+            // Session-less kinds and the resync pair never reach this
+            // routing.
+            _ => {}
+        }
+
+        if ack == Some(AckDecision::Immediate) {
+            ctx.send(from, ProtocolMsg::Ack { session: sid });
+        }
+        self.after_event(&mut st, sid, ctx);
+        self.finish_session_event(sid, st);
     }
 }
 
@@ -484,36 +857,14 @@ impl Peer<ProtocolMsg> for DbPeer {
     fn on_message(&mut self, from: NodeId, msg: ProtocolMsg, ctx: &mut Context<ProtocolMsg>) {
         ctx.charge(self.config.cost_per_message);
 
-        // Dijkstra–Scholten transport layer (eager mode only).
-        if self.config.mode == UpdateMode::Eager {
-            if let ProtocolMsg::Ack = msg {
-                self.ds.on_ack();
-                self.after_event(ctx);
-                return;
-            }
+        if let Some(sid) = msg.session() {
+            self.on_session_message(from, sid, msg, ctx);
+            return;
         }
-        let ack = if self.config.mode == UpdateMode::Eager && msg.is_basic() {
-            // First contact with a newer epoch retires leftover
-            // Dijkstra–Scholten state: a churn-stranded epoch can leave a
-            // permanent deficit (acks addressed to a crashed peer were
-            // dropped), which would wedge termination detection of every
-            // later epoch. Re-drives start from quiescence, so nothing of
-            // the old epoch is in flight and the reset is safe.
-            if let Some(epoch) = msg.session_epoch() {
-                if self.upd.active && epoch > self.upd.epoch {
-                    self.ds.reset();
-                }
-            }
-            Some(self.ds.on_receive(from))
-        } else {
-            None
-        };
 
         match msg {
             // Driver commands (super-peer).
             ProtocolMsg::StartDiscovery => self.start_discovery(ctx),
-            ProtocolMsg::StartUpdate { epoch } => self.start_update(epoch, ctx),
-            ProtocolMsg::StartScopedUpdate { epoch } => self.start_scoped_update(epoch, ctx),
             ProtocolMsg::ApplyChange { change } => self.apply_change(change, ctx),
             ProtocolMsg::CollectStats => self.on_collect_stats(from, ctx),
             ProtocolMsg::ResetStats => self.on_reset_stats(from, ctx),
@@ -530,55 +881,9 @@ impl Peer<ProtocolMsg> for DbPeer {
             } => self.on_discovery_answer(from, owner, edges, closed, finished, ctx),
             ProtocolMsg::DiscoveryClosed => self.on_discovery_closed(),
 
-            // Eager update.
-            ProtocolMsg::UpdateFlood { epoch } => self.on_update_flood(from, epoch, ctx),
-            ProtocolMsg::Query {
-                epoch,
-                rule,
-                part,
-                sn,
-            } => self.on_query(from, epoch, rule, part, sn, ctx),
-            ProtocolMsg::Answer {
-                epoch,
-                rule,
-                rows,
-                complete,
-                reopen,
-            } => self.on_answer(from, epoch, rule, rows, complete, reopen, ctx),
-            ProtocolMsg::Unsubscribe { epoch, rule } => self.on_unsubscribe(from, epoch, rule),
-            ProtocolMsg::Fixpoint { epoch, generation } => self.on_fixpoint(epoch, generation),
-            ProtocolMsg::Ack => { /* handled above */ }
-
-            // Dynamic changes.
-            ProtocolMsg::AddRule { rule } => self.on_add_rule(rule, ctx),
-            ProtocolMsg::DeleteRule { rule } => self.on_delete_rule(rule, ctx),
-
-            // Rounds mode.
-            ProtocolMsg::RoundStart { round } => self.on_round_start(from, round, ctx),
-            ProtocolMsg::RoundEcho { round, dirty } => self.on_round_echo(round, dirty, ctx),
-            ProtocolMsg::WaveQuery { round, rule, part } => {
-                self.on_wave_query(from, round, rule, part, ctx)
-            }
-            ProtocolMsg::WaveAnswer { round, rule, rows } => {
-                self.on_wave_answer(from, round, rule, rows, false, ctx)
-            }
-            ProtocolMsg::WaveAnswerDelta { round, rule, rows } => {
-                self.on_wave_answer(from, round, rule, rows, true, ctx)
-            }
-            ProtocolMsg::RoundsClosed { rounds } => self.on_rounds_closed(rounds),
-            ProtocolMsg::ResumeRounds { round } => self.on_resume_rounds(round, ctx),
-
-            // Durability & churn.
-            ProtocolMsg::ResyncRequest { rule, part, since } => {
-                self.on_resync_request(from, rule, part, since, ctx)
-            }
-            ProtocolMsg::ResyncAnswer { rule, rows } => self.on_resync_answer(from, rule, rows),
+            // Session-tagged kinds are routed above.
+            _ => {}
         }
-
-        if ack == Some(AckDecision::Immediate) {
-            ctx.send(from, ProtocolMsg::Ack);
-        }
-        self.after_event(ctx);
     }
 
     fn on_crash(&mut self) {

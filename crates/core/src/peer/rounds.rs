@@ -5,7 +5,7 @@
 //!
 //! One round = a propagation-of-information-with-feedback (echo) wave:
 //!
-//! 1. the super-peer floods `RoundStart` along pipes, building a spanning
+//! 1. the session root floods `RoundStart` along pipes, building a spanning
 //!    tree (first-contact parent);
 //! 2. every node issues `WaveQuery` for each of its rule fragments;
 //! 3. acyclic nodes *defer* their `WaveAnswer`s until their own fragments
@@ -21,6 +21,13 @@
 //!    produced no new data anywhere (exactly the condition its
 //!    maximal-dependency-path flags certify).
 //!
+//! All of this is **per session**: [`RoundsState`] lives inside
+//! [`crate::peer::SessionState`], so several rounds-mode sessions — one per
+//! initiating root — run interleaved, each with its own round counter, echo
+//! tree, wave bookkeeping and delta machinery over the shared database.
+//! `RoundsClosed` retires the session's entry; the table is empty again
+//! once every session certified its fix-point.
+//!
 //! ## Delta-driven wave answers (`SystemConfig::delta_waves`, default on)
 //!
 //! The paper's fix-point re-evaluates every rule body each round; shipped
@@ -28,20 +35,25 @@
 //! so bytes grow quadratically with rounds on cyclic topologies. With
 //! `delta_waves` enabled the protocol is **semi-naive** instead:
 //!
-//! * **Answer side** — a peer keeps, per `(requester, rule)` subscription,
-//!   the database watermarks ([`p2p_relational::Database::watermarks`]) as
-//!   of its last answer. The first answer ships the full extension
-//!   (`WaveAnswer`); every later one delta-evaluates the fragment over
-//!   [`p2p_relational::Database::facts_since`] — only bindings using at
-//!   least one fact inserted since the watermark — and ships just those
-//!   rows as a [`crate::messages::ProtocolMsg::WaveAnswerDelta`].
+//! * **Answer side** — a peer keeps, per session and per
+//!   `(requester, rule)` subscription, the database watermarks
+//!   ([`p2p_relational::Database::watermarks`]) as of its last answer *in
+//!   that session*. Watermarks are session-scoped on purpose: two
+//!   interleaved sessions ship independent delta streams to the same
+//!   requester, and each stream's cursor must only advance with its own
+//!   answers — a shared cursor would silently swallow rows from the other
+//!   session's stream. The first answer of a session ships the full
+//!   extension (`WaveAnswer`); every later one delta-evaluates the fragment
+//!   over [`p2p_relational::Database::facts_since`] — only bindings using at
+//!   least one fact inserted since the session's watermark — and ships just
+//!   those rows as a [`crate::messages::ProtocolMsg::WaveAnswerDelta`].
 //! * **Head side** — the head node caches each fragment's accumulated
-//!   extension across rounds ([`RoundsState::wave_cache`]) and merges
-//!   incoming deltas into it. When all fragments of a rule have answered in
-//!   a round, it applies the standard semi-naive expansion
-//!   ([`crate::joins::join_parts_seminaive`]): each fragment's *delta*
-//!   joined against the other fragments' cached *fulls*, union over the
-//!   fragments — every binding using a new row is derived exactly once,
+//!   extension across rounds ([`RoundsState::wave_cache`], again per
+//!   session) and merges incoming deltas into it. When all fragments of a
+//!   rule have answered in a round, it applies the standard semi-naive
+//!   expansion ([`crate::joins::join_parts_seminaive`]): each fragment's
+//!   *delta* joined against the other fragments' cached *fulls*, union over
+//!   the fragments — every binding using a new row is derived exactly once,
 //!   bindings entirely over old rows were derived in an earlier round.
 //!
 //! Termination, the dirty-bit accounting and the echo tree are unchanged;
@@ -51,10 +63,10 @@
 
 use crate::joins::{join_parts_seminaive, PartDelta, VarRows};
 use crate::messages::ProtocolMsg;
-use crate::peer::DbPeer;
+use crate::peer::{DbPeer, SessionState};
 use crate::rule::{BodyPart, RuleId};
 use crate::stats::ClosedBy;
-use p2p_net::Context;
+use p2p_net::{Context, SessionId};
 use p2p_relational::Tuple;
 use p2p_topology::NodeId;
 use std::collections::{BTreeMap, HashSet};
@@ -64,7 +76,7 @@ use std::sync::Arc;
 pub type WaveRows = (Vec<Arc<str>>, Vec<Tuple>);
 
 /// Answer-side delta subscription: what this peer remembers about the last
-/// wave answer it shipped to one `(requester, rule)`.
+/// wave answer it shipped to one `(requester, rule)` within one session.
 #[derive(Debug, Clone, Default)]
 pub struct WaveSub {
     /// Per-relation insertion watermarks at the time of the last answer.
@@ -110,10 +122,10 @@ impl PartCache {
     }
 }
 
-/// Rounds-mode state of one peer.
+/// Rounds-mode state of one update session at one peer.
 #[derive(Debug, Clone, Default)]
 pub struct RoundsState {
-    /// A rounds session is active.
+    /// The session's rounds protocol is active here.
     pub active: bool,
     /// Current round (1-based).
     pub round: u32,
@@ -138,10 +150,10 @@ pub struct RoundsState {
     /// the full shipped extension.
     pub wave_parts: BTreeMap<(RuleId, NodeId), WaveRows>,
     /// Answer-side delta subscriptions, per `(requester, rule)`. Survives
-    /// round resets (a session-lifetime map).
+    /// round resets (a session-lifetime map; retired with the session).
     pub wave_subs: BTreeMap<(NodeId, RuleId), WaveSub>,
     /// Head-side fragment caches, per `(rule, body node)`. Survives round
-    /// resets (a session-lifetime map).
+    /// resets (a session-lifetime map; retired with the session).
     pub wave_cache: BTreeMap<(RuleId, NodeId), PartCache>,
     /// Fix-point reached.
     pub closed: bool,
@@ -156,45 +168,74 @@ impl RoundsState {
 }
 
 impl DbPeer {
-    /// Root: begin rounds-mode session.
-    pub(crate) fn start_rounds(&mut self, ctx: &mut Context<ProtocolMsg>) {
-        self.rnd = RoundsState {
+    /// Root: begin a rounds-mode session.
+    pub(crate) fn start_rounds(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        st.rnd = RoundsState {
             active: true,
             ..Default::default()
         };
-        self.start_round(1, ctx);
+        st.retired = false;
+        self.note_session_joined();
+        self.start_round(st, sid, 1, ctx);
     }
 
-    pub(crate) fn start_round(&mut self, round: u32, ctx: &mut Context<ProtocolMsg>) {
-        self.enter_round(round, ctx);
-        self.rnd.flood_seen = true;
-        self.rnd.flood_parent = None;
-        self.rnd.rounds_done = round;
+    pub(crate) fn start_round(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        round: u32,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        self.enter_round(st, sid, round, ctx);
+        st.rnd.flood_seen = true;
+        st.rnd.flood_parent = None;
+        st.rnd.rounds_done = round;
         // Pipes plus the full roster: components not pipe-connected to the
         // root must still participate in the wave (same rationale as the
         // eager flood's direct-coverage backstop).
         let mut targets: std::collections::BTreeSet<NodeId> = self.pipes.clone();
         targets.extend(self.sup.all_nodes.iter().copied());
         targets.remove(&self.id);
-        self.rnd.pending_echoes = targets.len();
+        st.rnd.pending_echoes = targets.len();
         for p in targets {
-            ctx.send(p, ProtocolMsg::RoundStart { round });
+            ctx.send(
+                p,
+                ProtocolMsg::RoundStart {
+                    session: sid,
+                    round,
+                },
+            );
         }
-        self.maybe_echo(ctx);
+        self.maybe_echo(st, sid, ctx);
     }
 
     /// Resets per-round state and issues this node's wave queries. Called on
     /// first contact with a round (flood or query, whichever arrives first).
-    /// The delta-wave maps (`wave_subs`, `wave_cache`) are session-lifetime
-    /// and carry over.
-    fn enter_round(&mut self, round: u32, ctx: &mut Context<ProtocolMsg>) {
-        if self.rnd.active && self.rnd.round >= round {
+    /// The session-scoped delta-wave maps (`wave_subs`, `wave_cache`) carry
+    /// over across rounds.
+    fn enter_round(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        round: u32,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        if st.rnd.active && st.rnd.round >= round {
             return;
         }
+        if !st.rnd.active {
+            self.note_session_joined();
+            st.retired = false;
+        }
         self.stats.rounds += 1;
-        let wave_subs = std::mem::take(&mut self.rnd.wave_subs);
-        let wave_cache = std::mem::take(&mut self.rnd.wave_cache);
-        self.rnd = RoundsState {
+        let wave_subs = std::mem::take(&mut st.rnd.wave_subs);
+        let wave_cache = std::mem::take(&mut st.rnd.wave_cache);
+        st.rnd = RoundsState {
             active: true,
             round,
             closed: false,
@@ -211,6 +252,7 @@ impl DbPeer {
                 ctx.send(
                     part.node,
                     ProtocolMsg::WaveQuery {
+                        session: sid,
                         round,
                         rule: rule.id,
                         part: part.clone(),
@@ -218,7 +260,7 @@ impl DbPeer {
                 );
             }
         }
-        self.rnd.pending_answers = expected;
+        st.rnd.pending_answers = expected;
         // Crash recovery: give any still-unanswered resync request another
         // chance with the new round (at-least-once; see `durability`).
         self.resend_pending_resyncs(ctx);
@@ -227,38 +269,48 @@ impl DbPeer {
     /// Flood handler.
     pub(crate) fn on_round_start(
         &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
         from: NodeId,
         round: u32,
         ctx: &mut Context<ProtocolMsg>,
     ) {
         self.add_pipe(from);
-        self.enter_round(round, ctx);
-        if round < self.rnd.round {
+        self.enter_round(st, sid, round, ctx);
+        if round < st.rnd.round {
             // Stale flood from a previous round: answer so the (obsolete)
             // counter drains; the sender ignores stale echoes.
             ctx.send(
                 from,
                 ProtocolMsg::RoundEcho {
+                    session: sid,
                     round,
                     dirty: false,
                 },
             );
             return;
         }
-        if !self.rnd.flood_seen {
-            self.rnd.flood_seen = true;
-            self.rnd.flood_parent = Some(from);
+        if !st.rnd.flood_seen {
+            st.rnd.flood_seen = true;
+            st.rnd.flood_parent = Some(from);
             let targets: Vec<NodeId> = self.pipes.iter().copied().filter(|p| *p != from).collect();
-            self.rnd.pending_echoes = targets.len();
+            st.rnd.pending_echoes = targets.len();
             for p in targets {
-                ctx.send(p, ProtocolMsg::RoundStart { round });
+                ctx.send(
+                    p,
+                    ProtocolMsg::RoundStart {
+                        session: sid,
+                        round,
+                    },
+                );
             }
-            self.maybe_echo(ctx);
+            self.maybe_echo(st, sid, ctx);
         } else {
             // Duplicate contact: immediate non-child echo.
             ctx.send(
                 from,
                 ProtocolMsg::RoundEcho {
+                    session: sid,
                     round,
                     dirty: false,
                 },
@@ -267,8 +319,11 @@ impl DbPeer {
     }
 
     /// Wave query handler.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_wave_query(
         &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
         from: NodeId,
         round: u32,
         rule: RuleId,
@@ -277,8 +332,8 @@ impl DbPeer {
     ) {
         self.stats.queries_received += 1;
         self.add_pipe(from);
-        self.enter_round(round, ctx);
-        if round < self.rnd.round {
+        self.enter_round(st, sid, round, ctx);
+        if round < st.rnd.round {
             // Stale: the requester has moved past this round and
             // `on_wave_answer` will drop the payload unread, so shipping the
             // full current extension would be pure waste (and would
@@ -298,6 +353,7 @@ impl DbPeer {
             ctx.send(
                 from,
                 ProtocolMsg::WaveAnswer {
+                    session: sid,
                     round,
                     rule,
                     rows: payload,
@@ -305,18 +361,21 @@ impl DbPeer {
             );
             return;
         }
-        let defer = !self.in_cycle && !self.rnd.waves_done();
+        let defer = !self.in_cycle && !st.rnd.waves_done();
         if defer {
-            self.rnd.deferred.push((from, rule, part));
+            st.rnd.deferred.push((from, rule, part));
         } else {
-            self.answer_wave(from, round, rule, &part, ctx);
+            self.answer_wave(st, sid, from, round, rule, &part, ctx);
         }
     }
 
     /// Ships one wave answer: a full extension on first contact (or with
     /// `delta_waves` off), a semi-naive delta afterwards.
+    #[allow(clippy::too_many_arguments)]
     fn answer_wave(
         &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
         to: NodeId,
         round: u32,
         rule: RuleId,
@@ -324,11 +383,11 @@ impl DbPeer {
         ctx: &mut Context<ProtocolMsg>,
     ) {
         let key = (to, rule);
-        if self.config.delta_waves && self.rnd.wave_subs.contains_key(&key) {
+        if self.config.delta_waves && st.rnd.wave_subs.contains_key(&key) {
             // Re-answer: only rows derived from facts inserted since the
-            // last answer to this requester.
-            let prev_sent = self.rnd.wave_subs[&key].rows_sent;
-            let watermarks = self.rnd.wave_subs[&key].watermarks.clone();
+            // last answer to this requester within this session.
+            let prev_sent = st.rnd.wave_subs[&key].rows_sent;
+            let watermarks = st.rnd.wave_subs[&key].watermarks.clone();
             let rows = self.eval_part_delta_local(part, &watermarks, ctx);
             let shipped = rows.len() as u64;
             self.stats.answers_sent += 1;
@@ -337,13 +396,14 @@ impl DbPeer {
             self.stats.rows_saved += prev_sent;
             let payload = self.make_answer_rows(to, &part.vars, rows);
             let marks = self.db.watermarks();
-            if let Some(sub) = self.rnd.wave_subs.get_mut(&key) {
+            if let Some(sub) = st.rnd.wave_subs.get_mut(&key) {
                 sub.watermarks = marks;
                 sub.rows_sent += shipped;
             }
             ctx.send(
                 to,
                 ProtocolMsg::WaveAnswerDelta {
+                    session: sid,
                     round,
                     rule,
                     rows: payload,
@@ -355,7 +415,7 @@ impl DbPeer {
         self.stats.answers_sent += 1;
         self.stats.rows_shipped += rows.len() as u64;
         if self.config.delta_waves {
-            self.rnd.wave_subs.insert(
+            st.rnd.wave_subs.insert(
                 key,
                 WaveSub {
                     watermarks: self.db.watermarks(),
@@ -367,6 +427,7 @@ impl DbPeer {
         ctx.send(
             to,
             ProtocolMsg::WaveAnswer {
+                session: sid,
                 round,
                 rule,
                 rows: payload,
@@ -375,8 +436,11 @@ impl DbPeer {
     }
 
     /// Wave answer handler (both the full and the delta flavour).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_wave_answer(
         &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
         from: NodeId,
         round: u32,
         rule: RuleId,
@@ -385,27 +449,27 @@ impl DbPeer {
         ctx: &mut Context<ProtocolMsg>,
     ) {
         self.stats.answers_received += 1;
-        if !self.rnd.active || round != self.rnd.round {
+        if !st.rnd.active || round != st.rnd.round {
             return; // Stale answer for a finished round.
         }
         self.absorb_dict(from, &rows);
         self.absorb_null_depths(&rows);
         // Durable peers log the processed answer (rows + the answerer's
         // watermarks — the crash-resync cursor).
-        self.log_answer_mark(rule, from, &rows);
+        self.log_answer_mark(sid, rule, from, &rows);
         // A delta answer always goes through the cache, even if this peer's
         // own toggle is off (the sender's config decides the payload shape).
         let use_cache = self.config.delta_waves || is_delta;
         if use_cache {
-            let cache = self.rnd.wave_cache.entry((rule, from)).or_default();
+            let cache = st.rnd.wave_cache.entry((rule, from)).or_default();
             let fresh = cache.merge(&rows.vars, rows.rows);
-            self.rnd.wave_parts.insert((rule, from), (rows.vars, fresh));
+            st.rnd.wave_parts.insert((rule, from), (rows.vars, fresh));
         } else {
-            self.rnd
+            st.rnd
                 .wave_parts
                 .insert((rule, from), (rows.vars.clone(), rows.rows));
         }
-        self.rnd.pending_answers = self.rnd.pending_answers.saturating_sub(1);
+        st.rnd.pending_answers = st.rnd.pending_answers.saturating_sub(1);
 
         // Recompute the rule if all its fragments arrived this round.
         let arrived = self
@@ -415,7 +479,7 @@ impl DbPeer {
             .filter(|parts| {
                 parts
                     .iter()
-                    .all(|p| self.rnd.wave_parts.contains_key(&(rule, p.node)))
+                    .all(|p| st.rnd.wave_parts.contains_key(&(rule, p.node)))
             });
         if let Some(parts) = arrived {
             let inserted = if use_cache {
@@ -424,8 +488,8 @@ impl DbPeer {
                 let staged: Vec<PartDelta> = parts
                     .iter()
                     .map(|p| {
-                        let cache = &self.rnd.wave_cache[&(rule, p.node)];
-                        let (vars, fresh) = &self.rnd.wave_parts[&(rule, p.node)];
+                        let cache = &st.rnd.wave_cache[&(rule, p.node)];
+                        let (vars, fresh) = &st.rnd.wave_parts[&(rule, p.node)];
                         PartDelta {
                             full: VarRows {
                                 vars: cache.vars.clone(),
@@ -449,7 +513,7 @@ impl DbPeer {
                 let staged: Vec<VarRows> = parts
                     .iter()
                     .map(|p| {
-                        let (vars, rows) = &self.rnd.wave_parts[&(rule, p.node)];
+                        let (vars, rows) = &st.rnd.wave_parts[&(rule, p.node)];
                         VarRows {
                             vars: vars.clone(),
                             rows: rows.clone(),
@@ -459,57 +523,62 @@ impl DbPeer {
                 self.apply_rule(rule, staged)
             };
             if inserted > 0 {
-                self.rnd.dirty_self = true;
+                st.rnd.dirty_self = true;
             }
         }
 
-        if self.rnd.waves_done() {
+        if st.rnd.waves_done() {
             // Serve the queries we held back.
-            let deferred = std::mem::take(&mut self.rnd.deferred);
-            let r = self.rnd.round;
+            let deferred = std::mem::take(&mut st.rnd.deferred);
+            let r = st.rnd.round;
             for (to, d_rule, d_part) in deferred {
-                self.answer_wave(to, r, d_rule, &d_part, ctx);
+                self.answer_wave(st, sid, to, r, d_rule, &d_part, ctx);
             }
-            self.maybe_echo(ctx);
+            self.maybe_echo(st, sid, ctx);
         }
     }
 
     /// Echo handler.
     pub(crate) fn on_round_echo(
         &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
         round: u32,
         dirty: bool,
         ctx: &mut Context<ProtocolMsg>,
     ) {
-        if !self.rnd.active || round != self.rnd.round {
+        if !st.rnd.active || round != st.rnd.round {
             return;
         }
-        self.rnd.pending_echoes = self.rnd.pending_echoes.saturating_sub(1);
-        self.rnd.child_dirty |= dirty;
-        self.maybe_echo(ctx);
+        st.rnd.pending_echoes = st.rnd.pending_echoes.saturating_sub(1);
+        st.rnd.child_dirty |= dirty;
+        self.maybe_echo(st, sid, ctx);
     }
 
-    fn maybe_echo(&mut self, ctx: &mut Context<ProtocolMsg>) {
-        if !self.rnd.flood_seen
-            || self.rnd.echoed
-            || !self.rnd.waves_done()
-            || self.rnd.pending_echoes > 0
+    fn maybe_echo(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        if !st.rnd.flood_seen || st.rnd.echoed || !st.rnd.waves_done() || st.rnd.pending_echoes > 0
         {
             return;
         }
-        self.rnd.echoed = true;
+        st.rnd.echoed = true;
         // An outstanding resync marks the subtree dirty: the network must
         // not certify a fix-point while a recovered peer is still waiting
         // for missed rows (a lost resync answer would otherwise close the
         // session with a silent hole). The forced next round re-sends the
         // request.
-        let dirty = self.rnd.dirty_self || self.rnd.child_dirty || !self.pending_resync.is_empty();
-        match self.rnd.flood_parent {
+        let dirty = st.rnd.dirty_self || st.rnd.child_dirty || !self.pending_resync.is_empty();
+        match st.rnd.flood_parent {
             Some(parent) => {
                 ctx.send(
                     parent,
                     ProtocolMsg::RoundEcho {
-                        round: self.rnd.round,
+                        session: sid,
+                        round: st.rnd.round,
                         dirty,
                     },
                 );
@@ -517,16 +586,23 @@ impl DbPeer {
             None => {
                 // Root: the round is complete.
                 if dirty {
-                    let next = self.rnd.round + 1;
-                    self.start_round(next, ctx);
+                    let next = st.rnd.round + 1;
+                    self.start_round(st, sid, next, ctx);
                 } else {
-                    let rounds = self.rnd.round;
-                    self.rnd.closed = true;
-                    self.rnd.rounds_done = rounds;
+                    let rounds = st.rnd.round;
+                    st.rnd.closed = true;
+                    st.rnd.rounds_done = rounds;
+                    st.retired = true;
                     self.stats.closed_by = ClosedBy::CleanRound;
                     for n in self.sup.all_nodes.clone() {
                         if n != self.id {
-                            ctx.send(n, ProtocolMsg::RoundsClosed { rounds });
+                            ctx.send(
+                                n,
+                                ProtocolMsg::RoundsClosed {
+                                    session: sid,
+                                    rounds,
+                                },
+                            );
                         }
                     }
                 }
@@ -534,9 +610,11 @@ impl DbPeer {
         }
     }
 
-    /// Fix-point broadcast (rounds mode).
-    pub(crate) fn on_rounds_closed(&mut self, rounds: u32) {
-        if !self.rnd.active && !self.rules.is_empty() {
+    /// Fix-point broadcast (rounds mode): close and retire the session's
+    /// state — after a clean round no wave traffic of this session is in
+    /// flight, so nothing can dangle.
+    pub(crate) fn on_rounds_closed(&mut self, st: &mut SessionState, rounds: u32) {
+        if !st.rnd.active && !self.rules.is_empty() {
             // Disconnected component with rules: genuinely not updated.
             return;
         }
@@ -545,9 +623,13 @@ impl DbPeer {
             // the open peer and re-drives, which re-sends the resync).
             return;
         }
-        self.rnd.closed = true;
-        self.rnd.active = true;
-        self.rnd.rounds_done = rounds;
+        if !st.rnd.active {
+            self.note_session_joined();
+        }
+        st.rnd.closed = true;
+        st.rnd.active = true;
+        st.rnd.rounds_done = rounds;
+        st.retired = true;
         self.stats.closed_by = ClosedBy::CleanRound;
     }
 }

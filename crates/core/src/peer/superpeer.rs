@@ -1,127 +1,225 @@
-//! Super-peer duties (Section 5 of the paper).
+//! Driver duties (Section 5 of the paper).
 //!
 //! The super-peer is an ordinary peer — "a super-peer does not have any
 //! other property differentiating it from other nodes" — plus driver
-//! capabilities the paper's prototype gave it: starting discovery and
-//! global updates, routing dynamic-change notifications, broadcasting a
-//! network-wide rule file ("one peer can change the network topology at
-//! run-time"), and commanding statistics collection/reset.
+//! capabilities the paper's prototype gave it: routing dynamic-change
+//! notifications, broadcasting a network-wide rule file ("one peer can
+//! change the network topology at run-time"), and commanding statistics
+//! collection/reset. Starting an update session is **not** a super-peer
+//! privilege: any node handed a `StartUpdate`/`StartScopedUpdate` command
+//! becomes the root of its own session, and any number of such sessions run
+//! interleaved.
 
 use crate::config::UpdateMode;
 use crate::dynamic::ChangeOp;
 use crate::messages::ProtocolMsg;
-use crate::peer::DbPeer;
+use crate::peer::{DbPeer, SessionState};
 use crate::rule::CoordinationRule;
 use crate::stats::PeerStats;
-use p2p_net::Context;
+use p2p_net::{Context, SessionId};
 use p2p_topology::NodeId;
 use std::collections::BTreeMap;
 
-/// Driver-side state kept by the super-peer.
+/// Driver-side state kept by every peer (the roster) and the super-peer
+/// (collected statistics, current session for change routing).
 #[derive(Debug, Clone, Default)]
 pub struct SuperState {
-    /// Full node roster (the super-peer reads the network rule file, so it
-    /// legitimately knows everyone).
+    /// Full node roster (installed at build time on every peer, so any node
+    /// can root a session and broadcast its fix-point).
     pub all_nodes: Vec<NodeId>,
-    /// Current update epoch.
-    pub epoch: u32,
-    /// Fix-point broadcast generation within the epoch.
+    /// The most recent session rooted at this node (dynamic-change
+    /// notifications are routed within it).
+    pub session: Option<SessionId>,
+    /// Fix-point broadcast generation of the session this node currently
+    /// roots. Lives outside the session entry on purpose: a post-fixpoint
+    /// dynamic change re-creates the retired entry, and the re-quiesce
+    /// broadcast must carry a generation **strictly above** the original
+    /// one — otherwise a still-in-flight copy of the old broadcast would be
+    /// indistinguishable from the new one. Reset when a new session starts.
     pub fixpoint_generation: u32,
-    /// The root already broadcast for the current quiet period.
-    pub root_quiet: bool,
     /// Stats gathered from peers on `CollectStats`.
     pub collected: BTreeMap<NodeId, PeerStats>,
 }
 
 impl DbPeer {
-    /// Driver command: start a global update session.
-    pub(crate) fn start_update(&mut self, epoch: u32, ctx: &mut Context<ProtocolMsg>) {
-        self.sup.epoch = epoch;
+    /// Driver command: start a global update session rooted here.
+    pub(crate) fn start_update(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
+        self.sup.session = Some(sid);
+        self.sup.fixpoint_generation = 0;
         match self.config.mode {
             UpdateMode::Eager => {
-                self.ds.reset();
-                self.ds.engage_as_root();
-                self.sup.root_quiet = false;
-                self.sup.fixpoint_generation = 0;
-                self.begin_epoch(epoch, ctx, &[]);
+                st.ds.reset();
+                st.ds.engage_as_root();
+                st.root_quiet = false;
+                self.begin_session(st, sid, ctx, &[]);
                 if self.config.initiation == crate::config::Initiation::Flood {
-                    self.upd.flood_seen = true;
+                    st.upd.flood_seen = true;
                     // Acquaintance flood (the paper's propagation) plus a
-                    // direct send to every rostered node: the super-peer read
-                    // the network rule file (Section 5), so it can reach
-                    // components no pipe path connects it to — otherwise the
-                    // *global* update would silently skip them.
+                    // direct send to every rostered node: the rule file is
+                    // network-wide knowledge (Section 5), so the root can
+                    // reach components no pipe path connects it to —
+                    // otherwise the *global* update would silently skip
+                    // them.
                     let mut targets = self.pipes.clone();
                     targets.extend(self.sup.all_nodes.iter().copied());
                     targets.remove(&self.id);
                     for p in targets {
-                        self.send_basic(ctx, p, ProtocolMsg::UpdateFlood { epoch });
+                        self.send_basic(st, ctx, p, ProtocolMsg::UpdateFlood { session: sid });
                     }
                 }
             }
-            UpdateMode::Rounds => self.start_rounds(ctx),
+            UpdateMode::Rounds => self.start_rounds(st, sid, ctx),
         }
     }
 
     /// Driver command: query-dependent update rooted at this node. Pure A4
     /// propagation: only nodes on dependency paths from here participate, so
     /// the refresh touches exactly the data local queries can depend on.
-    pub(crate) fn start_scoped_update(&mut self, epoch: u32, ctx: &mut Context<ProtocolMsg>) {
+    pub(crate) fn start_scoped_update(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
         if self.config.mode != UpdateMode::Eager {
             self.fail("query-dependent updates require the eager update mode");
             return;
         }
-        self.sup.epoch = epoch;
-        self.ds.reset();
-        self.ds.engage_as_root();
-        self.sup.root_quiet = false;
+        self.sup.session = Some(sid);
         self.sup.fixpoint_generation = 0;
-        self.begin_epoch(epoch, ctx, &[]);
+        st.ds.reset();
+        st.ds.engage_as_root();
+        st.root_quiet = false;
+        self.begin_session(st, sid, ctx, &[]);
     }
 
     /// Driver command: apply a dynamic change (Section 4). The super-peer
     /// notifies the head node — `addRule(i, j, rule, id)` /
-    /// `deleteRule(i, j, id)`.
+    /// `deleteRule(i, j, id)` — within its most recent session. With no
+    /// session ever rooted here, the notification is routed **outside** any
+    /// diffusing computation (plain send, synthetic epoch 0): the head only
+    /// installs/removes the rule, and neither end creates session state —
+    /// engaging a detector for a session that can never terminate would
+    /// leak a permanently engaged entry.
     pub(crate) fn apply_change(&mut self, change: ChangeOp, ctx: &mut Context<ProtocolMsg>) {
         if self.config.mode != UpdateMode::Eager {
             self.fail("dynamic changes require the eager update mode");
             return;
         }
+        let Some(sid) = self.sup.session else {
+            let zero = SessionId::new(self.id, 0);
+            match change {
+                ChangeOp::AddLink { rule } => {
+                    if rule.head_node == self.id {
+                        self.install_rule(rule);
+                    } else {
+                        let head = rule.head_node;
+                        ctx.send(
+                            head,
+                            ProtocolMsg::AddRule {
+                                session: zero,
+                                rule,
+                            },
+                        );
+                    }
+                }
+                ChangeOp::DeleteLink { rule, head } => {
+                    if head == self.id {
+                        self.rules.remove(&rule);
+                        self.pending_resync.retain(|(_, r, _), _| *r != rule);
+                    } else {
+                        ctx.send(
+                            head,
+                            ProtocolMsg::DeleteRule {
+                                session: zero,
+                                rule,
+                            },
+                        );
+                    }
+                }
+            }
+            return;
+        };
+        // Take this root's session entry out (re-creating a retired one: a
+        // change arriving after the fix-point broadcast legitimately
+        // re-opens the session; the root re-engages, re-joins, and
+        // re-quiesces — the re-broadcast then retires everything again).
+        let mut st = self.sessions.remove(&sid).unwrap_or_default();
+        if sid.root == self.id && !st.ds.engaged() {
+            st.ds.engage_as_root();
+            st.root_quiet = false;
+        }
+        st.retired = false;
+        self.done.remove(&sid);
+        if sid.epoch > 0 && !st.upd.active {
+            // A retired root must re-join its own session: termination's
+            // `RootTerminated` hook only re-broadcasts for an *active*
+            // root, and the re-woken region can only close through that
+            // broadcast.
+            self.begin_session(&mut st, sid, ctx, &[]);
+        }
         match change {
             ChangeOp::AddLink { rule } => {
                 let head = rule.head_node;
                 if head == self.id {
-                    // The change touches the super-peer itself.
-                    self.on_add_rule(rule, ctx);
+                    // The change touches the root itself.
+                    self.on_add_rule(&mut st, sid, rule, ctx);
                 } else {
-                    self.send_basic(ctx, head, ProtocolMsg::AddRule { rule });
+                    self.send_basic(
+                        &mut st,
+                        ctx,
+                        head,
+                        ProtocolMsg::AddRule { session: sid, rule },
+                    );
                 }
             }
             ChangeOp::DeleteLink { rule, head } => {
                 if head == self.id {
-                    self.on_delete_rule(rule, ctx);
+                    self.on_delete_rule(&mut st, sid, rule, ctx);
                 } else {
-                    self.send_basic(ctx, head, ProtocolMsg::DeleteRule { rule });
+                    self.send_basic(
+                        &mut st,
+                        ctx,
+                        head,
+                        ProtocolMsg::DeleteRule { session: sid, rule },
+                    );
                 }
             }
         }
+        self.after_event(&mut st, sid, ctx);
+        self.finish_session_event(sid, st);
     }
 
     /// Driver command: resume a stalled rounds-mode session (churn broke a
     /// wave — a crashed peer cannot echo, so the round never completed).
     /// Starting a fresh round strictly above every peer's current one
-    /// restarts the wave machinery while keeping all delta state (wave
-    /// subscriptions, fragment caches), so the resumed session ships
-    /// deltas, not the world, and its clean round re-certifies the
+    /// restarts the wave machinery while keeping all session-scoped delta
+    /// state (wave subscriptions, fragment caches), so the resumed session
+    /// ships deltas, not the world, and its clean round re-certifies the
     /// fix-point.
-    pub(crate) fn on_resume_rounds(&mut self, round: u32, ctx: &mut Context<ProtocolMsg>) {
+    pub(crate) fn on_resume_rounds(
+        &mut self,
+        st: &mut SessionState,
+        sid: SessionId,
+        round: u32,
+        ctx: &mut Context<ProtocolMsg>,
+    ) {
         if self.config.mode != UpdateMode::Rounds {
             self.fail("ResumeRounds requires the rounds update mode");
             return;
         }
-        self.rnd.active = true;
-        self.rnd.closed = false;
-        self.start_round(round, ctx);
+        if !st.rnd.active {
+            self.note_session_joined();
+        }
+        st.rnd.active = true;
+        st.rnd.closed = false;
+        st.retired = false;
+        self.start_round(st, sid, round, ctx);
     }
 
     /// Driver command: gather statistics from every peer.
@@ -196,11 +294,64 @@ impl DbPeer {
                 self.add_pipe(rule.head_node);
             }
         }
-        // Sessions built on the old topology are void.
-        self.upd = Default::default();
-        self.rnd = Default::default();
+        // Sessions and discovery knowledge built on the old topology are
+        // void.
+        self.sessions.clear();
+        self.done.clear();
+        self.pending_resync.clear();
         self.disc = Default::default();
-        self.ds.reset();
         self.in_cycle = true; // conservative until re-analysed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::rule::CoordinationRule;
+    use p2p_relational::{Database, DatabaseSchema};
+
+    fn resolve(s: &str) -> Option<NodeId> {
+        match s {
+            "A" => Some(NodeId(0)),
+            "B" => Some(NodeId(1)),
+            _ => None,
+        }
+    }
+
+    /// A dynamic change applied before any session ever started is routed
+    /// outside the session machinery: nothing is engaged, nothing leaks,
+    /// and the notification carries the synthetic epoch-0 tag.
+    #[test]
+    fn pre_session_change_creates_no_session_state() {
+        let schema = DatabaseSchema::parse("a(x: int).").unwrap();
+        let mut peer = DbPeer::new(NodeId(0), Database::new(schema), SystemConfig::default());
+        peer.make_super(vec![NodeId(0), NodeId(1)]);
+        let rule = CoordinationRule::parse("r", "A:a(X) => B:b(X)", None, &resolve).unwrap();
+        let mut ctx = Context::new(p2p_net::SimTime::ZERO, NodeId(0));
+        peer.apply_change(ChangeOp::AddLink { rule: rule.clone() }, &mut ctx);
+        let out = ctx.take_outgoing();
+        assert_eq!(out.len(), 1);
+        match &out[0].msg {
+            ProtocolMsg::AddRule { session, .. } => assert_eq!(session.epoch, 0),
+            other => panic!("expected AddRule, got {other:?}"),
+        }
+        assert_eq!(
+            peer.session_table_len(),
+            0,
+            "no session may be created (a detector for it could never terminate)"
+        );
+        assert_eq!(peer.sessions_done(), 0);
+
+        // Deleting pre-session likewise only routes the notification.
+        let mut ctx = Context::new(p2p_net::SimTime::ZERO, NodeId(0));
+        peer.apply_change(
+            ChangeOp::DeleteLink {
+                rule: rule.id,
+                head: NodeId(1),
+            },
+            &mut ctx,
+        );
+        assert_eq!(peer.session_table_len(), 0);
     }
 }

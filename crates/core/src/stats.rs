@@ -91,6 +91,13 @@ pub struct PeerStats {
     /// `payload_bytes_legacy / payload_bytes` is experiment e16's
     /// wire-shrink figure.
     pub payload_bytes_legacy: u64,
+    /// Update sessions this peer participated in (activated a session
+    /// entry for — as initiator, via flood, or via a query/wave joining it).
+    pub sessions_participated: u64,
+    /// Peak number of sessions simultaneously open (participating, not yet
+    /// closed) at this peer — the concurrency the interleaved control plane
+    /// actually reached.
+    pub concurrent_peak: u64,
     /// How the node last closed.
     pub closed_by: ClosedBy,
     /// Synchronous rounds participated in (rounds mode).
@@ -134,6 +141,8 @@ impl PeerStats {
         self.dict_entries_sent += other.dict_entries_sent;
         self.payload_bytes += other.payload_bytes;
         self.payload_bytes_legacy += other.payload_bytes_legacy;
+        self.sessions_participated += other.sessions_participated;
+        self.concurrent_peak = self.concurrent_peak.max(other.concurrent_peak);
         self.rounds = self.rounds.max(other.rounds);
     }
 }
@@ -142,7 +151,7 @@ impl fmt::Display for PeerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "q_in={} (dup={}) q_out={} a_out={} (delta={} stale={}) a_in={} rows={} saved={} evals={} ins={} nulls={} crashes={} recoveries={} resync_rows={} closed_by={:?}",
+            "q_in={} (dup={}) q_out={} a_out={} (delta={} stale={}) a_in={} rows={} saved={} evals={} ins={} nulls={} crashes={} recoveries={} resync_rows={} sessions={} peak={} closed_by={:?}",
             self.queries_received,
             self.duplicate_queries,
             self.queries_sent,
@@ -158,6 +167,8 @@ impl fmt::Display for PeerStats {
             self.crashes,
             self.recoveries,
             self.resync_rows,
+            self.sessions_participated,
+            self.concurrent_peak,
             self.closed_by,
         )
     }

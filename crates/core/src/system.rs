@@ -16,7 +16,7 @@ use crate::rule::{CoordinationRule, RuleId, RuleSet};
 use crate::stats::PeerStats;
 use p2p_net::{
     BandwidthLatency, ChurnPlan, ConstantLatency, FaultPlan, LatencyModel, NetStats, RunOutcome,
-    SimTime, Simulator, ThreadedNetwork, UniformLatency,
+    SessionId, SimTime, Simulator, ThreadedNetwork, UniformLatency,
 };
 use p2p_relational::query::{evaluate_certain, parse_query};
 use p2p_relational::{Database, DatabaseSchema, Tuple, Val};
@@ -251,18 +251,28 @@ impl P2PSystemBuilder {
     }
 }
 
-/// Report of one update run.
+/// Report of one update session.
 #[derive(Debug, Clone)]
 pub struct UpdateReport {
-    /// Simulator outcome (virtual time, deliveries, quiescence).
+    /// The session this report describes.
+    pub session: SessionId,
+    /// Simulator outcome (virtual time, deliveries, quiescence). Shared by
+    /// every session of one [`P2PSystem::run_updates`] run.
     pub outcome: RunOutcome,
-    /// Messages delivered during this run.
+    /// Messages delivered during the run (whole network, all sessions plus
+    /// control traffic — the historical meaning; for the per-session slice
+    /// see [`UpdateReport::session_messages`]).
     pub messages: u64,
-    /// Bytes delivered during this run.
+    /// Bytes delivered during the run (whole network).
     pub bytes: u64,
-    /// All peers reached `state_u == closed`.
+    /// Messages attributed to this session by the transport layer (every
+    /// delivered message tagged with this [`SessionId`]).
+    pub session_messages: u64,
+    /// Bytes attributed to this session.
+    pub session_bytes: u64,
+    /// Every peer reached `state_u == closed` for this session.
     pub all_closed: bool,
-    /// Rounds executed (rounds mode; 0 in eager mode).
+    /// Rounds executed by this session (rounds mode; 0 in eager mode).
     pub rounds: u32,
     /// Times the driver re-drove a stalled session
     /// ([`P2PSystem::run_update_resilient`]; 0 on ordinary runs).
@@ -286,7 +296,7 @@ pub struct DiscoveryReport {
 pub struct P2PSystem {
     sim: Simulator<ProtocolMsg, DbPeer>,
     super_peer: NodeId,
-    epoch: u32,
+    epoch: u64,
     rules: RuleSet,
     initial: BTreeMap<NodeId, Database>,
     config: SystemConfig,
@@ -355,9 +365,65 @@ impl P2PSystem {
         }
     }
 
-    /// Runs a global update session to quiescence.
+    /// Session-run prologue shared by every driver entry point: assigns one
+    /// fresh session per **distinct** root (epoch bump), captures the
+    /// traffic baseline, and schedules any pending churn plan relative to
+    /// now. Session bookkeeping lives in exactly this one place. Duplicate
+    /// roots are collapsed: a root runs one session at a time — a second
+    /// same-root epoch launched concurrently would supersede (and thereby
+    /// kill) the first mid-flight, which is the redrive semantics, not a
+    /// way to run twice.
+    fn begin_sessions(&mut self, roots: &[NodeId]) -> (Vec<SessionId>, u64, u64) {
+        let before_msgs = self.sim.stats().total_messages;
+        let before_bytes = self.sim.stats().total_bytes;
+        let sids = assign_sessions(roots, || {
+            self.epoch += 1;
+            self.epoch
+        });
+        if let Some(plan) = self.churn.take() {
+            self.sim.schedule_churn(&plan, self.sim.now());
+        }
+        (sids, before_msgs, before_bytes)
+    }
+
+    /// Runs a global update session rooted at the super-peer to quiescence.
     pub fn run_update(&mut self) -> UpdateReport {
         self.run_update_with_script(&ChangeScript::new())
+    }
+
+    /// Runs one global update session rooted at `root` — the N=1 special
+    /// case of [`P2PSystem::run_updates`].
+    pub fn run_update_from(&mut self, root: NodeId) -> UpdateReport {
+        self.run_updates(&[root])
+            .pop()
+            .expect("one root, one report")
+    }
+
+    /// Runs **any number of interleaved global update sessions**, one per
+    /// **distinct** root (duplicates are collapsed — a root runs one
+    /// session at a time), in a single simulator run: all `StartUpdate`
+    /// commands are injected up front, the sessions spread, interleave and
+    /// terminate independently (each with its own Dijkstra–Scholten
+    /// detector or echo waves), and the per-session reports are attributed
+    /// from the transport layer's session-tagged traffic counters.
+    ///
+    /// Correctness anchor: the final global database is tuple-identical
+    /// (modulo null renaming) to running the same sessions serially, and to
+    /// the centralized fix-point oracle — interleaving changes wall-clock,
+    /// never results.
+    pub fn run_updates(&mut self, roots: &[NodeId]) -> Vec<UpdateReport> {
+        let (sids, before_msgs, before_bytes) = self.begin_sessions(roots);
+        for &sid in &sids {
+            self.sim.inject(
+                sid.root,
+                sid.root,
+                ProtocolMsg::StartUpdate { session: sid },
+            );
+        }
+        let outcome = self.sim.run();
+        sids.into_iter()
+            .map(|sid| self.report(sid, outcome, before_msgs, before_bytes))
+            .collect()
     }
 
     /// Runs a **query-dependent** update rooted at `node` (Section 5): only
@@ -366,16 +432,12 @@ impl P2PSystem {
     /// refers to all peers and is generally false for scoped runs; check
     /// [`P2PSystem::closed`] on the root instead.
     pub fn run_scoped_update(&mut self, node: NodeId) -> UpdateReport {
-        self.epoch += 1;
-        let before_msgs = self.sim.stats().total_messages;
-        let before_bytes = self.sim.stats().total_bytes;
-        self.sim.inject(
-            node,
-            node,
-            ProtocolMsg::StartScopedUpdate { epoch: self.epoch },
-        );
+        let (sids, before_msgs, before_bytes) = self.begin_sessions(&[node]);
+        let sid = sids[0];
+        self.sim
+            .inject(node, node, ProtocolMsg::StartScopedUpdate { session: sid });
         let outcome = self.sim.run();
-        self.report(outcome, before_msgs, before_bytes)
+        self.report(sid, outcome, before_msgs, before_bytes)
     }
 
     /// Distributed query answering via materialisation: refreshes `node`'s
@@ -390,16 +452,12 @@ impl P2PSystem {
     /// Runs a global update session with a dynamic-change script applied at
     /// its scheduled virtual times (Section 4).
     pub fn run_update_with_script(&mut self, script: &ChangeScript) -> UpdateReport {
-        self.epoch += 1;
-        let before_msgs = self.sim.stats().total_messages;
-        let before_bytes = self.sim.stats().total_bytes;
-        if let Some(plan) = self.churn.take() {
-            self.sim.schedule_churn(&plan, self.sim.now());
-        }
+        let (sids, before_msgs, before_bytes) = self.begin_sessions(&[self.super_peer]);
+        let sid = sids[0];
         self.sim.inject(
             self.super_peer,
             self.super_peer,
-            ProtocolMsg::StartUpdate { epoch: self.epoch },
+            ProtocolMsg::StartUpdate { session: sid },
         );
         let base = self.sim.now();
         for change in script.sorted() {
@@ -411,65 +469,124 @@ impl P2PSystem {
             );
         }
         let outcome = self.sim.run();
-        self.report(outcome, before_msgs, before_bytes)
+        self.report(sid, outcome, before_msgs, before_bytes)
     }
 
-    /// Runs a global update session **to closure under churn**: after the
-    /// initial run, as long as some peer is still open (a crash broke a
-    /// wave or stranded an epoch) and re-drive budget remains, the driver
-    /// re-drives the session — a fresh round strictly above every peer's
-    /// current one in rounds mode (delta state survives, so the resumed
-    /// wave ships deltas), a fresh epoch in eager mode — and runs to
-    /// quiescence again. Crashed-and-recovered peers rejoin through the
-    /// ordinary protocol; the final clean run re-certifies the fix-point.
-    ///
-    /// The report aggregates messages/bytes across all drives and carries
-    /// the number of re-drives. With no churn and no faults the first run
-    /// closes and this is exactly [`P2PSystem::run_update`].
+    /// Runs a global update session **to closure under churn**: the N=1
+    /// case of [`P2PSystem::run_updates_resilient`].
     pub fn run_update_resilient(&mut self, max_redrives: u32) -> UpdateReport {
+        self.run_updates_resilient(&[self.super_peer], max_redrives)
+            .pop()
+            .expect("one root, one report")
+    }
+
+    /// Runs interleaved sessions **to closure under churn**: after the
+    /// initial run, as long as some session is still open somewhere (a
+    /// crash broke a wave or stranded an epoch) and re-drive budget
+    /// remains, the driver re-drives exactly the unfinished sessions — a
+    /// fresh round of the *same* session in rounds mode (session-scoped
+    /// delta state survives, so the resumed wave ships deltas), a fresh
+    /// session-tagged epoch from the same root in eager mode — and runs to
+    /// quiescence again. Crashed-and-recovered peers rejoin through the
+    /// ordinary protocol; the final clean run re-certifies each fix-point,
+    /// so a crash mid-run recovers **all** interleaved sessions.
+    ///
+    /// Each report aggregates whole-run messages/bytes across all drives
+    /// and carries the number of re-drives its session needed. With no
+    /// churn and no faults the first run closes everything and this is
+    /// exactly [`P2PSystem::run_updates`].
+    pub fn run_updates_resilient(
+        &mut self,
+        roots: &[NodeId],
+        max_redrives: u32,
+    ) -> Vec<UpdateReport> {
         let before_msgs = self.sim.stats().total_messages;
         let before_bytes = self.sim.stats().total_bytes;
-        let mut report = self.run_update();
-        let mut redrives = 0;
-        while !report.all_closed && redrives < max_redrives {
-            redrives += 1;
-            match self.config.mode {
-                UpdateMode::Rounds => {
-                    let next = self
-                        .sim
-                        .peers()
-                        .map(|(_, p)| p.rnd.round)
-                        .max()
-                        .unwrap_or(0)
-                        + 1;
-                    self.sim.inject(
-                        self.super_peer,
-                        self.super_peer,
-                        ProtocolMsg::ResumeRounds { round: next },
-                    );
+        let mut reports = self.run_updates(roots);
+        let mut redrives = vec![0u32; reports.len()];
+        for _ in 0..max_redrives {
+            if reports.iter().all(|r| r.all_closed) {
+                break;
+            }
+            for (i, report) in reports.iter().enumerate() {
+                if report.all_closed {
+                    continue;
                 }
-                UpdateMode::Eager => {
-                    self.epoch += 1;
-                    self.sim.inject(
-                        self.super_peer,
-                        self.super_peer,
-                        ProtocolMsg::StartUpdate { epoch: self.epoch },
-                    );
+                redrives[i] += 1;
+                let sid = report.session;
+                match self.config.mode {
+                    UpdateMode::Rounds => {
+                        // Resume the same session at a round strictly above
+                        // every peer's current one.
+                        let next = self
+                            .sim
+                            .peers()
+                            .map(|(_, p)| p.session_round(sid))
+                            .max()
+                            .unwrap_or(0)
+                            + 1;
+                        self.sim.inject(
+                            sid.root,
+                            sid.root,
+                            ProtocolMsg::ResumeRounds {
+                                session: sid,
+                                round: next,
+                            },
+                        );
+                    }
+                    UpdateMode::Eager => {
+                        // Fresh session from the same root; its first
+                        // messages retire the stranded epoch's state.
+                        self.epoch += 1;
+                        let fresh = SessionId::new(sid.root, self.epoch);
+                        self.sim.inject(
+                            fresh.root,
+                            fresh.root,
+                            ProtocolMsg::StartUpdate { session: fresh },
+                        );
+                    }
                 }
             }
             let outcome = self.sim.run();
-            report = self.report(outcome, before_msgs, before_bytes);
+            // Re-attribute: an eager re-drive continues under a fresh
+            // session id, so each report tracks its root's latest session.
+            reports = reports
+                .iter()
+                .map(|r| {
+                    let latest = self.latest_session_of(r.session.root).unwrap_or(r.session);
+                    self.report(latest, outcome, before_msgs, before_bytes)
+                })
+                .collect();
         }
-        report.redrives = redrives;
-        report
+        for (report, n) in reports.iter_mut().zip(redrives) {
+            report.redrives = n;
+        }
+        reports
     }
 
-    fn report(&self, outcome: RunOutcome, before_msgs: u64, before_bytes: u64) -> UpdateReport {
-        let all_closed = self.sim.peers().all(|(_, p)| p.update_closed());
+    /// The newest session id assigned to `root` so far in this system.
+    fn latest_session_of(&self, root: NodeId) -> Option<SessionId> {
+        self.sim
+            .stats()
+            .per_session
+            .keys()
+            .filter(|s| s.root == root)
+            .max()
+            .copied()
+    }
+
+    fn report(
+        &self,
+        sid: SessionId,
+        outcome: RunOutcome,
+        before_msgs: u64,
+        before_bytes: u64,
+    ) -> UpdateReport {
+        let all_closed = self.sim.peers().all(|(_, p)| p.session_closed(sid));
         let rounds = self
             .sim
             .peers()
-            .map(|(_, p)| p.rnd.rounds_done)
+            .map(|(_, p)| p.session_rounds(sid))
             .max()
             .unwrap_or(0);
         let errors = self
@@ -477,15 +594,44 @@ impl P2PSystem {
             .peers()
             .flat_map(|(id, p)| p.errors().iter().map(move |e| (*id, e.clone())))
             .collect();
+        let per_session = self.sim.stats().session(sid);
         UpdateReport {
+            session: sid,
             outcome,
             messages: self.sim.stats().total_messages - before_msgs,
             bytes: self.sim.stats().total_bytes - before_bytes,
+            session_messages: per_session.messages,
+            session_bytes: per_session.bytes,
             all_closed,
             rounds,
             redrives: 0,
             errors,
         }
+    }
+
+    /// Inserts a base tuple at a node **after** build — the concurrent-
+    /// writers workloads use this to model fresh data arriving at a root
+    /// just before it initiates its session. Durable peers write-ahead-log
+    /// the fact like any protocol-applied insertion, so a later crash
+    /// recovers it; the oracle's initial state is updated too, so
+    /// [`P2PSystem::oracle`] stays the reference for whatever was inserted
+    /// before the sessions ran.
+    pub fn insert<V: Into<Val>>(
+        &mut self,
+        node: NodeId,
+        relation: &str,
+        values: Vec<V>,
+    ) -> CoreResult<()> {
+        let vals: Vec<Val> = values.into_iter().map(Into::into).collect();
+        let peer = self
+            .sim
+            .peer_mut(node)
+            .ok_or_else(|| CoreError::UnknownNode(node.to_string()))?;
+        peer.insert_base_fact(relation, vals.clone())?;
+        if let Some(db) = self.initial.get_mut(&node) {
+            db.insert_values(relation, vals)?;
+        }
+        Ok(())
     }
 
     /// Builds an `addLink` change op from rule text (assigning a fresh id
@@ -624,25 +770,65 @@ impl P2PSystem {
     }
 }
 
+/// Assigns one fresh session per **distinct** root. Duplicate roots are
+/// collapsed: a root runs one session at a time — a second same-root epoch
+/// launched concurrently would supersede (and thereby kill) the first
+/// mid-flight, which is the redrive semantics, not a way to run twice.
+/// Shared by the simulator driver (monotone system-wide epochs) and the
+/// threaded runner (per-run epochs), so session-identity rules live in one
+/// place.
+fn assign_sessions(roots: &[NodeId], mut next_epoch: impl FnMut() -> u64) -> Vec<SessionId> {
+    let mut seen = std::collections::BTreeSet::new();
+    roots
+        .iter()
+        .filter(|&&root| seen.insert(root))
+        .map(|&root| SessionId::new(root, next_epoch()))
+        .collect()
+}
+
 /// Runs one update session on the **threaded** runtime (real parallelism,
 /// non-deterministic interleavings). Returns the final databases, closure
 /// flag and merged transport stats.
-pub fn run_update_threaded(
+pub fn run_update_threaded(builder: P2PSystemBuilder) -> CoreResult<(GlobalDb, NetStats, bool)> {
+    let super_peer = builder.super_peer;
+    run_updates_threaded(builder, &[super_peer])
+}
+
+/// Runs **concurrent update sessions** on the threaded runtime: one global
+/// session per **distinct** root (duplicates collapsed, as in
+/// [`P2PSystem::run_updates`]), all injected up front, interleaving on real
+/// threads. Returns the final databases, merged transport stats (with
+/// per-session attribution), and whether every session closed at every
+/// peer.
+pub fn run_updates_threaded(
     mut builder: P2PSystemBuilder,
+    roots: &[NodeId],
 ) -> CoreResult<(GlobalDb, NetStats, bool)> {
     builder.config.mode = crate::config::UpdateMode::Eager;
-    let super_peer = builder.super_peer;
     let peers = builder.build_peers()?;
     let mut net = ThreadedNetwork::new();
     for (id, peer) in peers {
         net.add_peer(id, peer);
     }
-    let (peers, stats) = net.run(vec![(
-        super_peer,
-        super_peer,
-        ProtocolMsg::StartUpdate { epoch: 1 },
-    )]);
-    let all_closed = peers.iter().all(|(_, p)| p.update_closed());
+    let mut epoch = 0u64;
+    let sids: Vec<SessionId> = assign_sessions(roots, || {
+        epoch += 1;
+        epoch
+    });
+    let initial = sids
+        .iter()
+        .map(|&sid| {
+            (
+                sid.root,
+                sid.root,
+                ProtocolMsg::StartUpdate { session: sid },
+            )
+        })
+        .collect();
+    let (peers, stats) = net.run(initial);
+    let all_closed = peers
+        .iter()
+        .all(|(_, p)| sids.iter().all(|&sid| p.session_closed(sid)));
     let dbs = GlobalDb(
         peers
             .into_iter()

@@ -1,19 +1,27 @@
 //! Dijkstra–Scholten termination detection for diffusing computations.
 //!
-//! The distributed update is a textbook *diffusing computation*: it starts at
-//! one node (the super-peer), spreads by messages, and is finished exactly
-//! when every node is passive and no message is in flight. The paper detects
-//! this condition through flags on maximal dependency paths, whose number is
-//! factorial in clique size; Dijkstra–Scholten (1980) detects the identical
-//! condition with one acknowledgement per message and one counter per node,
-//! which is what makes the update scale to the paper's 31-node networks with
-//! cyclic topologies (see DESIGN.md §3, substitution 3).
+//! Each update **session** is a textbook *diffusing computation*: it starts
+//! at one node (the session's root), spreads by messages, and is finished
+//! exactly when every node is passive and no message of that session is in
+//! flight. The paper detects this condition through flags on maximal
+//! dependency paths, whose number is factorial in clique size;
+//! Dijkstra–Scholten (1980) detects the identical condition with one
+//! acknowledgement per message and one counter per node, which is what
+//! makes the update scale to the paper's 31-node networks with cyclic
+//! topologies (see DESIGN.md §3, substitution 3).
+//!
+//! One [`DiffusingState`] instance exists **per session** (inside each
+//! peer's session table): concurrent sessions are independent diffusing
+//! computations with independent detectors, exactly as Dijkstra–Scholten
+//! intends — acks are session-tagged on the wire and debit only their own
+//! session's deficit.
 //!
 //! Mechanics: every *basic* (protocol) message is eventually acknowledged.
-//! A node's first unacknowledged basic message makes the sender its
-//! *parent*; the ack for that engaging message is deferred until the node is
-//! passive and all messages *it* sent have been acknowledged. The root
-//! detects termination when its own deficit returns to zero.
+//! A node's first unacknowledged basic message of a session makes the
+//! sender its *parent* in that session's tree; the ack for that engaging
+//! message is deferred until the node is passive and all messages *it* sent
+//! for the session have been acknowledged. The root detects termination
+//! when its own deficit returns to zero.
 
 use p2p_topology::NodeId;
 use serde::{Deserialize, Serialize};

@@ -209,6 +209,50 @@ fn separated_component_closes_despite_external_churn() {
 }
 
 #[test]
+fn change_long_after_fixpoint_rewakes_session_and_recloses() {
+    // The change lands long after the session quiesced, broadcast its
+    // fix-point and retired all per-session state. The super-peer must
+    // re-join its own session, the head re-wakes via the routed `addRule`,
+    // the new rule's data flows, and the re-quiesce broadcast (strictly
+    // newer generation) retires everything again — same run, no new epoch.
+    let latencies = [
+        None, // constant latency: deterministic post-retirement delivery
+        Some(p2p_core::system::LatencySpec::Uniform {
+            min: SimTime::from_micros(200),
+            max: SimTime::from_millis(20),
+            seed: 21,
+        }),
+    ];
+    for latency in latencies {
+        let mut b = three_node_builder();
+        if let Some(spec) = latency {
+            b.set_latency(spec);
+        }
+        let mut sys = b.build().unwrap();
+        let mut script = ChangeScript::new();
+        let add = sys.make_add_link("rx", "C:c(X,Y) => A:a(X,Y)").unwrap();
+        // Far beyond any quiescence time of this tiny network.
+        script.push(SimTime::from_millis(2_000), add);
+        let report = sys.run_update_with_script(&script);
+        assert!(report.outcome.quiescent);
+        assert!(report.all_closed, "re-woken session must re-close");
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(
+            sys.database(NodeId(0))
+                .unwrap()
+                .relation("a")
+                .unwrap()
+                .len(),
+            3,
+            "the re-woken session must import the new rule's data"
+        );
+        for (id, p) in sys.peers() {
+            assert_eq!(p.session_table_len(), 0, "peer {id} leaked after re-wake");
+        }
+    }
+}
+
+#[test]
 fn change_after_closure_starts_new_epoch() {
     // Run to closure, then apply a change in a *second* session: the system
     // must converge again and incorporate the new rule.

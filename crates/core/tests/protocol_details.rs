@@ -93,6 +93,39 @@ fn broadcast_rules_swaps_the_topology_at_runtime() {
 }
 
 #[test]
+fn broadcast_rules_resets_discovery_knowledge() {
+    // Discovery edges learned under the old rule file must not survive a
+    // rule broadcast: re-running discovery afterwards reports exactly the
+    // new topology.
+    let mut sys = chain_builder().build().unwrap();
+    sys.run_discovery_all();
+    assert!(sys
+        .peer(NodeId(0))
+        .unwrap()
+        .known_edges()
+        .contains(&(NodeId(0), NodeId(1))));
+
+    let names = |s: &str| match s {
+        "A" => Some(NodeId(0)),
+        "B" => Some(NodeId(1)),
+        "C" => Some(NodeId(2)),
+        _ => None,
+    };
+    let mut new_rules = RuleSet::new();
+    new_rules
+        .add(CoordinationRule::parse("n1", "A:a(X,Y) => C:c(Y,X)", None, &names).unwrap())
+        .unwrap();
+    sys.broadcast_rules(new_rules);
+    sys.run_discovery_all();
+    let edges = sys.peer(NodeId(2)).unwrap().known_edges();
+    assert!(edges.contains(&(NodeId(2), NodeId(0))), "{edges:?}");
+    assert!(
+        !edges.contains(&(NodeId(0), NodeId(1))),
+        "stale pre-broadcast edge survived: {edges:?}"
+    );
+}
+
+#[test]
 fn query_propagation_initiation_covers_only_reachable_nodes() {
     // Same chain plus an unrelated node D with a rule from A: under strict
     // A4 propagation (no flood), D never participates because nothing on a

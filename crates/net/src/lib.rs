@@ -30,6 +30,7 @@ pub mod churn;
 pub mod fault;
 pub mod latency;
 pub mod message;
+pub mod session;
 pub mod sim;
 pub mod stats;
 pub mod threaded;
@@ -41,7 +42,8 @@ pub use latency::{
     BandwidthLatency, ConstantLatency, LatencyModel, PerEdgeLatency, UniformLatency,
 };
 pub use message::{encoded_wire_size, Envelope, SimTime, Wire};
+pub use session::SessionId;
 pub use sim::{Context, Peer, RunOutcome, Simulator};
-pub use stats::{NetStats, NodeNetStats};
+pub use stats::{NetStats, NodeNetStats, SessionNetStats};
 pub use threaded::ThreadedNetwork;
 pub use trace::{Trace, TraceEntry};

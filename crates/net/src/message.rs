@@ -65,8 +65,10 @@ impl fmt::Display for SimTime {
 }
 
 /// What the network layer needs to know about a protocol message: its
-/// wire size (for byte accounting and bandwidth-aware latency) and a short
-/// kind label (for per-kind statistics and Figure-1 style traces).
+/// wire size (for byte accounting and bandwidth-aware latency), a short
+/// kind label (for per-kind statistics and Figure-1 style traces), and —
+/// for protocols with interleaved update sessions — which session the
+/// message belongs to (for per-session traffic attribution).
 pub trait Wire: Clone + fmt::Debug + Send + 'static {
     /// Serialized size in bytes. Implementations for serde-serializable
     /// messages should report the **real** encoded size via
@@ -74,6 +76,12 @@ pub trait Wire: Clone + fmt::Debug + Send + 'static {
     fn wire_size(&self) -> usize;
     /// Short stable label, e.g. `"Query"`, `"Answer"`, `"requestNodes"`.
     fn kind(&self) -> &'static str;
+    /// The update session this message belongs to, if any. The runtimes use
+    /// it to attribute traces and per-session traffic counters; `None`
+    /// (the default) marks session-less control traffic.
+    fn session(&self) -> Option<crate::session::SessionId> {
+        None
+    }
 }
 
 /// The codec-true wire size of a message: the exact byte length of its

@@ -372,6 +372,7 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
                         from: node,
                         to: node,
                         kind: "Crash",
+                        session: None,
                         detail: String::new(),
                     });
                 }
@@ -389,6 +390,7 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
                         from: node,
                         to: node,
                         kind: "Restart",
+                        session: None,
                         detail: String::new(),
                     });
                 }
@@ -416,13 +418,14 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
             self.stats.dropped += 1;
             return true;
         }
-        self.stats.record_delivery(to, size);
+        self.stats.record_delivery(to, size, msg.session());
         if self.trace.enabled() {
             self.trace.record(TraceEntry {
                 at: self.now,
                 from,
                 to,
                 kind: msg.kind(),
+                session: msg.session(),
                 detail: String::new(),
             });
         }

@@ -3,10 +3,21 @@
 //! breakdowns; the query/update counters live in `p2p-core::stats`).
 
 use crate::message::SimTime;
+use crate::session::SessionId;
 use p2p_topology::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Per-update-session transport counters (attribution of deliveries to the
+/// session whose [`crate::Wire::session`] tag they carried).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionNetStats {
+    /// Messages delivered for this session.
+    pub messages: u64,
+    /// Bytes delivered for this session.
+    pub bytes: u64,
+}
 
 /// Per-node transport counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,6 +39,11 @@ pub struct NodeNetStats {
 pub struct NetStats {
     /// Per-node counters.
     pub per_node: BTreeMap<NodeId, NodeNetStats>,
+    /// Per-session counters, keyed by the session tag carried on delivered
+    /// messages ([`crate::Wire::session`]); session-less control traffic is
+    /// not attributed. In-memory only: JSON map keys must be scalars.
+    #[serde(skip)]
+    pub per_session: BTreeMap<SessionId, SessionNetStats>,
     /// Total messages delivered.
     pub total_messages: u64,
     /// Total bytes delivered.
@@ -54,13 +70,26 @@ impl NetStats {
         *e.sent_by_kind.entry(kind.to_string()).or_default() += 1;
     }
 
-    /// Records one delivery of `size` bytes to `to`.
-    pub fn record_delivery(&mut self, to: NodeId, size: usize) {
+    /// Records one delivery of `size` bytes to `to`, attributed to
+    /// `session` when the message carried a session tag ([`crate::Wire::session`]).
+    /// Attribution is part of this call on purpose: a delivery site that
+    /// could forget it would silently zero every per-session counter.
+    pub fn record_delivery(&mut self, to: NodeId, size: usize, session: Option<SessionId>) {
         let e = self.per_node.entry(to).or_default();
         e.received += 1;
         e.bytes_received += size as u64;
         self.total_messages += 1;
         self.total_bytes += size as u64;
+        if let Some(sid) = session {
+            let s = self.per_session.entry(sid).or_default();
+            s.messages += 1;
+            s.bytes += size as u64;
+        }
+    }
+
+    /// This session's delivered-traffic counters (zero if never seen).
+    pub fn session(&self, sid: SessionId) -> SessionNetStats {
+        self.per_session.get(&sid).copied().unwrap_or_default()
     }
 
     /// Merges another stats object into this one (used by the threaded
@@ -75,6 +104,11 @@ impl NetStats {
             for (k, v) in &s.sent_by_kind {
                 *e.sent_by_kind.entry(k.clone()).or_default() += v;
             }
+        }
+        for (sid, s) in &other.per_session {
+            let e = self.per_session.entry(*sid).or_default();
+            e.messages += s.messages;
+            e.bytes += s.bytes;
         }
         self.total_messages += other.total_messages;
         self.total_bytes += other.total_bytes;
@@ -139,9 +173,9 @@ mod tests {
     fn record_and_totals() {
         let mut s = NetStats::default();
         s.record_send(NodeId(0), "Query", 100);
-        s.record_delivery(NodeId(1), 100);
+        s.record_delivery(NodeId(1), 100, None);
         s.record_send(NodeId(1), "Answer", 300);
-        s.record_delivery(NodeId(0), 300);
+        s.record_delivery(NodeId(0), 300, None);
         assert_eq!(s.total_messages, 2);
         assert_eq!(s.total_bytes, 400);
         assert_eq!(s.per_node[&NodeId(0)].sent, 1);
@@ -152,13 +186,32 @@ mod tests {
     }
 
     #[test]
+    fn session_attribution_counts_and_merges() {
+        let sid = SessionId::new(NodeId(0), 1);
+        let other = SessionId::new(NodeId(1), 2);
+        let mut s = NetStats::default();
+        s.record_delivery(NodeId(1), 100, Some(sid));
+        s.record_delivery(NodeId(1), 50, None); // control traffic: unattributed
+        assert_eq!(s.session(sid).messages, 1);
+        assert_eq!(s.session(sid).bytes, 100);
+        assert_eq!(s.session(other), SessionNetStats::default());
+        let mut b = NetStats::default();
+        b.record_delivery(NodeId(1), 10, Some(sid));
+        b.record_delivery(NodeId(1), 20, Some(other));
+        s.merge(&b);
+        assert_eq!(s.session(sid).messages, 2);
+        assert_eq!(s.session(sid).bytes, 110);
+        assert_eq!(s.session(other).bytes, 20);
+    }
+
+    #[test]
     fn merge_adds_counters() {
         let mut a = NetStats::default();
         a.record_send(NodeId(0), "Query", 10);
-        a.record_delivery(NodeId(1), 10);
+        a.record_delivery(NodeId(1), 10, None);
         let mut b = NetStats::default();
         b.record_send(NodeId(0), "Query", 20);
-        b.record_delivery(NodeId(1), 20);
+        b.record_delivery(NodeId(1), 20, None);
         b.finished_at = SimTime(99);
         a.merge(&b);
         assert_eq!(a.per_node[&NodeId(0)].sent, 2);
@@ -170,8 +223,8 @@ mod tests {
     #[test]
     fn hot_spot_detection() {
         let mut s = NetStats::default();
-        s.record_delivery(NodeId(0), 1_000);
-        s.record_delivery(NodeId(1), 10);
+        s.record_delivery(NodeId(0), 1_000, None);
+        s.record_delivery(NodeId(1), 10, None);
         assert_eq!(s.max_node_bytes_received(), 1_000);
     }
 

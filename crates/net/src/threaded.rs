@@ -97,7 +97,7 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
                         Work::Stop => break,
                         Work::Msg { from, msg_id, msg } => {
                             let size = msg.wire_size();
-                            stats.record_delivery(id, size);
+                            stats.record_delivery(id, size, msg.session());
                             let now = SimTime(epoch.elapsed().as_micros() as u64);
                             let mut ctx = Context::new(now, id);
                             peer.on_envelope(from, msg_id, msg, &mut ctx);

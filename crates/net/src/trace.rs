@@ -3,6 +3,7 @@
 //! one row per message, arrows between columns.
 
 use crate::message::SimTime;
+use crate::session::SessionId;
 use p2p_topology::NodeId;
 use std::fmt::Write as _;
 
@@ -17,6 +18,9 @@ pub struct TraceEntry {
     pub to: NodeId,
     /// Message kind (e.g. `requestNodes`, `Query`, `Answer`).
     pub kind: &'static str,
+    /// The update session the message belonged to (`None` for session-less
+    /// control traffic) — the attribution multi-session drivers report from.
+    pub session: Option<SessionId>,
     /// Free-form detail (rule id, tuple count, …).
     pub detail: String,
 }
@@ -147,6 +151,7 @@ mod tests {
             from: NodeId(from),
             to: NodeId(to),
             kind,
+            session: None,
             detail: String::new(),
         }
     }

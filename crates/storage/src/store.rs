@@ -3,6 +3,7 @@
 use crate::backend::StorageBackend;
 use crate::wal::WalRecord;
 use crate::{StorageError, StorageResult};
+use p2p_net::SessionId;
 use p2p_relational::value::NullId;
 use p2p_relational::{ConstCatalog, Database, SymId, SymRemap, Tuple, Val};
 use p2p_topology::NodeId;
@@ -33,9 +34,9 @@ pub struct DatabaseSnapshot {
     pub db: Database,
 }
 
-/// The latest durable knowledge about one `(rule, answering peer)` fragment:
-/// accumulated rows (head-side cache rebuild) and the answerer's watermarks
-/// as of the last processed answer (the resync cursor).
+/// The latest durable knowledge about one `(session, rule, answering peer)`
+/// fragment: accumulated rows (head-side cache rebuild) and the answerer's
+/// watermarks as of the last processed answer (the resync cursor).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FragmentMark {
     /// Column variables of `rows`.
@@ -55,8 +56,9 @@ pub struct RecoveredState {
     pub nulls_next: u64,
     /// Recovered chase depths.
     pub depths: Vec<(NullId, u32)>,
-    /// Per-`(raw rule id, answering peer)` fragment marks.
-    pub marks: BTreeMap<(u32, NodeId), FragmentMark>,
+    /// Per-`(session, raw rule id, answering peer)` fragment marks — one
+    /// entry per interleaved session the durable answer log knows about.
+    pub marks: BTreeMap<(SessionId, u32, NodeId), FragmentMark>,
 }
 
 /// A peer's durable store: appends WAL records, takes snapshots every
@@ -180,8 +182,8 @@ impl PeerStorage {
         }
         let mut nulls_next = snap.nulls_next;
         let mut depths: BTreeMap<NullId, u32> = snap.depths.into_iter().collect();
-        let mut marks: BTreeMap<(u32, NodeId), FragmentMark> = BTreeMap::new();
-        let mut mark_sets: BTreeMap<(u32, NodeId), HashSet<Tuple>> = BTreeMap::new();
+        let mut marks: BTreeMap<(SessionId, u32, NodeId), FragmentMark> = BTreeMap::new();
+        let mut mark_sets: BTreeMap<(SessionId, u32, NodeId), HashSet<Tuple>> = BTreeMap::new();
 
         for (pos, frame) in self.backend.read_wal()?.iter().enumerate() {
             let record = WalRecord::from_frame(frame)?;
@@ -217,6 +219,7 @@ impl PeerStorage {
                     }
                 }
                 WalRecord::Answer {
+                    session,
                     rule,
                     node: from,
                     vars,
@@ -227,7 +230,7 @@ impl PeerStorage {
                     // Fragment marks fold across the whole log: rows
                     // accumulate (deduplicated), the watermark is replaced
                     // by the latest record.
-                    let key = (rule, from);
+                    let key = (session, rule, from);
                     let mark = marks.entry(key).or_default();
                     let seen = mark_sets.entry(key).or_default();
                     if mark.vars.is_empty() {
@@ -350,6 +353,7 @@ mod tests {
     #[test]
     fn answer_records_fold_into_marks() {
         let (mut st, _db) = store(0);
+        let sid = SessionId::new(NodeId(0), 1);
         let row1 = Tuple::new(vec![Val::Int(1)]);
         let row2 = Tuple::new(vec![Val::Int(2)]);
         let mut w1 = BTreeMap::new();
@@ -361,6 +365,7 @@ mod tests {
             (vec![row1.clone(), row2.clone()], w2.clone()),
         ] {
             st.log(&WalRecord::Answer {
+                session: sid,
                 rule: 5,
                 node: NodeId(2),
                 vars: vec![Arc::from("X")],
@@ -371,9 +376,40 @@ mod tests {
             .unwrap();
         }
         let rec = st.recover(0).unwrap().unwrap();
-        let mark = &rec.marks[&(5, NodeId(2))];
+        let mark = &rec.marks[&(sid, 5, NodeId(2))];
         assert_eq!(mark.rows, vec![row1, row2]); // deduplicated, in order
         assert_eq!(mark.watermarks, w2); // latest watermark wins
+    }
+
+    #[test]
+    fn marks_of_interleaved_sessions_stay_separate() {
+        let (mut st, _db) = store(0);
+        let s1 = SessionId::new(NodeId(0), 1);
+        let s2 = SessionId::new(NodeId(3), 1);
+        for (sid, row, mark) in [(s1, 1i64, 2usize), (s2, 7, 9)] {
+            let mut w = BTreeMap::new();
+            w.insert(Arc::<str>::from("b"), mark);
+            st.log(&WalRecord::Answer {
+                session: sid,
+                rule: 5,
+                node: NodeId(2),
+                vars: vec![Arc::from("X")],
+                rows: vec![Tuple::new(vec![Val::Int(row)])],
+                watermarks: w,
+                dict: vec![],
+            })
+            .unwrap();
+        }
+        let rec = st.recover(0).unwrap().unwrap();
+        assert_eq!(rec.marks.len(), 2);
+        assert_eq!(
+            rec.marks[&(s1, 5, NodeId(2))].rows,
+            vec![Tuple::new(vec![Val::Int(1)])]
+        );
+        assert_eq!(
+            rec.marks[&(s2, 5, NodeId(2))].watermarks[&Arc::<str>::from("b")],
+            9
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! round-trips in another — the on-disk analogue of the wire protocol's
 //! dictionary deltas.
 
+use p2p_net::SessionId;
 use p2p_relational::value::NullId;
 use p2p_relational::{SymId, Tuple};
 use p2p_topology::NodeId;
@@ -40,9 +41,14 @@ pub enum WalRecord {
     },
     /// A fragment answer this peer processed: the rows and, crucially, the
     /// answerer's database watermarks at answer time. The latest record per
-    /// `(rule, peer)` is the resync cursor — after a crash the peer asks the
-    /// answerer only for rows derived from facts beyond this watermark.
+    /// `(session, rule, peer)` is the resync cursor — after a crash the peer
+    /// asks the answerer only for rows derived from facts beyond this
+    /// watermark. Records are **session-tagged** so recovery can rebuild the
+    /// head-side fragment caches of every interleaved session a crash
+    /// interrupted, not just one.
     Answer {
+        /// The update session the answer belonged to.
+        session: SessionId,
         /// Rule the answer served (raw id; `p2p_core` owns the typed form).
         rule: u32,
         /// The answering peer.
@@ -115,6 +121,7 @@ mod tests {
         let mut watermarks = BTreeMap::new();
         watermarks.insert(Arc::<str>::from("b"), 7usize);
         let rec = WalRecord::Answer {
+            session: SessionId::new(NodeId(0), 3),
             rule: 4,
             node: NodeId(3),
             vars: vec![Arc::from("X"), Arc::from("Y")],

@@ -22,11 +22,16 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod concurrent;
 pub mod dblp;
 pub mod distribute;
 pub mod schemas;
 
 pub use build::{build_system, WorkloadConfig};
+pub use concurrent::{
+    concurrent_scenario, pick_writer_indices, pick_writers, ConcurrentConfig, ConcurrentScenario,
+    WriterDelta,
+};
 pub use dblp::{DblpGenerator, Publication};
 pub use distribute::Distribution;
 pub use schemas::SchemaFamily;

@@ -8,8 +8,15 @@
 //! p2pdb run <network.json> [--mode eager|rounds] [--discover]
 //!                [--no-delta-waves] [--query NODE QUERY] [--stats]
 //!                [--durable] [--churn N] [--snapshot-every K]
+//!                [--concurrent N]
 //!                [--trace] [--export FILE]      run discovery + update
 //! ```
+//!
+//! Concurrent sessions: `--concurrent N` launches `N` interleaved global
+//! update sessions, each rooted at a different node spread across the
+//! network, in one simulator run — the multi-writer scenario. Per-session
+//! message/byte attribution is printed per root; the final database is
+//! identical to running the sessions serially.
 //!
 //! Durability & churn: `--durable` gives every peer a write-ahead log plus
 //! snapshot store; `--churn N` schedules `N` peer crash/restart events
@@ -149,6 +156,18 @@ fn cmd_run(args: &[String]) -> CliResult {
         builder.config_mut().trace_capacity = 256;
     }
 
+    // Concurrent sessions.
+    let concurrent: Option<usize> = flag_value(args, "--concurrent")
+        .map(str::parse)
+        .transpose()?;
+    if concurrent == Some(0) {
+        return Err(
+            "--concurrent 0 makes no sense: an update run needs at least one \
+                    session (use --concurrent 1 for a single session, or drop the flag)"
+                .into(),
+        );
+    }
+
     // Durability & churn.
     let durable = args.iter().any(|a| a == "--durable");
     let churn_n: Option<u32> = flag_value(args, "--churn").map(str::parse).transpose()?;
@@ -220,26 +239,54 @@ fn cmd_run(args: &[String]) -> CliResult {
         }
     }
 
-    let report = if churn_n.unwrap_or(0) > 0 {
-        // Churn can stall a wave (a crashed peer cannot echo); drive the
-        // session to closure with bounded re-drives.
-        sys.run_update_resilient(8)
-    } else {
-        sys.run_update()
+    // Roots for interleaved sessions: spread across the declared nodes
+    // (the same deterministic spread the concurrent-writers workloads use).
+    let roots: Vec<NodeId> = match concurrent {
+        Some(n) => {
+            let nodes: Vec<NodeId> = file.nodes.iter().map(|d| NodeId(d.id)).collect();
+            p2pdb::workload::pick_writer_indices(nodes.len(), n)
+                .into_iter()
+                .map(|i| nodes[i])
+                .collect()
+        }
+        None => vec![NodeId(file.super_peer)],
     };
+    let reports = if churn_n.unwrap_or(0) > 0 {
+        // Churn can stall a wave (a crashed peer cannot echo); drive the
+        // sessions to closure with bounded re-drives.
+        sys.run_updates_resilient(&roots, 8)
+    } else {
+        sys.run_updates(&roots)
+    };
+    let report = &reports[0];
     println!(
         "update: {} messages, {} bytes, {} virtual time, all closed: {}",
-        report.messages, report.bytes, report.outcome.virtual_time, report.all_closed
+        report.messages,
+        report.bytes,
+        report.outcome.virtual_time,
+        reports.iter().all(|r| r.all_closed),
     );
+    if reports.len() > 1 {
+        for r in &reports {
+            println!(
+                "  session {}: {} messages, {} bytes, closed: {}",
+                r.session, r.session_messages, r.session_bytes, r.all_closed
+            );
+        }
+    }
     if churn_n.unwrap_or(0) > 0 {
         let s = sys.sum_stats();
         println!(
             "churn: {} crashes, {} recoveries, {} resync rows, {} redrive(s)",
-            s.crashes, s.recoveries, s.resync_rows, report.redrives
+            s.crashes,
+            s.recoveries,
+            s.resync_rows,
+            reports.iter().map(|r| r.redrives).max().unwrap_or(0)
         );
     }
-    if !report.errors.is_empty() {
-        for (node, err) in &report.errors {
+    let errors: Vec<_> = report.errors.clone();
+    if !errors.is_empty() {
+        for (node, err) in &errors {
             eprintln!("  {node}: {err}");
         }
         return Err("peers reported errors".into());
@@ -268,9 +315,22 @@ fn cmd_run(args: &[String]) -> CliResult {
 
     if args.iter().any(|a| a == "--stats") {
         println!("per-peer statistics:");
-        for (node, stats) in sys.collect_stats() {
+        let collected = sys.collect_stats();
+        for (node, stats) in &collected {
             println!("  {node}: {stats}");
         }
+        let total_sessions: u64 = collected.values().map(|s| s.sessions_participated).sum();
+        let peak = collected
+            .values()
+            .map(|s| s.concurrent_peak)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "sessions: {} launched, {} peer-participations, peak {} concurrent",
+            roots.len(),
+            total_sessions,
+            peak
+        );
     }
 
     if let Some(out) = flag_value(args, "--export") {

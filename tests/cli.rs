@@ -96,6 +96,50 @@ fn run_rounds_mode_and_export() {
     assert_eq!(file.nodes.len(), 4);
 }
 
+/// `--concurrent N` launches N interleaved sessions with per-session
+/// attribution and the new session counters; `--concurrent 0` is rejected
+/// with a clear error.
+#[test]
+fn run_concurrent_sessions_prints_attribution() {
+    let dir = std::env::temp_dir().join("p2pdb_cli_concurrent");
+    std::fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("net.json");
+    let out = p2pdb(&[
+        "workload",
+        "--topology",
+        "ring",
+        "--size",
+        "6",
+        "--records",
+        "8",
+    ]);
+    assert!(out.status.success());
+    std::fs::write(&net, &out.stdout).unwrap();
+
+    let out = p2pdb(&["run", net.to_str().unwrap(), "--concurrent", "3", "--stats"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("all closed: true"), "{text}");
+    // One attributed line per session, rooted at distinct nodes.
+    assert!(text.contains("session A#1:"), "{text}");
+    assert!(text.contains("session C#2:"), "{text}");
+    assert!(text.contains("session E#3:"), "{text}");
+    // The stats summary shows the new counters.
+    assert!(text.contains("sessions: 3 launched"), "{text}");
+    assert!(text.contains("peak 3 concurrent"), "{text}");
+    assert!(text.contains("sessions=3 peak=3"), "{text}");
+
+    let out = p2pdb(&["run", net.to_str().unwrap(), "--concurrent", "0"]);
+    assert!(!out.status.success(), "--concurrent 0 must be rejected");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--concurrent 0"), "{err}");
+    assert!(err.contains("at least one"), "{err}");
+}
+
 /// `p2pdb sample | p2pdb run /dev/stdin --stats` round-trips: the sample
 /// network file is consumable straight from a pipe and the update closes.
 #[test]

@@ -158,7 +158,12 @@ fn stale_wave_query_ships_empty_ack_not_full_extension() {
     for (id, peer) in peers {
         sim.add_peer(id, peer);
     }
-    sim.inject(NodeId(0), NodeId(0), ProtocolMsg::StartUpdate { epoch: 1 });
+    let sid = p2pdb::net::SessionId::new(NodeId(0), 1);
+    sim.inject(
+        NodeId(0),
+        NodeId(0),
+        ProtocolMsg::StartUpdate { session: sid },
+    );
     let outcome = sim.run();
     assert!(outcome.quiescent);
     let final_round = sim.peer(NodeId(0)).unwrap().stats().rounds;
@@ -179,6 +184,7 @@ fn stale_wave_query_ships_empty_ack_not_full_extension() {
         NodeId(1),
         NodeId(2),
         ProtocolMsg::WaveQuery {
+            session: sid,
             round: 1,
             rule: rule.id,
             part: rule.parts[0].clone(),
