@@ -1,0 +1,84 @@
+//! E18 — binary wire codec: encode/decode throughput of the two codecs on
+//! representative protocol messages, plus the whole-run wire ledger.
+//!
+//! The ledger (wire bytes and virtual time per codec on the e16/e17
+//! workloads) is printed once before timing; the acceptance bar — ≥3×
+//! whole-run wire shrink with tuple-identical fix-points — is asserted
+//! here as well as in the `repro e18` smoke.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_bench::experiments::e18_codec;
+use p2p_bench::Scale;
+use p2p_core::codec::{decode_msg, encode_msg};
+use p2p_core::messages::{AnswerRows, ProtocolMsg};
+use p2p_core::rule::RuleId;
+use p2p_net::SessionId;
+use p2p_relational::{SymId, Tuple, Val};
+use p2p_topology::NodeId;
+use p2p_workload::DblpGenerator;
+use std::sync::Arc;
+
+/// An answer message shaped like the DBLP workload's hot path: `rows` int
+/// pairs plus a first-use dictionary of titles/authors/venues.
+fn dblp_answer(rows: usize) -> ProtocolMsg {
+    let mut gen = DblpGenerator::new(7);
+    let mut dict = Vec::new();
+    let mut tuples = Vec::new();
+    for (i, p) in gen.batch(rows).into_iter().enumerate() {
+        let sym = SymId(1000 + i as u32);
+        dict.push((sym, Arc::<str>::from(p.title.as_str())));
+        tuples.push(Tuple::new(vec![
+            Val::Int(p.id),
+            Val::Sym(sym),
+            Val::Int(p.year),
+        ]));
+    }
+    ProtocolMsg::Answer {
+        session: SessionId::new(NodeId(0), 1),
+        rule: RuleId(2),
+        rows: AnswerRows {
+            vars: vec![Arc::from("I"), Arc::from("T"), Arc::from("Y")],
+            rows: tuples,
+            null_depths: vec![],
+            marks: [(Arc::<str>::from("pub"), 17usize)].into_iter().collect(),
+            dict,
+        },
+        complete: false,
+        reopen: false,
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let (table, summary) = e18_codec(Scale::Quick);
+    println!("\nE18 — binary wire codec (whole-run ledger)\n");
+    println!("{}", table.render());
+    println!(
+        "all workloads: {} wire bytes (json) vs {} (binary) — {:.2}x shrink\n",
+        summary.json_bytes, summary.binary_bytes, summary.shrink,
+    );
+    assert!(summary.ok(), "codec regression: {summary:?}");
+
+    let mut group = c.benchmark_group("e18_codec");
+    group.sample_size(20);
+    for rows in [20usize, 200] {
+        let msg = dblp_answer(rows);
+        let json = serde_json::to_string(&msg).expect("json encode");
+        let binary = encode_msg(&msg);
+        group.bench_with_input(BenchmarkId::new("encode_json", rows), &rows, |b, _| {
+            b.iter(|| black_box(serde_json::to_string(&msg).expect("json encode")))
+        });
+        group.bench_with_input(BenchmarkId::new("encode_binary", rows), &rows, |b, _| {
+            b.iter(|| black_box(encode_msg(&msg)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode_json", rows), &rows, |b, _| {
+            b.iter(|| black_box(serde_json::from_str::<ProtocolMsg>(&json).expect("json decode")))
+        });
+        group.bench_with_input(BenchmarkId::new("decode_binary", rows), &rows, |b, _| {
+            b.iter(|| black_box(decode_msg(&binary).expect("binary decode")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

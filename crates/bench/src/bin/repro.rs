@@ -155,6 +155,36 @@ fn main() {
             }
         );
     }
+    if want("e18") {
+        println!("E18 — binary wire codec: whole-run wire bytes and time per codec\n");
+        let (table, summary) = exp::e18_codec(scale);
+        println!("{}", table.render());
+        println!(
+            "all workloads: {} wire bytes (json) vs {} (binary) — {:.2}x shrink; \
+             payloads {} B vs {} B ({:.2}x); {} vs {} messages",
+            summary.json_bytes,
+            summary.binary_bytes,
+            summary.shrink,
+            summary.payload_bytes_json,
+            summary.payload_bytes_binary,
+            summary.payload_bytes_json as f64 / summary.payload_bytes_binary.max(1) as f64,
+            summary.json_messages,
+            summary.binary_messages,
+        );
+        let json = exp::codec_summary_json(&summary);
+        match std::fs::write("BENCH_e18.json", &json) {
+            Ok(()) => println!("wrote BENCH_e18.json"),
+            Err(e) => println!("could not write BENCH_e18.json: {e}"),
+        }
+        println!(
+            "codec smoke: {}\n",
+            if summary.ok() {
+                "OK"
+            } else {
+                "FAILED (fix-point mismatch, message-count drift, or wire shrink below 3x)"
+            }
+        );
+    }
     if want("e16") {
         println!("E16 — interned values + columnar relations (data-plane rewrite)\n");
         let (table, summary) = exp::e16_interning(scale);

@@ -71,10 +71,16 @@ pub struct SystemConfig {
     /// With durability on: WAL records between automatic snapshots
     /// (bounding recovery replay). 0 keeps only the initial snapshot.
     pub snapshot_every: u64,
-    /// Measure per-answer payload bytes (`PeerStats::payload_bytes`) plus
-    /// the pre-interning counterfactual (`payload_bytes_legacy`). Off by
-    /// default — each measurement re-encodes the payload, which is pure
-    /// overhead outside experiment e16.
+    /// Wire codec for protocol messages and (with durability on) WAL /
+    /// snapshot frames: JSON text by default, or the compact binary
+    /// encoding of [`crate::codec`]. Netfiles and the CLI always speak
+    /// JSON regardless — the codec is a transport/storage property.
+    pub codec: p2p_net::Codec,
+    /// Measure per-answer payload bytes (`PeerStats::payload_bytes`), the
+    /// pre-interning counterfactual (`payload_bytes_legacy`), and the
+    /// binary-codec size (`payload_bytes_binary`). Off by default — each
+    /// measurement re-encodes the payload, which is pure overhead outside
+    /// experiments e16/e18.
     pub measure_payload_bytes: bool,
     /// Require the rule set to be weakly acyclic at build time. On by
     /// default; turn off only to study the chase-depth safety valve.
@@ -101,6 +107,7 @@ impl Default for SystemConfig {
             delta_waves: true,
             durability: false,
             snapshot_every: 64,
+            codec: p2p_net::Codec::Json,
             measure_payload_bytes: false,
             require_weak_acyclicity: true,
             max_null_depth: 64,
@@ -124,5 +131,6 @@ mod tests {
         assert!(c.delta_optimization);
         assert!(c.delta_waves);
         assert!(c.require_weak_acyclicity);
+        assert_eq!(c.codec, p2p_net::Codec::Json);
     }
 }

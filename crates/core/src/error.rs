@@ -43,6 +43,14 @@ pub enum CoreError {
         /// Deliveries processed before giving up.
         delivered: u64,
     },
+    /// A peer's handler panicked during a threaded run (the network was
+    /// drained to quiescence first; see `p2p_net::WorkerPanic`).
+    PeerPanicked {
+        /// The node whose handler panicked.
+        node: NodeId,
+        /// The panic payload.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -71,6 +79,9 @@ impl fmt::Display for CoreError {
                 f,
                 "network did not quiesce within the event budget ({delivered} deliveries)"
             ),
+            CoreError::PeerPanicked { node, detail } => {
+                write!(f, "peer {node} panicked during a threaded run: {detail}")
+            }
         }
     }
 }

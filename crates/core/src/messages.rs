@@ -420,6 +420,17 @@ impl Wire for ProtocolMsg {
         p2p_net::encoded_wire_size(self)
     }
 
+    /// Codec-true size: JSON length under [`p2p_net::Codec::Json`], the
+    /// specialized binary encoding's length under
+    /// [`p2p_net::Codec::Binary`]. Either way the measurement is one
+    /// encode pass; the runtimes call this once per send.
+    fn wire_size_with(&self, codec: p2p_net::Codec) -> usize {
+        match codec {
+            p2p_net::Codec::Json => self.wire_size(),
+            p2p_net::Codec::Binary => crate::codec::encoded_msg_len(self),
+        }
+    }
+
     fn kind(&self) -> &'static str {
         match self {
             ProtocolMsg::StartDiscovery => "StartDiscovery",

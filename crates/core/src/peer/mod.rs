@@ -518,13 +518,15 @@ impl DbPeer {
                 BTreeMap::new()
             },
         };
-        // Data-plane byte accounting (experiment e16 only — each side of
-        // the comparison re-encodes the payload, so it is opt-in): what
-        // this payload costs on the wire, and what it would have cost
-        // pre-interning (strings inline, no dictionary).
+        // Data-plane byte accounting (experiments e16/e18 only — each side
+        // of the comparison re-encodes the payload, so it is opt-in): what
+        // this payload costs on the wire, what it would have cost
+        // pre-interning (strings inline, no dictionary), and what the
+        // binary codec packs it into.
         if self.config.measure_payload_bytes {
             self.stats.payload_bytes += payload.wire_size() as u64;
             self.stats.payload_bytes_legacy += payload.wire_size_legacy() as u64;
+            self.stats.payload_bytes_binary += crate::codec::encoded_rows_len(&payload) as u64;
         }
         payload
     }

@@ -91,6 +91,12 @@ pub struct PeerStats {
     /// `payload_bytes_legacy / payload_bytes` is experiment e16's
     /// wire-shrink figure.
     pub payload_bytes_legacy: u64,
+    /// What those same payloads cost under the **binary** codec (varint
+    /// columnar delta blocks) — measured per payload at send time under
+    /// `SystemConfig::measure_payload_bytes`. `payload_bytes /
+    /// payload_bytes_binary` is experiment e18's per-payload shrink
+    /// figure, independent of which codec the run actually carried.
+    pub payload_bytes_binary: u64,
     /// Update sessions this peer participated in (activated a session
     /// entry for — as initiator, via flood, or via a query/wave joining it).
     pub sessions_participated: u64,
@@ -141,6 +147,7 @@ impl PeerStats {
         self.dict_entries_sent += other.dict_entries_sent;
         self.payload_bytes += other.payload_bytes;
         self.payload_bytes_legacy += other.payload_bytes_legacy;
+        self.payload_bytes_binary += other.payload_bytes_binary;
         self.sessions_participated += other.sessions_participated;
         self.concurrent_peak = self.concurrent_peak.max(other.concurrent_peak);
         self.rounds = self.rounds.max(other.rounds);

@@ -214,8 +214,11 @@ impl P2PSystemBuilder {
                 peer.make_super(all_nodes.clone());
             }
             if self.config.durability {
-                let storage =
-                    PeerStorage::new(Box::<MemoryBackend>::default(), self.config.snapshot_every);
+                let storage = PeerStorage::with_codec(
+                    Box::<MemoryBackend>::default(),
+                    self.config.snapshot_every,
+                    self.config.codec,
+                );
                 peer.attach_storage(storage)
                     .map_err(|e| CoreError::Storage(e.to_string()))?;
             }
@@ -232,6 +235,7 @@ impl P2PSystemBuilder {
             sim.set_fault_plan(fault);
         }
         sim.set_max_events(self.config.max_events);
+        sim.set_codec(self.config.codec);
         if self.config.trace_capacity > 0 {
             sim.set_trace_capacity(self.config.trace_capacity);
         }
@@ -805,8 +809,10 @@ pub fn run_updates_threaded(
     roots: &[NodeId],
 ) -> CoreResult<(GlobalDb, NetStats, bool)> {
     builder.config.mode = crate::config::UpdateMode::Eager;
+    let codec = builder.config.codec;
     let peers = builder.build_peers()?;
     let mut net = ThreadedNetwork::new();
+    net.set_codec(codec);
     for (id, peer) in peers {
         net.add_peer(id, peer);
     }
@@ -825,7 +831,10 @@ pub fn run_updates_threaded(
             )
         })
         .collect();
-    let (peers, stats) = net.run(initial);
+    let (peers, stats) = net.run(initial).map_err(|p| CoreError::PeerPanicked {
+        node: p.node,
+        detail: p.payload,
+    })?;
     let all_closed = peers
         .iter()
         .all(|(_, p)| sids.iter().all(|&sid| p.session_closed(sid)));

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod codec;
 pub mod fault;
 pub mod latency;
 pub mod message;
@@ -37,6 +38,7 @@ pub mod threaded;
 pub mod trace;
 
 pub use churn::{ChurnPlan, CrashEvent};
+pub use codec::Codec;
 pub use fault::FaultPlan;
 pub use latency::{
     BandwidthLatency, ConstantLatency, LatencyModel, PerEdgeLatency, UniformLatency,
@@ -45,5 +47,5 @@ pub use message::{encoded_wire_size, Envelope, SimTime, Wire};
 pub use session::SessionId;
 pub use sim::{Context, Peer, RunOutcome, Simulator};
 pub use stats::{NetStats, NodeNetStats, SessionNetStats};
-pub use threaded::ThreadedNetwork;
+pub use threaded::{ThreadedNetwork, WorkerPanic};
 pub use trace::{Trace, TraceEntry};

@@ -74,6 +74,15 @@ pub trait Wire: Clone + fmt::Debug + Send + 'static {
     /// messages should report the **real** encoded size via
     /// [`encoded_wire_size`] rather than a hand-maintained approximation.
     fn wire_size(&self) -> usize;
+    /// Serialized size under a specific wire codec. The default ignores the
+    /// codec and reports [`Wire::wire_size`]; message types that support
+    /// the binary codec override this to report the codec-true length.
+    /// The runtimes call it **once per send** and carry the result on the
+    /// envelope — implementations are the single measurement point.
+    fn wire_size_with(&self, codec: crate::codec::Codec) -> usize {
+        let _ = codec;
+        self.wire_size()
+    }
     /// Short stable label, e.g. `"Query"`, `"Answer"`, `"requestNodes"`.
     fn kind(&self) -> &'static str;
     /// The update session this message belongs to, if any. The runtimes use
@@ -89,8 +98,15 @@ pub trait Wire: Clone + fmt::Debug + Send + 'static {
 /// This replaced the old per-type `fields * 8` style estimates, so byte
 /// accounting, bandwidth-aware latency and the experiments all see what a
 /// real transport would carry.
+///
+/// The length comes out of the serializer's single counting pass (protocol
+/// messages carry no floats, so the encoder cannot fail), and each call
+/// registers one encode pass with [`crate::codec::encode_passes`] — the
+/// hook the hot-path regression tests use to prove messages are measured
+/// once per send, not re-serialized at every hop.
 pub fn encoded_wire_size<T: serde::Serialize>(msg: &T) -> usize {
-    serde_json::encoded_len(msg)
+    crate::codec::note_encode_pass();
+    serde_json::encoded_len(msg).expect("wire messages serialize without floats")
 }
 
 /// A message in flight.
@@ -111,6 +127,10 @@ pub struct Envelope<M> {
     /// deliveries share one `msg_id`, which is what lets receivers implement
     /// exactly-once processing (see `Peer::on_envelope`).
     pub msg_id: u64,
+    /// Wire size in bytes under the runtime's configured codec, measured
+    /// **once** when the message was sent. Delivery-side accounting reads
+    /// this instead of re-serializing the payload.
+    pub size: usize,
 }
 
 #[cfg(test)]

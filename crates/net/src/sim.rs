@@ -6,6 +6,7 @@
 //! assert exact message counts and lets experiments be reproduced bit-for-bit
 //! — the one capability the paper's JXTA testbed fundamentally lacked.
 
+use crate::codec::Codec;
 use crate::fault::{FaultDecision, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::message::{Envelope, SimTime, Wire};
@@ -179,6 +180,8 @@ pub struct Simulator<M: Wire, P: Peer<M>> {
     fifo_floor: BTreeMap<(NodeId, NodeId), SimTime>,
     /// Peers currently crashed: deliveries to them are dropped.
     down: std::collections::BTreeSet<NodeId>,
+    /// Wire codec messages are measured (and notionally carried) in.
+    codec: Codec,
 }
 
 impl<M: Wire, P: Peer<M>> Simulator<M, P> {
@@ -199,7 +202,19 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
             fifo_pipes: true,
             fifo_floor: BTreeMap::new(),
             down: std::collections::BTreeSet::new(),
+            codec: Codec::default(),
         }
+    }
+
+    /// Selects the wire codec. Every message sent from now on is measured
+    /// (once, at send) under this codec.
+    pub fn set_codec(&mut self, codec: Codec) {
+        self.codec = codec;
+    }
+
+    /// The wire codec in effect.
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     /// Enables/disables per-link FIFO delivery. On by default: JXTA pipes
@@ -292,7 +307,7 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
     /// Schedules a message for delivery at an absolute time (dynamic-change
     /// scripts). No latency is added: `at` *is* the delivery time.
     pub fn inject_at(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
-        let size = msg.wire_size();
+        let size = msg.wire_size_with(self.codec);
         self.stats.record_send(from, msg.kind(), size);
         let seq = self.seq;
         self.seq += 1;
@@ -308,12 +323,15 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
                 sent_at: self.now,
                 seq,
                 msg_id,
+                size,
             }),
         }));
     }
 
     fn route(&mut self, from: NodeId, to: NodeId, msg: M, extra: SimTime) {
-        let size = msg.wire_size();
+        // The one measurement of this message: the size travels on the
+        // envelope, so delivery accounting never re-serializes the payload.
+        let size = msg.wire_size_with(self.codec);
         self.stats.record_send(from, msg.kind(), size);
         let copies = match self.fault.decide(from, to, self.now) {
             FaultDecision::Drop => {
@@ -350,6 +368,7 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
                     sent_at: self.now,
                     seq,
                     msg_id,
+                    size,
                 }),
             }));
         }
@@ -409,9 +428,9 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
             to,
             msg,
             msg_id,
+            size,
             ..
         } = env;
-        let size = msg.wire_size();
         if !self.peers.contains_key(&to) || self.down.contains(&to) {
             // Message to a node that does not exist (yet / anymore) or is
             // currently crashed — exactly like packets to a dead process.

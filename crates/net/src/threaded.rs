@@ -8,26 +8,71 @@
 //! processed — at which point no handler can ever run again and the network
 //! is quiescent.
 //!
+//! A panicking peer handler does **not** abort the run: the worker catches
+//! the panic, keeps draining (and dropping) its queue so the outstanding
+//! counter still reaches zero, and [`ThreadedNetwork::run`] reports a
+//! structured [`WorkerPanic`] naming the node instead of propagating the
+//! panic into the driver thread.
+//!
 //! Unlike the simulator this runtime is *not* deterministic; tests compare
 //! its results with simulator runs modulo null renaming.
 
+use crate::codec::Codec;
 use crate::message::{SimTime, Wire};
 use crate::sim::{Context, Peer};
 use crate::stats::NetStats;
 use p2p_topology::NodeId;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 enum Work<M> {
-    Msg { from: NodeId, msg_id: u64, msg: M },
+    Msg {
+        from: NodeId,
+        msg_id: u64,
+        msg: M,
+        /// Wire size under the run's codec, measured once by the sender.
+        size: usize,
+    },
     Stop,
+}
+
+/// A peer handler panicked during a threaded run: which node, and the
+/// panic payload (stringified). The rest of the network was drained to
+/// quiescence before this was reported, so no worker thread is leaked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The node whose handler panicked (first panic wins if several did).
+    pub node: NodeId,
+    /// The panic payload, if it was a string (the common `panic!` case).
+    pub payload: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer {} panicked: {}", self.node, self.payload)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A network of peers executed on real threads.
 pub struct ThreadedNetwork<M: Wire, P: Peer<M> + 'static> {
     peers: Vec<(NodeId, P)>,
+    codec: Codec,
     _marker: std::marker::PhantomData<M>,
 }
 
@@ -42,6 +87,7 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
     pub fn new() -> Self {
         ThreadedNetwork {
             peers: Vec::new(),
+            codec: Codec::default(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -51,14 +97,26 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
         self.peers.push((id, peer));
     }
 
+    /// Selects the wire codec messages are measured in.
+    pub fn set_codec(&mut self, codec: Codec) {
+        self.codec = codec;
+    }
+
     /// Runs the network to quiescence: delivers `initial` messages, lets the
     /// peers converse, stops every thread once the outstanding counter drops
-    /// to zero. Returns the peers (with their final state), merged transport
-    /// stats, and the wall-clock duration.
-    pub fn run(self, initial: Vec<(NodeId, NodeId, M)>) -> (Vec<(NodeId, P)>, NetStats) {
+    /// to zero. Returns the peers (with their final state) and merged
+    /// transport stats — or a [`WorkerPanic`] naming the first peer whose
+    /// handler panicked.
+    #[allow(clippy::type_complexity)]
+    pub fn run(
+        self,
+        initial: Vec<(NodeId, NodeId, M)>,
+    ) -> Result<(Vec<(NodeId, P)>, NetStats), WorkerPanic> {
+        let codec = self.codec;
         let started = Instant::now();
         let outstanding = Arc::new(AtomicI64::new(0));
         let msg_ids = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let first_panic: Arc<Mutex<Option<WorkerPanic>>> = Arc::new(Mutex::new(None));
         let (done_tx, done_rx) = crossbeam::channel::unbounded::<()>();
 
         let mut senders: BTreeMap<NodeId, crossbeam::channel::Sender<Work<M>>> = BTreeMap::new();
@@ -80,7 +138,7 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
         if valid_initial.is_empty() {
             // Nothing to do: skip thread spin-up entirely.
             let peers = receivers.into_iter().map(|(id, p, _)| (id, p)).collect();
-            return (peers, NetStats::default());
+            return Ok((peers, NetStats::default()));
         }
 
         let mut handles = Vec::new();
@@ -88,21 +146,51 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
             let senders = Arc::clone(&senders);
             let outstanding = Arc::clone(&outstanding);
             let msg_ids = Arc::clone(&msg_ids);
+            let first_panic = Arc::clone(&first_panic);
             let done_tx = done_tx.clone();
             let handle = std::thread::spawn(move || {
                 let mut stats = NetStats::default();
                 let epoch = Instant::now();
+                // Set when this peer's handler panicked: the worker then
+                // keeps draining its channel — dropping the messages but
+                // still decrementing the outstanding counter — so the rest
+                // of the network reaches quiescence instead of deadlocking
+                // on messages queued to a dead node.
+                let mut poisoned = false;
                 while let Ok(work) = rx.recv() {
                     match work {
                         Work::Stop => break,
-                        Work::Msg { from, msg_id, msg } => {
-                            let size = msg.wire_size();
+                        Work::Msg {
+                            from,
+                            msg_id,
+                            msg,
+                            size,
+                        } => {
+                            if poisoned {
+                                stats.dropped += 1;
+                                if outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                    let _ = done_tx.send(());
+                                }
+                                continue;
+                            }
                             stats.record_delivery(id, size, msg.session());
                             let now = SimTime(epoch.elapsed().as_micros() as u64);
                             let mut ctx = Context::new(now, id);
-                            peer.on_envelope(from, msg_id, msg, &mut ctx);
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                peer.on_envelope(from, msg_id, msg, &mut ctx)
+                            }));
+                            if let Err(panic) = outcome {
+                                poisoned = true;
+                                let mut slot = first_panic.lock().expect("panic slot");
+                                if slot.is_none() {
+                                    *slot = Some(WorkerPanic {
+                                        node: id,
+                                        payload: payload_string(panic.as_ref()),
+                                    });
+                                }
+                            }
                             for out in ctx.take_outgoing() {
-                                let osize = out.msg.wire_size();
+                                let osize = out.msg.wire_size_with(codec);
                                 stats.record_send(id, out.msg.kind(), osize);
                                 if let Some(tx) = senders.get(&out.to) {
                                     outstanding.fetch_add(1, Ordering::SeqCst);
@@ -112,6 +200,7 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
                                             from: id,
                                             msg_id: out_id,
                                             msg: out.msg,
+                                            size: osize,
                                         })
                                         .is_err()
                                     {
@@ -129,16 +218,22 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
                 }
                 (id, peer, stats)
             });
-            handles.push(handle);
+            handles.push((id, handle));
         }
 
         // Deliver the initial messages.
         let mut stats = NetStats::default();
         for (from, to, msg) in valid_initial {
-            stats.record_send(from, msg.kind(), msg.wire_size());
+            let size = msg.wire_size_with(codec);
+            stats.record_send(from, msg.kind(), size);
             let msg_id = msg_ids.fetch_add(1, Ordering::Relaxed);
             senders[&to]
-                .send(Work::Msg { from, msg_id, msg })
+                .send(Work::Msg {
+                    from,
+                    msg_id,
+                    msg,
+                    size,
+                })
                 .expect("worker alive at startup");
         }
 
@@ -155,14 +250,32 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
             let _ = tx.send(Work::Stop);
         }
         let mut peers = Vec::new();
-        for h in handles {
-            let (id, peer, worker_stats) = h.join().expect("worker panicked");
-            stats.merge(&worker_stats);
-            peers.push((id, peer));
+        for (id, h) in handles {
+            match h.join() {
+                Ok((id, peer, worker_stats)) => {
+                    stats.merge(&worker_stats);
+                    peers.push((id, peer));
+                }
+                Err(panic) => {
+                    // Handlers panic inside catch_unwind, so a dead thread
+                    // means the worker loop itself failed; report it like a
+                    // handler panic rather than aborting the driver.
+                    let mut slot = first_panic.lock().expect("panic slot");
+                    if slot.is_none() {
+                        *slot = Some(WorkerPanic {
+                            node: id,
+                            payload: payload_string(panic.as_ref()),
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(panic) = first_panic.lock().expect("panic slot").take() {
+            return Err(panic);
         }
         peers.sort_by_key(|(id, _)| *id);
         stats.finished_at = SimTime(started.elapsed().as_micros() as u64);
-        (peers, stats)
+        Ok((peers, stats))
     }
 }
 
@@ -209,7 +322,7 @@ mod tests {
                 },
             );
         }
-        let (peers, stats) = net.run(vec![(NodeId(0), NodeId(0), Token(24))]);
+        let (peers, stats) = net.run(vec![(NodeId(0), NodeId(0), Token(24))]).unwrap();
         let total_seen: u32 = peers.iter().map(|(_, p)| p.seen).sum();
         assert_eq!(total_seen, 25);
         assert_eq!(stats.total_messages, 25);
@@ -225,7 +338,7 @@ mod tests {
                 seen: 0,
             },
         );
-        let (peers, stats) = net.run(vec![]);
+        let (peers, stats) = net.run(vec![]).unwrap();
         assert_eq!(peers.len(), 1);
         assert_eq!(stats.total_messages, 0);
     }
@@ -240,7 +353,7 @@ mod tests {
                 seen: 0,
             },
         );
-        let (_, stats) = net.run(vec![(NodeId(0), NodeId(42), Token(1))]);
+        let (_, stats) = net.run(vec![(NodeId(0), NodeId(42), Token(1))]).unwrap();
         assert_eq!(stats.total_messages, 0);
     }
 
@@ -298,12 +411,51 @@ mod tests {
         for w in workers {
             net.add_peer(w, NodeKind::Worker);
         }
-        let (peers, stats) = net.run(vec![(NodeId(0), NodeId(0), Msg::Go)]);
+        let (peers, stats) = net.run(vec![(NodeId(0), NodeId(0), Msg::Go)]).unwrap();
         match &peers[0].1 {
             NodeKind::Hub(h) => assert_eq!(h.acks, 8),
             _ => unreachable!(),
         }
         assert_eq!(stats.total_messages, 17); // Go + 8 Work + 8 Ack
         assert_eq!(stats.sent_of_kind("Work"), 8);
+    }
+
+    #[test]
+    fn panicking_peer_is_a_structured_error_not_an_abort() {
+        // Node 2 panics on its first message; nodes keep forwarding tokens
+        // at it afterwards. The run must drain (no deadlock on messages
+        // queued to the dead node) and name the panicking peer.
+        #[derive(Debug)]
+        struct Bomb {
+            next: NodeId,
+            armed: bool,
+        }
+        impl Peer<Token> for Bomb {
+            fn on_message(&mut self, _from: NodeId, msg: Token, ctx: &mut Context<Token>) {
+                if self.armed {
+                    panic!("boom at token {}", msg.0);
+                }
+                if msg.0 > 0 {
+                    ctx.send(self.next, Token(msg.0 - 1));
+                }
+            }
+        }
+        let n = 4u32;
+        let mut net = ThreadedNetwork::new();
+        for i in 0..n {
+            net.add_peer(
+                NodeId(i),
+                Bomb {
+                    next: NodeId((i + 1) % n),
+                    armed: i == 2,
+                },
+            );
+        }
+        let err = net
+            .run(vec![(NodeId(0), NodeId(0), Token(24))])
+            .unwrap_err();
+        assert_eq!(err.node, NodeId(2));
+        assert!(err.payload.contains("boom"), "payload: {}", err.payload);
+        assert!(err.to_string().contains("peer C"), "display: {err}");
     }
 }

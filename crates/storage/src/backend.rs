@@ -11,6 +11,12 @@ use std::path::{Path, PathBuf};
 /// The contract recovery relies on: `read_wal` returns exactly the frames
 /// appended so far, in append order; `read_snapshot` returns the most
 /// recently written snapshot.
+///
+/// Frames come in two shapes, matching the two wire codecs: text frames
+/// (JSON, the `*_wal`/`*_snapshot` methods) and byte frames (the binary
+/// codec, the `*_bytes` methods). A store uses exactly one family — the
+/// codec is fixed when the [`crate::PeerStorage`] is built — so backends
+/// keep the two logs physically separate and never mix them.
 pub trait StorageBackend: fmt::Debug + Send {
     /// Appends one serialized WAL frame.
     fn append_wal(&mut self, frame: &str) -> StorageResult<()>;
@@ -20,6 +26,14 @@ pub trait StorageBackend: fmt::Debug + Send {
     fn write_snapshot(&mut self, snapshot: &str) -> StorageResult<()>;
     /// Reads the latest snapshot, if one was ever written.
     fn read_snapshot(&self) -> StorageResult<Option<String>>;
+    /// Appends one binary WAL frame.
+    fn append_wal_bytes(&mut self, frame: &[u8]) -> StorageResult<()>;
+    /// Reads every binary WAL frame in append order.
+    fn read_wal_bytes(&self) -> StorageResult<Vec<Vec<u8>>>;
+    /// Replaces the binary snapshot.
+    fn write_snapshot_bytes(&mut self, snapshot: &[u8]) -> StorageResult<()>;
+    /// Reads the latest binary snapshot, if one was ever written.
+    fn read_snapshot_bytes(&self) -> StorageResult<Option<Vec<u8>>>;
 }
 
 /// Fsync-free in-memory backend — the honest model of durability inside the
@@ -29,6 +43,8 @@ pub trait StorageBackend: fmt::Debug + Send {
 pub struct MemoryBackend {
     wal: Vec<String>,
     snapshot: Option<String>,
+    wal_bin: Vec<Vec<u8>>,
+    snapshot_bin: Option<Vec<u8>>,
 }
 
 impl StorageBackend for MemoryBackend {
@@ -49,16 +65,38 @@ impl StorageBackend for MemoryBackend {
     fn read_snapshot(&self) -> StorageResult<Option<String>> {
         Ok(self.snapshot.clone())
     }
+
+    fn append_wal_bytes(&mut self, frame: &[u8]) -> StorageResult<()> {
+        self.wal_bin.push(frame.to_vec());
+        Ok(())
+    }
+
+    fn read_wal_bytes(&self) -> StorageResult<Vec<Vec<u8>>> {
+        Ok(self.wal_bin.clone())
+    }
+
+    fn write_snapshot_bytes(&mut self, snapshot: &[u8]) -> StorageResult<()> {
+        self.snapshot_bin = Some(snapshot.to_vec());
+        Ok(())
+    }
+
+    fn read_snapshot_bytes(&self) -> StorageResult<Option<Vec<u8>>> {
+        Ok(self.snapshot_bin.clone())
+    }
 }
 
 /// File backend: `wal.jsonl` (one frame per line, append-only) plus
 /// `snapshot.json` (replaced via write-to-temp + rename) inside one
-/// directory per peer.
+/// directory per peer. Binary-codec stores use `wal.bin` (frames prefixed
+/// with a little-endian `u32` length, append-only) and `snapshot.bin`
+/// instead; the JSON files keep their exact historical layout either way.
 #[derive(Debug)]
 pub struct FileBackend {
     dir: PathBuf,
     wal: PathBuf,
     snapshot: PathBuf,
+    wal_bin: PathBuf,
+    snapshot_bin: PathBuf,
 }
 
 impl FileBackend {
@@ -69,6 +107,8 @@ impl FileBackend {
         Ok(FileBackend {
             wal: dir.join("wal.jsonl"),
             snapshot: dir.join("snapshot.json"),
+            wal_bin: dir.join("wal.bin"),
+            snapshot_bin: dir.join("snapshot.bin"),
             dir,
         })
     }
@@ -107,6 +147,56 @@ impl StorageBackend for FileBackend {
     fn read_snapshot(&self) -> StorageResult<Option<String>> {
         match fs::read_to_string(&self.snapshot) {
             Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StorageError::Io(e.to_string())),
+        }
+    }
+
+    fn append_wal_bytes(&mut self, frame: &[u8]) -> StorageResult<()> {
+        let len = u32::try_from(frame.len())
+            .map_err(|_| StorageError::Io("binary WAL frame over 4 GiB".to_string()))?;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.wal_bin)
+            .map_err(|e| StorageError::Io(e.to_string()))?;
+        f.write_all(&len.to_le_bytes())
+            .and_then(|()| f.write_all(frame))
+            .map_err(|e| StorageError::Io(e.to_string()))
+    }
+
+    fn read_wal_bytes(&self) -> StorageResult<Vec<Vec<u8>>> {
+        let bytes = match fs::read(&self.wal_bin) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(StorageError::Io(e.to_string())),
+        };
+        let mut frames = Vec::new();
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let Some(header) = bytes.get(at..at + 4) else {
+                return Err(StorageError::Corrupt("truncated binary WAL header".into()));
+            };
+            let len = u32::from_le_bytes(header.try_into().expect("4-byte slice")) as usize;
+            at += 4;
+            let Some(frame) = bytes.get(at..at + len) else {
+                return Err(StorageError::Corrupt("truncated binary WAL frame".into()));
+            };
+            frames.push(frame.to_vec());
+            at += len;
+        }
+        Ok(frames)
+    }
+
+    fn write_snapshot_bytes(&mut self, snapshot: &[u8]) -> StorageResult<()> {
+        let tmp = self.dir.join("snapshot.bin.tmp");
+        fs::write(&tmp, snapshot).map_err(|e| StorageError::Io(e.to_string()))?;
+        fs::rename(&tmp, &self.snapshot_bin).map_err(|e| StorageError::Io(e.to_string()))
+    }
+
+    fn read_snapshot_bytes(&self) -> StorageResult<Option<Vec<u8>>> {
+        match fs::read(&self.snapshot_bin) {
+            Ok(bytes) => Ok(Some(bytes)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(StorageError::Io(e.to_string())),
         }
@@ -158,11 +248,58 @@ mod tests {
     }
 
     #[test]
+    fn memory_backend_byte_frames_roundtrip() {
+        let mut b = MemoryBackend::default();
+        b.append_wal_bytes(&[0x00, 0xff, 0x01]).unwrap();
+        b.append_wal_bytes(&[]).unwrap();
+        assert_eq!(
+            b.read_wal_bytes().unwrap(),
+            vec![vec![0x00, 0xff, 0x01], vec![]]
+        );
+        assert_eq!(b.read_snapshot_bytes().unwrap(), None);
+        b.write_snapshot_bytes(&[7, 8]).unwrap();
+        assert_eq!(b.read_snapshot_bytes().unwrap(), Some(vec![7, 8]));
+    }
+
+    #[test]
+    fn file_backend_byte_frames_roundtrip_across_reopen() {
+        let dir = temp_dir("bytes");
+        {
+            let mut b = FileBackend::open(&dir).unwrap();
+            // Frames may contain newlines and NULs — length prefixes, not
+            // line delimiters, separate them.
+            b.append_wal_bytes(b"alpha\n\x00beta").unwrap();
+            b.append_wal_bytes(&[]).unwrap();
+            b.append_wal_bytes(&[0xde, 0xad]).unwrap();
+            b.write_snapshot_bytes(&[1, 2, 3]).unwrap();
+        }
+        let b = FileBackend::open(&dir).unwrap();
+        assert_eq!(
+            b.read_wal_bytes().unwrap(),
+            vec![b"alpha\n\x00beta".to_vec(), Vec::new(), vec![0xde, 0xad]]
+        );
+        assert_eq!(b.read_snapshot_bytes().unwrap(), Some(vec![1, 2, 3]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_backend_truncated_byte_wal_is_corrupt() {
+        let dir = temp_dir("trunc");
+        let b = FileBackend::open(&dir).unwrap();
+        // A header promising more bytes than the file holds.
+        std::fs::write(dir.join("wal.bin"), 9u32.to_le_bytes()).unwrap();
+        assert!(matches!(b.read_wal_bytes(), Err(StorageError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn file_backend_empty_dir_reads_empty() {
         let dir = temp_dir("empty");
         let b = FileBackend::open(&dir).unwrap();
         assert!(b.read_wal().unwrap().is_empty());
         assert_eq!(b.read_snapshot().unwrap(), None);
+        assert!(b.read_wal_bytes().unwrap().is_empty());
+        assert_eq!(b.read_snapshot_bytes().unwrap(), None);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -3,7 +3,7 @@
 use crate::backend::StorageBackend;
 use crate::wal::WalRecord;
 use crate::{StorageError, StorageResult};
-use p2p_net::SessionId;
+use p2p_net::{Codec, SessionId};
 use p2p_relational::value::NullId;
 use p2p_relational::{ConstCatalog, Database, SymId, SymRemap, Tuple, Val};
 use p2p_topology::NodeId;
@@ -66,6 +66,8 @@ pub struct RecoveredState {
 #[derive(Debug)]
 pub struct PeerStorage {
     backend: Box<dyn StorageBackend>,
+    /// Which on-disk frame encoding this store reads and writes.
+    codec: Codec,
     /// WAL records between automatic snapshots (0 = only explicit ones).
     snapshot_every: u64,
     since_snapshot: u64,
@@ -76,18 +78,39 @@ pub struct PeerStorage {
 }
 
 impl PeerStorage {
-    /// Wraps a backend. `snapshot_every` is the number of WAL records
-    /// between automatic snapshots (0 disables the cadence; the initial
-    /// snapshot is always written explicitly by the owner).
+    /// Wraps a backend with the historical JSON framing. `snapshot_every`
+    /// is the number of WAL records between automatic snapshots (0 disables
+    /// the cadence; the initial snapshot is always written explicitly by
+    /// the owner).
     pub fn new(backend: Box<dyn StorageBackend>, snapshot_every: u64) -> Self {
-        let wal_len = backend.read_wal().map(|w| w.len() as u64).unwrap_or(0);
+        Self::with_codec(backend, snapshot_every, Codec::Json)
+    }
+
+    /// Wraps a backend with an explicit frame codec. `Json` keeps the
+    /// `wal.jsonl`/`snapshot.json` files byte-compatible with every earlier
+    /// release; `Binary` writes [`binpack`] frames to the backend's byte
+    /// channel instead.
+    pub fn with_codec(backend: Box<dyn StorageBackend>, snapshot_every: u64, codec: Codec) -> Self {
+        let wal_len = match codec {
+            Codec::Json => backend.read_wal().map(|w| w.len() as u64).unwrap_or(0),
+            Codec::Binary => backend
+                .read_wal_bytes()
+                .map(|w| w.len() as u64)
+                .unwrap_or(0),
+        };
         PeerStorage {
             backend,
+            codec,
             snapshot_every,
             since_snapshot: 0,
             wal_len,
             persisted_syms: HashSet::new(),
         }
+    }
+
+    /// The frame codec this store was built with.
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     /// Number of WAL frames appended so far.
@@ -120,7 +143,11 @@ impl PeerStorage {
     /// failed write would permanently strip those symbols from the log and
     /// recovery in another process could not resolve them.
     pub fn log(&mut self, record: &WalRecord) -> StorageResult<bool> {
-        if let Err(e) = self.backend.append_wal(&record.to_frame()) {
+        let appended = match self.codec {
+            Codec::Json => self.backend.append_wal(&record.to_frame()),
+            Codec::Binary => self.backend.append_wal_bytes(&record.to_frame_bytes()),
+        };
+        if let Err(e) = appended {
             for (id, _) in record.dict() {
                 self.persisted_syms.remove(id);
             }
@@ -148,9 +175,18 @@ impl PeerStorage {
             catalog: ConstCatalog::global().export(syms),
             db: db.clone(),
         };
-        let text = serde_json::to_string(&snap)
-            .map_err(|e| StorageError::Corrupt(format!("snapshot encode: {e}")))?;
-        self.backend.write_snapshot(&text)?;
+        match self.codec {
+            Codec::Json => {
+                let text = serde_json::to_string(&snap)
+                    .map_err(|e| StorageError::Corrupt(format!("snapshot encode: {e}")))?;
+                self.backend.write_snapshot(&text)?;
+            }
+            Codec::Binary => {
+                let bytes = binpack::to_bytes(&snap)
+                    .map_err(|e| StorageError::Corrupt(format!("snapshot encode: {e}")))?;
+                self.backend.write_snapshot_bytes(&bytes)?;
+            }
+        }
         self.since_snapshot = 0;
         Ok(())
     }
@@ -169,11 +205,22 @@ impl PeerStorage {
     /// the owner writes the initial snapshot at attach time, so this only
     /// happens for a store that never belonged to a peer).
     pub fn recover(&self, node: u32) -> StorageResult<Option<RecoveredState>> {
-        let Some(snap_text) = self.backend.read_snapshot()? else {
-            return Ok(None);
+        let snap: DatabaseSnapshot = match self.codec {
+            Codec::Json => {
+                let Some(text) = self.backend.read_snapshot()? else {
+                    return Ok(None);
+                };
+                serde_json::from_str(&text)
+                    .map_err(|e| StorageError::Corrupt(format!("snapshot decode: {e}")))?
+            }
+            Codec::Binary => {
+                let Some(bytes) = self.backend.read_snapshot_bytes()? else {
+                    return Ok(None);
+                };
+                binpack::from_bytes(&bytes)
+                    .map_err(|e| StorageError::Corrupt(format!("snapshot decode: {e}")))?
+            }
         };
-        let snap: DatabaseSnapshot = serde_json::from_str(&snap_text)
-            .map_err(|e| StorageError::Corrupt(format!("snapshot decode: {e}")))?;
         let catalog = ConstCatalog::global();
         let mut remap = catalog.absorb(&snap.catalog);
         let mut db = snap.db;
@@ -185,8 +232,21 @@ impl PeerStorage {
         let mut marks: BTreeMap<(SessionId, u32, NodeId), FragmentMark> = BTreeMap::new();
         let mut mark_sets: BTreeMap<(SessionId, u32, NodeId), HashSet<Tuple>> = BTreeMap::new();
 
-        for (pos, frame) in self.backend.read_wal()?.iter().enumerate() {
-            let record = WalRecord::from_frame(frame)?;
+        let records: Vec<WalRecord> = match self.codec {
+            Codec::Json => self
+                .backend
+                .read_wal()?
+                .iter()
+                .map(|f| WalRecord::from_frame(f))
+                .collect::<StorageResult<_>>()?,
+            Codec::Binary => self
+                .backend
+                .read_wal_bytes()?
+                .iter()
+                .map(|f| WalRecord::from_frame_bytes(f))
+                .collect::<StorageResult<_>>()?,
+        };
+        for (pos, record) in records.into_iter().enumerate() {
             remap.extend(catalog.absorb(record.dict()));
             match record {
                 WalRecord::Insert {
@@ -485,7 +545,7 @@ mod tests {
             }
             other => other,
         };
-        let old_len = serde_json::encoded_len(&old_form);
+        let old_len = serde_json::encoded_len(&old_form).unwrap();
         assert!(
             text.len() * 9 <= old_len * 5,
             "snapshot must be ~2x smaller than the duplicated form: \
@@ -510,6 +570,74 @@ mod tests {
             }
             entries.extend(dup);
         }
+    }
+
+    #[test]
+    fn binary_store_recovers_identically_to_json() {
+        // The same durable history through both codecs rebuilds the same
+        // state — facts, strings (dictionary remap), and fragment marks.
+        let mut recovered = Vec::new();
+        for codec in [Codec::Json, Codec::Binary] {
+            let mut db = Database::new(schema());
+            let mut st = PeerStorage::with_codec(Box::<MemoryBackend>::default(), 0, codec);
+            assert_eq!(st.codec(), codec);
+            st.snapshot(&db, 0, Vec::new()).unwrap();
+            insert(&mut st, &mut db, "a", vec![Val::Int(3), Val::Int(4)]);
+            st.snapshot(&db, 0, Vec::new()).unwrap();
+            insert(&mut st, &mut db, "s", vec![Val::str("cross-codec-sym")]);
+            let mut w = BTreeMap::new();
+            w.insert(Arc::<str>::from("b"), 2usize);
+            st.log(&WalRecord::Answer {
+                session: SessionId::new(NodeId(0), 1),
+                rule: 9,
+                node: NodeId(1),
+                vars: vec![Arc::from("X")],
+                rows: vec![Tuple::new(vec![Val::Int(5)])],
+                watermarks: w,
+                dict: vec![],
+            })
+            .unwrap();
+            let rec = st.recover(0).unwrap().unwrap();
+            assert_eq!(rec.db.all_facts(), db.all_facts());
+            recovered.push(rec);
+        }
+        let (json, binary) = (&recovered[0], &recovered[1]);
+        assert_eq!(json.db.all_facts(), binary.db.all_facts());
+        assert_eq!(json.marks, binary.marks);
+    }
+
+    #[test]
+    fn binary_file_store_survives_reopen() {
+        use crate::backend::FileBackend;
+        let dir = std::env::temp_dir().join(format!(
+            "p2p_storage_store_bin_{}_{}",
+            std::process::id(),
+            line!()
+        ));
+        let mut db = Database::new(schema());
+        {
+            let backend = Box::new(FileBackend::open(&dir).unwrap());
+            let mut st = PeerStorage::with_codec(backend, 0, Codec::Binary);
+            st.snapshot(&db, 0, Vec::new()).unwrap();
+            insert(&mut st, &mut db, "b", vec![Val::Int(11)]);
+            insert(&mut st, &mut db, "s", vec![Val::str("bin-reopen")]);
+        }
+        // No JSON artifacts: the binary store writes wal.bin/snapshot.bin.
+        assert!(!dir.join("wal.jsonl").exists());
+        assert!(!dir.join("snapshot.json").exists());
+        assert!(dir.join("wal.bin").exists());
+        assert!(dir.join("snapshot.bin").exists());
+        let backend = Box::new(FileBackend::open(&dir).unwrap());
+        let st = PeerStorage::with_codec(backend, 0, Codec::Binary);
+        assert_eq!(st.wal_len(), 2);
+        let rec = st.recover(0).unwrap().unwrap();
+        assert_eq!(rec.db.all_facts(), db.all_facts());
+        assert!(rec
+            .db
+            .relation("s")
+            .unwrap()
+            .contains(&[Val::str("bin-reopen")]));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

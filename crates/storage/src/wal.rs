@@ -77,6 +77,18 @@ impl WalRecord {
             .map_err(|e| crate::StorageError::Corrupt(format!("WAL frame: {e}")))
     }
 
+    /// Serializes the record into one binary frame (the [`binpack`] wire
+    /// form, used when the store's codec is `Binary`).
+    pub fn to_frame_bytes(&self) -> Vec<u8> {
+        binpack::to_bytes(self).expect("WAL records are plain data")
+    }
+
+    /// Parses a binary frame back.
+    pub fn from_frame_bytes(frame: &[u8]) -> Result<Self, crate::StorageError> {
+        binpack::from_bytes(frame)
+            .map_err(|e| crate::StorageError::Corrupt(format!("binary WAL frame: {e}")))
+    }
+
     /// The record's dictionary delta.
     pub fn dict(&self) -> &[(SymId, Arc<str>)] {
         match self {
@@ -139,5 +151,34 @@ mod tests {
             WalRecord::from_frame("not json"),
             Err(crate::StorageError::Corrupt(_))
         ));
+        assert!(matches!(
+            WalRecord::from_frame_bytes(&[0xff, 0xff, 0xff]),
+            Err(crate::StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn binary_frames_roundtrip_and_undercut_json() {
+        let mut watermarks = BTreeMap::new();
+        watermarks.insert(Arc::<str>::from("b"), 7usize);
+        let rec = WalRecord::Answer {
+            session: SessionId::new(NodeId(0), 3),
+            rule: 4,
+            node: NodeId(3),
+            vars: vec![Arc::from("X"), Arc::from("Y")],
+            rows: (0..20)
+                .map(|i| Tuple::new(vec![Val::Int(i), Val::Int(1_000_000 + i)]))
+                .collect(),
+            watermarks,
+            dict: vec![],
+        };
+        let bytes = rec.to_frame_bytes();
+        assert_eq!(WalRecord::from_frame_bytes(&bytes).unwrap(), rec);
+        assert!(
+            bytes.len() * 3 < rec.to_frame().len() * 2,
+            "binary frame {} should be well under the JSON frame {}",
+            bytes.len(),
+            rec.to_frame().len()
+        );
     }
 }

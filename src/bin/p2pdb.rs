@@ -8,7 +8,7 @@
 //! p2pdb run <network.json> [--mode eager|rounds] [--discover]
 //!                [--no-delta-waves] [--query NODE QUERY] [--stats]
 //!                [--durable] [--churn N] [--snapshot-every K]
-//!                [--concurrent N]
+//!                [--concurrent N] [--codec json|binary]
 //!                [--trace] [--export FILE]      run discovery + update
 //! ```
 //!
@@ -25,6 +25,11 @@
 //! records between snapshots. `--churn`/`--snapshot-every` require
 //! `--durable` — without storage a crashed peer would lose its data for
 //! good.
+//!
+//! Wire codec: `--codec binary` switches protocol messages (and, with
+//! `--durable`, the WAL/snapshot files) to the varint-packed binary
+//! encoding; `--codec json` (the default) keeps the historical
+//! self-describing JSON. Network files and exports are JSON either way.
 //!
 //! Example session:
 //!
@@ -154,6 +159,9 @@ fn cmd_run(args: &[String]) -> CliResult {
     }
     if args.iter().any(|a| a == "--trace") {
         builder.config_mut().trace_capacity = 256;
+    }
+    if let Some(codec) = flag_value(args, "--codec") {
+        builder.config_mut().codec = codec.parse::<p2pdb::net::Codec>()?;
     }
 
     // Concurrent sessions.

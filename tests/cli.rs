@@ -251,6 +251,53 @@ fn churn_flags_require_durable_and_report_counters() {
     }
 }
 
+/// `--codec binary` runs the whole update under the binary wire codec (and
+/// closes with fewer reported bytes than JSON); unknown codecs are rejected.
+#[test]
+fn codec_flag_switches_wire_accounting() {
+    let dir = std::env::temp_dir().join("p2pdb_cli_codec");
+    std::fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("net.json");
+    let out = p2pdb(&[
+        "workload",
+        "--topology",
+        "chain",
+        "--size",
+        "4",
+        "--records",
+        "10",
+    ]);
+    assert!(out.status.success());
+    std::fs::write(&net, &out.stdout).unwrap();
+
+    fn reported_bytes(text: &str) -> u64 {
+        // "update: N messages, B bytes, ..."
+        let tail = text.split(" messages, ").nth(1).expect("update line");
+        tail.split(" bytes").next().unwrap().parse().unwrap()
+    }
+    let mut bytes = Vec::new();
+    for codec in ["json", "binary"] {
+        let out = p2pdb(&["run", net.to_str().unwrap(), "--codec", codec, "--durable"]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("all closed: true"), "{text}");
+        bytes.push(reported_bytes(&text));
+    }
+    assert!(
+        bytes[1] < bytes[0],
+        "binary codec must report fewer wire bytes: {bytes:?}"
+    );
+
+    let out = p2pdb(&["run", net.to_str().unwrap(), "--codec", "protobuf"]);
+    assert!(!out.status.success(), "unknown codec must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown codec"), "{stderr}");
+}
+
 #[test]
 fn bad_usage_fails_cleanly() {
     assert!(!p2pdb(&[]).status.success());

@@ -1,0 +1,579 @@
+//! # binpack — compact binary framing for the vendored serde content model
+//!
+//! A self-describing binary codec over [`serde::Content`], the vendored
+//! stand-in's serialization tree. It plays the role bincode/postcard play
+//! for real serde: same data model as the JSON path, far fewer bytes.
+//!
+//! ## Wire format
+//!
+//! A document is one encoded value. Every value starts with a 1-byte tag:
+//!
+//! | tag | value  | payload                                             |
+//! |-----|--------|-----------------------------------------------------|
+//! | 0   | `Null` | —                                                   |
+//! | 1   | `false`| —                                                   |
+//! | 2   | `true` | —                                                   |
+//! | 3   | `I64`  | zigzag varint                                       |
+//! | 4   | `U64`  | varint                                              |
+//! | 5   | `F64`  | 8 bytes, IEEE-754 little-endian                     |
+//! | 6   | `Str`  | varint byte length + UTF-8 bytes                    |
+//! | 7   | `Seq`  | varint count + that many values                     |
+//! | 8   | `Map`  | varint count + that many (key, value) entries       |
+//!
+//! Integers use LEB128 **varints** (7 bits per byte, high bit = continue);
+//! signed values are **zigzag**-folded first so small negatives stay small.
+//!
+//! Map keys are **interned per document**: each entry's key is a varint
+//! `k`. `k = 0` announces a new key — a length-prefixed string literal
+//! follows and is assigned the next id (ids count from 1 in order of first
+//! appearance); `k ≥ 1` is a back-reference to key id `k`. Struct-shaped
+//! data, where every element of a `Seq` repeats the same field names, pays
+//! for each name once.
+//!
+//! Non-finite floats (`NaN`, `±inf`) are **rejected on encode**, exactly as
+//! the vendored `serde_json` rejects them — the two codecs accept the same
+//! set of documents, so a value that round-trips through one round-trips
+//! through the other.
+//!
+//! The [`Writer`]/[`Reader`] primitives are public so callers can build
+//! specialized framings (columnar row blocks, delta streams) that embed or
+//! bypass the generic document codec while sharing the varint machinery.
+//! The [`lz`] module adds a deterministic LZ back-reference compressor for
+//! string-heavy blocks, where varints alone cannot remove redundancy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+pub mod lz;
+
+/// Maximum nesting depth accepted by [`from_bytes`] (and enforced
+/// symmetrically on encode); mirrors the vendored `serde_json` parser.
+pub const MAX_DEPTH: usize = 128;
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_I64: u8 = 3;
+const TAG_U64: u8 = 4;
+const TAG_F64: u8 = 5;
+const TAG_STR: u8 = 6;
+const TAG_SEQ: u8 = 7;
+const TAG_MAP: u8 = 8;
+
+/// Encoding/decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Input ended inside a value.
+    Truncated,
+    /// An unknown value tag byte.
+    BadTag(u8),
+    /// A varint ran past 10 bytes / overflowed 64 bits.
+    BadVarint,
+    /// A map-key back-reference pointed past the keys seen so far.
+    BadKeyRef(u64),
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+    /// Bytes remained after the document's root value.
+    TrailingBytes(usize),
+    /// Nesting exceeded [`MAX_DEPTH`].
+    TooDeep,
+    /// `NaN` / `±inf` cannot be encoded (JSON-path parity).
+    NonFiniteFloat,
+    /// A decoded document did not deserialize into the requested type.
+    De(String),
+    /// An LZ back-reference pointed outside the produced output, or the
+    /// declared decompressed length was malformed.
+    BadMatch,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "input truncated inside a value"),
+            Error::BadTag(t) => write!(f, "unknown value tag {t}"),
+            Error::BadVarint => write!(f, "malformed varint"),
+            Error::BadKeyRef(k) => write!(f, "map key back-reference {k} out of range"),
+            Error::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+            Error::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after document"),
+            Error::TooDeep => write!(f, "nesting deeper than {MAX_DEPTH}"),
+            Error::NonFiniteFloat => write!(f, "non-finite f64 cannot be encoded"),
+            Error::De(msg) => write!(f, "decoded document mismatch: {msg}"),
+            Error::BadMatch => write!(f, "LZ back-reference or length out of range"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+/// Append-only byte sink with varint/zigzag/length-prefix primitives.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, yielding the bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one raw byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Writes an unsigned LEB128 varint (1–10 bytes).
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes a signed value as zigzag + varint.
+    pub fn put_zigzag(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Writes a varint byte-length prefix followed by the raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_varint(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Writes the 8 IEEE-754 bytes of `v`, little-endian. The caller is
+    /// responsible for rejecting non-finite values where JSON parity
+    /// matters; the generic document codec does.
+    pub fn put_f64_bits(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Cursor over an encoded byte slice, mirroring [`Writer`].
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the whole input has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Reads one raw byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        let b = *self.buf.get(self.pos).ok_or(Error::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn get_varint(&mut self) -> Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(Error::BadVarint);
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zigzag-folded signed varint.
+    pub fn get_zigzag(&mut self) -> Result<i64> {
+        let v = self.get_varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// Reads a varint length prefix and borrows that many bytes.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = usize::try_from(self.get_varint()?).map_err(|_| Error::BadVarint)?;
+        let end = self.pos.checked_add(len).ok_or(Error::Truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or(Error::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| Error::BadUtf8)
+    }
+
+    /// Reads 8 little-endian IEEE-754 bytes.
+    pub fn get_f64_bits(&mut self) -> Result<f64> {
+        let end = self.pos.checked_add(8).ok_or(Error::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(Error::Truncated)?;
+        self.pos = end;
+        Ok(f64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic document codec
+// ---------------------------------------------------------------------------
+
+/// Per-document map-key intern table.
+#[derive(Default)]
+struct KeyDict {
+    keys: Vec<String>,
+}
+
+impl KeyDict {
+    fn id_of(&self, key: &str) -> Option<u64> {
+        // Documents carry at most a few dozen distinct keys; linear scan
+        // beats hashing at that size and keeps the table allocation-free
+        // on lookup.
+        self.keys
+            .iter()
+            .position(|k| k == key)
+            .map(|i| i as u64 + 1)
+    }
+}
+
+/// Encodes a content tree into a fresh byte document.
+pub fn content_to_bytes(c: &Content) -> Result<Vec<u8>> {
+    let mut w = Writer::new();
+    append_content(&mut w, c)?;
+    Ok(w.into_bytes())
+}
+
+/// Encodes a content tree onto the end of an existing [`Writer`] — the
+/// hook for specialized framings that embed generic documents. The key
+/// intern table is scoped to this call.
+pub fn append_content(w: &mut Writer, c: &Content) -> Result<()> {
+    let mut dict = KeyDict::default();
+    encode_value(w, c, &mut dict, 0)
+}
+
+fn encode_value(w: &mut Writer, c: &Content, dict: &mut KeyDict, depth: usize) -> Result<()> {
+    if depth > MAX_DEPTH {
+        return Err(Error::TooDeep);
+    }
+    match c {
+        Content::Null => w.put_u8(TAG_NULL),
+        Content::Bool(false) => w.put_u8(TAG_FALSE),
+        Content::Bool(true) => w.put_u8(TAG_TRUE),
+        Content::I64(v) => {
+            w.put_u8(TAG_I64);
+            w.put_zigzag(*v);
+        }
+        Content::U64(v) => {
+            w.put_u8(TAG_U64);
+            w.put_varint(*v);
+        }
+        Content::F64(v) => {
+            if !v.is_finite() {
+                return Err(Error::NonFiniteFloat);
+            }
+            w.put_u8(TAG_F64);
+            w.put_f64_bits(*v);
+        }
+        Content::Str(s) => {
+            w.put_u8(TAG_STR);
+            w.put_str(s);
+        }
+        Content::Seq(items) => {
+            w.put_u8(TAG_SEQ);
+            w.put_varint(items.len() as u64);
+            for item in items {
+                encode_value(w, item, dict, depth + 1)?;
+            }
+        }
+        Content::Map(entries) => {
+            w.put_u8(TAG_MAP);
+            w.put_varint(entries.len() as u64);
+            for (key, value) in entries {
+                match dict.id_of(key) {
+                    Some(id) => w.put_varint(id),
+                    None => {
+                        w.put_varint(0);
+                        w.put_str(key);
+                        dict.keys.push(key.clone());
+                    }
+                }
+                encode_value(w, value, dict, depth + 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one whole document, rejecting trailing bytes.
+pub fn content_from_bytes(bytes: &[u8]) -> Result<Content> {
+    let mut r = Reader::new(bytes);
+    let c = read_content(&mut r)?;
+    if !r.is_at_end() {
+        return Err(Error::TrailingBytes(r.remaining()));
+    }
+    Ok(c)
+}
+
+/// Decodes one document from the reader's current position, leaving the
+/// cursor just past it — the decode-side hook for embedded documents.
+pub fn read_content(r: &mut Reader<'_>) -> Result<Content> {
+    let mut dict = KeyDict::default();
+    decode_value(r, &mut dict, 0)
+}
+
+fn decode_value(r: &mut Reader<'_>, dict: &mut KeyDict, depth: usize) -> Result<Content> {
+    if depth > MAX_DEPTH {
+        return Err(Error::TooDeep);
+    }
+    Ok(match r.get_u8()? {
+        TAG_NULL => Content::Null,
+        TAG_FALSE => Content::Bool(false),
+        TAG_TRUE => Content::Bool(true),
+        TAG_I64 => Content::I64(r.get_zigzag()?),
+        TAG_U64 => Content::U64(r.get_varint()?),
+        TAG_F64 => Content::F64(r.get_f64_bits()?),
+        TAG_STR => Content::Str(r.get_str()?.to_owned()),
+        TAG_SEQ => {
+            let n = usize::try_from(r.get_varint()?).map_err(|_| Error::BadVarint)?;
+            let mut items = Vec::with_capacity(n.min(r.remaining() + 1));
+            for _ in 0..n {
+                items.push(decode_value(r, dict, depth + 1)?);
+            }
+            Content::Seq(items)
+        }
+        TAG_MAP => {
+            let n = usize::try_from(r.get_varint()?).map_err(|_| Error::BadVarint)?;
+            let mut entries = Vec::with_capacity(n.min(r.remaining() + 1));
+            for _ in 0..n {
+                let key = match r.get_varint()? {
+                    0 => {
+                        let key = r.get_str()?.to_owned();
+                        dict.keys.push(key.clone());
+                        key
+                    }
+                    id => dict
+                        .keys
+                        .get(id as usize - 1)
+                        .cloned()
+                        .ok_or(Error::BadKeyRef(id))?,
+                };
+                entries.push((key, decode_value(r, dict, depth + 1)?));
+            }
+            Content::Map(entries)
+        }
+        tag => return Err(Error::BadTag(tag)),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Typed convenience layer
+// ---------------------------------------------------------------------------
+
+/// Serializes any vendored-serde value into a binary document.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    content_to_bytes(&value.to_content())
+}
+
+/// The encoded byte length of a value — one encode pass, no second walk.
+pub fn encoded_len<T: Serialize + ?Sized>(value: &T) -> Result<usize> {
+    Ok(to_bytes(value)?.len())
+}
+
+/// Deserializes a value from a binary document.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let c = content_from_bytes(bytes)?;
+    T::from_content(&c).map_err(|e| Error::De(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deep_roundtrip(c: &Content) {
+        let bytes = content_to_bytes(c).expect("encode");
+        let back = content_from_bytes(&bytes).expect("decode");
+        assert_eq!(&back, c, "document changed across the codec");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for c in [
+            Content::Null,
+            Content::Bool(true),
+            Content::Bool(false),
+            Content::I64(0),
+            Content::I64(-1),
+            Content::I64(i64::MIN),
+            Content::I64(i64::MAX),
+            Content::U64(0),
+            Content::U64(u64::MAX),
+            Content::F64(0.25),
+            Content::F64(-1.5e300),
+            Content::Str(String::new()),
+            Content::Str("héllo \u{1F980}".into()),
+        ] {
+            deep_roundtrip(&c);
+        }
+    }
+
+    #[test]
+    fn nested_document_roundtrips() {
+        let doc = Content::Map(vec![
+            (
+                "rows".into(),
+                Content::Seq(vec![
+                    Content::Map(vec![
+                        ("x".into(), Content::I64(1)),
+                        ("y".into(), Content::Str("a".into())),
+                    ]),
+                    Content::Map(vec![
+                        ("x".into(), Content::I64(-40)),
+                        ("y".into(), Content::Null),
+                    ]),
+                ]),
+            ),
+            ("n".into(), Content::U64(2)),
+        ]);
+        deep_roundtrip(&doc);
+    }
+
+    #[test]
+    fn repeated_map_keys_are_interned() {
+        let row = |i: i64| {
+            Content::Map(vec![
+                ("column_one".into(), Content::I64(i)),
+                ("column_two".into(), Content::I64(i + 1)),
+            ])
+        };
+        let many = Content::Seq((0..50).map(row).collect());
+        let bytes = content_to_bytes(&many).unwrap();
+        // Each key literal is stored once; 49 further rows pay 1 byte per
+        // key reference instead of 11 bytes of literal.
+        let literal_cost = 2 * ("column_one".len() + 1);
+        assert!(
+            bytes.len() < literal_cost + 50 * 10,
+            "interning missing: {} bytes",
+            bytes.len()
+        );
+        deep_roundtrip(&many);
+    }
+
+    #[test]
+    fn zigzag_extremes_roundtrip() {
+        let mut w = Writer::new();
+        for v in [0, -1, 1, i64::MIN, i64::MAX] {
+            w.put_zigzag(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for v in [0, -1, 1, i64::MIN, i64::MAX] {
+            assert_eq!(r.get_zigzag().unwrap(), v);
+        }
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn small_negatives_stay_small() {
+        let mut w = Writer::new();
+        w.put_zigzag(-3);
+        assert_eq!(w.len(), 1, "zigzag must fold -3 into one byte");
+    }
+
+    #[test]
+    fn non_finite_floats_error_on_encode() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                content_to_bytes(&Content::F64(v)),
+                Err(Error::NonFiniteFloat)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_error() {
+        let bytes = content_to_bytes(&Content::Str("hello".into())).unwrap();
+        assert_eq!(
+            content_from_bytes(&bytes[..bytes.len() - 1]),
+            Err(Error::Truncated)
+        );
+        assert_eq!(content_from_bytes(&[99]), Err(Error::BadTag(99)));
+        assert_eq!(content_from_bytes(&[]), Err(Error::Truncated));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(content_from_bytes(&trailing), Err(Error::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let mut r = Reader::new(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
+        assert_eq!(r.get_varint(), Err(Error::BadVarint));
+    }
+
+    #[test]
+    fn bad_key_reference_is_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(8); // map tag
+        w.put_varint(1); // one entry
+        w.put_varint(7); // reference to a key that was never defined
+        w.put_u8(0); // null value
+        assert_eq!(
+            content_from_bytes(&w.into_bytes()),
+            Err(Error::BadKeyRef(7))
+        );
+    }
+
+    #[test]
+    fn typed_layer_roundtrips() {
+        let v: Vec<(u64, String)> = vec![(1, "a".into()), (2, "b".into())];
+        let bytes = to_bytes(&v).unwrap();
+        assert_eq!(encoded_len(&v).unwrap(), bytes.len());
+        let back: Vec<(u64, String)> = from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -47,56 +47,85 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     T::from_content(&content).map_err(|e| Error::new(e.to_string()))
 }
 
-/// Serializes to compact JSON.
+/// Serializes to compact JSON. Errors on non-finite floats (`NaN`, `±inf`
+/// have no JSON representation; rendering them as `null` silently loses
+/// data and used to let text and byte accounting drift apart).
 pub fn to_string<T: Serialize>(v: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_content(&mut out, &v.to_content(), None, 0);
+    write_content(&mut out, &v.to_content(), None, 0)?;
     Ok(out)
 }
 
-/// Serializes to pretty JSON (2-space indent).
+/// Serializes to pretty JSON (2-space indent). Same non-finite-float
+/// policy as [`to_string`].
 pub fn to_string_pretty<T: Serialize>(v: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_content(&mut out, &v.to_content(), Some(2), 0);
+    write_content(&mut out, &v.to_content(), Some(2), 0)?;
     Ok(out)
 }
 
 /// Exact byte length of the compact JSON encoding of `v` — i.e.
 /// `to_string(v).len()` without materialising the string. Used for wire and
-/// storage byte accounting.
-pub fn encoded_len<T: Serialize>(v: &T) -> usize {
-    content_len(&v.to_content())
+/// storage byte accounting. Runs the *same* writer as [`to_string`] over a
+/// byte-counting sink, so length and text cannot disagree — both error on
+/// exactly the same inputs (non-finite floats).
+pub fn encoded_len<T: Serialize>(v: &T) -> Result<usize, Error> {
+    let mut counter = ByteCounter(0);
+    write_content(&mut counter, &v.to_content(), None, 0)?;
+    Ok(counter.0)
 }
 
-fn content_len(c: &Content) -> usize {
-    match c {
-        Content::Null => 4,
-        Content::Bool(true) => 4,
-        Content::Bool(false) => 5,
-        Content::I64(v) => {
-            let neg = usize::from(*v < 0);
-            neg + digits(v.unsigned_abs())
-        }
-        Content::U64(v) => digits(*v),
-        Content::F64(v) => {
-            if v.is_finite() {
-                v.to_string().len()
-            } else {
-                4 // rendered as null
-            }
-        }
-        Content::Str(s) => string_len(s),
-        Content::Seq(items) => {
-            // brackets + commas + items
-            2 + items.len().saturating_sub(1) + items.iter().map(content_len).sum::<usize>()
-        }
-        Content::Map(entries) => {
-            2 + entries.len().saturating_sub(1)
-                + entries
-                    .iter()
-                    .map(|(k, v)| string_len(k) + 1 + content_len(v))
-                    .sum::<usize>()
-        }
+// -------------------------------------------------------------- printer
+
+/// Output sink for the one JSON writer: a real string buffer or a byte
+/// counter. One implementation of the rendering logic serves both
+/// serialization and length accounting, which keeps them in lockstep by
+/// construction.
+trait Sink {
+    fn push_char(&mut self, c: char);
+    fn push_str(&mut self, s: &str);
+    fn push_u64(&mut self, v: u64);
+    fn push_i64(&mut self, v: i64);
+    fn push_f64(&mut self, v: f64);
+}
+
+impl Sink for String {
+    fn push_char(&mut self, c: char) {
+        self.push(c);
+    }
+    fn push_str(&mut self, s: &str) {
+        self.push_str(s);
+    }
+    fn push_u64(&mut self, v: u64) {
+        self.push_str(&v.to_string());
+    }
+    fn push_i64(&mut self, v: i64) {
+        self.push_str(&v.to_string());
+    }
+    fn push_f64(&mut self, v: f64) {
+        self.push_str(&v.to_string());
+    }
+}
+
+/// Counts bytes without building text; numbers are measured by digit
+/// arithmetic (floats still format — their rendering has no closed form).
+struct ByteCounter(usize);
+
+impl Sink for ByteCounter {
+    fn push_char(&mut self, c: char) {
+        self.0 += c.len_utf8();
+    }
+    fn push_str(&mut self, s: &str) {
+        self.0 += s.len();
+    }
+    fn push_u64(&mut self, v: u64) {
+        self.0 += digits(v);
+    }
+    fn push_i64(&mut self, v: i64) {
+        self.0 += usize::from(v < 0) + digits(v.unsigned_abs());
+    }
+    fn push_f64(&mut self, v: f64) {
+        self.0 += v.to_string().len();
     }
 }
 
@@ -109,84 +138,79 @@ fn digits(mut v: u64) -> usize {
     n
 }
 
-fn string_len(s: &str) -> usize {
-    let mut n = 2; // quotes
-    for ch in s.chars() {
-        n += match ch {
-            '"' | '\\' | '\n' | '\r' | '\t' | '\u{08}' | '\u{0c}' => 2,
-            c if (c as u32) < 0x20 => 6,
-            c => c.len_utf8(),
-        };
-    }
-    n
-}
-
-// -------------------------------------------------------------- printer
-
-fn write_content(out: &mut String, c: &Content, indent: Option<usize>, level: usize) {
+fn write_content<S: Sink>(
+    out: &mut S,
+    c: &Content,
+    indent: Option<usize>,
+    level: usize,
+) -> Result<(), Error> {
     match c {
         Content::Null => out.push_str("null"),
         Content::Bool(true) => out.push_str("true"),
         Content::Bool(false) => out.push_str("false"),
-        Content::I64(v) => out.push_str(&v.to_string()),
-        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_i64(*v),
+        Content::U64(v) => out.push_u64(*v),
         Content::F64(v) => {
-            if v.is_finite() {
-                out.push_str(&v.to_string());
-            } else {
-                out.push_str("null");
+            if !v.is_finite() {
+                return Err(Error::new(format!(
+                    "non-finite f64 ({v}) has no JSON representation"
+                )));
             }
+            out.push_f64(*v);
         }
         Content::Str(s) => write_string(out, s),
         Content::Seq(items) => {
             if items.is_empty() {
                 out.push_str("[]");
-                return;
+                return Ok(());
             }
-            out.push('[');
+            out.push_char('[');
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.push_char(',');
                 }
                 newline_indent(out, indent, level + 1);
-                write_content(out, item, indent, level + 1);
+                write_content(out, item, indent, level + 1)?;
             }
             newline_indent(out, indent, level);
-            out.push(']');
+            out.push_char(']');
         }
         Content::Map(entries) => {
             if entries.is_empty() {
                 out.push_str("{}");
-                return;
+                return Ok(());
             }
-            out.push('{');
+            out.push_char('{');
             for (i, (k, v)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.push_char(',');
                 }
                 newline_indent(out, indent, level + 1);
                 write_string(out, k);
-                out.push(':');
+                out.push_char(':');
                 if indent.is_some() {
-                    out.push(' ');
+                    out.push_char(' ');
                 }
-                write_content(out, v, indent, level + 1);
+                write_content(out, v, indent, level + 1)?;
             }
             newline_indent(out, indent, level);
-            out.push('}');
+            out.push_char('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent<S: Sink>(out: &mut S, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push_char('\n');
+        for _ in 0..width * level {
+            out.push_char(' ');
         }
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
-    if let Some(width) = indent {
-        out.push('\n');
-        out.extend(std::iter::repeat_n(' ', width * level));
-    }
-}
-
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
+fn write_string<S: Sink>(out: &mut S, s: &str) {
+    out.push_char('"');
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -199,10 +223,10 @@ fn write_string(out: &mut String, s: &str) {
             c if (c as u32) < 0x20 => {
                 out.push_str(&format!("\\u{:04x}", c as u32));
             }
-            c => out.push(c),
+            c => out.push_char(c),
         }
     }
-    out.push('"');
+    out.push_char('"');
 }
 
 // --------------------------------------------------------------- parser
@@ -538,12 +562,31 @@ mod tests {
             (0, "esc\"\\\n\t\u{01}😀".into()),
             (i64::MIN, String::new()),
         ];
-        assert_eq!(encoded_len(&v), to_string(&v).unwrap().len());
+        assert_eq!(encoded_len(&v).unwrap(), to_string(&v).unwrap().len());
         let mut m = std::collections::BTreeMap::new();
         m.insert("k\"ey".to_string(), vec![1.5f64, -0.25]);
-        assert_eq!(encoded_len(&m), to_string(&m).unwrap().len());
-        assert_eq!(encoded_len(&None::<u32>), 4);
-        assert_eq!(encoded_len(&Vec::<u8>::new()), 2);
+        assert_eq!(encoded_len(&m).unwrap(), to_string(&m).unwrap().len());
+        assert_eq!(encoded_len(&None::<u32>).unwrap(), 4);
+        assert_eq!(encoded_len(&Vec::<u8>::new()).unwrap(), 2);
+    }
+
+    #[test]
+    fn non_finite_floats_error_consistently_in_text_and_length() {
+        // Encode and length must agree on non-finite floats: both refuse,
+        // instead of the old split where text rendered `null` while some
+        // callers might assume a numeric length. The same inputs are also
+        // rejected by the binary codec, keeping the codecs interchangeable.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(to_string(&v).is_err(), "to_string accepted {v}");
+            assert!(to_string_pretty(&v).is_err(), "pretty accepted {v}");
+            assert!(encoded_len(&v).is_err(), "encoded_len accepted {v}");
+            // Buried inside a container the error still surfaces.
+            assert!(to_string(&vec![(1u32, v)]).is_err());
+            assert!(encoded_len(&vec![(1u32, v)]).is_err());
+        }
+        // Finite floats keep working, and text/length still agree.
+        let fine = vec![0.5f64, -2.25, 1e300];
+        assert_eq!(encoded_len(&fine).unwrap(), to_string(&fine).unwrap().len());
     }
 
     #[test]
