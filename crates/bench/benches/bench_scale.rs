@@ -1,0 +1,68 @@
+//! E19 — scaling the simulator: full scale-scenario update runs per
+//! topology family and size (flat per-node degree, closed-form fix-point;
+//! see `p2p_workload::scale`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_topology::Topology;
+use p2p_workload::{expected_total_tuples, scale_system, ScaleConfig};
+
+fn run_scale(cfg: &ScaleConfig) {
+    let mut sys = scale_system(cfg)
+        .expect("scale workload builds")
+        .build()
+        .expect("system builds");
+    let report = sys.run_update();
+    assert!(report.all_closed, "{}: not all closed", cfg.topology);
+    assert_eq!(
+        sys.snapshot().total_tuples(),
+        expected_total_tuples(cfg),
+        "{}: fix-point off the closed form",
+        cfg.topology
+    );
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e19_scale");
+    group.sample_size(10);
+    let cases = [
+        ("ring", Topology::Ring { n: 100 }),
+        ("ring", Topology::Ring { n: 1000 }),
+        (
+            "expander",
+            Topology::Expander {
+                n: 100,
+                degree: 4,
+                seed: 7,
+            },
+        ),
+        (
+            "expander",
+            Topology::Expander {
+                n: 1000,
+                degree: 4,
+                seed: 7,
+            },
+        ),
+        (
+            "smallworld",
+            Topology::SmallWorld {
+                n: 1000,
+                k: 4,
+                rewire_percent: 10,
+                seed: 7,
+            },
+        ),
+    ];
+    for (family, topology) in cases {
+        let cfg = ScaleConfig {
+            topology,
+            records_per_node: 4,
+        };
+        let id = BenchmarkId::new(family, topology.node_count());
+        group.bench_with_input(id, &cfg, |b, cfg| b.iter(|| run_scale(cfg)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

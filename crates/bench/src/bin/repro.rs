@@ -185,6 +185,35 @@ fn main() {
             }
         );
     }
+    if want("e19") {
+        println!("E19 — scaling: 10k-peer updates, expander overlays, shared fan-out\n");
+        let (table, summary) = exp::e19_scale(scale);
+        println!("{}", table.render());
+        println!(
+            "largest expander run: {} peers in {:.0} ms wall clock; \
+             fan-out to {} receivers: {:.2} ms per-receiver encodes vs {:.2} ms shared ({:.0}x)",
+            summary.big_run_nodes,
+            summary.big_run_wall_ms,
+            summary.fanout_receivers,
+            summary.fanout_legacy_ms,
+            summary.fanout_shared_ms,
+            summary.fanout_speedup,
+        );
+        let json = exp::scale_summary_json(&summary);
+        match std::fs::write("BENCH_e19.json", &json) {
+            Ok(()) => println!("wrote BENCH_e19.json"),
+            Err(e) => println!("could not write BENCH_e19.json: {e}"),
+        }
+        println!(
+            "scale smoke: {}\n",
+            if summary.ok() {
+                "OK"
+            } else {
+                "FAILED (unclosed run, fix-point off the closed form, 10k run \
+                 over 30s, or fan-out speedup below 5x)"
+            }
+        );
+    }
     if want("e16") {
         println!("E16 — interned values + columnar relations (data-plane rewrite)\n");
         let (table, summary) = exp::e16_interning(scale);

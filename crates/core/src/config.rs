@@ -92,7 +92,11 @@ pub struct SystemConfig {
     pub cost_per_tuple: SimTime,
     /// Fixed per-message handling cost.
     pub cost_per_message: SimTime,
-    /// Simulator event budget (safety net).
+    /// Simulator event budget (safety net). `0` means **auto**: the budget
+    /// is derived from the node count at build time
+    /// ([`SystemConfig::effective_max_events`]) so a 10k-peer run is not
+    /// artificially halted by a flat cap sized for ring(8). Any explicit
+    /// non-zero value wins.
     pub max_events: u64,
     /// Trace capacity (0 = tracing off).
     pub trace_capacity: usize,
@@ -113,8 +117,32 @@ impl Default for SystemConfig {
             max_null_depth: 64,
             cost_per_tuple: SimTime::from_micros(10),
             cost_per_message: SimTime::from_micros(50),
-            max_events: 10_000_000,
+            max_events: 0,
             trace_capacity: 0,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Events per node granted by the auto budget. A global update costs a
+    /// roster flood + queries/answers/acks per rule plus the fix-point
+    /// broadcast — well under a thousand deliveries per node in every
+    /// experiment; 5000 leaves an order-of-magnitude margin for faults,
+    /// churn redrives and dynamic changes.
+    pub const AUTO_EVENTS_PER_NODE: u64 = 5_000;
+
+    /// Floor of the auto budget (the old flat default, so small systems keep
+    /// exactly the safety margin they always had).
+    pub const AUTO_EVENTS_FLOOR: u64 = 10_000_000;
+
+    /// The event budget a system of `nodes` peers actually runs with:
+    /// an explicit non-zero [`SystemConfig::max_events`] verbatim, otherwise
+    /// `max(floor, nodes × per-node share)`.
+    pub fn effective_max_events(&self, nodes: usize) -> u64 {
+        if self.max_events != 0 {
+            self.max_events
+        } else {
+            Self::AUTO_EVENTS_FLOOR.max(nodes as u64 * Self::AUTO_EVENTS_PER_NODE)
         }
     }
 }
@@ -132,5 +160,31 @@ mod tests {
         assert!(c.delta_waves);
         assert!(c.require_weak_acyclicity);
         assert_eq!(c.codec, p2p_net::Codec::Json);
+    }
+
+    #[test]
+    fn event_budget_scales_with_node_count() {
+        let auto = SystemConfig::default();
+        assert_eq!(auto.max_events, 0, "default budget is auto");
+        // Small systems keep the historical flat floor…
+        assert_eq!(
+            auto.effective_max_events(8),
+            SystemConfig::AUTO_EVENTS_FLOOR
+        );
+        // …large ones grow linearly instead of being halted by it.
+        assert_eq!(
+            auto.effective_max_events(10_000),
+            10_000 * SystemConfig::AUTO_EVENTS_PER_NODE
+        );
+        assert_eq!(
+            auto.effective_max_events(100_000),
+            100_000 * SystemConfig::AUTO_EVENTS_PER_NODE
+        );
+        // An explicit budget always wins, at any scale.
+        let explicit = SystemConfig {
+            max_events: 1_234,
+            ..SystemConfig::default()
+        };
+        assert_eq!(explicit.effective_max_events(100_000), 1_234);
     }
 }

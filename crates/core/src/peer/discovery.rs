@@ -242,9 +242,7 @@ impl DbPeer {
             targets.insert(*t);
         }
         targets.remove(&self.id);
-        for t in targets {
-            ctx.send(t, ProtocolMsg::DiscoveryClosed);
-        }
+        ctx.send_to_many(targets, ProtocolMsg::DiscoveryClosed);
     }
 
     fn answer_requester(

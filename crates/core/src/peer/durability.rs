@@ -201,8 +201,7 @@ impl DbPeer {
     fn prime_session_caches(&mut self, marks: &BTreeMap<(SessionId, u32, NodeId), FragmentMark>) {
         for (&(sid, rule_raw, node), mark) in marks {
             self.sessions
-                .entry(sid)
-                .or_default()
+                .or_default(sid)
                 .rnd
                 .wave_cache
                 .entry((RuleId(rule_raw), node))
@@ -572,7 +571,7 @@ mod tests {
         // fallback tag and an empty cursor.
         let out = ctx.take_outgoing();
         assert_eq!(out.len(), 1);
-        let ProtocolMsg::ResyncRequest { session, since, .. } = &out[0].msg else {
+        let ProtocolMsg::ResyncRequest { session, since, .. } = &*out[0].msg else {
             panic!("expected a resync request, got {:?}", out[0].msg);
         };
         assert_eq!(*session, SessionId::default());

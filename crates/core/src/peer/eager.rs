@@ -30,6 +30,7 @@
 //! no session traffic is still in flight at termination.
 
 use crate::messages::ProtocolMsg;
+use crate::peer::tables::VecMap;
 use crate::peer::{DbPeer, SessionState};
 use crate::rule::{BodyPart, RuleId};
 use crate::stats::ClosedBy;
@@ -81,10 +82,11 @@ pub struct EagerState {
     pub flood_seen: bool,
     /// `state_u == closed`.
     pub closed: bool,
-    /// Per-(rule, body node) fragment progress.
-    pub parts: BTreeMap<(RuleId, NodeId), PartProgress>,
+    /// Per-(rule, body node) fragment progress (flat table, see
+    /// [`crate::peer::tables`]).
+    pub parts: VecMap<(RuleId, NodeId), PartProgress>,
     /// Subscriptions served, keyed by (subscriber, rule).
-    pub subs: BTreeMap<(NodeId, RuleId), Subscription>,
+    pub subs: VecMap<(NodeId, RuleId), Subscription>,
     /// Highest fix-point broadcast generation processed.
     pub fixpoint_gen: u32,
     /// A dynamic change touched this node (rule added/removed here, or a
@@ -197,11 +199,8 @@ impl DbPeer {
         self.begin_session(st, sid, ctx, &[]);
         if !st.upd.flood_seen {
             st.upd.flood_seen = true;
-            for p in self.pipes.clone() {
-                if p != from {
-                    self.send_basic(st, ctx, p, ProtocolMsg::UpdateFlood { session: sid });
-                }
-            }
+            let targets: Vec<NodeId> = self.pipes.iter().copied().filter(|p| *p != from).collect();
+            self.send_basic_many(st, ctx, targets, ProtocolMsg::UpdateFlood { session: sid });
         }
     }
 
@@ -554,17 +553,14 @@ impl DbPeer {
     ) {
         self.sup.fixpoint_generation += 1;
         let generation = self.sup.fixpoint_generation;
-        for n in self.sup.all_nodes.clone() {
-            if n != self.id {
-                ctx.send(
-                    n,
-                    ProtocolMsg::Fixpoint {
-                        session: sid,
-                        generation,
-                    },
-                );
-            }
-        }
+        let me = self.id;
+        ctx.send_to_many(
+            self.sup.all_nodes.iter().copied().filter(|n| *n != me),
+            ProtocolMsg::Fixpoint {
+                session: sid,
+                generation,
+            },
+        );
         self.on_fixpoint(st, generation);
     }
 

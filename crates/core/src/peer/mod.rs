@@ -37,6 +37,7 @@ pub mod durability;
 pub mod eager;
 pub mod rounds;
 pub mod superpeer;
+pub mod tables;
 
 use crate::config::{SystemConfig, UpdateMode};
 use crate::messages::ProtocolMsg;
@@ -45,6 +46,7 @@ use crate::stats::{ClosedBy, PeerStats};
 use crate::termination::{AckDecision, DiffusingState, Disengage};
 use p2p_net::{Context, Peer, SessionId};
 use p2p_relational::chase::{ChaseConfig, ChaseState};
+use p2p_relational::fxhash::FxHashSet;
 use p2p_relational::{ConstCatalog, Database, NullFactory, SymId, Tuple, Val};
 use p2p_topology::NodeId;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
@@ -54,6 +56,7 @@ pub use discovery::DiscoveryState;
 pub use eager::{EagerState, PartProgress, Subscription};
 pub use rounds::RoundsState;
 pub use superpeer::SuperState;
+pub use tables::VecMap;
 
 /// Everything one peer holds for one update session. One entry per
 /// interleaved session lives in [`DbPeer::sessions`]; the entry is created
@@ -143,11 +146,12 @@ pub struct DbPeer {
     pub(crate) disc: DiscoveryState,
     /// Per-session protocol state, keyed by session identity. The heart of
     /// the concurrent control plane: each interleaved session lives in its
-    /// own entry and is retired on fix-point.
-    pub(crate) sessions: BTreeMap<SessionId, SessionState>,
+    /// own entry and is retired on fix-point. Flat sorted-vec table
+    /// ([`VecMap`]): epochs grow monotonically, so inserts land at the end.
+    pub(crate) sessions: VecMap<SessionId, SessionState>,
     /// Sessions that closed and retired here, with the rounds executed
     /// (0 in eager mode) — the summary reports and supersession read.
-    pub(crate) done: BTreeMap<SessionId, u32>,
+    pub(crate) done: VecMap<SessionId, u32>,
     /// Super-peer driver state.
     pub(crate) sup: SuperState,
     /// Errors recorded during handlers (runtime handlers cannot return
@@ -158,7 +162,7 @@ pub struct DbPeer {
     /// dropping repeats here keeps both the data plane and the
     /// Dijkstra–Scholten accounting sound under duplication (TCP/JXTA pipes
     /// provide the same guarantee).
-    pub(crate) seen_msgs: HashSet<(NodeId, u64)>,
+    pub(crate) seen_msgs: FxHashSet<(NodeId, u64)>,
     /// Durable store (WAL + snapshots) when `SystemConfig::durability` is
     /// on; `None` = the amnesia baseline, where a crash loses everything.
     pub(crate) storage: Option<p2p_storage::PeerStorage>,
@@ -174,7 +178,7 @@ pub struct DbPeer {
     /// Drives the first-use dictionary deltas in [`DbPeer::make_answer_rows`]
     /// — each constant string crosses each pipe at most once. Volatile: a
     /// crash forgets it and later answers conservatively re-ship.
-    pub(crate) sym_sent: BTreeMap<NodeId, HashSet<SymId>>,
+    pub(crate) sym_sent: VecMap<NodeId, FxHashSet<SymId>>,
 }
 
 impl DbPeer {
@@ -195,29 +199,30 @@ impl DbPeer {
             in_cycle: true,
             stats: PeerStats::default(),
             disc: DiscoveryState::default(),
-            sessions: BTreeMap::new(),
-            done: BTreeMap::new(),
+            sessions: VecMap::default(),
+            done: VecMap::default(),
             sup: SuperState::default(),
             errors: Vec::new(),
-            seen_msgs: HashSet::new(),
+            seen_msgs: FxHashSet::default(),
             storage: None,
             pending_resync: BTreeMap::new(),
-            sym_sent: BTreeMap::new(),
+            sym_sent: VecMap::default(),
         }
     }
 
     /// Marks this node as the designated super-peer (any node may root a
     /// session; the super-peer additionally answers driver commands like
     /// statistics collection and rule broadcast).
-    pub fn make_super(&mut self, all_nodes: Vec<NodeId>) {
+    pub fn make_super(&mut self, all_nodes: impl Into<Arc<[NodeId]>>) {
         self.is_super = true;
-        self.sup.all_nodes = all_nodes;
+        self.sup.all_nodes = all_nodes.into();
     }
 
-    /// Installs the node roster (every peer gets one at build time so any
-    /// node can act as the root of an update session).
-    pub fn set_roster(&mut self, all_nodes: Vec<NodeId>) {
-        self.sup.all_nodes = all_nodes;
+    /// Installs the node roster. The roster is `Arc`-shared: the system
+    /// builder hands every peer the same allocation, so building n peers
+    /// costs n refcounts, not n copies of an n-entry list.
+    pub fn set_roster(&mut self, all_nodes: impl Into<Arc<[NodeId]>>) {
+        self.sup.all_nodes = all_nodes.into();
     }
 
     /// Installs a rule with head at this node.
@@ -492,7 +497,7 @@ impl DbPeer {
                 }
             }
         }
-        let known = self.sym_sent.entry(to).or_default();
+        let known = self.sym_sent.or_default(to);
         let fresh: Vec<SymId> = rows
             .iter()
             .flat_map(|t| t.values())
@@ -551,7 +556,7 @@ impl DbPeer {
             remap.is_identity(),
             "in-process dictionary deltas must agree with the shared catalog"
         );
-        let known = self.sym_sent.entry(from).or_default();
+        let known = self.sym_sent.or_default(from);
         known.extend(rows.dict.iter().map(|(id, _)| remap.map(*id)));
     }
 
@@ -569,6 +574,28 @@ impl DbPeer {
         st.ds.on_send();
         st.root_quiet = false;
         ctx.send(to, msg);
+    }
+
+    /// Fan-out variant of [`DbPeer::send_basic`]: one shared payload for the
+    /// whole target set ([`Context::send_to_many`]), with the session's
+    /// Dijkstra–Scholten deficit charged once per receiver.
+    pub(crate) fn send_basic_many(
+        &mut self,
+        st: &mut SessionState,
+        ctx: &mut Context<ProtocolMsg>,
+        targets: impl IntoIterator<Item = NodeId>,
+        msg: ProtocolMsg,
+    ) {
+        debug_assert!(msg.is_basic(), "send_basic_many used for a control message");
+        let before = ctx.pending_sends();
+        ctx.send_to_many(targets, msg);
+        let sent = ctx.pending_sends() - before;
+        for _ in 0..sent {
+            st.ds.on_send();
+        }
+        if sent > 0 {
+            st.root_quiet = false;
+        }
     }
 
     /// Post-event hook for one session: runs Dijkstra–Scholten
@@ -604,7 +631,7 @@ impl DbPeer {
     /// root-first, so one range probe past `sid` answers this in
     /// O(log sessions) instead of scanning both maps.
     fn session_is_stale(&self, sid: SessionId) -> bool {
-        fn newer_same_root<V>(map: &BTreeMap<SessionId, V>, sid: SessionId) -> bool {
+        fn newer_same_root<V>(map: &VecMap<SessionId, V>, sid: SessionId) -> bool {
             map.range((
                 std::ops::Bound::Excluded(sid),
                 std::ops::Bound::Included(SessionId::new(sid.root, u64::MAX)),

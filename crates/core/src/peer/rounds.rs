@@ -202,15 +202,13 @@ impl DbPeer {
         targets.extend(self.sup.all_nodes.iter().copied());
         targets.remove(&self.id);
         st.rnd.pending_echoes = targets.len();
-        for p in targets {
-            ctx.send(
-                p,
-                ProtocolMsg::RoundStart {
-                    session: sid,
-                    round,
-                },
-            );
-        }
+        ctx.send_to_many(
+            targets,
+            ProtocolMsg::RoundStart {
+                session: sid,
+                round,
+            },
+        );
         self.maybe_echo(st, sid, ctx);
     }
 
@@ -295,15 +293,13 @@ impl DbPeer {
             st.rnd.flood_parent = Some(from);
             let targets: Vec<NodeId> = self.pipes.iter().copied().filter(|p| *p != from).collect();
             st.rnd.pending_echoes = targets.len();
-            for p in targets {
-                ctx.send(
-                    p,
-                    ProtocolMsg::RoundStart {
-                        session: sid,
-                        round,
-                    },
-                );
-            }
+            ctx.send_to_many(
+                targets,
+                ProtocolMsg::RoundStart {
+                    session: sid,
+                    round,
+                },
+            );
             self.maybe_echo(st, sid, ctx);
         } else {
             // Duplicate contact: immediate non-child echo.
@@ -594,17 +590,14 @@ impl DbPeer {
                     st.rnd.rounds_done = rounds;
                     st.retired = true;
                     self.stats.closed_by = ClosedBy::CleanRound;
-                    for n in self.sup.all_nodes.clone() {
-                        if n != self.id {
-                            ctx.send(
-                                n,
-                                ProtocolMsg::RoundsClosed {
-                                    session: sid,
-                                    rounds,
-                                },
-                            );
-                        }
-                    }
+                    let me = self.id;
+                    ctx.send_to_many(
+                        self.sup.all_nodes.iter().copied().filter(|n| *n != me),
+                        ProtocolMsg::RoundsClosed {
+                            session: sid,
+                            rounds,
+                        },
+                    );
                 }
             }
         }

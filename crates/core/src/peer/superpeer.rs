@@ -19,14 +19,17 @@ use crate::stats::PeerStats;
 use p2p_net::{Context, SessionId};
 use p2p_topology::NodeId;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Driver-side state kept by every peer (the roster) and the super-peer
 /// (collected statistics, current session for change routing).
 #[derive(Debug, Clone, Default)]
 pub struct SuperState {
     /// Full node roster (installed at build time on every peer, so any node
-    /// can root a session and broadcast its fix-point).
-    pub all_nodes: Vec<NodeId>,
+    /// can root a session and broadcast its fix-point). One shared
+    /// allocation across all peers — at 10k+ nodes a per-peer copy would be
+    /// O(n²) build memory.
+    pub all_nodes: Arc<[NodeId]>,
     /// The most recent session rooted at this node (dynamic-change
     /// notifications are routed within it).
     pub session: Option<SessionId>,
@@ -68,9 +71,12 @@ impl DbPeer {
                     let mut targets = self.pipes.clone();
                     targets.extend(self.sup.all_nodes.iter().copied());
                     targets.remove(&self.id);
-                    for p in targets {
-                        self.send_basic(st, ctx, p, ProtocolMsg::UpdateFlood { session: sid });
-                    }
+                    self.send_basic_many(
+                        st,
+                        ctx,
+                        targets,
+                        ProtocolMsg::UpdateFlood { session: sid },
+                    );
                 }
             }
             UpdateMode::Rounds => self.start_rounds(st, sid, ctx),
@@ -227,11 +233,11 @@ impl DbPeer {
         if self.is_super {
             self.sup.collected.clear();
             self.sup.collected.insert(self.id, self.stats.clone());
-            for n in self.sup.all_nodes.clone() {
-                if n != self.id {
-                    ctx.send(n, ProtocolMsg::CollectStats);
-                }
-            }
+            let me = self.id;
+            ctx.send_to_many(
+                self.sup.all_nodes.iter().copied().filter(|n| *n != me),
+                ProtocolMsg::CollectStats,
+            );
         } else {
             ctx.send(
                 from,
@@ -252,11 +258,11 @@ impl DbPeer {
     /// Driver command: reset statistics at all peers.
     pub(crate) fn on_reset_stats(&mut self, _from: NodeId, ctx: &mut Context<ProtocolMsg>) {
         if self.is_super {
-            for n in self.sup.all_nodes.clone() {
-                if n != self.id {
-                    ctx.send(n, ProtocolMsg::ResetStats);
-                }
-            }
+            let me = self.id;
+            ctx.send_to_many(
+                self.sup.all_nodes.iter().copied().filter(|n| *n != me),
+                ProtocolMsg::ResetStats,
+            );
         }
         self.stats.reset();
     }
@@ -272,16 +278,15 @@ impl DbPeer {
         ctx: &mut Context<ProtocolMsg>,
     ) {
         if self.is_super {
-            for n in self.sup.all_nodes.clone() {
-                if n != self.id {
-                    ctx.send(
-                        n,
-                        ProtocolMsg::BroadcastRules {
-                            rules: rules.clone(),
-                        },
-                    );
-                }
-            }
+            // One shared payload for the whole roster — the rule file used
+            // to be cloned once per peer.
+            let me = self.id;
+            ctx.send_to_many(
+                self.sup.all_nodes.iter().copied().filter(|n| *n != me),
+                ProtocolMsg::BroadcastRules {
+                    rules: rules.clone(),
+                },
+            );
         }
         // Adopt the new rule set.
         self.rules.clear();
@@ -332,7 +337,7 @@ mod tests {
         peer.apply_change(ChangeOp::AddLink { rule: rule.clone() }, &mut ctx);
         let out = ctx.take_outgoing();
         assert_eq!(out.len(), 1);
-        match &out[0].msg {
+        match &*out[0].msg {
             ProtocolMsg::AddRule { session, .. } => assert_eq!(session.epoch, 0),
             other => panic!("expected AddRule, got {other:?}"),
         }

@@ -22,7 +22,7 @@ use p2p_relational::query::{evaluate_certain, parse_query};
 use p2p_relational::{Database, DatabaseSchema, Tuple, Val};
 use p2p_storage::{MemoryBackend, PeerStorage};
 use p2p_topology::{scc, NodeId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Link latency specification (materialised into a model at build time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,24 +194,36 @@ impl P2PSystemBuilder {
         }
         let graph = self.rules.dependency_graph();
         let cyclic = scc::cyclic_nodes(&graph);
-        let all_nodes: Vec<NodeId> = self.schemas.keys().copied().collect();
+        let all_nodes: std::sync::Arc<[NodeId]> = self.schemas.keys().copied().collect();
+
+        // One pass over the rule set builds the per-node views; the old
+        // per-peer full scans made construction O(nodes × rules) — the first
+        // thing to break past a few thousand peers.
+        let mut rules_by_head: BTreeMap<NodeId, Vec<&crate::rule::CoordinationRule>> =
+            BTreeMap::new();
+        let mut pipes_of: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        for rule in self.rules.iter() {
+            rules_by_head.entry(rule.head_node).or_default().push(rule);
+            for p in &rule.parts {
+                pipes_of.entry(rule.head_node).or_default().insert(p.node);
+                pipes_of.entry(p.node).or_default().insert(rule.head_node);
+            }
+        }
 
         let mut peers = Vec::with_capacity(all_nodes.len());
         for &node in self.schemas.keys() {
             let db = self.data[&node].clone();
             let mut peer = DbPeer::new(node, db, self.config);
-            for rule in self.rules.iter() {
-                if rule.head_node == node {
-                    peer.install_rule(rule.clone());
-                }
+            for rule in rules_by_head.get(&node).into_iter().flatten() {
+                peer.install_rule((*rule).clone());
             }
-            for neighbor in self.rules.pipe_neighbors(node) {
+            for &neighbor in pipes_of.get(&node).into_iter().flatten() {
                 peer.add_pipe(neighbor);
             }
             peer.set_cycle_hint(cyclic.contains(&node));
-            peer.set_roster(all_nodes.clone());
+            peer.set_roster(std::sync::Arc::clone(&all_nodes));
             if node == self.super_peer {
-                peer.make_super(all_nodes.clone());
+                peer.make_super(std::sync::Arc::clone(&all_nodes));
             }
             if self.config.durability {
                 let storage = PeerStorage::with_codec(
@@ -234,7 +246,7 @@ impl P2PSystemBuilder {
         if let Some(fault) = self.fault.take() {
             sim.set_fault_plan(fault);
         }
-        sim.set_max_events(self.config.max_events);
+        sim.set_max_events(self.config.effective_max_events(peers.len()));
         sim.set_codec(self.config.codec);
         if self.config.trace_capacity > 0 {
             sim.set_trace_capacity(self.config.trace_capacity);

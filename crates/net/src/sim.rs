@@ -5,16 +5,53 @@
 //! function of its inputs. That determinism is what lets the test suite
 //! assert exact message counts and lets experiments be reproduced bit-for-bit
 //! — the one capability the paper's JXTA testbed fundamentally lacked.
+//!
+//! ## The scale-out hot path (PR 7)
+//!
+//! The original loop kept peers in a `BTreeMap`, pushed a full
+//! [`Envelope`] (payload included) into the binary heap per receiver, and
+//! cloned the message once per fan-out destination. At 10k+ peers that
+//! means gigabytes of payload copies and a heap of fat events. The loop is
+//! now arranged around three ideas:
+//!
+//! * **Shared payloads** — handlers queue [`Outgoing`] entries carrying
+//!   `Arc<M>`; a fan-out ([`Context::send_to_many`]) allocates the message
+//!   once and every receiver shares it. The payload is serialized exactly
+//!   once per *unique* message (a per-drain memo keyed on the `Arc`'s
+//!   address reuses the measured size), and unwrapped without a copy at the
+//!   last delivery (`Arc::try_unwrap`). [`NetStats::shared_payload_sends`]
+//!   counts the re-uses, and the `tests/codec.rs` regression test asserts
+//!   encode passes == unique messages.
+//! * **Flat event arena + index heap** — queued events live in a slab of
+//!   reusable slots; the `BinaryHeap` orders bare `(time, seq, slot)`
+//!   triples (24 bytes) instead of whole envelopes, so heap sift-ups move
+//!   words, not payloads, and slot/`Vec` capacity is recycled through free
+//!   lists instead of being reallocated per event.
+//! * **Per-pipe batching** — each FIFO pipe `(from, to)` remembers its tail
+//!   slot: a message scheduled on the same pipe for the *same* virtual
+//!   instant coalesces into that slot instead of growing the heap. A batch
+//!   delivers its messages back-to-back in send order (exactly what the
+//!   FIFO contract promises), each through its own handler invocation, so
+//!   protocol semantics — including `DbPeer`'s ack/wave coalescing — are
+//!   preserved; only the heap traffic shrinks. Batching never delays or
+//!   reorders a pipe's messages relative to each other, and cross-pipe
+//!   deliveries scheduled for the same instant remain simultaneous in
+//!   virtual time.
+//!
+//! Peers themselves sit in a dense `Vec` indexed by a `NodeId → slot` table,
+//! so the per-delivery peer lookup is two array loads instead of a
+//! `BTreeMap` walk.
 
 use crate::codec::Codec;
 use crate::fault::{FaultDecision, FaultPlan};
 use crate::latency::LatencyModel;
-use crate::message::{Envelope, SimTime, Wire};
+use crate::message::{SimTime, Wire};
 use crate::stats::NetStats;
 use crate::trace::{Trace, TraceEntry};
 use p2p_topology::NodeId;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 /// A protocol participant. One instance per node; handlers are atomic (run
 /// to completion) and communicate only through the [`Context`].
@@ -44,13 +81,16 @@ pub trait Peer<M>: Send {
     }
 }
 
-/// An outgoing message queued by a handler.
+/// An outgoing message queued by a handler. The payload is `Arc`-shared:
+/// a unicast send holds the only reference (delivery unwraps it without a
+/// copy), a [`Context::send_to_many`] fan-out shares one allocation across
+/// all receivers.
 #[derive(Debug, Clone)]
 pub struct Outgoing<M> {
     /// Recipient.
     pub to: NodeId,
-    /// Payload.
-    pub msg: M,
+    /// Payload (shared across fan-out receivers).
+    pub msg: Arc<M>,
     /// Extra delay beyond link latency (processing cost, scheduled work).
     pub delay: SimTime,
 }
@@ -92,16 +132,31 @@ impl<M> Context<M> {
     pub fn send(&mut self, to: NodeId, msg: M) {
         self.outgoing.push(Outgoing {
             to,
-            msg,
+            msg: Arc::new(msg),
             delay: self.charged,
         });
+    }
+
+    /// Sends one message to many receivers, sharing a single payload
+    /// allocation (and, in the simulator, a single serialization) across
+    /// the whole fan-out. This is the broadcast primitive floods and
+    /// fix-point announcements should use.
+    pub fn send_to_many(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M) {
+        let shared = Arc::new(msg);
+        for t in to {
+            self.outgoing.push(Outgoing {
+                to: t,
+                msg: Arc::clone(&shared),
+                delay: self.charged,
+            });
+        }
     }
 
     /// Sends after an explicit additional delay.
     pub fn send_after(&mut self, delay: SimTime, to: NodeId, msg: M) {
         self.outgoing.push(Outgoing {
             to,
-            msg,
+            msg: Arc::new(msg),
             delay: self.charged + delay,
         });
     }
@@ -111,6 +166,13 @@ impl<M> Context<M> {
     /// evaluation cost without a full node-busy queueing model.
     pub fn charge(&mut self, cost: SimTime) {
         self.charged += cost;
+    }
+
+    /// Number of sends queued so far in this handler invocation (lets
+    /// callers of the fan-out primitives account per-receiver bookkeeping
+    /// without materialising the target list twice).
+    pub fn pending_sends(&self) -> usize {
+        self.outgoing.len()
     }
 
     /// Drains queued sends (runtime internal).
@@ -131,43 +193,73 @@ pub struct RunOutcome {
     pub quiescent: bool,
 }
 
-/// What a queued event does when it fires.
-enum Action<M> {
-    /// Deliver a message.
-    Deliver(Envelope<M>),
-    /// Crash a peer (churn plan).
+/// One queued message inside a batch slot.
+struct BatchItem<M> {
+    msg: Arc<M>,
+    msg_id: u64,
+    size: usize,
+}
+
+/// What an arena slot currently holds.
+enum SlotKind {
+    /// On the free list.
+    Free,
+    /// A (batched) delivery; `from`/`to`/`items` on the slot apply.
+    Deliver,
+    /// Crash control event (churn plan).
     Crash(NodeId),
-    /// Restart a crashed peer (churn plan).
+    /// Restart control event (churn plan).
     Restart(NodeId),
 }
 
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
-    action: Action<M>,
+/// An arena slot. `items` keeps its capacity across reuses via the vec
+/// pool, so steady-state scheduling allocates nothing.
+struct Slot<M> {
+    kind: SlotKind,
+    from: NodeId,
+    to: NodeId,
+    items: Vec<BatchItem<M>>,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Per-pipe FIFO state: the monotone delivery floor plus the appendable
+/// tail slot for same-instant batching.
+#[derive(Clone, Copy)]
+struct PipeTail {
+    floor: SimTime,
+    /// Arena index of the pipe's most recently scheduled, still-queued
+    /// slot; `NO_SLOT` when the tail was popped (or never existed).
+    slot: u32,
+    /// Virtual time that tail slot fires at.
+    slot_at: SimTime,
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+
+const NO_SLOT: u32 = u32::MAX;
+
+impl Default for PipeTail {
+    fn default() -> Self {
+        PipeTail {
+            floor: SimTime::ZERO,
+            slot: NO_SLOT,
+            slot_at: SimTime::ZERO,
+        }
     }
 }
 
 /// The discrete-event simulator over a homogeneous peer type `P`.
 pub struct Simulator<M: Wire, P: Peer<M>> {
-    peers: BTreeMap<NodeId, P>,
-    queue: BinaryHeap<Reverse<Event<M>>>,
+    /// Dense peer storage; `ids[i]` names `peers[i]`.
+    ids: Vec<NodeId>,
+    peers: Vec<P>,
+    /// `NodeId.0 → peer slot` (NO_SLOT = unknown node).
+    node_slot: Vec<u32>,
+    /// Peer-slot-indexed crash flags.
+    down: Vec<bool>,
+    /// Event arena + free list + recycled item vectors.
+    slots: Vec<Slot<M>>,
+    free_slots: Vec<u32>,
+    vec_pool: Vec<Vec<BatchItem<M>>>,
+    /// Index heap over the arena: `(fire time, seq, slot)`.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
     latency: Box<dyn LatencyModel>,
     fault: FaultPlan,
     stats: NetStats,
@@ -177,9 +269,12 @@ pub struct Simulator<M: Wire, P: Peer<M>> {
     next_msg_id: u64,
     max_events: u64,
     fifo_pipes: bool,
-    fifo_floor: BTreeMap<(NodeId, NodeId), SimTime>,
-    /// Peers currently crashed: deliveries to them are dropped.
-    down: std::collections::BTreeSet<NodeId>,
+    pipes: BTreeMap<(NodeId, NodeId), PipeTail>,
+    /// Per-drain measurement memo: `(payload address, measured size)` of
+    /// already-encoded payloads, so a fan-out is serialized once. Addresses
+    /// are stored as `usize` (never dereferenced) and the memo never
+    /// outlives the drain that filled it.
+    measured: Vec<(usize, usize)>,
     /// Wire codec messages are measured (and notionally carried) in.
     codec: Codec,
 }
@@ -189,8 +284,14 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
     /// and tracing off.
     pub fn new(latency: Box<dyn LatencyModel>) -> Self {
         Simulator {
-            peers: BTreeMap::new(),
-            queue: BinaryHeap::new(),
+            ids: Vec::new(),
+            peers: Vec::new(),
+            node_slot: Vec::new(),
+            down: Vec::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            vec_pool: Vec::new(),
+            heap: BinaryHeap::new(),
             latency,
             fault: FaultPlan::none(),
             stats: NetStats::default(),
@@ -200,8 +301,8 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
             next_msg_id: 0,
             max_events: 10_000_000,
             fifo_pipes: true,
-            fifo_floor: BTreeMap::new(),
-            down: std::collections::BTreeSet::new(),
+            pipes: BTreeMap::new(),
+            measured: Vec::new(),
             codec: Codec::default(),
         }
     }
@@ -220,7 +321,9 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
     /// Enables/disables per-link FIFO delivery. On by default: JXTA pipes
     /// (and any TCP-backed transport) never reorder messages on one link, and
     /// the update protocol's completeness flags rely on that. Disable only to
-    /// study protocol behaviour under adversarial reordering.
+    /// study protocol behaviour under adversarial reordering. (Same-instant
+    /// batching rides on the FIFO tail state, so disabling FIFO also
+    /// disables batching.)
     pub fn set_fifo_pipes(&mut self, fifo: bool) {
         self.fifo_pipes = fifo;
     }
@@ -236,20 +339,21 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
     /// [`Peer::on_restart`] hook runs (with a context, so it can send).
     pub fn schedule_churn(&mut self, plan: &crate::churn::ChurnPlan, base: SimTime) {
         for ev in plan.events() {
-            for (at, action) in [
-                (base + ev.crash_at, Action::Crash(ev.node)),
-                (base + ev.restart_at, Action::Restart(ev.node)),
+            for (at, kind) in [
+                (base + ev.crash_at, SlotKind::Crash(ev.node)),
+                (base + ev.restart_at, SlotKind::Restart(ev.node)),
             ] {
+                let slot = self.alloc_slot(kind, ev.node, ev.node);
                 let seq = self.seq;
                 self.seq += 1;
-                self.queue.push(Reverse(Event { at, seq, action }));
+                self.heap.push(Reverse((at, seq, slot)));
             }
         }
     }
 
     /// True iff `node` is currently crashed.
     pub fn is_down(&self, node: NodeId) -> bool {
-        self.down.contains(&node)
+        self.slot_of(node).is_some_and(|s| self.down[s])
     }
 
     /// Enables message tracing with the given capacity.
@@ -263,24 +367,48 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
         self.max_events = max_events;
     }
 
-    /// Registers a peer.
+    /// Registers a peer (replacing any previous peer under the same id).
     pub fn add_peer(&mut self, id: NodeId, peer: P) {
-        self.peers.insert(id, peer);
+        let key = id.0 as usize;
+        if key >= self.node_slot.len() {
+            self.node_slot.resize(key + 1, NO_SLOT);
+        }
+        match self.node_slot[key] {
+            NO_SLOT => {
+                self.node_slot[key] = self.peers.len() as u32;
+                self.ids.push(id);
+                self.peers.push(peer);
+                self.down.push(false);
+            }
+            slot => {
+                self.peers[slot as usize] = peer;
+                self.down[slot as usize] = false;
+            }
+        }
+    }
+
+    fn slot_of(&self, id: NodeId) -> Option<usize> {
+        match self.node_slot.get(id.0 as usize) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
     }
 
     /// Immutable access to a peer's state (assertions, result extraction).
     pub fn peer(&self, id: NodeId) -> Option<&P> {
-        self.peers.get(&id)
+        self.slot_of(id).map(|s| &self.peers[s])
     }
 
     /// Mutable access to a peer's state.
     pub fn peer_mut(&mut self, id: NodeId) -> Option<&mut P> {
-        self.peers.get_mut(&id)
+        self.slot_of(id).map(|s| &mut self.peers[s])
     }
 
     /// Iterates peers in id order.
     pub fn peers(&self) -> impl Iterator<Item = (&NodeId, &P)> {
-        self.peers.iter()
+        let mut order: Vec<usize> = (0..self.ids.len()).collect();
+        order.sort_by_key(|&s| self.ids[s]);
+        order.into_iter().map(|s| (&self.ids[s], &self.peers[s]))
     }
 
     /// Transport statistics so far.
@@ -301,7 +429,8 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
     /// Injects a message from an external driver, delivered after link
     /// latency from the current time.
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
-        self.route(from, to, msg, SimTime::ZERO);
+        let size = msg.wire_size_with(self.codec);
+        self.route(from, to, Arc::new(msg), SimTime::ZERO, size);
     }
 
     /// Schedules a message for delivery at an absolute time (dynamic-change
@@ -309,29 +438,77 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
     pub fn inject_at(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
         let size = msg.wire_size_with(self.codec);
         self.stats.record_send(from, msg.kind(), size);
-        let seq = self.seq;
-        self.seq += 1;
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
-        self.queue.push(Reverse(Event {
-            at,
-            seq,
-            action: Action::Deliver(Envelope {
-                from,
-                to,
-                msg,
-                sent_at: self.now,
-                seq,
-                msg_id,
-                size,
-            }),
-        }));
+        let slot = self.alloc_slot(SlotKind::Deliver, from, to);
+        self.slots[slot as usize].items.push(BatchItem {
+            msg: Arc::new(msg),
+            msg_id,
+            size,
+        });
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, seq, slot)));
     }
 
-    fn route(&mut self, from: NodeId, to: NodeId, msg: M, extra: SimTime) {
-        // The one measurement of this message: the size travels on the
-        // envelope, so delivery accounting never re-serializes the payload.
-        let size = msg.wire_size_with(self.codec);
+    fn alloc_slot(&mut self, kind: SlotKind, from: NodeId, to: NodeId) -> u32 {
+        if let Some(idx) = self.free_slots.pop() {
+            let s = &mut self.slots[idx as usize];
+            s.kind = kind;
+            s.from = from;
+            s.to = to;
+            debug_assert!(s.items.is_empty());
+            idx
+        } else {
+            self.slots.push(Slot {
+                kind,
+                from,
+                to,
+                items: self.vec_pool.pop().unwrap_or_default(),
+            });
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn free_slot(&mut self, idx: u32, mut items: Vec<BatchItem<M>>) {
+        items.clear();
+        let s = &mut self.slots[idx as usize];
+        s.kind = SlotKind::Free;
+        // Keep the larger of the two buffers on the slot so capacity
+        // accumulates where it is reused first.
+        if items.capacity() > s.items.capacity() {
+            let old = std::mem::replace(&mut s.items, items);
+            self.vec_pool.push(old);
+        } else {
+            self.vec_pool.push(items);
+        }
+        self.free_slots.push(idx);
+    }
+
+    /// Routes all sends queued by one handler invocation, sharing one
+    /// serialization across a fan-out's receivers via the address memo.
+    fn drain_outgoing(&mut self, from: NodeId, ctx: &mut Context<M>) {
+        let out = ctx.take_outgoing();
+        self.measured.clear();
+        for o in out {
+            let addr = Arc::as_ptr(&o.msg) as usize;
+            let size = match self.measured.iter().find(|(a, _)| *a == addr) {
+                Some(&(_, size)) => {
+                    self.stats.shared_payload_sends += 1;
+                    size
+                }
+                None => {
+                    let size = o.msg.wire_size_with(self.codec);
+                    self.measured.push((addr, size));
+                    size
+                }
+            };
+            self.route(from, o.to, o.msg, o.delay, size);
+        }
+        self.measured.clear();
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, msg: Arc<M>, extra: SimTime, size: usize) {
         self.stats.record_send(from, msg.kind(), size);
         let copies = match self.fault.decide(from, to, self.now) {
             FaultDecision::Drop => {
@@ -350,113 +527,169 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
             let latency = self.latency.latency(from, to, size);
             let mut at = self.now + extra + latency;
             if self.fifo_pipes {
-                let floor = self.fifo_floor.entry((from, to)).or_insert(SimTime::ZERO);
-                if at < *floor {
-                    at = *floor;
+                let tail = self.pipes.entry((from, to)).or_default();
+                if at < tail.floor {
+                    at = tail.floor;
                 }
-                *floor = at;
+                tail.floor = at;
+                let (tail_slot, tail_at) = (tail.slot, tail.slot_at);
+                if tail_slot != NO_SLOT && tail_at == at {
+                    // Same pipe, same instant: coalesce into the queued
+                    // tail batch instead of growing the heap.
+                    self.slots[tail_slot as usize].items.push(BatchItem {
+                        msg: Arc::clone(&msg),
+                        msg_id,
+                        size,
+                    });
+                    continue;
+                }
             }
+            let slot = self.alloc_slot(SlotKind::Deliver, from, to);
+            self.slots[slot as usize].items.push(BatchItem {
+                msg: Arc::clone(&msg),
+                msg_id,
+                size,
+            });
             let seq = self.seq;
             self.seq += 1;
-            self.queue.push(Reverse(Event {
-                at,
-                seq,
-                action: Action::Deliver(Envelope {
-                    from,
-                    to,
-                    msg: msg.clone(),
-                    sent_at: self.now,
-                    seq,
-                    msg_id,
-                    size,
-                }),
-            }));
+            self.heap.push(Reverse((at, seq, slot)));
+            if self.fifo_pipes {
+                let tail = self.pipes.entry((from, to)).or_default();
+                tail.slot = slot;
+                tail.slot_at = at;
+            }
         }
     }
 
-    /// Delivers the next event; returns `false` when the queue is empty.
+    /// Delivers the next event (a whole pipe batch counts as one event here
+    /// but as `items.len()` deliveries against the budget); returns `false`
+    /// when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(event)) = self.queue.pop() else {
-            return false;
-        };
-        self.now = event.at;
-        let env = match event.action {
-            Action::Deliver(env) => env,
-            Action::Crash(node) => {
-                self.down.insert(node);
-                self.stats.peer_crashes += 1;
-                if self.trace.enabled() {
-                    self.trace.record(TraceEntry {
-                        at: self.now,
-                        from: node,
-                        to: node,
-                        kind: "Crash",
-                        session: None,
-                        detail: String::new(),
-                    });
-                }
-                if let Some(p) = self.peers.get_mut(&node) {
-                    p.on_crash();
-                }
-                return true;
+        self.step_counted().is_some()
+    }
+
+    /// Pops and processes one heap entry, returning how many budgeted
+    /// events it contained (`None` when the queue is empty).
+    fn step_counted(&mut self) -> Option<u64> {
+        let Reverse((at, _seq, slot_idx)) = self.heap.pop()?;
+        self.now = at;
+        let slot = &mut self.slots[slot_idx as usize];
+        let kind = std::mem::replace(&mut slot.kind, SlotKind::Free);
+        match kind {
+            SlotKind::Free => unreachable!("popped a free slot"),
+            SlotKind::Crash(node) => {
+                self.free_slots.push(slot_idx);
+                self.crash(node);
+                Some(1)
             }
-            Action::Restart(node) => {
-                self.down.remove(&node);
-                self.stats.peer_restarts += 1;
-                if self.trace.enabled() {
-                    self.trace.record(TraceEntry {
-                        at: self.now,
-                        from: node,
-                        to: node,
-                        kind: "Restart",
-                        session: None,
-                        detail: String::new(),
-                    });
-                }
-                if let Some(p) = self.peers.get_mut(&node) {
-                    let mut ctx = Context::new(self.now, node);
-                    p.on_restart(&mut ctx);
-                    for out in ctx.take_outgoing() {
-                        self.route(node, out.to, out.msg, out.delay);
+            SlotKind::Restart(node) => {
+                self.free_slots.push(slot_idx);
+                self.restart(node);
+                Some(1)
+            }
+            SlotKind::Deliver => {
+                let from = slot.from;
+                let to = slot.to;
+                let items = std::mem::take(&mut slot.items);
+                // The popped slot can no longer accept same-instant
+                // appends; new sends on this pipe must open a fresh slot.
+                if let Some(tail) = self.pipes.get_mut(&(from, to)) {
+                    if tail.slot == slot_idx {
+                        tail.slot = NO_SLOT;
                     }
                 }
-                return true;
+                let n = items.len() as u64;
+                let items = self.deliver_batch(from, to, items);
+                self.free_slot(slot_idx, items);
+                Some(n)
             }
-        };
-        let Envelope {
-            from,
-            to,
-            msg,
-            msg_id,
-            size,
-            ..
-        } = env;
-        if !self.peers.contains_key(&to) || self.down.contains(&to) {
-            // Message to a node that does not exist (yet / anymore) or is
-            // currently crashed — exactly like packets to a dead process.
-            self.stats.dropped += 1;
-            return true;
         }
-        self.stats.record_delivery(to, size, msg.session());
+    }
+
+    fn crash(&mut self, node: NodeId) {
+        if let Some(s) = self.slot_of(node) {
+            self.down[s] = true;
+        }
+        self.stats.peer_crashes += 1;
         if self.trace.enabled() {
             self.trace.record(TraceEntry {
                 at: self.now,
-                from,
-                to,
-                kind: msg.kind(),
-                session: msg.session(),
+                from: node,
+                to: node,
+                kind: "Crash",
+                session: None,
                 detail: String::new(),
             });
         }
-        let mut ctx = Context::new(self.now, to);
-        self.peers
-            .get_mut(&to)
-            .expect("checked above")
-            .on_envelope(from, msg_id, msg, &mut ctx);
-        for out in ctx.take_outgoing() {
-            self.route(to, out.to, out.msg, out.delay);
+        if let Some(s) = self.slot_of(node) {
+            self.peers[s].on_crash();
         }
-        true
+    }
+
+    fn restart(&mut self, node: NodeId) {
+        if let Some(s) = self.slot_of(node) {
+            self.down[s] = false;
+        }
+        self.stats.peer_restarts += 1;
+        if self.trace.enabled() {
+            self.trace.record(TraceEntry {
+                at: self.now,
+                from: node,
+                to: node,
+                kind: "Restart",
+                session: None,
+                detail: String::new(),
+            });
+        }
+        if let Some(s) = self.slot_of(node) {
+            let mut ctx = Context::new(self.now, node);
+            self.peers[s].on_restart(&mut ctx);
+            self.drain_outgoing(node, &mut ctx);
+        }
+    }
+
+    /// Delivers a batch's messages back-to-back in send order, each through
+    /// its own handler invocation. Returns the drained item vector so its
+    /// capacity can be recycled.
+    fn deliver_batch(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        mut items: Vec<BatchItem<M>>,
+    ) -> Vec<BatchItem<M>> {
+        let Some(to_slot) = self.slot_of(to) else {
+            // Messages to a node that does not exist (yet / anymore) —
+            // exactly like packets to a dead process.
+            self.stats.dropped += items.len() as u64;
+            items.clear();
+            return items;
+        };
+        for item in items.drain(..) {
+            if self.down[to_slot] {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let BatchItem { msg, msg_id, size } = item;
+            self.stats.record_delivery(to, size, msg.session());
+            if self.trace.enabled() {
+                self.trace.record(TraceEntry {
+                    at: self.now,
+                    from,
+                    to,
+                    kind: msg.kind(),
+                    session: msg.session(),
+                    detail: String::new(),
+                });
+            }
+            // Last (usually only) reference: take the payload without a
+            // copy. A shared fan-out payload clones only while other
+            // deliveries of it are still in flight.
+            let owned = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
+            let mut ctx = Context::new(self.now, to);
+            self.peers[to_slot].on_envelope(from, msg_id, owned, &mut ctx);
+            self.drain_outgoing(to, &mut ctx);
+        }
+        items
     }
 
     /// Runs until quiescence or the event budget.
@@ -467,10 +700,10 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
             if processed >= self.max_events {
                 break false;
             }
-            if !self.step() {
-                break true;
+            match self.step_counted() {
+                Some(n) => processed += n,
+                None => break true,
             }
-            processed += 1;
         };
         self.stats.finished_at = self.now;
         RunOutcome {
@@ -483,7 +716,9 @@ impl<M: Wire, P: Peer<M>> Simulator<M, P> {
     /// Consumes the simulator, returning its peers (id order) — used by
     /// drivers that need to hand peer state onward.
     pub fn into_peers(self) -> Vec<(NodeId, P)> {
-        self.peers.into_iter().collect()
+        let mut out: Vec<(NodeId, P)> = self.ids.into_iter().zip(self.peers).collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
     }
 }
 
@@ -775,5 +1010,107 @@ mod tests {
             Node::Sink(s) => assert_eq!(s.seen, vec![1, 2]),
             _ => unreachable!(),
         }
+    }
+
+    /// A same-pipe burst at one virtual instant coalesces into a single
+    /// batch slot (one heap entry) while still delivering every message,
+    /// in order, through its own handler invocation.
+    #[test]
+    fn same_instant_pipe_burst_is_batched_and_ordered() {
+        struct Burst;
+        impl Peer<Ping> for Burst {
+            fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<Ping>) {
+                if msg.0 == 100 {
+                    for k in 1..=5 {
+                        ctx.send(from, Ping(k));
+                    }
+                }
+            }
+        }
+        struct Sink {
+            seen: Vec<u32>,
+        }
+        enum Node {
+            Burst(Burst),
+            Sink(Sink),
+        }
+        impl Peer<Ping> for Node {
+            fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<Ping>) {
+                match self {
+                    Node::Burst(b) => b.on_message(from, msg, ctx),
+                    Node::Sink(s) => s.seen.push(msg.0),
+                }
+            }
+        }
+        let mut sim: Simulator<Ping, Node> = Simulator::new(Box::new(ConstantLatency(SimTime(7))));
+        sim.add_peer(NodeId(0), Node::Sink(Sink { seen: vec![] }));
+        sim.add_peer(NodeId(1), Node::Burst(Burst));
+        sim.inject(NodeId(0), NodeId(1), Ping(100));
+        let o = sim.run();
+        assert_eq!(o.delivered, 6);
+        // All five bursts share one latency, one pipe, one instant.
+        assert_eq!(o.virtual_time, SimTime(14));
+        match sim.peer(NodeId(0)).unwrap() {
+            Node::Sink(s) => assert_eq!(s.seen, vec![1, 2, 3, 4, 5]),
+            _ => unreachable!(),
+        }
+    }
+
+    /// A fan-out via `send_to_many` shares one payload: every receiver
+    /// sees the message, and the shared-payload counter records the reuse.
+    #[test]
+    fn fan_out_shares_payload_and_counts_reuse() {
+        struct Hub {
+            n: u32,
+        }
+        struct Leaf {
+            got: Vec<u32>,
+        }
+        enum Node {
+            Hub(Hub),
+            Leaf(Leaf),
+        }
+        impl Peer<Ping> for Node {
+            fn on_message(&mut self, _from: NodeId, msg: Ping, ctx: &mut Context<Ping>) {
+                match self {
+                    Node::Hub(h) => {
+                        ctx.send_to_many((1..=h.n).map(NodeId), Ping(msg.0 + 1));
+                    }
+                    Node::Leaf(l) => l.got.push(msg.0),
+                }
+            }
+        }
+        let mut sim: Simulator<Ping, Node> = Simulator::new(Box::new(ConstantLatency(SimTime(1))));
+        sim.add_peer(NodeId(0), Node::Hub(Hub { n: 8 }));
+        for i in 1..=8 {
+            sim.add_peer(NodeId(i), Node::Leaf(Leaf { got: vec![] }));
+        }
+        sim.inject(NodeId(9), NodeId(0), Ping(41));
+        let o = sim.run();
+        assert_eq!(o.delivered, 9); // the injected ping + 8 fan-out copies
+        for i in 1..=8 {
+            match sim.peer(NodeId(i)).unwrap() {
+                Node::Leaf(l) => assert_eq!(l.got, vec![42]),
+                _ => unreachable!(),
+            }
+        }
+        // One payload measured once, reused for the 7 other receivers.
+        assert_eq!(sim.stats().shared_payload_sends, 7);
+    }
+
+    /// The event arena recycles slots: a long run keeps the arena small
+    /// instead of growing with total message count.
+    #[test]
+    fn arena_recycles_slots() {
+        let mut sim = two_bouncers(Box::new(ConstantLatency(SimTime(1))));
+        sim.inject(NodeId(0), NodeId(1), Ping(500));
+        let o = sim.run();
+        assert!(o.quiescent);
+        assert_eq!(o.delivered, 501);
+        assert!(
+            sim.slots.len() <= 4,
+            "arena grew to {} slots for a 1-in-flight workload",
+            sim.slots.len()
+        );
     }
 }

@@ -57,6 +57,12 @@ pub struct NetStats {
     pub peer_crashes: u64,
     /// Peer restarts executed from the churn plan.
     pub peer_restarts: u64,
+    /// Fan-out sends that reused an already-serialized shared payload
+    /// instead of encoding their own copy ([`crate::Context::send_to_many`]).
+    /// `encode passes == sends − shared_payload_sends` is the invariant the
+    /// codec regression test checks.
+    #[serde(default)]
+    pub shared_payload_sends: u64,
     /// Virtual (or wall) time at which the run went quiescent.
     pub finished_at: SimTime,
 }
@@ -67,7 +73,15 @@ impl NetStats {
         let e = self.per_node.entry(from).or_default();
         e.sent += 1;
         e.bytes_sent += size as u64;
-        *e.sent_by_kind.entry(kind.to_string()).or_default() += 1;
+        // Probe with the &str first: the kind is almost always already
+        // present, and the owned key should only be allocated the first time
+        // a node sends that kind — not once per send.
+        match e.sent_by_kind.get_mut(kind) {
+            Some(count) => *count += 1,
+            None => {
+                e.sent_by_kind.insert(kind.to_string(), 1);
+            }
+        }
     }
 
     /// Records one delivery of `size` bytes to `to`, attributed to
@@ -116,6 +130,7 @@ impl NetStats {
         self.duplicated += other.duplicated;
         self.peer_crashes += other.peer_crashes;
         self.peer_restarts += other.peer_restarts;
+        self.shared_payload_sends += other.shared_payload_sends;
         if other.finished_at > self.finished_at {
             self.finished_at = other.finished_at;
         }

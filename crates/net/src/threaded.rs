@@ -192,6 +192,11 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
                             for out in ctx.take_outgoing() {
                                 let osize = out.msg.wire_size_with(codec);
                                 stats.record_send(id, out.msg.kind(), osize);
+                                // Workers ship owned messages across channels;
+                                // a fan-out's last reference moves, earlier
+                                // ones clone.
+                                let owned = std::sync::Arc::try_unwrap(out.msg)
+                                    .unwrap_or_else(|shared| (*shared).clone());
                                 if let Some(tx) = senders.get(&out.to) {
                                     outstanding.fetch_add(1, Ordering::SeqCst);
                                     let out_id = msg_ids.fetch_add(1, Ordering::Relaxed);
@@ -199,7 +204,7 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
                                         .send(Work::Msg {
                                             from: id,
                                             msg_id: out_id,
-                                            msg: out.msg,
+                                            msg: owned,
                                             size: osize,
                                         })
                                         .is_err()

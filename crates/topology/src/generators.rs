@@ -1,6 +1,10 @@
 //! Topology generators for the paper's experiments (Section 5: "Three types
 //! of topologies have been considered: trees, layered acyclic graphs, and
-//! cliques") plus auxiliary families used by tests and ablations.
+//! cliques") plus auxiliary families used by tests, ablations and the
+//! scaling experiments (E19): bounded-degree random regular **expanders**
+//! (the overlay family Augustine et al. build dynamic P2P storage on — the
+//! degree stays constant while the diameter stays logarithmic) and
+//! Watts–Strogatz **small worlds**.
 //!
 //! Conventions:
 //! * Node 0 is the designated **super-peer** (the paper's discovery/update
@@ -9,6 +13,11 @@
 //!   from the body, so data flows *against* the arrows toward node 0. With
 //!   the super-peer at the root, update execution time grows with the depth
 //!   of the structure — the quantity the paper reports as linear.
+//! * Degenerate specs (a one-node ring, a zero-degree expander, …) are
+//!   **rejected** with a [`TopologyError`], never silently clamped:
+//!   [`Topology::try_generate`] returns the error, [`Topology::generate`]
+//!   panics with it. An experiment that asks for an impossible network
+//!   should fail loudly, not measure a different network.
 
 use crate::graph::{DependencyGraph, NodeId};
 use rand::rngs::StdRng;
@@ -36,7 +45,7 @@ pub enum Topology {
         layers: u32,
         /// Nodes per layer (≥ 1).
         width: u32,
-        /// Dependencies per node into the next layer (clamped to width).
+        /// Dependencies per node into the next layer (≥ 1, clamped to width).
         fanout: u32,
     },
     /// Clique: every ordered pair of distinct nodes is a dependency edge
@@ -65,14 +74,92 @@ pub enum Topology {
     /// (0–100), seeded for reproducibility; node 0's reachability is then
     /// whatever the dice gave.
     Random {
-        /// Number of nodes.
+        /// Number of nodes (≥ 1).
         n: u32,
         /// Edge probability in percent (kept integral so the enum stays `Eq`).
         p_percent: u8,
         /// RNG seed.
         seed: u64,
     },
+    /// Random `degree`-regular graph (configuration-model pairing with
+    /// deterministic self-loop/duplicate repair and a connectivity repair
+    /// pass of degree-preserving double-edge swaps). With overwhelming
+    /// probability such graphs are expanders: diameter `O(log n / log d)`,
+    /// constant spectral gap — the shape that keeps a 100k-peer overlay's
+    /// update latency flat while every node talks to `degree` pipes.
+    /// Every node has total (in + out) degree exactly `degree`.
+    Expander {
+        /// Number of nodes (≥ 3).
+        n: u32,
+        /// Pipes per node (≥ 2, < n; `n · degree` must be even).
+        degree: u32,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Watts–Strogatz small world: a ring lattice where each node connects
+    /// to its `k/2` nearest neighbours on each side, then each lattice edge
+    /// is rewired to a uniform random endpoint with probability
+    /// `rewire_percent` (the near endpoint stays fixed, so every node keeps
+    /// at least `k/2` incident edges). A connectivity repair pass of
+    /// degree-preserving swaps guarantees one component. Total edge count
+    /// is exactly `n·k/2`.
+    SmallWorld {
+        /// Number of nodes (≥ 3, > k).
+        n: u32,
+        /// Lattice degree (even, ≥ 2, < n).
+        k: u32,
+        /// Rewiring probability in percent (0–100).
+        rewire_percent: u8,
+        /// RNG seed.
+        seed: u64,
+    },
 }
+
+/// Why a topology spec cannot be materialised. Produced by
+/// [`Topology::try_generate`]; [`Topology::generate`] panics with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The family needs at least `min` nodes (a ring of one node is a
+    /// self-loop the dependency graph rejects, a one-node "network" has no
+    /// edges to measure, …).
+    TooFewNodes {
+        /// Requested node count.
+        n: u32,
+        /// Minimum for this family.
+        min: u32,
+    },
+    /// A structural parameter (branching, layer width, fanout, lattice
+    /// degree, …) is out of its valid range.
+    BadParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// Why it is invalid.
+        why: String,
+    },
+    /// A probability given in percent exceeds 100.
+    BadPercent {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: u8,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::TooFewNodes { n, min } => {
+                write!(f, "needs at least {min} nodes, got {n}")
+            }
+            TopologyError::BadParameter { what, why } => write!(f, "invalid {what}: {why}"),
+            TopologyError::BadPercent { what, value } => {
+                write!(f, "{what} is a percentage, got {value} > 100")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -90,6 +177,15 @@ impl fmt::Display for Topology {
             Topology::Random { n, p_percent, seed } => {
                 write!(f, "random(n={n},p={p_percent}%,seed={seed})")
             }
+            Topology::Expander { n, degree, seed } => {
+                write!(f, "expander(n={n},d={degree},seed={seed})")
+            }
+            Topology::SmallWorld {
+                n,
+                k,
+                rewire_percent,
+                seed,
+            } => write!(f, "smallworld(n={n},k={k},p={rewire_percent}%,seed={seed})"),
         }
     }
 }
@@ -109,32 +205,132 @@ pub struct GeneratedTopology {
 }
 
 impl Topology {
-    /// Materialises the topology.
-    pub fn generate(&self) -> GeneratedTopology {
-        let graph = match *self {
-            Topology::Tree { branching, depth } => tree(branching.max(1), depth),
+    /// Checks the spec's parameters without materialising anything.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        let need = |n: u32, min: u32| {
+            if n < min {
+                Err(TopologyError::TooFewNodes { n, min })
+            } else {
+                Ok(())
+            }
+        };
+        let percent = |what: &'static str, value: u8| {
+            if value > 100 {
+                Err(TopologyError::BadPercent { what, value })
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            Topology::Tree { branching, .. } => {
+                if branching == 0 {
+                    return Err(TopologyError::BadParameter {
+                        what: "branching",
+                        why: "must be ≥ 1".into(),
+                    });
+                }
+                Ok(())
+            }
             Topology::LayeredDag {
                 layers,
                 width,
                 fanout,
-            } => layered(layers.max(1), width.max(1), fanout.max(1)),
-            Topology::Clique { n } => clique(n.max(1)),
-            Topology::Chain { n } => chain(n.max(1)),
-            Topology::Ring { n } => ring(n.max(2)),
-            Topology::Star { n } => star(n.max(1)),
-            Topology::Random { n, p_percent, seed } => random(n.max(1), p_percent, seed),
+            } => {
+                for (what, v) in [("layers", layers), ("width", width), ("fanout", fanout)] {
+                    if v == 0 {
+                        return Err(TopologyError::BadParameter {
+                            what,
+                            why: "must be ≥ 1".into(),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Topology::Clique { n } | Topology::Chain { n } | Topology::Star { n } => need(n, 1),
+            Topology::Ring { n } => need(n, 2),
+            Topology::Random { n, p_percent, .. } => {
+                need(n, 1)?;
+                percent("p_percent", p_percent)
+            }
+            Topology::Expander { n, degree, .. } => {
+                need(n, 3)?;
+                if degree < 2 || degree >= n {
+                    return Err(TopologyError::BadParameter {
+                        what: "degree",
+                        why: format!("must satisfy 2 ≤ degree < n, got {degree} with n={n}"),
+                    });
+                }
+                if !(n as u64 * degree as u64).is_multiple_of(2) {
+                    return Err(TopologyError::BadParameter {
+                        what: "degree",
+                        why: format!("n·degree must be even, got {n}·{degree}"),
+                    });
+                }
+                Ok(())
+            }
+            Topology::SmallWorld {
+                n,
+                k,
+                rewire_percent,
+                ..
+            } => {
+                need(n, 3)?;
+                if k < 2 || k % 2 != 0 || k >= n {
+                    return Err(TopologyError::BadParameter {
+                        what: "k",
+                        why: format!("must be even and satisfy 2 ≤ k < n, got {k} with n={n}"),
+                    });
+                }
+                percent("rewire_percent", rewire_percent)
+            }
+        }
+    }
+
+    /// Materialises the topology, or explains why the spec is degenerate.
+    pub fn try_generate(&self) -> Result<GeneratedTopology, TopologyError> {
+        self.validate()?;
+        let graph = match *self {
+            Topology::Tree { branching, depth } => tree(branching, depth),
+            Topology::LayeredDag {
+                layers,
+                width,
+                fanout,
+            } => layered(layers, width, fanout),
+            Topology::Clique { n } => clique(n),
+            Topology::Chain { n } => chain(n),
+            Topology::Ring { n } => ring(n),
+            Topology::Star { n } => star(n),
+            Topology::Random { n, p_percent, seed } => random(n, p_percent, seed),
+            Topology::Expander { n, degree, seed } => expander(n, degree, seed),
+            Topology::SmallWorld {
+                n,
+                k,
+                rewire_percent,
+                seed,
+            } => small_world(n, k, rewire_percent, seed),
         };
         let node_count = graph.node_count();
         let depth = graph.depth_from(NodeId(0));
-        GeneratedTopology {
+        Ok(GeneratedTopology {
             graph,
             node_count,
             super_peer: NodeId(0),
             depth,
-        }
+        })
+    }
+
+    /// Materialises the topology.
+    ///
+    /// # Panics
+    /// On a degenerate spec (see [`Topology::try_generate`] for the
+    /// non-panicking variant).
+    pub fn generate(&self) -> GeneratedTopology {
+        self.try_generate()
+            .unwrap_or_else(|e| panic!("invalid topology spec {self}: {e}"))
     }
 
     /// Number of nodes the topology will have, without materialising it.
+    /// Like [`Topology::generate`], meaningful only for valid specs.
     pub fn node_count(&self) -> usize {
         match *self {
             Topology::Tree { branching, depth } => {
@@ -145,12 +341,14 @@ impl Topology {
                     (((b.pow(depth + 1) - 1) / (b - 1)) as usize).max(1)
                 }
             }
-            Topology::LayeredDag { layers, width, .. } => (layers.max(1) * width.max(1)) as usize,
+            Topology::LayeredDag { layers, width, .. } => (layers * width) as usize,
             Topology::Clique { n }
             | Topology::Chain { n }
             | Topology::Star { n }
-            | Topology::Random { n, .. } => n.max(1) as usize,
-            Topology::Ring { n } => n.max(2) as usize,
+            | Topology::Random { n, .. }
+            | Topology::Ring { n }
+            | Topology::Expander { n, .. }
+            | Topology::SmallWorld { n, .. } => n as usize,
         }
     }
 }
@@ -247,10 +445,222 @@ fn random(n: u32, p_percent: u8, seed: u64) -> DependencyGraph {
     g
 }
 
+/// Undirected edge set under construction for the expander / small-world
+/// generators: normalized `(lo, hi)` pairs with a membership index, so
+/// repair passes can test duplicates in O(1)-ish time.
+struct EdgeSet {
+    edges: Vec<(u32, u32)>,
+    present: std::collections::BTreeSet<(u32, u32)>,
+}
+
+impl EdgeSet {
+    fn new() -> Self {
+        EdgeSet {
+            edges: Vec::new(),
+            present: std::collections::BTreeSet::new(),
+        }
+    }
+
+    fn norm(a: u32, b: u32) -> (u32, u32) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn contains(&self, a: u32, b: u32) -> bool {
+        self.present.contains(&Self::norm(a, b))
+    }
+
+    /// Adds `{a, b}` if it is a fresh non-loop edge.
+    fn insert(&mut self, a: u32, b: u32) -> bool {
+        if a == b || !self.present.insert(Self::norm(a, b)) {
+            return false;
+        }
+        self.edges.push(Self::norm(a, b));
+        true
+    }
+
+    /// Replaces edge `idx` with `{a, b}` (caller guarantees validity).
+    fn replace(&mut self, idx: usize, a: u32, b: u32) {
+        let old = self.edges[idx];
+        self.present.remove(&old);
+        let new = Self::norm(a, b);
+        self.present.insert(new);
+        self.edges[idx] = new;
+    }
+
+    /// Connected components over the undirected edges, as a node → component
+    /// label map (labels are the component's minimum node id).
+    fn components(&self, n: u32) -> Vec<u32> {
+        // Union-find with path halving.
+        let mut parent: Vec<u32> = (0..n).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for &(a, b) in &self.edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                parent[hi as usize] = lo;
+            }
+        }
+        (0..n).map(|i| find(&mut parent, i)).collect()
+    }
+
+    /// Merges all components into one by degree-preserving double-edge
+    /// swaps: pick one edge from each of two components and cross their
+    /// endpoints. The crossing edges cannot pre-exist (their endpoints were
+    /// in different components), so every swap is valid, keeps all degrees,
+    /// and reduces the component count by one.
+    fn repair_connectivity(&mut self, n: u32) {
+        loop {
+            let comp = self.components(n);
+            let base = comp[0];
+            if comp.iter().all(|&c| c == base) {
+                return;
+            }
+            // First edge inside the base component, first edge outside it.
+            let i = self
+                .edges
+                .iter()
+                .position(|&(a, _)| comp[a as usize] == base);
+            let j = self
+                .edges
+                .iter()
+                .position(|&(a, _)| comp[a as usize] != base);
+            match (i, j) {
+                (Some(i), Some(j)) => {
+                    let (a, b) = self.edges[i];
+                    let (c, d) = self.edges[j];
+                    self.replace(i, a, c);
+                    self.replace(j, b, d);
+                }
+                _ => {
+                    // A component with no edges can only be an isolated node,
+                    // impossible here: both generators give every node
+                    // positive degree before repair.
+                    unreachable!("edgeless component in a positive-degree graph");
+                }
+            }
+        }
+    }
+
+    /// Builds the dependency graph, directing each undirected edge from the
+    /// lower to the higher node id (data then flows from high ids toward the
+    /// super-peer at node 0).
+    fn into_graph(self, n: u32) -> DependencyGraph {
+        let mut g = DependencyGraph::new();
+        for i in 0..n {
+            g.add_node(NodeId(i));
+        }
+        for (a, b) in self.edges {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        g
+    }
+}
+
+/// Fisher–Yates shuffle (the vendored `rand` has no `SliceRandom`).
+fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+/// Random `degree`-regular graph via the configuration model: each node
+/// contributes `degree` stubs, the stub list is shuffled and paired off.
+/// Self-loops and duplicate pairs are repaired by re-drawing swap partners;
+/// if a pairing resists repair (likelier for small `n`), the whole pairing
+/// is re-drawn — all deterministically from `seed`.
+fn expander(n: u32, degree: u32, seed: u64) -> DependencyGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for _ in 0..1_000 {
+        let mut stubs: Vec<u32> = (0..n).flat_map(|i| (0..degree).map(move |_| i)).collect();
+        shuffle(&mut stubs, &mut rng);
+        let mut set = EdgeSet::new();
+        let mut bad: Vec<(u32, u32)> = Vec::new();
+        for pair in stubs.chunks_exact(2) {
+            if !set.insert(pair[0], pair[1]) {
+                bad.push((pair[0], pair[1]));
+            }
+        }
+        // Repair each bad pair by a double swap with a random good edge:
+        // {a,b} bad + {c,d} good → {a,c} + {b,d}.
+        for (a, b) in bad {
+            let mut placed = false;
+            for _ in 0..200 {
+                if set.edges.is_empty() {
+                    break;
+                }
+                let j = rng.gen_range(0..set.edges.len());
+                let (c, d) = set.edges[j];
+                let (x, y) = ((a, c), (b, d));
+                if x.0 != x.1 && y.0 != y.1 && !set.contains(x.0, x.1) && !set.contains(y.0, y.1) {
+                    set.replace(j, x.0, x.1);
+                    set.insert(y.0, y.1);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                continue 'attempt; // re-draw the whole pairing
+            }
+        }
+        set.repair_connectivity(n);
+        return set.into_graph(n);
+    }
+    unreachable!("expander pairing failed to converge for n={n}, degree={degree}");
+}
+
+/// Watts–Strogatz small world: ring lattice of degree `k`, then each
+/// lattice edge's far endpoint is rewired with probability
+/// `rewire_percent`, keeping the near endpoint fixed.
+fn small_world(n: u32, k: u32, rewire_percent: u8, seed: u64) -> DependencyGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = EdgeSet::new();
+    // Lattice: i — (i + j) mod n for j in 1..=k/2. k < n keeps these
+    // distinct, non-loop edges.
+    for i in 0..n {
+        for j in 1..=k / 2 {
+            set.insert(i, (i + j) % n);
+        }
+    }
+    // Rewire in deterministic lattice order. The edge index inside `set`
+    // is found via the normalized pair; a failed re-draw keeps the edge.
+    for i in 0..n {
+        for j in 1..=k / 2 {
+            if rng.gen_range(0..100u8) >= rewire_percent {
+                continue;
+            }
+            let old = EdgeSet::norm(i, (i + j) % n);
+            let Some(idx) = set.edges.iter().position(|&e| e == old) else {
+                continue; // already rewired away by an earlier draw
+            };
+            for _ in 0..50 {
+                let t = rng.gen_range(0..n);
+                if t != i && !set.contains(i, t) {
+                    set.replace(idx, i, t);
+                    break;
+                }
+            }
+        }
+    }
+    set.repair_connectivity(n);
+    set.into_graph(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scc::is_acyclic;
+    use std::collections::BTreeMap;
 
     #[test]
     fn tree_counts_and_depth() {
@@ -349,8 +759,88 @@ mod tests {
         assert_ne!(a.graph, c.graph);
     }
 
+    /// Total (in + out) degree per node, the undirected quantity the new
+    /// families guarantee invariants over.
+    fn total_degrees(g: &DependencyGraph) -> BTreeMap<NodeId, usize> {
+        g.nodes()
+            .map(|n| (n, g.successors(n).count() + g.predecessors(n).count()))
+            .collect()
+    }
+
+    /// Undirected connectivity (direction-blind BFS from node 0).
+    fn connected_ignoring_direction(g: &DependencyGraph) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut queue = vec![NodeId(0)];
+        while let Some(n) = queue.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            queue.extend(g.successors(n));
+            queue.extend(g.predecessors(n));
+        }
+        seen.len() == g.node_count()
+    }
+
     #[test]
-    fn degenerate_sizes_do_not_panic() {
+    fn expander_is_regular_and_connected() {
+        for (n, d, seed) in [(10, 3, 1u64), (64, 4, 2), (101, 6, 3), (500, 8, 4)] {
+            let t = Topology::Expander { n, degree: d, seed };
+            let g = t.generate();
+            assert_eq!(g.node_count, n as usize);
+            assert_eq!(g.graph.edge_count(), (n as usize * d as usize) / 2, "{t}");
+            for (node, deg) in total_degrees(&g.graph) {
+                assert_eq!(deg, d as usize, "{t}: node {node} degree");
+            }
+            assert!(connected_ignoring_direction(&g.graph), "{t}: disconnected");
+        }
+    }
+
+    #[test]
+    fn expander_is_deterministic_per_seed() {
+        let spec = |seed| Topology::Expander {
+            n: 40,
+            degree: 4,
+            seed,
+        };
+        assert_eq!(spec(9).generate().graph, spec(9).generate().graph);
+        assert_ne!(spec(9).generate().graph, spec(10).generate().graph);
+    }
+
+    #[test]
+    fn small_world_keeps_edge_count_and_connectivity() {
+        for (n, k, p, seed) in [(12, 4, 0u8, 1u64), (50, 6, 30, 2), (200, 8, 100, 3)] {
+            let t = Topology::SmallWorld {
+                n,
+                k,
+                rewire_percent: p,
+                seed,
+            };
+            let g = t.generate();
+            assert_eq!(g.graph.edge_count(), (n as usize * k as usize) / 2, "{t}");
+            for (node, deg) in total_degrees(&g.graph) {
+                assert!(deg >= k as usize / 2, "{t}: node {node} degree {deg}");
+            }
+            assert!(connected_ignoring_direction(&g.graph), "{t}: disconnected");
+        }
+    }
+
+    #[test]
+    fn small_world_without_rewiring_is_the_lattice() {
+        let g = Topology::SmallWorld {
+            n: 10,
+            k: 4,
+            rewire_percent: 0,
+            seed: 5,
+        }
+        .generate();
+        // Pure ring lattice: every node has total degree exactly k.
+        for (_, deg) in total_degrees(&g.graph) {
+            assert_eq!(deg, 4);
+        }
+    }
+
+    #[test]
+    fn minimal_valid_sizes_still_generate() {
         for t in [
             Topology::Tree {
                 branching: 1,
@@ -372,6 +862,74 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_specs_are_rejected_not_clamped() {
+        let bad = [
+            Topology::Tree {
+                branching: 0,
+                depth: 2,
+            },
+            Topology::LayeredDag {
+                layers: 0,
+                width: 1,
+                fanout: 1,
+            },
+            Topology::LayeredDag {
+                layers: 1,
+                width: 0,
+                fanout: 1,
+            },
+            Topology::Clique { n: 0 },
+            Topology::Chain { n: 0 },
+            Topology::Star { n: 0 },
+            Topology::Ring { n: 1 }, // used to clamp to 2 while Random clamped to 1
+            Topology::Random {
+                n: 0,
+                p_percent: 10,
+                seed: 1,
+            },
+            Topology::Random {
+                n: 5,
+                p_percent: 101,
+                seed: 1,
+            },
+            Topology::Expander {
+                n: 2,
+                degree: 2,
+                seed: 1,
+            },
+            Topology::Expander {
+                n: 10,
+                degree: 1,
+                seed: 1,
+            },
+            Topology::Expander {
+                n: 5,
+                degree: 3, // n·degree odd
+                seed: 1,
+            },
+            Topology::SmallWorld {
+                n: 10,
+                k: 3, // odd lattice degree
+                rewire_percent: 10,
+                seed: 1,
+            },
+            Topology::SmallWorld {
+                n: 4,
+                k: 4, // k must stay below n
+                rewire_percent: 10,
+                seed: 1,
+            },
+        ];
+        for t in bad {
+            assert!(t.try_generate().is_err(), "{t} should be rejected");
+        }
+        assert!(
+            std::panic::catch_unwind(|| Topology::Ring { n: 1 }.generate()).is_err(),
+            "generate() must panic, not clamp"
+        );
+    }
+
+    #[test]
     fn node_count_matches_generation() {
         for t in [
             Topology::Tree {
@@ -385,6 +943,17 @@ mod tests {
             },
             Topology::Clique { n: 6 },
             Topology::Ring { n: 7 },
+            Topology::Expander {
+                n: 20,
+                degree: 4,
+                seed: 1,
+            },
+            Topology::SmallWorld {
+                n: 20,
+                k: 4,
+                rewire_percent: 25,
+                seed: 1,
+            },
         ] {
             assert_eq!(t.generate().node_count, t.node_count(), "{t}");
         }

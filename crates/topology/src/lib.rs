@@ -30,7 +30,7 @@ pub mod paths;
 pub mod scc;
 pub mod separation;
 
-pub use generators::{GeneratedTopology, Topology};
+pub use generators::{GeneratedTopology, Topology, TopologyError};
 pub use graph::{DependencyGraph, NodeId};
 pub use paths::{maximal_dependency_paths, PathEnumError};
 pub use scc::{condensation, is_acyclic, topological_order};

@@ -25,6 +25,7 @@ pub mod build;
 pub mod concurrent;
 pub mod dblp;
 pub mod distribute;
+pub mod scale;
 pub mod schemas;
 
 pub use build::{build_system, WorkloadConfig};
@@ -34,4 +35,5 @@ pub use concurrent::{
 };
 pub use dblp::{DblpGenerator, Publication};
 pub use distribute::Distribution;
+pub use scale::{expected_total_tuples, scale_system, ScaleConfig};
 pub use schemas::SchemaFamily;

@@ -69,9 +69,11 @@ fn binary_codec_is_fixpoint_identical_and_much_smaller() {
 /// Regression for the double-serialization bug: `encoded_wire_size` used to
 /// be called once to measure and the measurement discarded, with nothing
 /// stopping a second walk at delivery. The runtimes now measure at send and
-/// carry the size on the envelope, so the number of full encode passes per
-/// run equals the number of messages sent — exactly one serialization per
-/// send, under both codecs.
+/// carry the size on the envelope — and since the fan-out refactor, a
+/// broadcast's receivers share one `Arc`-ed payload and one serialization.
+/// So the number of full encode passes per run equals the number of
+/// *unique* messages: sends minus the shared-payload reuses, under both
+/// codecs.
 #[test]
 fn each_sent_message_is_serialized_exactly_once() {
     for codec in [Codec::Json, Codec::Binary] {
@@ -87,12 +89,21 @@ fn each_sent_message_is_serialized_exactly_once() {
         let before = p2pdb::net::codec::encode_passes();
         let report = sys.run_update();
         let passes = p2pdb::net::codec::encode_passes() - before;
+        let shared = sys.net_stats().shared_payload_sends;
         assert!(report.all_closed);
         // No faults, no duplication: every send is delivered once, so
-        // delivered messages == sends == encode passes.
+        // delivered messages == sends; each unique payload is encoded
+        // exactly once and fan-out copies ride along for free.
+        assert!(
+            shared > 0,
+            "{codec}: the roster flood must produce shared fan-out payloads"
+        );
         assert_eq!(
-            passes, report.messages,
-            "{codec}: expected one serialization per sent message"
+            passes,
+            report.messages - shared,
+            "{codec}: expected one serialization per unique message \
+             ({} sends, {shared} shared)",
+            report.messages
         );
     }
 }
