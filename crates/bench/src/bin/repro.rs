@@ -214,6 +214,40 @@ fn main() {
             }
         );
     }
+    if want("e20") {
+        println!("E20 — real sockets: 8-process ring cluster vs the in-process simulator\n");
+        match exp::e20_transport(scale) {
+            Ok((table, summary)) => {
+                println!("{}", table.render());
+                println!(
+                    "cluster of {}: {} frames / {} B (json) vs {} frames / {} B (binary) \
+                     on real TCP; sim shipped {} / {} messages",
+                    summary.nodes,
+                    summary.json.frames,
+                    summary.json.bytes,
+                    summary.binary.frames,
+                    summary.binary.bytes,
+                    summary.json.sim_messages,
+                    summary.binary.sim_messages,
+                );
+                let json = exp::transport_summary_json(&summary);
+                match std::fs::write("BENCH_e20.json", &json) {
+                    Ok(()) => println!("wrote BENCH_e20.json"),
+                    Err(e) => println!("could not write BENCH_e20.json: {e}"),
+                }
+                println!(
+                    "transport smoke: {}\n",
+                    if summary.ok() {
+                        "OK"
+                    } else {
+                        "FAILED (cluster fix-point diverged from the simulator/oracle, \
+                         no frames crossed the wire, or binary shipped more bytes than json)"
+                    }
+                );
+            }
+            Err(e) => println!("transport smoke: FAILED ({e})\n"),
+        }
+    }
     if want("e16") {
         println!("E16 — interned values + columnar relations (data-plane rewrite)\n");
         let (table, summary) = exp::e16_interning(scale);

@@ -51,6 +51,27 @@ pub enum CoreError {
         /// The panic payload.
         detail: String,
     },
+    /// A socket-backed node could not bind its listen address (port in
+    /// use, bad interface). Kept distinct from the generic transport
+    /// error so the CLI can report it as a usage problem.
+    Listen {
+        /// The address that failed to bind.
+        addr: String,
+        /// The OS error text.
+        detail: String,
+    },
+    /// A remote peer's connection broke mid-run: the process died, closed
+    /// mid-frame, or stopped accepting reconnects (the socket runtime's
+    /// counterpart of [`CoreError::PeerPanicked`]).
+    PeerDisconnected {
+        /// The unreachable node.
+        node: NodeId,
+        /// The transport-level failure.
+        detail: String,
+    },
+    /// Any other failure of the socket transport or the cluster control
+    /// plane (handshake rejections, undecodable frames, launch failures).
+    Transport(String),
 }
 
 impl fmt::Display for CoreError {
@@ -82,6 +103,13 @@ impl fmt::Display for CoreError {
             CoreError::PeerPanicked { node, detail } => {
                 write!(f, "peer {node} panicked during a threaded run: {detail}")
             }
+            CoreError::Listen { addr, detail } => {
+                write!(f, "cannot listen on {addr}: {detail}")
+            }
+            CoreError::PeerDisconnected { node, detail } => {
+                write!(f, "peer {node} disconnected: {detail}")
+            }
+            CoreError::Transport(detail) => write!(f, "transport error: {detail}"),
         }
     }
 }

@@ -69,6 +69,7 @@ pub mod netfile;
 pub mod oracle;
 pub mod peer;
 pub mod rule;
+pub mod socket;
 pub mod stats;
 pub mod system;
 pub mod termination;

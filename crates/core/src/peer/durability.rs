@@ -401,11 +401,11 @@ impl DbPeer {
         sid: SessionId,
         from: NodeId,
         rule: RuleId,
-        rows: AnswerRows,
+        mut rows: AnswerRows,
     ) {
         self.pending_resync.remove(&(sid, rule, from));
         self.stats.resync_rows += rows.rows.len() as u64;
-        self.absorb_dict(from, &rows);
+        self.absorb_dict(from, &mut rows);
         self.absorb_null_depths(&rows);
         self.log_answer_mark(sid, rule, from, &rows);
         let mut st = self.sessions.remove(&sid).unwrap_or_default();

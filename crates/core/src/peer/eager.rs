@@ -262,7 +262,7 @@ impl DbPeer {
         sid: SessionId,
         from: NodeId,
         rule: RuleId,
-        rows: crate::messages::AnswerRows,
+        mut rows: crate::messages::AnswerRows,
         complete: bool,
         reopen: bool,
         ctx: &mut Context<ProtocolMsg>,
@@ -280,7 +280,7 @@ impl DbPeer {
             // session re-quiesces through the normal machinery.
             self.begin_session(st, sid, ctx, &[]);
         }
-        self.absorb_dict(from, &rows);
+        self.absorb_dict(from, &mut rows);
         self.absorb_null_depths(&rows);
         // Durable peers log the processed answer (rows + the answerer's
         // watermarks — the crash-resync cursor).

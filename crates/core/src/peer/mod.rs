@@ -543,21 +543,42 @@ impl DbPeer {
         }
     }
 
-    /// Folds an answer's dictionary delta into the shared catalog view and
+    /// Folds an answer's dictionary delta into the local catalog and
     /// records that `from` knows those symbols (no need to ship their
-    /// definitions back). In one process the absorb is an identity check;
-    /// a cross-process deployment would remap here.
-    pub(crate) fn absorb_dict(&mut self, from: NodeId, rows: &crate::messages::AnswerRows) {
+    /// definitions back). In one process every peer shares the catalog, so
+    /// the absorb is an identity map; across processes (the socket
+    /// runtime) the sender's `SymId`s are its own interning order, and the
+    /// returned [`SymRemap`] rewrites the answer's rows and dictionary
+    /// into this process's ids before anything touches the database.
+    pub(crate) fn absorb_dict(&mut self, from: NodeId, rows: &mut crate::messages::AnswerRows) {
         if rows.dict.is_empty() {
             return;
         }
         let remap = ConstCatalog::global().absorb(&rows.dict);
-        debug_assert!(
-            remap.is_identity(),
-            "in-process dictionary deltas must agree with the shared catalog"
-        );
+        if !remap.is_identity() {
+            for tuple in &mut rows.rows {
+                if tuple
+                    .values()
+                    .any(|v| matches!(v, p2p_relational::Val::Sym(id) if remap.map(*id) != *id))
+                {
+                    let mapped: Vec<p2p_relational::Val> = tuple
+                        .values()
+                        .map(|v| match v {
+                            p2p_relational::Val::Sym(id) => {
+                                p2p_relational::Val::Sym(remap.map(*id))
+                            }
+                            other => *other,
+                        })
+                        .collect();
+                    *tuple = p2p_relational::Tuple::new(mapped);
+                }
+            }
+            for (id, _) in &mut rows.dict {
+                *id = remap.map(*id);
+            }
+        }
         let known = self.sym_sent.or_default(from);
-        known.extend(rows.dict.iter().map(|(id, _)| remap.map(*id)));
+        known.extend(rows.dict.iter().map(|(id, _)| *id));
     }
 
     /// Sends a Dijkstra–Scholten *basic* message of one session (eager

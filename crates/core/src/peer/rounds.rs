@@ -440,7 +440,7 @@ impl DbPeer {
         from: NodeId,
         round: u32,
         rule: RuleId,
-        rows: crate::messages::AnswerRows,
+        mut rows: crate::messages::AnswerRows,
         is_delta: bool,
         ctx: &mut Context<ProtocolMsg>,
     ) {
@@ -448,7 +448,7 @@ impl DbPeer {
         if !st.rnd.active || round != st.rnd.round {
             return; // Stale answer for a finished round.
         }
-        self.absorb_dict(from, &rows);
+        self.absorb_dict(from, &mut rows);
         self.absorb_null_depths(&rows);
         // Durable peers log the processed answer (rows + the answerer's
         // watermarks — the crash-resync cursor).

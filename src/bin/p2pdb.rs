@@ -10,7 +10,27 @@
 //!                [--durable] [--churn N] [--snapshot-every K]
 //!                [--concurrent N] [--codec json|binary]
 //!                [--trace] [--export FILE]      run discovery + update
+//! p2pdb serve <network.json> --node N --listen ADDR
+//!                [--peer M=ADDR]... [--codec json|binary]
+//!                [--durable --state-dir DIR] [--snapshot-every K]
+//!                                              serve one node over TCP
+//! p2pdb launch <network.json> [--codec json|binary] [--timeout-ms N]
+//!                [--durable --state-dir DIR] [--no-verify] [--json]
+//!                [--bin PATH]                  spawn the whole network as
+//!                                              OS processes, update to
+//!                                              fix-point, verify vs sim
 //! ```
+//!
+//! Real sockets: `serve` hosts one declared node behind the
+//! `p2p_transport` TCP runtime — length-prefixed frames, a
+//! `(node, codec)` handshake that rejects misconfigured peers, and a
+//! control socket the launcher drives. `launch` spawns one `serve` child
+//! per node on loopback ports, injects a global update at the super-peer,
+//! polls every node's session fix-point, collects databases and
+//! frame/byte/reconnect counters, reaps all children (also on failure),
+//! and checks the distributed result tuple-for-tuple against the
+//! in-process simulator and the centralized oracle. Argument errors on
+//! these verbs exit with status 2 and name the offending flag.
 //!
 //! Concurrent sessions: `--concurrent N` launches `N` interleaved global
 //! update sessions, each rooted at a different node spread across the
@@ -50,8 +70,13 @@ fn main() -> ExitCode {
         Some("sample") => cmd_sample(),
         Some("workload") => cmd_workload(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("launch") => cmd_launch(&args[1..]),
         _ => {
-            eprintln!("usage: p2pdb <sample|workload|run> [options]   (see --help in source)");
+            eprintln!(
+                "usage: p2pdb <sample|workload|run|serve|launch> [options]   \
+                 (see --help in source)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -59,12 +84,33 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            if e.downcast_ref::<Usage>().is_some() {
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// An argument-validation failure: printed like any error but exits with
+/// status 2, so scripts can tell "you called it wrong" from "it failed".
+#[derive(Debug)]
+struct Usage(String);
+
+impl std::fmt::Display for Usage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Usage {}
+
+fn usage(msg: impl Into<String>) -> Box<dyn std::error::Error> {
+    Box::new(Usage(msg.into()))
+}
 
 fn cmd_sample() -> CliResult {
     let sample = NetworkFile::from_json(
@@ -345,6 +391,256 @@ fn cmd_run(args: &[String]) -> CliResult {
         let export = NetworkFile::from_databases(sys.super_peer(), &sys.snapshot().0, sys.rules());
         std::fs::write(out, export.to_json())?;
         println!("exported materialised state to {out}");
+    }
+    Ok(())
+}
+
+/// All occurrences of a repeatable flag's value (`--peer M=ADDR ...`).
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+/// Shared by `serve` and `launch`: the `--durable`/`--state-dir` pairing.
+fn durable_state_dir(
+    verb: &str,
+    args: &[String],
+) -> Result<Option<std::path::PathBuf>, Box<dyn std::error::Error>> {
+    let durable = args.iter().any(|a| a == "--durable");
+    let state_dir = flag_value(args, "--state-dir");
+    match (durable, state_dir) {
+        (true, Some(dir)) => Ok(Some(std::path::PathBuf::from(dir))),
+        (true, None) => Err(usage(format!(
+            "{verb}: --durable needs --state-dir DIR (where the WAL and snapshots live)"
+        ))),
+        (false, Some(_)) => Err(usage(format!(
+            "{verb}: --state-dir only makes sense with --durable"
+        ))),
+        (false, None) => Ok(None),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    use p2pdb::core::socket::{prepare, ServeConfig};
+
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err(usage("serve: missing <network.json>"));
+    };
+    let node: u32 = match flag_value(args, "--node") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| usage(format!("serve: --node {v}: not a node id ({e})")))?,
+        None => {
+            return Err(usage(
+                "serve: missing --node N (which declared node to host)",
+            ))
+        }
+    };
+    let listen: std::net::SocketAddr = match flag_value(args, "--listen") {
+        Some(v) => v.parse().map_err(|e| {
+            usage(format!(
+                "serve: --listen {v}: not a socket address like 127.0.0.1:7000 ({e})"
+            ))
+        })?,
+        None => return Err(usage("serve: missing --listen ADDR (e.g. 127.0.0.1:7000)")),
+    };
+    let codec = match flag_value(args, "--codec") {
+        Some(v) => v
+            .parse::<p2pdb::net::Codec>()
+            .map_err(|e| usage(format!("serve: --codec {v}: {e}")))?,
+        None => p2pdb::net::Codec::Json,
+    };
+    match flag_value(args, "--mode") {
+        None | Some("eager") => {}
+        Some("rounds") => {
+            return Err(usage(
+                "serve: --mode rounds is simulator-only (real sockets have no global \
+                 lock-step); the socket runtime is always eager",
+            ));
+        }
+        Some(other) => return Err(usage(format!("serve: --mode {other}: unknown mode"))),
+    }
+    let mut peers = std::collections::BTreeMap::new();
+    for spec in flag_values(args, "--peer") {
+        let (id, addr) = spec.split_once('=').ok_or_else(|| {
+            usage(format!(
+                "serve: --peer {spec}: expected NODE=ADDR, e.g. 2=127.0.0.1:7002"
+            ))
+        })?;
+        let id: u32 = id
+            .parse()
+            .map_err(|e| usage(format!("serve: --peer {spec}: bad node id ({e})")))?;
+        let addr: std::net::SocketAddr = addr
+            .parse()
+            .map_err(|e| usage(format!("serve: --peer {spec}: bad address ({e})")))?;
+        peers.insert(id, addr);
+    }
+    let state_dir = durable_state_dir("serve", args)?;
+    let snapshot_every: Option<u64> = flag_value(args, "--snapshot-every")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| usage(format!("serve: --snapshot-every: {e}")))?;
+    if snapshot_every.is_some() && state_dir.is_none() {
+        return Err(usage("serve: --snapshot-every requires --durable"));
+    }
+
+    let text = std::fs::read_to_string(path)?;
+    let netfile = NetworkFile::from_json(&text)?;
+    let mut cfg = ServeConfig::new(netfile, node, listen);
+    cfg.peers = peers;
+    cfg.codec = codec;
+    cfg.state_dir = state_dir;
+    if let Some(k) = snapshot_every {
+        cfg.snapshot_every = k;
+    }
+
+    let server = match prepare(&cfg) {
+        Ok(s) => s,
+        Err(p2pdb::core::CoreError::Listen { addr, detail }) => {
+            // A dead listen address is a caller mistake (typo'd interface,
+            // port already taken), not a runtime failure.
+            return Err(usage(format!("serve: --listen {addr}: {detail}")));
+        }
+        Err(p2pdb::core::CoreError::UnknownNode(n)) => {
+            return Err(usage(format!(
+                "serve: --node {n}: not declared in {path} (check the network file)"
+            )));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    println!(
+        "serving node {} on {} (codec {}, {})",
+        node,
+        server.local_addr(),
+        codec.name(),
+        if server.recovered() {
+            "recovered from disk"
+        } else if cfg.state_dir.is_some() {
+            "durable, fresh"
+        } else {
+            "volatile"
+        }
+    );
+    let outcome = server.run()?;
+    println!(
+        "node {} done: {} frames / {} bytes sent, {} frames / {} bytes received, \
+         {} reconnects",
+        outcome.node,
+        outcome.transport.frames_sent,
+        outcome.transport.bytes_sent,
+        outcome.transport.frames_received,
+        outcome.transport.bytes_received,
+        outcome.transport.reconnects,
+    );
+    if !outcome.errors.is_empty() {
+        for err in &outcome.errors {
+            eprintln!("  {err}");
+        }
+        return Err("peer recorded errors".into());
+    }
+    Ok(())
+}
+
+fn cmd_launch(args: &[String]) -> CliResult {
+    use p2pdb::core::socket::{launch_cluster, ClusterConfig};
+
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err(usage("launch: missing <network.json>"));
+    };
+    let codec = match flag_value(args, "--codec") {
+        Some(v) => v
+            .parse::<p2pdb::net::Codec>()
+            .map_err(|e| usage(format!("launch: --codec {v}: {e}")))?,
+        None => p2pdb::net::Codec::Json,
+    };
+    let timeout_ms: u64 = flag_value(args, "--timeout-ms")
+        .unwrap_or("60000")
+        .parse()
+        .map_err(|e| usage(format!("launch: --timeout-ms: {e}")))?;
+    let state_dir = durable_state_dir("launch", args)?;
+    let json_out = args.iter().any(|a| a == "--json");
+    let bin = match flag_value(args, "--bin") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::env::current_exe()?,
+    };
+
+    let mut cfg = ClusterConfig::new(std::path::PathBuf::from(path), bin);
+    cfg.codec = codec;
+    cfg.state_dir = state_dir;
+    cfg.timeout = std::time::Duration::from_millis(timeout_ms);
+    cfg.verify = !args.iter().any(|a| a == "--no-verify");
+
+    // Progress goes to stderr under --json so stdout stays machine-readable.
+    let mut progress = |line: String| {
+        if json_out {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    let outcome = launch_cluster(&cfg, &mut progress)?;
+
+    if json_out {
+        let t = &outcome.transport_total;
+        let mut fields = vec![
+            format!("\"nodes\":{}", outcome.counters.len()),
+            format!("\"codec\":\"{}\"", codec.name()),
+            format!("\"wall_ms\":{}", outcome.converge_wall.as_millis()),
+            format!("\"frames_sent\":{}", t.frames_sent),
+            format!("\"bytes_sent\":{}", t.bytes_sent),
+            format!("\"reconnects\":{}", t.reconnects),
+        ];
+        if let Some(ok) = outcome.verified {
+            fields.push(format!("\"verified\":{ok}"));
+            fields.push(format!("\"sim_messages\":{}", outcome.sim_messages));
+            fields.push(format!("\"sim_bytes\":{}", outcome.sim_bytes));
+        }
+        println!("{{{}}}", fields.join(","));
+    } else {
+        for (node, c) in &outcome.counters {
+            println!(
+                "node {}: {} frames / {} bytes sent, {} frames / {} bytes received, \
+                 {} reconnects, {} tuples inserted",
+                node,
+                c.transport.frames_sent,
+                c.transport.bytes_sent,
+                c.transport.frames_received,
+                c.transport.bytes_received,
+                c.transport.reconnects,
+                c.peer.tuples_inserted,
+            );
+            for err in &c.errors {
+                eprintln!("  node {node}: {err}");
+            }
+        }
+        let t = &outcome.transport_total;
+        println!(
+            "cluster: {} nodes, {} frames / {} bytes on the wire, {} reconnects, \
+             converged in {:.1?}",
+            outcome.counters.len(),
+            t.frames_sent,
+            t.bytes_sent,
+            t.reconnects,
+            outcome.converge_wall,
+        );
+        match outcome.verified {
+            Some(true) => println!(
+                "verified: MATCH vs simulator and oracle (sim shipped {} messages / {} bytes)",
+                outcome.sim_messages, outcome.sim_bytes
+            ),
+            Some(false) => {}
+            None => println!("verification skipped (--no-verify)"),
+        }
+    }
+    if outcome.verified == Some(false) {
+        return Err("cluster database diverges from the in-process simulator/oracle".into());
+    }
+    if outcome.counters.values().any(|c| !c.errors.is_empty()) {
+        return Err("peers recorded errors".into());
     }
     Ok(())
 }

@@ -11,6 +11,9 @@
 //!   generators and separation analysis;
 //! * [`net`] — deterministic discrete-event simulator and threaded runtime
 //!   (the JXTA-layer substitute), with fault injection and peer churn;
+//! * [`transport`] — real TCP sockets: length-prefixed frames, the
+//!   `(node, codec)` handshake, and the socket runtime behind
+//!   `p2pdb serve` / `p2pdb launch`;
 //! * [`storage`] — durable peer state: write-ahead log, snapshots, crash
 //!   recovery;
 //! * [`core`] — the paper's algorithms: topology discovery (A1–A3), the
@@ -53,4 +56,5 @@ pub use p2p_net as net;
 pub use p2p_relational as relational;
 pub use p2p_storage as storage;
 pub use p2p_topology as topology;
+pub use p2p_transport as transport;
 pub use p2p_workload as workload;

@@ -307,3 +307,130 @@ fn bad_usage_fails_cleanly() {
         .status
         .success());
 }
+
+/// The socket verbs validate their flags with exit code 2 (usage error,
+/// distinct from runtime failure = 1) and name the offending flag.
+#[test]
+fn serve_and_launch_usage_errors_exit_2() {
+    let dir = std::env::temp_dir().join("p2pdb_cli_socket_usage");
+    std::fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("net.json");
+    let out = p2pdb(&["workload", "--topology", "ring", "--size", "4"]);
+    assert!(out.status.success());
+    std::fs::write(&net, &out.stdout).unwrap();
+    let net = net.to_str().unwrap();
+
+    let check = |args: &[&str], flag: &str| {
+        let out = p2pdb(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?}: expected exit 2, got {:?}\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag),
+            "{args:?}: stderr must name {flag}: {stderr}"
+        );
+        // One-line errors: a single trailing newline, no stack traces.
+        assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
+    };
+
+    // serve: malformed and missing flags.
+    check(
+        &["serve", net, "--node", "0", "--listen", "not-an-addr"],
+        "--listen",
+    );
+    check(&["serve", net, "--listen", "127.0.0.1:0"], "--node");
+    check(
+        &["serve", net, "--node", "zero", "--listen", "127.0.0.1:0"],
+        "--node",
+    );
+    check(
+        &["serve", net, "--node", "9", "--listen", "127.0.0.1:0"],
+        "--node",
+    );
+    check(
+        &[
+            "serve",
+            net,
+            "--node",
+            "0",
+            "--listen",
+            "127.0.0.1:0",
+            "--codec",
+            "msgpack",
+        ],
+        "--codec",
+    );
+    check(
+        &[
+            "serve",
+            net,
+            "--node",
+            "0",
+            "--listen",
+            "127.0.0.1:0",
+            "--mode",
+            "rounds",
+        ],
+        "--mode",
+    );
+    check(
+        &[
+            "serve",
+            net,
+            "--node",
+            "0",
+            "--listen",
+            "127.0.0.1:0",
+            "--peer",
+            "nonsense",
+        ],
+        "--peer",
+    );
+    check(
+        &[
+            "serve",
+            net,
+            "--node",
+            "0",
+            "--listen",
+            "127.0.0.1:0",
+            "--durable",
+        ],
+        "--state-dir",
+    );
+    check(
+        &[
+            "serve",
+            net,
+            "--node",
+            "0",
+            "--listen",
+            "127.0.0.1:0",
+            "--snapshot-every",
+            "8",
+        ],
+        "--durable",
+    );
+
+    // serve: a listen address that is already taken is a usage error too —
+    // the caller picked the port.
+    let taken = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = taken.local_addr().unwrap().to_string();
+    check(
+        &["serve", net, "--node", "0", "--listen", &addr],
+        "--listen",
+    );
+
+    // launch: the same validation style.
+    check(&["launch", net, "--codec", "msgpack"], "--codec");
+    check(&["launch", net, "--timeout-ms", "soon"], "--timeout-ms");
+    check(&["launch", net, "--state-dir", "/tmp/x"], "--durable");
+    check(&["launch", net, "--durable"], "--state-dir");
+    let out = p2pdb(&["launch"]);
+    assert_eq!(out.status.code(), Some(2));
+}
