@@ -1,0 +1,69 @@
+//! E21 — the sharded runtime: full scale-scenario update runs, wall-clock
+//! against shard count (see `p2p_net::sharded`). Every iteration asserts
+//! the closed-form fix-point, so the numbers are end-to-end correct runs,
+//! not hot loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_core::system::run_update_sharded;
+use p2p_net::ShardPlacement;
+use p2p_topology::Topology;
+use p2p_workload::{expected_total_tuples, scale_system, ScaleConfig};
+
+fn expander(n: u32) -> ScaleConfig {
+    ScaleConfig {
+        topology: Topology::Expander {
+            n,
+            degree: 4,
+            seed: 7,
+        },
+        records_per_node: 4,
+    }
+}
+
+fn run_sharded(cfg: &ScaleConfig, shards: usize) {
+    let builder = scale_system(cfg).expect("scale workload builds");
+    let (db, _, all_closed) =
+        run_update_sharded(builder, shards, ShardPlacement::RoundRobin).expect("sharded run");
+    assert!(all_closed, "{}: not all closed", cfg.topology);
+    assert_eq!(
+        db.total_tuples(),
+        expected_total_tuples(cfg),
+        "{}: fix-point off the closed form",
+        cfg.topology
+    );
+}
+
+fn run_sim(cfg: &ScaleConfig) {
+    let mut sys = scale_system(cfg)
+        .expect("scale workload builds")
+        .build()
+        .expect("system builds");
+    let report = sys.run_update();
+    assert!(report.all_closed, "{}: not all closed", cfg.topology);
+    assert_eq!(
+        sys.snapshot().total_tuples(),
+        expected_total_tuples(cfg),
+        "{}: fix-point off the closed form",
+        cfg.topology
+    );
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    for nodes in [1_000u32, 10_000] {
+        let cfg = expander(nodes);
+        let mut group = c.benchmark_group(format!("e21_parallel/{nodes}"));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sim", 0usize), &cfg, |b, cfg| {
+            b.iter(|| run_sim(cfg))
+        });
+        for shards in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::new("sharded", shards), &cfg, |b, cfg| {
+                b.iter(|| run_sharded(cfg, shards))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -248,6 +248,36 @@ fn main() {
             Err(e) => println!("transport smoke: FAILED ({e})\n"),
         }
     }
+    if want("e21") {
+        println!("E21 — parallel runtime: sharded worker pool vs the simulator\n");
+        let (table, summary) = exp::e21_parallel(scale);
+        println!("{}", table.render());
+        println!(
+            "host cores: {}; 1k expander at 4 shards: {:.2}x vs 1 shard; \
+             10k at 8 shards: {:.2}x; ring placement: {} cross-shard sends \
+             round-robin vs {} contiguous blocks",
+            summary.host_cores,
+            summary.speedup_small_4,
+            summary.speedup_big_8,
+            summary.rr_cross_shard,
+            summary.blocks_cross_shard,
+        );
+        let json = exp::parallel_summary_json(&summary);
+        match std::fs::write("BENCH_e21.json", &json) {
+            Ok(()) => println!("wrote BENCH_e21.json"),
+            Err(e) => println!("could not write BENCH_e21.json: {e}"),
+        }
+        println!(
+            "parallel smoke: {}\n",
+            if summary.ok() {
+                "OK"
+            } else {
+                "FAILED (unclosed run, fix-point off the simulator/closed form/\
+                 oracle, placement probe inverted, or wall-clock speedup below \
+                 the 1.5x/2x gates on a multi-core host)"
+            }
+        );
+    }
     if want("e16") {
         println!("E16 — interned values + columnar relations (data-plane rewrite)\n");
         let (table, summary) = exp::e16_interning(scale);

@@ -43,6 +43,15 @@ pub enum CoreError {
         /// Deliveries processed before giving up.
         delivered: u64,
     },
+    /// The threaded runtime (one OS thread per peer) was asked to host
+    /// more peers than its cap admits. Large networks belong on the
+    /// sharded runtime, which multiplexes peers over a bounded pool.
+    TooManyPeers {
+        /// Requested peer count.
+        peers: usize,
+        /// The threaded runtime's cap.
+        cap: usize,
+    },
     /// A peer's handler panicked during a threaded run (the network was
     /// drained to quiescence first; see `p2p_net::WorkerPanic`).
     PeerPanicked {
@@ -99,6 +108,11 @@ impl fmt::Display for CoreError {
             CoreError::Diverged { delivered } => write!(
                 f,
                 "network did not quiesce within the event budget ({delivered} deliveries)"
+            ),
+            CoreError::TooManyPeers { peers, cap } => write!(
+                f,
+                "threaded runtime cannot host {peers} peers (cap {cap}): \
+                 use the sharded runtime (`--runtime sharded`) for large networks"
             ),
             CoreError::PeerPanicked { node, detail } => {
                 write!(f, "peer {node} panicked during a threaded run: {detail}")

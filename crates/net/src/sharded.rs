@@ -1,0 +1,765 @@
+//! Sharded worker-pool runtime: `T` shard threads multiplex `n/T` peers each.
+//!
+//! [`crate::threaded::ThreadedNetwork`] proves the protocol on real
+//! parallelism but spawns one OS thread per peer, so it cannot even be
+//! instantiated at the 10k-peer scales the simulator reaches. This runtime
+//! keeps the thread count bounded: peers are *placed* on shards
+//! ([`ShardPlacement`]), each shard thread owns a run queue of scheduled
+//! peers, and idle shards steal runnable peers from their neighbours.
+//!
+//! Scheduling is the classic actor-mailbox protocol. Every peer owns a
+//! FIFO inbox plus a `scheduled` flag; a sender enqueues the work item and
+//! claims the flag with a `swap`, and exactly the claimant that observes
+//! `false` makes the peer runnable. The thread that picks a runnable peer
+//! up drains its inbox exclusively, so one peer never runs on two threads
+//! at once and each sender→receiver pipe stays FIFO — the property the
+//! protocol's completeness flags rely on.
+//!
+//! Message routing distinguishes home shards:
+//!
+//! * **intra-shard** sends short-circuit: the item goes straight into the
+//!   target's inbox (payload still behind the sender's `Arc`, no channel
+//!   hop) and the peer onto the home shard's run queue;
+//! * **cross-shard** sends hand the `(from, msg)` item to the target's home
+//!   shard over a crossbeam channel and are counted in
+//!   [`NetStats::cross_shard_sends`] — the locality metric a placement
+//!   policy is judged by. The split is decided by *home* shards, so the
+//!   counter measures placement quality, not scheduling accidents.
+//!
+//! Termination generalizes the threaded runtime's outstanding-message
+//! counter into a sharded quiescence barrier: the counter is incremented
+//! before any item is enqueued (inbox or channel) and decremented only
+//! after the receiving handler *and all sends it performed* completed, so
+//! it reads zero exactly at the Dijkstra–Scholten fix-point — at which
+//! moment no inbox, run queue or channel holds work and no handler is
+//! running, and every shard thread exits. A panicking peer is poisoned:
+//! its remaining and future items are dropped (still decrementing the
+//! counter) so the barrier releases, and [`ShardedNetwork::run`] reports
+//! the first [`WorkerPanic`] exactly like the threaded runtime.
+//!
+//! Statistics stay off the hot path: every shard thread keeps a private
+//! [`NetStats`] merged once at quiescence.
+
+use crate::codec::Codec;
+use crate::message::{SimTime, Wire};
+use crate::sim::{Context, Peer};
+use crate::stats::NetStats;
+use crate::threaded::WorkerPanic;
+use p2p_topology::NodeId;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{RecvTimeoutError, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How peers are assigned to shard threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPlacement {
+    /// Peer `i` (in id order) goes to shard `i mod T`. Spreads load evenly
+    /// regardless of topology; the default.
+    #[default]
+    RoundRobin,
+    /// Contiguous blocks of the id order: peer `i` goes to shard
+    /// `i·T / n`. Topology-aware for ring-like graphs, where neighbours
+    /// have adjacent ids — almost every send becomes intra-shard.
+    Blocks,
+}
+
+impl ShardPlacement {
+    /// Shard of the `i`-th peer (id order) among `n` peers on `t` shards.
+    fn shard_of(self, i: usize, n: usize, t: usize) -> usize {
+        match self {
+            ShardPlacement::RoundRobin => i % t,
+            ShardPlacement::Blocks => i * t / n.max(1),
+        }
+    }
+}
+
+/// One queued delivery: the `(from, msg)` work item of a shard run queue.
+struct WorkItem<M> {
+    from: NodeId,
+    msg_id: u64,
+    msg: Arc<M>,
+    /// Wire size under the run's codec, measured once by the sender.
+    size: usize,
+}
+
+/// Cross-shard hand-off traffic.
+enum ShardMsg<M> {
+    /// A work item for the peer at cell index `cell` (homed on the
+    /// receiving shard).
+    Work { cell: u32, item: WorkItem<M> },
+    /// Quiescence nudge: re-check the outstanding counter.
+    Wake,
+}
+
+/// A peer's running state; behind a mutex that is uncontended by
+/// construction (the `scheduled` flag admits one draining thread at a
+/// time) but keeps the runtime within `forbid(unsafe_code)`.
+struct CellState<P> {
+    peer: P,
+    /// Set when this peer's handler panicked: later items are dropped
+    /// (still decrementing the outstanding counter) so the quiescence
+    /// barrier releases instead of wedging on a dead peer.
+    poisoned: bool,
+}
+
+/// One peer slot: identity, home shard, mailbox and claim flag.
+struct PeerCell<M, P> {
+    id: NodeId,
+    home: usize,
+    scheduled: AtomicBool,
+    inbox: Mutex<VecDeque<WorkItem<M>>>,
+    state: Mutex<CellState<P>>,
+}
+
+/// State shared by all shard threads.
+struct Shared<M, P> {
+    /// All peers, sorted by id (binary-searchable).
+    cells: Vec<PeerCell<M, P>>,
+    /// Per-shard run queues of runnable cell indices. The owning shard
+    /// pops from the front; idle thieves pop from the back.
+    runnable: Vec<Mutex<VecDeque<u32>>>,
+    /// The sharded quiescence barrier: >0 while any item is queued or any
+    /// handler is running; zero exactly at fix-point.
+    outstanding: AtomicI64,
+    msg_ids: AtomicU64,
+    first_panic: Mutex<Option<WorkerPanic>>,
+    codec: Codec,
+    epoch: Instant,
+}
+
+impl<M, P> Shared<M, P> {
+    fn cell_index(&self, id: NodeId) -> Option<u32> {
+        self.cells
+            .binary_search_by_key(&id, |c| c.id)
+            .ok()
+            .map(|i| i as u32)
+    }
+}
+
+/// A network of peers multiplexed over a bounded pool of shard threads.
+///
+/// Runs the same [`Peer`] code as [`crate::Simulator`] and
+/// [`crate::ThreadedNetwork`]; like the latter it is *not* deterministic,
+/// and tests compare its fix-points with simulator runs modulo null
+/// renaming.
+pub struct ShardedNetwork<M: Wire, P: Peer<M> + 'static> {
+    peers: Vec<(NodeId, P)>,
+    codec: Codec,
+    shards: usize,
+    placement: ShardPlacement,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M: Wire + Sync, P: Peer<M> + 'static> Default for ShardedNetwork<M, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Wire + Sync, P: Peer<M> + 'static> ShardedNetwork<M, P> {
+    /// An empty network with as many shards as the host has cores.
+    pub fn new() -> Self {
+        ShardedNetwork {
+            peers: Vec::new(),
+            codec: Codec::default(),
+            shards: 0,
+            placement: ShardPlacement::default(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Registers a peer.
+    pub fn add_peer(&mut self, id: NodeId, peer: P) {
+        self.peers.push((id, peer));
+    }
+
+    /// Selects the wire codec messages are measured in.
+    pub fn set_codec(&mut self, codec: Codec) {
+        self.codec = codec;
+    }
+
+    /// Sets the shard-thread count. `0` (the default) means one shard per
+    /// available core. Counts above the peer count are allowed — the extra
+    /// shards simply own no peers and live off stolen work.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards;
+    }
+
+    /// Selects the peer→shard placement policy.
+    pub fn set_placement(&mut self, placement: ShardPlacement) {
+        self.placement = placement;
+    }
+
+    fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Runs the network to quiescence: delivers `initial` messages, lets
+    /// the peers converse across the shard pool, and joins every shard
+    /// thread once the outstanding counter reads zero. Returns the peers
+    /// (sorted by id, with their final state) and the merged transport
+    /// stats — or the first [`WorkerPanic`].
+    #[allow(clippy::type_complexity)]
+    pub fn run(
+        mut self,
+        initial: Vec<(NodeId, NodeId, M)>,
+    ) -> Result<(Vec<(NodeId, P)>, NetStats), WorkerPanic> {
+        let started = Instant::now();
+        let shards = self.effective_shards();
+        self.peers.sort_by_key(|(id, _)| *id);
+        let n = self.peers.len();
+        let placement = self.placement;
+        let cells: Vec<PeerCell<M, P>> = self
+            .peers
+            .into_iter()
+            .enumerate()
+            .map(|(i, (id, peer))| PeerCell {
+                id,
+                home: placement.shard_of(i, n, shards),
+                scheduled: AtomicBool::new(false),
+                inbox: Mutex::new(VecDeque::new()),
+                state: Mutex::new(CellState {
+                    peer,
+                    poisoned: false,
+                }),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            cells,
+            runnable: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            outstanding: AtomicI64::new(0),
+            msg_ids: AtomicU64::new(0),
+            first_panic: Mutex::new(None),
+            codec: self.codec,
+            epoch: started,
+        });
+
+        // Count and enqueue the initial messages before any thread starts,
+        // so the barrier can never transiently read zero while work remains.
+        let mut stats = NetStats::default();
+        let mut any = false;
+        for (from, to, msg) in initial {
+            let Some(idx) = shared.cell_index(to) else {
+                continue;
+            };
+            any = true;
+            let size = msg.wire_size_with(shared.codec);
+            stats.record_send(from, msg.kind(), size);
+            shared.outstanding.fetch_add(1, Ordering::SeqCst);
+            let msg_id = shared.msg_ids.fetch_add(1, Ordering::Relaxed);
+            let cell = &shared.cells[idx as usize];
+            cell.inbox.lock().expect("inbox lock").push_back(WorkItem {
+                from,
+                msg_id,
+                msg: Arc::new(msg),
+                size,
+            });
+            if !cell.scheduled.swap(true, Ordering::SeqCst) {
+                shared.runnable[cell.home]
+                    .lock()
+                    .expect("runnable lock")
+                    .push_back(idx);
+            }
+        }
+        if !any {
+            // Nothing to do: skip thread spin-up entirely.
+            let shared = Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!());
+            let peers = shared
+                .cells
+                .into_iter()
+                .map(|c| (c.id, c.state.into_inner().expect("state lock").peer))
+                .collect();
+            return Ok((peers, stats));
+        }
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = crossbeam::channel::unbounded::<ShardMsg<M>>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut handles = Vec::with_capacity(shards);
+        for (shard, rx) in receivers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let senders = senders.clone();
+            handles.push(std::thread::spawn(move || {
+                shard_loop(shard, &shared, rx, &senders)
+            }));
+        }
+        drop(senders);
+
+        for h in handles {
+            match h.join() {
+                Ok(shard_stats) => stats.merge(&shard_stats),
+                Err(panic) => {
+                    // Handlers panic inside catch_unwind, so a dead thread
+                    // means the shard loop itself failed; surface it rather
+                    // than aborting the driver.
+                    let mut slot = shared.first_panic.lock().expect("panic slot");
+                    if slot.is_none() {
+                        *slot = Some(WorkerPanic {
+                            node: NodeId(u32::MAX),
+                            payload: crate::threaded::payload_string(panic.as_ref()),
+                        });
+                    }
+                }
+            }
+        }
+        let shared = Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!());
+        if let Some(panic) = shared.first_panic.into_inner().expect("panic slot") {
+            return Err(panic);
+        }
+        let peers = shared
+            .cells
+            .into_iter()
+            .map(|c| (c.id, c.state.into_inner().expect("state lock").peer))
+            .collect();
+        stats.finished_at = SimTime(started.elapsed().as_micros() as u64);
+        Ok((peers, stats))
+    }
+}
+
+/// One shard thread: drain the local run queue, accept cross-shard
+/// hand-offs, steal when idle, exit when the quiescence barrier reads zero.
+fn shard_loop<M: Wire + Sync, P: Peer<M>>(
+    shard: usize,
+    shared: &Shared<M, P>,
+    rx: crossbeam::channel::Receiver<ShardMsg<M>>,
+    senders: &[crossbeam::channel::Sender<ShardMsg<M>>],
+) -> NetStats {
+    let mut stats = NetStats::default();
+    let mut measured: Vec<(usize, usize)> = Vec::new();
+    loop {
+        let local = shared.runnable[shard]
+            .lock()
+            .expect("runnable lock")
+            .pop_front();
+        if let Some(idx) = local {
+            drain_cell(idx, shared, senders, &mut stats, &mut measured);
+            continue;
+        }
+        match rx.try_recv() {
+            Ok(msg) => {
+                accept(msg, shard, shared);
+                continue;
+            }
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => break,
+        }
+        if let Some(idx) = steal(shard, shared) {
+            drain_cell(idx, shared, senders, &mut stats, &mut measured);
+            continue;
+        }
+        // Nothing local, nothing handed off, nothing stealable: quiescent
+        // if the barrier reads zero (it can never grow again — growth
+        // requires a running handler, which requires an outstanding item);
+        // otherwise wait briefly for a hand-off or a wake nudge.
+        if shared.outstanding.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        match rx.recv_timeout(Duration::from_micros(200)) {
+            Ok(msg) => accept(msg, shard, shared),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    stats
+}
+
+/// Routes one cross-shard hand-off into the local mailbox/run queue.
+fn accept<M: Wire + Sync, P: Peer<M>>(msg: ShardMsg<M>, shard: usize, shared: &Shared<M, P>) {
+    match msg {
+        ShardMsg::Wake => {}
+        ShardMsg::Work { cell, item } => {
+            let c = &shared.cells[cell as usize];
+            c.inbox.lock().expect("inbox lock").push_back(item);
+            if !c.scheduled.swap(true, Ordering::SeqCst) {
+                shared.runnable[shard]
+                    .lock()
+                    .expect("runnable lock")
+                    .push_back(cell);
+            }
+        }
+    }
+}
+
+/// Pops a runnable peer from some other shard's queue (back end, so the
+/// victim's own front-pops race as little as possible).
+fn steal<M, P>(me: usize, shared: &Shared<M, P>) -> Option<u32> {
+    let t = shared.runnable.len();
+    for off in 1..t {
+        let victim = (me + off) % t;
+        if let Some(idx) = shared.runnable[victim]
+            .lock()
+            .expect("runnable lock")
+            .pop_back()
+        {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+/// Exclusively drains one claimed peer's inbox, running its handler per
+/// item and routing the sends. The exit re-check (`store(false)`, look
+/// again, re-`swap`) closes the race with a concurrent enqueuer: exactly
+/// one of the two observes `false` and keeps the peer scheduled.
+fn drain_cell<M: Wire + Sync, P: Peer<M>>(
+    idx: u32,
+    shared: &Shared<M, P>,
+    senders: &[crossbeam::channel::Sender<ShardMsg<M>>],
+    stats: &mut NetStats,
+    measured: &mut Vec<(usize, usize)>,
+) {
+    let cell = &shared.cells[idx as usize];
+    let mut state = cell.state.lock().expect("state lock");
+    loop {
+        let item = cell.inbox.lock().expect("inbox lock").pop_front();
+        match item {
+            Some(item) => {
+                process(cell, &mut state, item, shared, senders, stats, measured);
+            }
+            None => {
+                cell.scheduled.store(false, Ordering::SeqCst);
+                let refilled = !cell.inbox.lock().expect("inbox lock").is_empty();
+                if refilled && !cell.scheduled.swap(true, Ordering::SeqCst) {
+                    continue;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Delivers one work item: runs the handler (panic-safe) and routes the
+/// sends it queued, sharing one serialization across a fan-out's receivers
+/// via the address memo.
+#[allow(clippy::too_many_arguments)]
+fn process<M: Wire + Sync, P: Peer<M>>(
+    cell: &PeerCell<M, P>,
+    state: &mut CellState<P>,
+    item: WorkItem<M>,
+    shared: &Shared<M, P>,
+    senders: &[crossbeam::channel::Sender<ShardMsg<M>>],
+    stats: &mut NetStats,
+    measured: &mut Vec<(usize, usize)>,
+) {
+    if state.poisoned {
+        stats.dropped += 1;
+        dec_outstanding(shared, senders);
+        return;
+    }
+    stats.record_delivery(cell.id, item.size, item.msg.session());
+    // A fan-out's last reference moves out of the Arc; earlier ones clone —
+    // the payload allocation is shared right up to delivery.
+    let owned = Arc::try_unwrap(item.msg).unwrap_or_else(|shared_msg| (*shared_msg).clone());
+    let now = SimTime(shared.epoch.elapsed().as_micros() as u64);
+    let mut ctx = Context::new(now, cell.id);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        state
+            .peer
+            .on_envelope(item.from, item.msg_id, owned, &mut ctx)
+    }));
+    if let Err(panic) = outcome {
+        state.poisoned = true;
+        let mut slot = shared.first_panic.lock().expect("panic slot");
+        if slot.is_none() {
+            *slot = Some(WorkerPanic {
+                node: cell.id,
+                payload: crate::threaded::payload_string(panic.as_ref()),
+            });
+        }
+    }
+    // Sends queued before a panic still go out, as in the threaded runtime.
+    measured.clear();
+    for out in ctx.take_outgoing() {
+        let addr = Arc::as_ptr(&out.msg) as usize;
+        let size = match measured.iter().find(|(a, _)| *a == addr) {
+            Some(&(_, size)) => {
+                stats.shared_payload_sends += 1;
+                size
+            }
+            None => {
+                let size = out.msg.wire_size_with(shared.codec);
+                measured.push((addr, size));
+                size
+            }
+        };
+        stats.record_send(cell.id, out.msg.kind(), size);
+        let Some(tidx) = shared.cell_index(out.to) else {
+            stats.dropped += 1;
+            continue;
+        };
+        shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        let msg_id = shared.msg_ids.fetch_add(1, Ordering::Relaxed);
+        let witem = WorkItem {
+            from: cell.id,
+            msg_id,
+            msg: out.msg,
+            size,
+        };
+        let target = &shared.cells[tidx as usize];
+        if target.home == cell.home {
+            // Intra-shard short-circuit: straight into the mailbox, no
+            // channel hop, payload still behind the sender's Arc.
+            target.inbox.lock().expect("inbox lock").push_back(witem);
+            if !target.scheduled.swap(true, Ordering::SeqCst) {
+                shared.runnable[target.home]
+                    .lock()
+                    .expect("runnable lock")
+                    .push_back(tidx);
+            }
+        } else {
+            stats.cross_shard_sends += 1;
+            let _ = senders[target.home].send(ShardMsg::Work {
+                cell: tidx,
+                item: witem,
+            });
+        }
+    }
+    dec_outstanding(shared, senders);
+}
+
+/// Decrements the quiescence barrier; the decrement that reaches zero
+/// nudges every shard so sleepers re-check and exit.
+fn dec_outstanding<M, P>(
+    shared: &Shared<M, P>,
+    senders: &[crossbeam::channel::Sender<ShardMsg<M>>],
+) {
+    if shared.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+        for tx in senders {
+            let _ = tx.send(ShardMsg::Wake);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Token(u32);
+
+    impl Wire for Token {
+        fn wire_size(&self) -> usize {
+            4
+        }
+        fn kind(&self) -> &'static str {
+            "Token"
+        }
+    }
+
+    #[derive(Debug)]
+    struct RingPeer {
+        next: NodeId,
+        seen: u32,
+    }
+
+    impl Peer<Token> for RingPeer {
+        fn on_message(&mut self, _from: NodeId, msg: Token, ctx: &mut Context<Token>) {
+            self.seen += 1;
+            if msg.0 > 0 {
+                ctx.send(self.next, Token(msg.0 - 1));
+            }
+        }
+    }
+
+    fn ring(n: u32, shards: usize, placement: ShardPlacement) -> ShardedNetwork<Token, RingPeer> {
+        let mut net = ShardedNetwork::new();
+        net.set_shards(shards);
+        net.set_placement(placement);
+        for i in 0..n {
+            net.add_peer(
+                NodeId(i),
+                RingPeer {
+                    next: NodeId((i + 1) % n),
+                    seen: 0,
+                },
+            );
+        }
+        net
+    }
+
+    #[test]
+    fn token_ring_quiesces_on_every_shard_count() {
+        for shards in [1usize, 2, 3, 8, 16] {
+            let net = ring(5, shards, ShardPlacement::RoundRobin);
+            let (peers, stats) = net.run(vec![(NodeId(0), NodeId(0), Token(24))]).unwrap();
+            let total_seen: u32 = peers.iter().map(|(_, p)| p.seen).sum();
+            assert_eq!(total_seen, 25, "shards={shards}");
+            assert_eq!(stats.total_messages, 25, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_peers_still_quiesces() {
+        let net = ring(3, 9, ShardPlacement::RoundRobin);
+        let (peers, stats) = net.run(vec![(NodeId(0), NodeId(0), Token(11))]).unwrap();
+        let total_seen: u32 = peers.iter().map(|(_, p)| p.seen).sum();
+        assert_eq!(total_seen, 12);
+        assert_eq!(stats.total_messages, 12);
+    }
+
+    #[test]
+    fn empty_initial_returns_immediately() {
+        let mut net: ShardedNetwork<Token, RingPeer> = ShardedNetwork::new();
+        net.add_peer(
+            NodeId(0),
+            RingPeer {
+                next: NodeId(0),
+                seen: 0,
+            },
+        );
+        let (peers, stats) = net.run(vec![]).unwrap();
+        assert_eq!(peers.len(), 1);
+        assert_eq!(stats.total_messages, 0);
+    }
+
+    #[test]
+    fn initial_message_to_unknown_node_is_skipped() {
+        let mut net: ShardedNetwork<Token, RingPeer> = ShardedNetwork::new();
+        net.add_peer(
+            NodeId(0),
+            RingPeer {
+                next: NodeId(0),
+                seen: 0,
+            },
+        );
+        let (_, stats) = net.run(vec![(NodeId(0), NodeId(42), Token(1))]).unwrap();
+        assert_eq!(stats.total_messages, 0);
+    }
+
+    #[test]
+    fn blocks_placement_localizes_ring_traffic() {
+        // On a ring with contiguous blocks, only the 4 block-boundary hops
+        // are cross-shard; round-robin makes every hop cross-shard.
+        let net = ring(32, 4, ShardPlacement::Blocks);
+        let (_, stats) = net.run(vec![(NodeId(0), NodeId(0), Token(64))]).unwrap();
+        let blocks_cross = stats.cross_shard_sends;
+        let net = ring(32, 4, ShardPlacement::RoundRobin);
+        let (_, stats) = net.run(vec![(NodeId(0), NodeId(0), Token(64))]).unwrap();
+        let rr_cross = stats.cross_shard_sends;
+        assert!(
+            blocks_cross < rr_cross,
+            "blocks={blocks_cross} rr={rr_cross}"
+        );
+        // 64 handler sends, two ring laps: each lap crosses 4 boundaries.
+        assert!(blocks_cross <= 9, "blocks={blocks_cross}");
+        assert_eq!(rr_cross, 64);
+    }
+
+    #[test]
+    fn panicking_peer_is_a_structured_error_not_a_wedge() {
+        // Node 2 panics on its first message; tokens keep circling at it.
+        // The barrier must still release (no deadlock on items queued to
+        // the dead peer) and the first panic must be named.
+        #[derive(Debug)]
+        struct Bomb {
+            next: NodeId,
+            armed: bool,
+        }
+        impl Peer<Token> for Bomb {
+            fn on_message(&mut self, _from: NodeId, msg: Token, ctx: &mut Context<Token>) {
+                if self.armed {
+                    panic!("boom at token {}", msg.0);
+                }
+                if msg.0 > 0 {
+                    ctx.send(self.next, Token(msg.0 - 1));
+                }
+            }
+        }
+        for shards in [1usize, 2, 4] {
+            let n = 4u32;
+            let mut net = ShardedNetwork::new();
+            net.set_shards(shards);
+            for i in 0..n {
+                net.add_peer(
+                    NodeId(i),
+                    Bomb {
+                        next: NodeId((i + 1) % n),
+                        armed: i == 2,
+                    },
+                );
+            }
+            let err = net
+                .run(vec![(NodeId(0), NodeId(0), Token(24))])
+                .unwrap_err();
+            assert_eq!(err.node, NodeId(2), "shards={shards}");
+            assert!(err.payload.contains("boom"), "payload: {}", err.payload);
+        }
+    }
+
+    #[test]
+    fn fan_out_shares_one_serialization() {
+        struct Hub {
+            workers: Vec<NodeId>,
+            acks: u32,
+        }
+        #[derive(Debug, Clone)]
+        enum Msg {
+            Go,
+            Work(#[allow(dead_code)] u32),
+            Ack,
+        }
+        impl Wire for Msg {
+            fn wire_size(&self) -> usize {
+                4
+            }
+            fn kind(&self) -> &'static str {
+                match self {
+                    Msg::Go => "Go",
+                    Msg::Work(_) => "Work",
+                    Msg::Ack => "Ack",
+                }
+            }
+        }
+        enum NodeKind {
+            Hub(Hub),
+            Worker,
+        }
+        impl Peer<Msg> for NodeKind {
+            fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Context<Msg>) {
+                match (self, msg) {
+                    (NodeKind::Hub(h), Msg::Go) => {
+                        ctx.send_to_many(h.workers.iter().copied(), Msg::Work(3));
+                    }
+                    (NodeKind::Hub(h), Msg::Ack) => h.acks += 1,
+                    (NodeKind::Worker, Msg::Work(_)) => ctx.send(from, Msg::Ack),
+                    _ => {}
+                }
+            }
+        }
+        let mut net = ShardedNetwork::new();
+        net.set_shards(4);
+        let workers: Vec<NodeId> = (1..=8).map(NodeId).collect();
+        net.add_peer(
+            NodeId(0),
+            NodeKind::Hub(Hub {
+                workers: workers.clone(),
+                acks: 0,
+            }),
+        );
+        for w in workers {
+            net.add_peer(w, NodeKind::Worker);
+        }
+        let (peers, stats) = net.run(vec![(NodeId(0), NodeId(0), Msg::Go)]).unwrap();
+        match &peers[0].1 {
+            NodeKind::Hub(h) => assert_eq!(h.acks, 8),
+            _ => unreachable!(),
+        }
+        assert_eq!(stats.total_messages, 17); // Go + 8 Work + 8 Ack
+        assert_eq!(stats.sent_of_kind("Work"), 8);
+        // The 8-way fan-out encoded its payload once: 7 sends reused it.
+        assert_eq!(stats.shared_payload_sends, 7);
+    }
+}

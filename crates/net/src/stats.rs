@@ -63,6 +63,12 @@ pub struct NetStats {
     /// codec regression test checks.
     #[serde(default)]
     pub shared_payload_sends: u64,
+    /// Sends whose target peer lives on a different shard than the sender
+    /// ([`crate::sharded::ShardedNetwork`]): these pay a channel hop. The
+    /// locality metric a [`crate::sharded::ShardPlacement`] policy is
+    /// judged by; zero under the other runtimes.
+    #[serde(default)]
+    pub cross_shard_sends: u64,
     /// Virtual (or wall) time at which the run went quiescent.
     pub finished_at: SimTime,
 }
@@ -131,6 +137,7 @@ impl NetStats {
         self.peer_crashes += other.peer_crashes;
         self.peer_restarts += other.peer_restarts;
         self.shared_payload_sends += other.shared_payload_sends;
+        self.cross_shard_sends += other.cross_shard_sends;
         if other.finished_at > self.finished_at {
             self.finished_at = other.finished_at;
         }

@@ -59,7 +59,48 @@ impl fmt::Display for WorkerPanic {
 
 impl std::error::Error for WorkerPanic {}
 
-fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+/// Default [`ThreadedNetwork`] peer cap: one OS thread per peer stops being
+/// a sane execution model well before the simulator's 10k-peer scales.
+pub const DEFAULT_THREADED_PEER_CAP: usize = 1024;
+
+/// Failure modes of a [`ThreadedNetwork`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadedError {
+    /// The network holds more peers than the configured cap. One OS thread
+    /// per peer would exhaust memory or the thread limit long before the
+    /// run finished — this is a typed refusal instead of an OOM kill.
+    TooManyPeers {
+        /// Registered peer count.
+        peers: usize,
+        /// The configured cap ([`ThreadedNetwork::set_peer_cap`]).
+        cap: usize,
+    },
+    /// A peer handler panicked (the network was drained first).
+    Panic(WorkerPanic),
+}
+
+impl fmt::Display for ThreadedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadedError::TooManyPeers { peers, cap } => write!(
+                f,
+                "threaded runtime refuses {peers} peers (one OS thread each; cap {cap}): \
+                 use the sharded runtime (`ShardedNetwork` / `--runtime sharded`) for large networks"
+            ),
+            ThreadedError::Panic(p) => p.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ThreadedError {}
+
+impl From<WorkerPanic> for ThreadedError {
+    fn from(p: WorkerPanic) -> Self {
+        ThreadedError::Panic(p)
+    }
+}
+
+pub(crate) fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -73,6 +114,7 @@ fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
 pub struct ThreadedNetwork<M: Wire, P: Peer<M> + 'static> {
     peers: Vec<(NodeId, P)>,
     codec: Codec,
+    peer_cap: usize,
     _marker: std::marker::PhantomData<M>,
 }
 
@@ -88,8 +130,15 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
         ThreadedNetwork {
             peers: Vec::new(),
             codec: Codec::default(),
+            peer_cap: DEFAULT_THREADED_PEER_CAP,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Overrides the peer cap ([`DEFAULT_THREADED_PEER_CAP`]). Raising it
+    /// is on the caller: every peer is a real OS thread.
+    pub fn set_peer_cap(&mut self, cap: usize) {
+        self.peer_cap = cap;
     }
 
     /// Registers a peer.
@@ -105,13 +154,21 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
     /// Runs the network to quiescence: delivers `initial` messages, lets the
     /// peers converse, stops every thread once the outstanding counter drops
     /// to zero. Returns the peers (with their final state) and merged
-    /// transport stats — or a [`WorkerPanic`] naming the first peer whose
-    /// handler panicked.
+    /// transport stats — or a [`ThreadedError`]: the first peer whose
+    /// handler panicked, or a typed refusal when the peer count exceeds
+    /// the cap (one OS thread per peer does not survive large networks —
+    /// that is what [`crate::sharded::ShardedNetwork`] is for).
     #[allow(clippy::type_complexity)]
     pub fn run(
         self,
         initial: Vec<(NodeId, NodeId, M)>,
-    ) -> Result<(Vec<(NodeId, P)>, NetStats), WorkerPanic> {
+    ) -> Result<(Vec<(NodeId, P)>, NetStats), ThreadedError> {
+        if self.peers.len() > self.peer_cap {
+            return Err(ThreadedError::TooManyPeers {
+                peers: self.peers.len(),
+                cap: self.peer_cap,
+            });
+        }
         let codec = self.codec;
         let started = Instant::now();
         let outstanding = Arc::new(AtomicI64::new(0));
@@ -276,7 +333,7 @@ impl<M: Wire, P: Peer<M> + 'static> ThreadedNetwork<M, P> {
             }
         }
         if let Some(panic) = first_panic.lock().expect("panic slot").take() {
-            return Err(panic);
+            return Err(ThreadedError::Panic(panic));
         }
         peers.sort_by_key(|(id, _)| *id);
         stats.finished_at = SimTime(started.elapsed().as_micros() as u64);
@@ -300,6 +357,7 @@ mod tests {
         }
     }
 
+    #[derive(Debug)]
     struct RingPeer {
         next: NodeId,
         seen: u32,
@@ -459,8 +517,51 @@ mod tests {
         let err = net
             .run(vec![(NodeId(0), NodeId(0), Token(24))])
             .unwrap_err();
+        let ThreadedError::Panic(err) = err else {
+            panic!("expected a panic, got {err}");
+        };
         assert_eq!(err.node, NodeId(2));
         assert!(err.payload.contains("boom"), "payload: {}", err.payload);
         assert!(err.to_string().contains("peer C"), "display: {err}");
+    }
+
+    #[test]
+    fn peer_cap_is_a_typed_refusal_pointing_at_sharded() {
+        let mut net = ThreadedNetwork::new();
+        net.set_peer_cap(4);
+        for i in 0..5u32 {
+            net.add_peer(
+                NodeId(i),
+                RingPeer {
+                    next: NodeId((i + 1) % 5),
+                    seen: 0,
+                },
+            );
+        }
+        let err = net.run(vec![(NodeId(0), NodeId(0), Token(1))]).unwrap_err();
+        assert_eq!(err, ThreadedError::TooManyPeers { peers: 5, cap: 4 });
+        assert!(err.to_string().contains("sharded"), "display: {err}");
+    }
+
+    #[test]
+    fn default_peer_cap_admits_small_networks() {
+        // The default cap must not get in the way of every existing test
+        // and experiment that runs well under a thousand peers.
+        let net = ring_net(8);
+        assert!(net.run(vec![(NodeId(0), NodeId(0), Token(7))]).is_ok());
+    }
+
+    fn ring_net(n: u32) -> ThreadedNetwork<Token, RingPeer> {
+        let mut net = ThreadedNetwork::new();
+        for i in 0..n {
+            net.add_peer(
+                NodeId(i),
+                RingPeer {
+                    next: NodeId((i + 1) % n),
+                    seen: 0,
+                },
+            );
+        }
+        net
     }
 }

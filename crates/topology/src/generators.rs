@@ -81,6 +81,24 @@ pub enum Topology {
         /// RNG seed.
         seed: u64,
     },
+    /// Expected-degree random graph: exactly `⌊n·degree/2⌋` distinct
+    /// undirected edges sampled uniformly (the `G(n, m)` model), each then
+    /// directed from the lower to the higher node id. This is the
+    /// scale-friendly parameterization of [`Topology::Random`], whose
+    /// integral percent cannot express sparse graphs once `n` is large —
+    /// at 10k nodes even `p = 1%` forces ~10⁶ edges, while
+    /// `RandomDegree { degree: 8 }` keeps the mean total degree at 8
+    /// regardless of `n`. Like [`Topology::Random`] (and unlike
+    /// [`Topology::Expander`]) the result may be disconnected; node 0's
+    /// reachability is whatever the dice gave.
+    RandomDegree {
+        /// Number of nodes (≥ 2).
+        n: u32,
+        /// Expected total (in + out) degree per node (≥ 1, < n).
+        degree: u32,
+        /// RNG seed.
+        seed: u64,
+    },
     /// Random `degree`-regular graph (configuration-model pairing with
     /// deterministic self-loop/duplicate repair and a connectivity repair
     /// pass of degree-preserving double-edge swaps). With overwhelming
@@ -177,6 +195,9 @@ impl fmt::Display for Topology {
             Topology::Random { n, p_percent, seed } => {
                 write!(f, "random(n={n},p={p_percent}%,seed={seed})")
             }
+            Topology::RandomDegree { n, degree, seed } => {
+                write!(f, "randomdeg(n={n},d={degree},seed={seed})")
+            }
             Topology::Expander { n, degree, seed } => {
                 write!(f, "expander(n={n},d={degree},seed={seed})")
             }
@@ -252,6 +273,16 @@ impl Topology {
                 need(n, 1)?;
                 percent("p_percent", p_percent)
             }
+            Topology::RandomDegree { n, degree, .. } => {
+                need(n, 2)?;
+                if degree == 0 || degree >= n {
+                    return Err(TopologyError::BadParameter {
+                        what: "degree",
+                        why: format!("must satisfy 1 ≤ degree < n, got {degree} with n={n}"),
+                    });
+                }
+                Ok(())
+            }
             Topology::Expander { n, degree, .. } => {
                 need(n, 3)?;
                 if degree < 2 || degree >= n {
@@ -301,6 +332,7 @@ impl Topology {
             Topology::Ring { n } => ring(n),
             Topology::Star { n } => star(n),
             Topology::Random { n, p_percent, seed } => random(n, p_percent, seed),
+            Topology::RandomDegree { n, degree, seed } => random_degree(n, degree, seed),
             Topology::Expander { n, degree, seed } => expander(n, degree, seed),
             Topology::SmallWorld {
                 n,
@@ -346,6 +378,7 @@ impl Topology {
             | Topology::Chain { n }
             | Topology::Star { n }
             | Topology::Random { n, .. }
+            | Topology::RandomDegree { n, .. }
             | Topology::Ring { n }
             | Topology::Expander { n, .. }
             | Topology::SmallWorld { n, .. } => n as usize,
@@ -445,6 +478,22 @@ fn random(n: u32, p_percent: u8, seed: u64) -> DependencyGraph {
     g
 }
 
+/// `G(n, m)` sampling for [`Topology::RandomDegree`]: exactly
+/// `⌊n·degree/2⌋` distinct non-loop undirected edges, drawn by rejection
+/// (validation guarantees `m ≤ C(n, 2)`, and the sparse regimes this
+/// parameterization exists for make rejections rare).
+fn random_degree(n: u32, degree: u32, seed: u64) -> DependencyGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = (n as u64 * degree as u64 / 2) as usize;
+    let mut edges = EdgeSet::new();
+    while edges.edges.len() < m {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        edges.insert(a, b);
+    }
+    edges.into_graph(n)
+}
+
 /// Undirected edge set under construction for the expander / small-world
 /// generators: normalized `(lo, hi)` pairs with a membership index, so
 /// repair passes can test duplicates in O(1)-ish time.
@@ -513,11 +562,74 @@ impl EdgeSet {
         (0..n).map(|i| find(&mut parent, i)).collect()
     }
 
+    /// Bridge edges (edges whose removal disconnects their component), as a
+    /// per-edge-index flag vector: one iterative DFS low-link pass.
+    fn bridges(&self, n: u32) -> Vec<bool> {
+        let mut adj: Vec<Vec<(u32, usize)>> = vec![Vec::new(); n as usize];
+        for (idx, &(a, b)) in self.edges.iter().enumerate() {
+            adj[a as usize].push((b, idx));
+            adj[b as usize].push((a, idx));
+        }
+        let mut disc = vec![0u32; n as usize]; // 0 = unvisited, else 1-based time
+        let mut low = vec![0u32; n as usize];
+        let mut is_bridge = vec![false; self.edges.len()];
+        let mut time = 0u32;
+        // DFS frames: (node, edge we arrived by, next-neighbour cursor).
+        let mut stack: Vec<(u32, usize, usize)> = Vec::new();
+        for start in 0..n {
+            if disc[start as usize] != 0 {
+                continue;
+            }
+            time += 1;
+            disc[start as usize] = time;
+            low[start as usize] = time;
+            stack.push((start, usize::MAX, 0));
+            while let Some(top) = stack.last_mut() {
+                let (v, pe) = (top.0, top.1);
+                if top.2 < adj[v as usize].len() {
+                    let (w, e) = adj[v as usize][top.2];
+                    top.2 += 1;
+                    if e == pe {
+                        continue; // don't walk back over the arrival edge
+                    }
+                    if disc[w as usize] == 0 {
+                        time += 1;
+                        disc[w as usize] = time;
+                        low[w as usize] = time;
+                        stack.push((w, e, 0));
+                    } else {
+                        low[v as usize] = low[v as usize].min(disc[w as usize]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&(u, _, _)) = stack.last() {
+                        low[u as usize] = low[u as usize].min(low[v as usize]);
+                        if low[v as usize] > disc[u as usize] {
+                            is_bridge[pe] = true;
+                        }
+                    }
+                }
+            }
+        }
+        is_bridge
+    }
+
     /// Merges all components into one by degree-preserving double-edge
-    /// swaps: pick one edge from each of two components and cross their
-    /// endpoints. The crossing edges cannot pre-exist (their endpoints were
-    /// in different components), so every swap is valid, keeps all degrees,
-    /// and reduces the component count by one.
+    /// swaps: a **non-bridge** edge `{a, b}` from one component is crossed
+    /// with any edge `{c, d}` of another, yielding `{a, c}` + `{b, d}`.
+    /// The crossing edges cannot pre-exist (their endpoints were in
+    /// different components), so every swap is valid and keeps all degrees;
+    /// because `{a, b}` sits on a cycle its removal leaves its component
+    /// whole, so both halves of the other component (whole, or split if
+    /// `{c, d}` was a bridge) reattach to it and the component count drops
+    /// by exactly one per pass. Picking a bridge on *both* sides instead
+    /// can split-and-recross into the same component count forever — the
+    /// non-bridge side is what makes this terminate.
+    ///
+    /// A non-bridge edge always exists here: the expander keeps every
+    /// degree ≥ 2 (every component owns a cycle), and the small world keeps
+    /// `n·k/2 ≥ n` edges (some component has at least as many edges as
+    /// nodes, hence a cycle).
     fn repair_connectivity(&mut self, n: u32) {
         loop {
             let comp = self.components(n);
@@ -525,29 +637,26 @@ impl EdgeSet {
             if comp.iter().all(|&c| c == base) {
                 return;
             }
-            // First edge inside the base component, first edge outside it.
-            let i = self
-                .edges
-                .iter()
-                .position(|&(a, _)| comp[a as usize] == base);
-            let j = self
-                .edges
-                .iter()
-                .position(|&(a, _)| comp[a as usize] != base);
-            match (i, j) {
-                (Some(i), Some(j)) => {
-                    let (a, b) = self.edges[i];
-                    let (c, d) = self.edges[j];
-                    self.replace(i, a, c);
-                    self.replace(j, b, d);
-                }
-                _ => {
-                    // A component with no edges can only be an isolated node,
-                    // impossible here: both generators give every node
-                    // positive degree before repair.
-                    unreachable!("edgeless component in a positive-degree graph");
-                }
-            }
+            let bridge = self.bridges(n);
+            let i = (0..self.edges.len()).find(|&i| !bridge[i]);
+            let Some(i) = i else {
+                // All-bridge = every component is a tree, impossible for
+                // both callers (see above); a degree-preserving repair
+                // does not exist for such graphs.
+                unreachable!("all-bridge multi-component graph in repair");
+            };
+            let pc = comp[self.edges[i].0 as usize];
+            let j = (0..self.edges.len()).find(|&j| comp[self.edges[j].0 as usize] != pc);
+            let Some(j) = j else {
+                // Every other component is edgeless, i.e. isolated nodes —
+                // impossible: both generators give every node positive
+                // degree before repair.
+                unreachable!("edgeless component in a positive-degree graph");
+            };
+            let (a, b) = self.edges[i];
+            let (c, d) = self.edges[j];
+            self.replace(i, a, c);
+            self.replace(j, b, d);
         }
     }
 
@@ -759,6 +868,84 @@ mod tests {
         assert_ne!(a.graph, c.graph);
     }
 
+    #[test]
+    fn connectivity_repair_terminates_on_bridge_first_components() {
+        // Three lollipops (a bridge tail hanging off a triangle), laid out
+        // so the *first* edge of every component is a bridge. The old
+        // repair deterministically crossed the first in/out-of-component
+        // edges; with bridges on both sides the double swap splits both
+        // components and re-merges them crosswise — no progress, and the
+        // deterministic pick could cycle forever. The non-bridge-aware
+        // repair must terminate, connect everything and keep all degrees.
+        let mut set = EdgeSet::new();
+        for b in [0u32, 4, 8] {
+            set.insert(b, b + 1); // tail: a bridge
+            set.insert(b + 1, b + 2);
+            set.insert(b + 2, b + 3);
+            set.insert(b + 3, b + 1); // triangle
+        }
+        let before: Vec<usize> = {
+            let mut deg = vec![0usize; 12];
+            for &(a, b) in &set.edges {
+                deg[a as usize] += 1;
+                deg[b as usize] += 1;
+            }
+            deg
+        };
+        set.repair_connectivity(12);
+        let mut deg = vec![0usize; 12];
+        for &(a, b) in &set.edges {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        assert_eq!(deg, before, "repair must preserve every degree");
+        let g = set.into_graph(12);
+        assert!(connected_ignoring_direction(&g), "repair must connect");
+    }
+
+    #[test]
+    fn random_degree_has_exact_edge_count_and_no_loops() {
+        let t = Topology::RandomDegree {
+            n: 200,
+            degree: 8,
+            seed: 3,
+        };
+        let g = t.generate();
+        assert_eq!(g.node_count, 200);
+        assert_eq!(g.graph.edge_count(), 200 * 8 / 2);
+        for node in g.graph.nodes() {
+            assert!(
+                !g.graph.successors(node).any(|s| s == node),
+                "self-loop at {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_degree_is_deterministic_per_seed() {
+        let spec = |seed| Topology::RandomDegree {
+            n: 64,
+            degree: 6,
+            seed,
+        };
+        assert_eq!(spec(9).generate().graph, spec(9).generate().graph);
+        assert_ne!(spec(9).generate().graph, spec(10).generate().graph);
+    }
+
+    #[test]
+    fn random_degree_stays_sparse_at_ten_thousand_nodes() {
+        // The point of the parameterization: the integral-percent `Random`
+        // cannot go below ~1% ≈ 10⁶ edges at this size, `RandomDegree`
+        // pins the edge count to n·d/2 regardless of n.
+        let g = Topology::RandomDegree {
+            n: 10_000,
+            degree: 8,
+            seed: 42,
+        }
+        .generate();
+        assert_eq!(g.graph.edge_count(), 40_000);
+    }
+
     /// Total (in + out) degree per node, the undirected quantity the new
     /// families guarantee invariants over.
     fn total_degrees(g: &DependencyGraph) -> BTreeMap<NodeId, usize> {
@@ -890,6 +1077,21 @@ mod tests {
             Topology::Random {
                 n: 5,
                 p_percent: 101,
+                seed: 1,
+            },
+            Topology::RandomDegree {
+                n: 1,
+                degree: 1,
+                seed: 1,
+            },
+            Topology::RandomDegree {
+                n: 10,
+                degree: 0,
+                seed: 1,
+            },
+            Topology::RandomDegree {
+                n: 10,
+                degree: 10, // degree must stay below n
                 seed: 1,
             },
             Topology::Expander {

@@ -28,7 +28,7 @@ fn total_degree(g: &DependencyGraph, n: NodeId) -> usize {
 
 /// One valid spec from each family, parameterised by size and seed knobs.
 fn any_topology() -> impl Strategy<Value = Topology> {
-    (0u8..7, 3u32..24, 0u64..1_000, 0u8..=100).prop_map(|(family, n, seed, pct)| match family {
+    (0u8..8, 3u32..24, 0u64..1_000, 0u8..=100).prop_map(|(family, n, seed, pct)| match family {
         0 => Topology::Tree {
             branching: 1 + n % 3,
             depth: n % 4,
@@ -56,6 +56,11 @@ fn any_topology() -> impl Strategy<Value = Topology> {
                 seed,
             }
         }
+        6 => Topology::RandomDegree {
+            n,
+            degree: (1 + n % 4).min(n - 1),
+            seed,
+        },
         _ => {
             let k = (2 + (n % 4) * 2).min(if n % 2 == 0 { n - 2 } else { n - 1 });
             Topology::SmallWorld {
@@ -96,7 +101,7 @@ proptest! {
         // only links its columns through fanout ≥ 2 (fanout 1 is parallel
         // independent chains; one layer has no edges at all) — both shapes
         // are disconnected by definition, not by generator defect.
-        if matches!(t, Topology::Random { .. })
+        if matches!(t, Topology::Random { .. } | Topology::RandomDegree { .. })
             || matches!(
                 t,
                 Topology::LayeredDag { layers, width, fanout }
@@ -114,7 +119,9 @@ proptest! {
     #[test]
     fn scaling_families_keep_degree_invariants(t in any_topology()) {
         let g = match t {
-            Topology::Expander { .. } | Topology::SmallWorld { .. } => t.try_generate().unwrap(),
+            Topology::Expander { .. }
+            | Topology::SmallWorld { .. }
+            | Topology::RandomDegree { .. } => t.try_generate().unwrap(),
             _ => return Ok(()),
         };
         match t {
@@ -127,6 +134,11 @@ proptest! {
                         "{} node {}", t, node
                     );
                 }
+            }
+            Topology::RandomDegree { n, degree, .. } => {
+                // The expected-degree contract: exactly ⌊n·d/2⌋ distinct
+                // edges, so the mean total degree is d independent of n.
+                prop_assert_eq!(g.graph.edge_count(), (n as usize * degree as usize) / 2);
             }
             Topology::SmallWorld { n, k, .. } => {
                 prop_assert_eq!(g.graph.edge_count(), (n as usize * k as usize) / 2);
@@ -147,6 +159,9 @@ proptest! {
     fn seeds_matter(n in 12u32..40, seed in 0u64..500) {
         let a = Topology::Expander { n, degree: 4, seed };
         let b = Topology::Expander { n, degree: 4, seed: seed + 1 };
+        prop_assert_ne!(a.try_generate().unwrap().graph, b.try_generate().unwrap().graph);
+        let a = Topology::RandomDegree { n, degree: 4, seed };
+        let b = Topology::RandomDegree { n, degree: 4, seed: seed + 1 };
         prop_assert_ne!(a.try_generate().unwrap().graph, b.try_generate().unwrap().graph);
     }
 }

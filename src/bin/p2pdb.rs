@@ -9,6 +9,7 @@
 //!                [--no-delta-waves] [--query NODE QUERY] [--stats]
 //!                [--durable] [--churn N] [--snapshot-every K]
 //!                [--concurrent N] [--codec json|binary]
+//!                [--runtime sim|threaded|sharded] [--threads N]
 //!                [--trace] [--export FILE]      run discovery + update
 //! p2pdb serve <network.json> --node N --listen ADDR
 //!                [--peer M=ADDR]... [--codec json|binary]
@@ -50,6 +51,15 @@
 //! `--durable`, the WAL/snapshot files) to the varint-packed binary
 //! encoding; `--codec json` (the default) keeps the historical
 //! self-describing JSON. Network files and exports are JSON either way.
+//!
+//! Runtimes: `--runtime sim` (default) runs the deterministic discrete-event
+//! simulator with virtual time; `--runtime threaded` runs one OS thread per
+//! peer (capped — refuses large networks); `--runtime sharded` multiplexes
+//! all peers over `--threads N` shard threads (default: one per core) and
+//! reports cross-shard send counts. The parallel runtimes force eager
+//! propagation and reject the simulator-only flags (`--discover`, `--trace`,
+//! `--churn`, `--stats`, `--query`, `--export`); `--threads` outside
+//! `--runtime sharded` and `--threads 0` are usage errors (exit 2).
 //!
 //! Example session:
 //!
@@ -210,6 +220,40 @@ fn cmd_run(args: &[String]) -> CliResult {
         builder.config_mut().codec = codec.parse::<p2pdb::net::Codec>()?;
     }
 
+    // Runtime selection: the deterministic simulator (default), one OS
+    // thread per peer, or the sharded worker pool that multiplexes all
+    // peers over `--threads` shard threads (default: one per core).
+    let runtime = flag_value(args, "--runtime").unwrap_or("sim");
+    if !matches!(runtime, "sim" | "threaded" | "sharded") {
+        return Err(usage(format!(
+            "unknown runtime `{runtime}`: expected sim, threaded or sharded"
+        )));
+    }
+    let threads: Option<usize> = match flag_value(args, "--threads") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| usage(format!("--threads expects a positive number, got `{v}`")))?,
+        ),
+        None => None,
+    };
+    if threads == Some(0) {
+        return Err(usage(
+            "--threads 0 makes no sense: the sharded runtime needs at least one \
+             shard thread (drop the flag for one shard per core)",
+        ));
+    }
+    if threads.is_some() && runtime != "sharded" {
+        return Err(usage(format!(
+            "--threads only applies to --runtime sharded (the {runtime} runtime \
+             {} by design)",
+            if runtime == "sim" {
+                "is single-threaded"
+            } else {
+                "spawns one thread per peer"
+            }
+        )));
+    }
+
     // Concurrent sessions.
     let concurrent: Option<usize> = flag_value(args, "--concurrent")
         .map(str::parse)
@@ -266,6 +310,72 @@ fn cmd_run(args: &[String]) -> CliResult {
         }
         builder.set_churn(plan);
     }
+
+    // Roots for interleaved sessions: spread across the declared nodes
+    // (the same deterministic spread the concurrent-writers workloads use).
+    let roots: Vec<NodeId> = match concurrent {
+        Some(n) => {
+            let nodes: Vec<NodeId> = file.nodes.iter().map(|d| NodeId(d.id)).collect();
+            p2pdb::workload::pick_writer_indices(nodes.len(), n)
+                .into_iter()
+                .map(|i| nodes[i])
+                .collect()
+        }
+        None => vec![NodeId(file.super_peer)],
+    };
+
+    if runtime != "sim" {
+        // The parallel runtimes drive peers to fix-point without the
+        // discrete-event machinery; everything that needs the simulator's
+        // virtual time, trace or in-run system handle is rejected up front.
+        for flag in [
+            "--discover",
+            "--trace",
+            "--churn",
+            "--stats",
+            "--query",
+            "--export",
+        ] {
+            if args.iter().any(|a| a == flag) {
+                return Err(usage(format!(
+                    "{flag} is simulator-only: drop the flag or use --runtime sim"
+                )));
+            }
+        }
+        if flag_value(args, "--mode") == Some("rounds") {
+            return Err(usage(
+                "--mode rounds is simulator-only: the parallel runtimes force \
+                 eager propagation",
+            ));
+        }
+        use p2pdb::core::system::{run_updates_sharded, run_updates_threaded};
+        let (_dbs, stats, all_closed) = match runtime {
+            "threaded" => run_updates_threaded(builder, &roots)?,
+            _ => run_updates_sharded(
+                builder,
+                &roots,
+                threads.unwrap_or(0),
+                p2pdb::net::ShardPlacement::RoundRobin,
+            )?,
+        };
+        println!(
+            "update: {} messages, {} bytes, {} wall, all closed: {}",
+            stats.total_messages, stats.total_bytes, stats.finished_at, all_closed
+        );
+        if runtime == "sharded" {
+            println!(
+                "sharded: {} threads, {} cross-shard sends",
+                threads.unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|c| c.get())
+                        .unwrap_or(1)
+                }),
+                stats.cross_shard_sends
+            );
+        }
+        return Ok(());
+    }
+
     let mut sys = builder.build()?;
 
     if args.iter().any(|a| a == "--discover") {
@@ -293,18 +403,6 @@ fn cmd_run(args: &[String]) -> CliResult {
         }
     }
 
-    // Roots for interleaved sessions: spread across the declared nodes
-    // (the same deterministic spread the concurrent-writers workloads use).
-    let roots: Vec<NodeId> = match concurrent {
-        Some(n) => {
-            let nodes: Vec<NodeId> = file.nodes.iter().map(|d| NodeId(d.id)).collect();
-            p2pdb::workload::pick_writer_indices(nodes.len(), n)
-                .into_iter()
-                .map(|i| nodes[i])
-                .collect()
-        }
-        None => vec![NodeId(file.super_peer)],
-    };
     let reports = if churn_n.unwrap_or(0) > 0 {
         // Churn can stall a wave (a crashed peer cannot echo); drive the
         // sessions to closure with bounded re-drives.

@@ -434,3 +434,61 @@ fn serve_and_launch_usage_errors_exit_2() {
     let out = p2pdb(&["launch"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+/// The parallel runtimes behind `--runtime`: threaded and sharded reach a
+/// fully closed fix-point, the sharded runtime reports its shard count and
+/// cross-shard locality, and the new flags are validated as one-line usage
+/// errors with exit code 2.
+#[test]
+fn run_parallel_runtimes_and_flag_validation() {
+    let dir = std::env::temp_dir().join("p2pdb_cli_parallel");
+    std::fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("net.json");
+    let out = p2pdb(&["workload", "--topology", "ring", "--size", "6"]);
+    assert!(out.status.success());
+    std::fs::write(&net, &out.stdout).unwrap();
+    let net = net.to_str().unwrap();
+
+    let out = p2pdb(&["run", net, "--runtime", "threaded"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("all closed: true"), "{text}");
+
+    let out = p2pdb(&["run", net, "--runtime", "sharded", "--threads", "2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("all closed: true"), "{text}");
+    assert!(text.contains("sharded: 2 threads"), "{text}");
+    assert!(text.contains("cross-shard sends"), "{text}");
+
+    let usage = |args: &[&str], needle: &str| {
+        let out = p2pdb(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?}: expected exit 2, got {:?}\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    };
+    usage(
+        &["run", net, "--runtime", "sharded", "--threads", "0"],
+        "--threads 0",
+    );
+    usage(&["run", net, "--threads", "2"], "--threads only applies");
+    usage(&["run", net, "--runtime", "warp"], "unknown runtime");
+    usage(
+        &["run", net, "--runtime", "sharded", "--trace", "5"],
+        "simulator-only",
+    );
+}

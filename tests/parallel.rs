@@ -1,0 +1,252 @@
+//! The sharded runtime at system level: `--runtime sharded` seen from the
+//! library API.
+//!
+//! The worker-pool runtime trades the simulator's determinism for real
+//! parallelism, so its contract is *equivalence*, not identity:
+//!
+//! * **simulator parity** — `run_update_sharded` /  `run_updates_sharded`
+//!   reach a final global database tuple-identical modulo null renaming to
+//!   the simulator (and the centralized oracle) on the same workload, for
+//!   every shard count — including one shard (pure multiplexing) and more
+//!   shards than peers (idle workers), deterministic cases plus a proptest
+//!   over topologies × latency seeds × shard counts;
+//! * **locality accounting** — one shard means zero cross-shard sends;
+//!   contiguous-blocks placement beats round-robin on a ring;
+//! * **panic containment** — a peer whose handler panics surfaces as a
+//!   structured `WorkerPanic` naming the node, never as a poisoned lock or
+//!   a hung run, at any shard count.
+
+use p2pdb::core::config::UpdateMode;
+use p2pdb::core::system::{run_update_sharded, run_updates_sharded, P2PSystemBuilder};
+use p2pdb::net::{Context, Peer, SessionId, ShardPlacement, ShardedNetwork};
+use p2pdb::relational::Val;
+use p2pdb::topology::{NodeId, Topology};
+use p2pdb::workload::{build_system, Distribution, WorkloadConfig};
+use proptest::prelude::*;
+
+/// A cyclic three-node system (A→C→B→A) with data at every node — the same
+/// shape `tests/concurrent.rs` uses, so the sharded runtime is measured
+/// against an already-trusted workload.
+fn cyclic_builder() -> P2PSystemBuilder {
+    let mut b = P2PSystemBuilder::new();
+    b.add_node_with_schema(0, "a(x: int, y: int).").unwrap();
+    b.add_node_with_schema(1, "b(x: int, y: int).").unwrap();
+    b.add_node_with_schema(2, "c(x: int, y: int).").unwrap();
+    b.add_rule("r1", "B:b(X,Y) => A:a(X,Y)").unwrap();
+    b.add_rule("r2", "C:c(X,Y) => B:b(X,Y)").unwrap();
+    b.add_rule("r3", "A:a(X,Y) => C:c(Y,X)").unwrap();
+    for i in 0..8i64 {
+        b.insert(2, "c", vec![Val::Int(i), Val::Int(i + 1)])
+            .unwrap();
+        b.insert(1, "b", vec![Val::Int(100 + i), Val::Int(i)])
+            .unwrap();
+    }
+    b
+}
+
+fn ring_builder(n: u32) -> P2PSystemBuilder {
+    build_system(&WorkloadConfig {
+        topology: Topology::Ring { n },
+        records_per_node: 10,
+        distribution: Distribution::Disjoint,
+        seed: 7,
+    })
+    .unwrap()
+}
+
+/// Sharded fix-points equal the simulator's and the oracle's at every
+/// shard count — including 1 (pure multiplexing, and the baseline every
+/// speedup is measured against) and 16 > n (idle shards must not deadlock
+/// the quiescence barrier).
+#[test]
+fn sharded_matches_simulator_across_shard_counts() {
+    let mut sim = cyclic_builder().build().unwrap();
+    let report = sim.run_update();
+    assert!(report.all_closed);
+    let sim_db = sim.snapshot();
+    let oracle = sim.oracle().unwrap();
+
+    for shards in [1usize, 2, 3, 8, 16] {
+        let (db, stats, all_closed) =
+            run_update_sharded(cyclic_builder(), shards, ShardPlacement::RoundRobin).unwrap();
+        assert!(all_closed, "{shards} shards: unclosed run");
+        assert!(
+            db.equivalent(&sim_db),
+            "{shards} shards: fix-point differs from the simulator"
+        );
+        assert!(db.equivalent(&oracle), "{shards} shards: != oracle");
+        assert!(stats.total_messages > 0);
+        if shards == 1 {
+            assert_eq!(
+                stats.cross_shard_sends, 0,
+                "one shard has no boundaries to cross"
+            );
+        }
+    }
+}
+
+/// Concurrent sessions on the sharded runtime: every session closes, gets
+/// per-session message attribution, and the combined fix-point equals the
+/// simulator's interleaved run.
+#[test]
+fn sharded_concurrent_sessions_match_simulator() {
+    let roots = [NodeId(0), NodeId(2)];
+    let mut sim = cyclic_builder().build().unwrap();
+    let reports = sim.run_updates(&roots);
+    assert!(reports.iter().all(|r| r.all_closed));
+    let sim_db = sim.snapshot();
+
+    for shards in [2usize, 4] {
+        let (db, stats, all_closed) =
+            run_updates_sharded(cyclic_builder(), &roots, shards, ShardPlacement::RoundRobin)
+                .unwrap();
+        assert!(all_closed, "{shards} shards: some session unclosed");
+        assert!(db.equivalent(&sim_db), "{shards} shards: != simulator");
+        for (i, &root) in roots.iter().enumerate() {
+            let sid = SessionId::new(root, (i + 1) as u64);
+            assert!(stats.session(sid).messages > 0, "{sid} unattributed");
+        }
+    }
+}
+
+/// Placement is a pure locality knob: on a ring, contiguous blocks keep
+/// neighbours on the same shard and round-robin separates every pair, but
+/// both land on the identical fix-point.
+#[test]
+fn placement_changes_locality_not_the_fixpoint() {
+    let mut sim = ring_builder(16).build().unwrap();
+    assert!(sim.run_update().all_closed);
+    let sim_db = sim.snapshot();
+
+    let (rr_db, rr, _) =
+        run_update_sharded(ring_builder(16), 4, ShardPlacement::RoundRobin).unwrap();
+    let (bl_db, bl, _) = run_update_sharded(ring_builder(16), 4, ShardPlacement::Blocks).unwrap();
+    assert!(rr_db.equivalent(&sim_db));
+    assert!(bl_db.equivalent(&sim_db));
+    assert!(
+        bl.cross_shard_sends < rr.cross_shard_sends,
+        "blocks must localize ring traffic: {} vs {}",
+        bl.cross_shard_sends,
+        rr.cross_shard_sends
+    );
+}
+
+/// A panicking peer handler surfaces as a structured error naming the node
+/// — at one shard (the panic is on the only worker) and at several (the
+/// other workers must still drain and join).
+#[test]
+fn sharded_panic_is_contained_and_named() {
+    #[derive(Debug, Clone, PartialEq)]
+    struct Hot(u32);
+    impl p2pdb::net::Wire for Hot {
+        fn wire_size(&self) -> usize {
+            4
+        }
+        fn kind(&self) -> &'static str {
+            "hot"
+        }
+    }
+    #[derive(Debug)]
+    struct Bomb {
+        next: NodeId,
+        fuse: bool,
+    }
+    impl Peer<Hot> for Bomb {
+        fn on_message(&mut self, _from: NodeId, msg: Hot, ctx: &mut Context<Hot>) {
+            if self.fuse {
+                panic!("injected fault at {}", ctx.id());
+            }
+            if msg.0 > 0 {
+                ctx.send(self.next, Hot(msg.0 - 1));
+            }
+        }
+    }
+
+    for shards in [1usize, 4] {
+        let mut net: ShardedNetwork<Hot, Bomb> = ShardedNetwork::new();
+        net.set_shards(shards);
+        let n = 6u32;
+        for i in 0..n {
+            net.add_peer(
+                NodeId(i),
+                Bomb {
+                    next: NodeId((i + 1) % n),
+                    fuse: i == 4,
+                },
+            );
+        }
+        let err = net
+            .run(vec![(NodeId(0), NodeId(0), Hot(100))])
+            .expect_err("the fuse must blow");
+        assert_eq!(err.node, NodeId(4), "{shards} shards");
+        assert!(
+            err.payload.contains("injected fault"),
+            "{shards} shards: {}",
+            err.payload
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: sharded == simulator == oracle over topologies × seeds × shard
+// counts (including more shards than peers).
+// ---------------------------------------------------------------------------
+
+fn proptest_topology(idx: u8, n: u8) -> Topology {
+    let n = 3 + (n % 4) as u32; // 3..=6 nodes
+    match idx % 3 {
+        0 => Topology::Ring { n },
+        1 => Topology::Chain { n },
+        _ => Topology::Clique { n: n.min(4) },
+    }
+}
+
+fn builder_for(topology: Topology, seed: u64) -> P2PSystemBuilder {
+    let mut b = build_system(&WorkloadConfig {
+        topology,
+        records_per_node: 5,
+        distribution: Distribution::Disjoint,
+        seed,
+    })
+    .unwrap();
+    // The sharded runtime forces eager mode; run the simulator reference
+    // in the same mode so the comparison is apples to apples.
+    b.config_mut().mode = UpdateMode::Eager;
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole's correctness anchor: for random topologies, data
+    /// seeds and shard counts (1 up to > n), the sharded fix-point equals
+    /// the simulator's and the centralized oracle's modulo null renaming.
+    #[test]
+    fn sharded_equals_simulator_equals_oracle(
+        topo_idx in 0u8..3,
+        size in 0u8..4,
+        data_seed in 0u64..500,
+        shards in 1usize..9,
+    ) {
+        let topology = proptest_topology(topo_idx, size);
+
+        let mut sim = builder_for(topology, data_seed).build().unwrap();
+        let report = sim.run_update();
+        prop_assert!(report.all_closed, "simulator unclosed on {topology}");
+
+        let (db, _, all_closed) = run_update_sharded(
+            builder_for(topology, data_seed),
+            shards,
+            ShardPlacement::RoundRobin,
+        ).unwrap();
+        prop_assert!(all_closed, "{shards} shards unclosed on {topology}");
+        prop_assert!(
+            db.equivalent(&sim.snapshot()),
+            "sharded != simulator on {topology} seed {data_seed} shards {shards}"
+        );
+        prop_assert!(
+            db.equivalent(&sim.oracle().unwrap()),
+            "sharded != oracle on {topology} seed {data_seed} shards {shards}"
+        );
+    }
+}

@@ -217,9 +217,7 @@ fn durable_serve_restarts_and_resyncs_over_the_socket() {
         .inject(0, ProtocolMsg::StartUpdate { session })
         .unwrap();
     loop {
-        let closed = ctls
-            .iter_mut()
-            .all(|c| c.session_closed(session).unwrap());
+        let closed = ctls.iter_mut().all(|c| c.session_closed(session).unwrap());
         if closed {
             break;
         }
