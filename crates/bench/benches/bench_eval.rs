@@ -1,0 +1,38 @@
+//! E22 — the incremental query engine: full delta-join star update runs,
+//! wall-clock for the indexed engine (persistent indexes + compiled plan
+//! cache, the default) against the legacy rebuild engine (recompile per
+//! call + transient index over the whole relation). Every iteration
+//! asserts the closed-form fix-point, so the numbers are end-to-end
+//! correct runs, not hot loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_bench::experiments::{e22_apply_engine, e22_join_expected, e22_join_system};
+
+fn run_join(rows: usize, indexed: bool) {
+    let mut builder = e22_join_system(rows).expect("join workload builds");
+    e22_apply_engine(&mut builder, indexed);
+    let mut sys = builder.build().expect("system builds");
+    let report = sys.run_update();
+    assert!(report.all_closed, "join({rows}): not all closed");
+    assert_eq!(
+        sys.snapshot().total_tuples(),
+        e22_join_expected(rows),
+        "join({rows}): fix-point off the closed form"
+    );
+}
+
+fn bench_eval(c: &mut Criterion) {
+    for rows in [1_000usize, 10_000] {
+        let mut group = c.benchmark_group(format!("e22_eval/{rows}"));
+        group.sample_size(10);
+        for (engine, indexed) in [("indexed", true), ("rebuild", false)] {
+            group.bench_with_input(BenchmarkId::new(engine, rows), &rows, |b, &rows| {
+                b.iter(|| run_join(rows, indexed))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -59,6 +59,20 @@ pub struct SystemConfig {
     /// false, every wave answer re-ships the full current extension — the
     /// paper-faithful, oracle-comparable baseline.
     pub delta_waves: bool,
+    /// Compiled plan cache. When true (the default), each peer compiles a
+    /// body fragment's query plan (slot table, atom order, key positions,
+    /// constraint schedule) once per rule and reuses it for every wave,
+    /// invalidating on `AddRule`/`DeleteRule` and on crash. When false,
+    /// plans are recompiled per evaluation — the `--no-plan-cache` ablation
+    /// baseline.
+    pub plan_cache: bool,
+    /// Persistent join indexes. When true (the default), joins probe
+    /// hash indexes that `p2p_relational::Relation` builds lazily per key
+    /// column set and maintains incrementally on insert, so repeated
+    /// evaluation cost is proportional to the delta. When false, every
+    /// evaluation rebuilds a transient index over the whole relation — the
+    /// legacy cost model, kept as the `--no-indexes` ablation baseline.
+    pub persistent_indexes: bool,
     /// Durable peers. When true, every peer owns a `p2p_storage` write-ahead
     /// log plus snapshot store: applied insertions and processed fragment
     /// answers are logged as they happen, and a crashed peer rebuilds its
@@ -109,6 +123,8 @@ impl Default for SystemConfig {
             initiation: Initiation::Flood,
             delta_optimization: true,
             delta_waves: true,
+            plan_cache: true,
+            persistent_indexes: true,
             durability: false,
             snapshot_every: 64,
             codec: p2p_net::Codec::Json,
@@ -158,6 +174,8 @@ mod tests {
         assert_eq!(c.initiation, Initiation::Flood);
         assert!(c.delta_optimization);
         assert!(c.delta_waves);
+        assert!(c.plan_cache);
+        assert!(c.persistent_indexes);
         assert!(c.require_weak_acyclicity);
         assert_eq!(c.codec, p2p_net::Codec::Json);
     }

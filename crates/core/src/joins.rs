@@ -8,10 +8,15 @@ use crate::error::CoreResult;
 use crate::rule::{BodyPart, CoordinationRule};
 use p2p_relational::chase::{apply_head, ChaseConfig, ChaseOutcome, ChaseState};
 use p2p_relational::query::ast::Term;
-use p2p_relational::query::{evaluate_bindings, evaluate_bindings_since, Constraint};
-use p2p_relational::{Database, FxHashMap, FxHashSet, NullFactory, Tuple, Val};
+use p2p_relational::query::{
+    evaluate_bindings, evaluate_bindings_planned, evaluate_bindings_since,
+    evaluate_bindings_since_planned, Constraint,
+};
+use p2p_relational::{key_hash, Database, FxHashMap, FxHashSet, NullFactory, Tuple, Val};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+pub use p2p_relational::query::{CompiledBody, EvalMetrics};
 
 /// Evaluates one body fragment over a local database, returning rows over
 /// `part.vars` (deduplicated, deterministic order).
@@ -33,6 +38,46 @@ pub fn eval_part_delta(
     watermarks: &BTreeMap<Arc<str>, usize>,
 ) -> CoreResult<Vec<Tuple>> {
     let bindings = evaluate_bindings_since(&part.atoms, &part.local_constraints, db, watermarks)?;
+    let head_terms: Vec<Term> = part.vars.iter().cloned().map(Term::Var).collect();
+    Ok(bindings.project(&head_terms)?)
+}
+
+/// Compiles one body fragment into a [`CompiledBody`] (full plan plus one
+/// semi-naive delta plan per atom) for the plan cache in
+/// [`crate::peer::DbPeer`].
+pub fn compile_part(part: &BodyPart, db: &Database) -> CoreResult<CompiledBody> {
+    Ok(CompiledBody::compile(
+        &part.atoms,
+        &part.local_constraints,
+        db,
+    )?)
+}
+
+/// Plan-based [`eval_part`]: same rows, but the plan is reused across calls
+/// and (with `use_indexes`) joins probe the relations' persistent indexes.
+pub fn eval_part_planned(
+    body: &CompiledBody,
+    part: &BodyPart,
+    db: &mut Database,
+    use_indexes: bool,
+    metrics: &mut EvalMetrics,
+) -> CoreResult<Vec<Tuple>> {
+    let bindings = evaluate_bindings_planned(&body.full, db, use_indexes, metrics)?;
+    let head_terms: Vec<Term> = part.vars.iter().cloned().map(Term::Var).collect();
+    Ok(bindings.project(&head_terms)?)
+}
+
+/// Plan-based [`eval_part_delta`]: the delta atom scans only its
+/// post-watermark suffix, so cost is proportional to the delta.
+pub fn eval_part_delta_planned(
+    body: &CompiledBody,
+    part: &BodyPart,
+    db: &mut Database,
+    watermarks: &BTreeMap<Arc<str>, usize>,
+    use_indexes: bool,
+    metrics: &mut EvalMetrics,
+) -> CoreResult<Vec<Tuple>> {
+    let bindings = evaluate_bindings_since_planned(body, db, watermarks, use_indexes, metrics)?;
     let head_terms: Vec<Term> = part.vars.iter().cloned().map(Term::Var).collect();
     Ok(bindings.project(&head_terms)?)
 }
@@ -143,32 +188,28 @@ fn hash_join(left: &VarRows, right: &VarRows) -> VarRows {
     let mut out_vars = left.vars.clone();
     out_vars.extend(right_only.iter().map(|&ri| right.vars[ri].clone()));
 
-    // Hash the right side on the shared projection — `Val` keys, probed
-    // with a reusable scratch buffer (no allocation per probe).
-    let mut index: FxHashMap<Box<[Val]>, Vec<usize>> = FxHashMap::default();
-    let mut key: Vec<Val> = Vec::with_capacity(shared.len());
+    // Hash the right side on the shared projection — `u64` key hashes with
+    // candidate lists; collisions are resolved by re-comparing the shared
+    // columns at probe time, so no per-row key allocation happens.
+    let mut index: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
     for (pos, row) in right.rows.iter().enumerate() {
-        key.clear();
-        key.extend(shared.iter().map(|&(_, ri)| row.0[ri]));
-        match index.get_mut(key.as_slice()) {
-            Some(v) => v.push(pos),
-            None => {
-                index.insert(Box::from(key.as_slice()), vec![pos]);
-            }
-        }
+        let hash = key_hash(shared.iter().map(|&(_, ri)| &row.0[ri]));
+        index.entry(hash).or_default().push(pos);
     }
 
     let mut out_rows = Vec::new();
     let mut seen: FxHashSet<Tuple> = FxHashSet::default();
     let mut vals: Vec<Val> = Vec::new();
     for lrow in &left.rows {
-        key.clear();
-        key.extend(shared.iter().map(|&(li, _)| lrow.0[li]));
-        let Some(matches) = index.get(key.as_slice()) else {
+        let hash = key_hash(shared.iter().map(|&(li, _)| &lrow.0[li]));
+        let Some(matches) = index.get(&hash) else {
             continue;
         };
         for &pos in matches {
             let rrow = &right.rows[pos];
+            if shared.iter().any(|&(li, ri)| lrow.0[li] != rrow.0[ri]) {
+                continue; // Hash collision on the shared projection.
+            }
             vals.clear();
             vals.extend_from_slice(&lrow.0);
             vals.extend(right_only.iter().map(|&ri| rrow.0[ri]));

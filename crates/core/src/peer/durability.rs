@@ -216,6 +216,7 @@ impl DbPeer {
     pub(crate) fn crash_volatile_state(&mut self) {
         self.stats.crashes += 1;
         self.db = Database::new(self.db.schema().clone());
+        self.plans.clear();
         self.nulls = NullFactory::new(self.id.0);
         self.chase = ChaseState::new();
         self.sessions.clear();
@@ -372,7 +373,7 @@ impl DbPeer {
             st.rnd.wave_subs.remove(&(from, rule));
             st.upd.subs.remove(&(from, rule));
         }
-        let rows = self.eval_part_delta_local(&part, &since, ctx);
+        let rows = self.eval_part_delta_local(rule, &part, &since, ctx);
         let payload = self.make_answer_rows(from, &part.vars, rows);
         ctx.send(
             from,

@@ -230,7 +230,7 @@ impl DbPeer {
             sent_complete: false,
             watermarks: Watermarks::new(),
         };
-        let rows = self.eval_part_local(&sub.part.clone(), ctx);
+        let rows = self.eval_part_local(rule, &sub.part.clone(), ctx);
         sub.watermarks = self.db.watermarks();
         let complete = st.upd.closed;
         let ship: Vec<Tuple> = rows.clone();
@@ -358,9 +358,9 @@ impl DbPeer {
             let part = st.upd.subs[&key].part.clone();
             let rows = if delta_eval {
                 let watermarks = st.upd.subs[&key].watermarks.clone();
-                self.eval_part_delta_local(&part, &watermarks, ctx)
+                self.eval_part_delta_local(key.1, &part, &watermarks, ctx)
             } else {
-                self.eval_part_local(&part, ctx)
+                self.eval_part_local(key.1, &part, ctx)
             };
             let marks = self.db.watermarks();
             let closed = st.upd.closed;
@@ -627,6 +627,7 @@ impl DbPeer {
         let Some(rule) = self.rules.remove(&rule_id) else {
             return;
         };
+        self.plans.remove(&rule_id);
         // A pending resync for a deleted rule has nothing left to repair.
         self.pending_resync.retain(|(_, r, _), _| *r != rule_id);
         if st.upd.active {
@@ -649,6 +650,7 @@ impl DbPeer {
 
     /// Body-node side of `deleteRule`.
     pub(crate) fn on_unsubscribe(&mut self, st: &mut SessionState, from: NodeId, rule: RuleId) {
+        self.plans.remove(&rule);
         if st.upd.active {
             st.upd.subs.remove(&(from, rule));
         }

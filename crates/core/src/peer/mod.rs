@@ -46,7 +46,7 @@ use crate::stats::{ClosedBy, PeerStats};
 use crate::termination::{AckDecision, DiffusingState, Disengage};
 use p2p_net::{Context, Peer, SessionId};
 use p2p_relational::chase::{ChaseConfig, ChaseState};
-use p2p_relational::fxhash::FxHashSet;
+use p2p_relational::fxhash::{FxHashMap, FxHashSet};
 use p2p_relational::{ConstCatalog, Database, NullFactory, SymId, Tuple, Val};
 use p2p_topology::NodeId;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
@@ -114,6 +114,19 @@ impl SessionState {
     }
 }
 
+/// One rule's cached compiled plans, fingerprinted by the body fragment
+/// they were compiled for. Rule ids are minted monotonically, but the
+/// fragment equality check makes a stale hit impossible even if an id were
+/// ever reused (or if a body peer serves different fragments under one id
+/// across sessions).
+#[derive(Debug, Clone)]
+pub(crate) struct CachedPlans {
+    /// The fragment the plans were compiled from.
+    pub(crate) part: crate::rule::BodyPart,
+    /// Full + per-atom delta plans.
+    pub(crate) body: crate::joins::CompiledBody,
+}
+
 /// A database peer: local database, coordination rules targeting it, and
 /// all protocol state.
 #[derive(Debug)]
@@ -135,6 +148,12 @@ pub struct DbPeer {
     /// Coordination rules whose head is this node (the paper: "initially
     /// each node knows all rules of which it is a target").
     pub(crate) rules: BTreeMap<RuleId, CoordinationRule>,
+    /// Compiled-plan cache, one entry per rule this peer evaluates a body
+    /// fragment for (head rules *and* fragments received via subscriptions
+    /// or waves). Validated against the fragment on every hit; invalidated
+    /// on `AddRule`/`DeleteRule`/`Unsubscribe`. Volatile: a crash clears it
+    /// and the next evaluation recompiles.
+    pub(crate) plans: FxHashMap<RuleId, CachedPlans>,
     /// Pipe neighbours (rule sources *and* rule targets, Section 5).
     pub(crate) pipes: BTreeSet<NodeId>,
     /// Whether this node lies on a dependency cycle (used by rounds mode to
@@ -195,6 +214,7 @@ impl DbPeer {
             nulls: NullFactory::new(id.0),
             chase: ChaseState::new(),
             rules: BTreeMap::new(),
+            plans: FxHashMap::default(),
             pipes: BTreeSet::new(),
             in_cycle: true,
             stats: PeerStats::default(),
@@ -225,12 +245,14 @@ impl DbPeer {
         self.sup.all_nodes = all_nodes.into();
     }
 
-    /// Installs a rule with head at this node.
+    /// Installs a rule with head at this node. Any cached plan for the id is
+    /// invalidated (`AddRule` may replace a rule's body).
     pub fn install_rule(&mut self, rule: CoordinationRule) {
         debug_assert_eq!(rule.head_node, self.id);
         for p in &rule.parts {
             self.pipes.insert(p.node);
         }
+        self.plans.remove(&rule.id);
         self.rules.insert(rule.id, rule);
     }
 
@@ -391,15 +413,16 @@ impl DbPeer {
             .collect()
     }
 
-    /// Evaluates one fragment over the local database, with statistics and
-    /// processing-cost accounting.
+    /// Evaluates one fragment over the local database via the compiled-plan
+    /// cache, with statistics and processing-cost accounting.
     pub(crate) fn eval_part_local(
         &mut self,
+        rule: RuleId,
         part: &crate::rule::BodyPart,
         ctx: &mut Context<ProtocolMsg>,
     ) -> Vec<Tuple> {
         self.stats.local_evaluations += 1;
-        match crate::joins::eval_part(part, &self.db) {
+        match self.eval_part_rows(rule, part, None) {
             Ok(rows) => {
                 let cost =
                     p2p_net::SimTime(self.config.cost_per_tuple.as_micros() * rows.len() as u64);
@@ -414,15 +437,17 @@ impl DbPeer {
     }
 
     /// Delta-evaluates one fragment (rows derived from facts inserted since
-    /// `watermarks`), with statistics and processing-cost accounting.
+    /// `watermarks`) via the compiled-plan cache, with statistics and
+    /// processing-cost accounting.
     pub(crate) fn eval_part_delta_local(
         &mut self,
+        rule: RuleId,
         part: &crate::rule::BodyPart,
         watermarks: &BTreeMap<Arc<str>, usize>,
         ctx: &mut Context<ProtocolMsg>,
     ) -> Vec<Tuple> {
         self.stats.local_evaluations += 1;
-        match crate::joins::eval_part_delta(part, &self.db, watermarks) {
+        match self.eval_part_rows(rule, part, Some(watermarks)) {
             Ok(rows) => {
                 let cost =
                     p2p_net::SimTime(self.config.cost_per_tuple.as_micros() * rows.len() as u64);
@@ -434,6 +459,75 @@ impl DbPeer {
                 Vec::new()
             }
         }
+    }
+
+    /// Shared plan-cache path of [`DbPeer::eval_part_local`] /
+    /// [`DbPeer::eval_part_delta_local`]: fetch (or compile) the fragment's
+    /// [`crate::joins::CompiledBody`], execute it, and fold the work
+    /// counters into [`PeerStats`]. `watermarks: None` is full evaluation;
+    /// `Some(w)` the semi-naive delta. With `SystemConfig::plan_cache` off
+    /// the fragment is recompiled per call; with
+    /// `SystemConfig::persistent_indexes` off the executor rebuilds
+    /// transient indexes per call (the legacy cost model).
+    fn eval_part_rows(
+        &mut self,
+        rule: RuleId,
+        part: &crate::rule::BodyPart,
+        watermarks: Option<&BTreeMap<Arc<str>, usize>>,
+    ) -> crate::error::CoreResult<Vec<Tuple>> {
+        let use_indexes = self.config.persistent_indexes;
+        let mut metrics = crate::joins::EvalMetrics::default();
+        let rows = if self.config.plan_cache {
+            if self.plans.get(&rule).is_some_and(|c| c.part == *part) {
+                self.stats.plan_cache_hits += 1;
+            } else {
+                let body = crate::joins::compile_part(part, &self.db)?;
+                self.plans.insert(
+                    rule,
+                    CachedPlans {
+                        part: part.clone(),
+                        body,
+                    },
+                );
+            }
+            // Disjoint field borrows: the cached plan is read while the
+            // database is mutably borrowed (index creation only).
+            let DbPeer { plans, db, .. } = self;
+            let body = &plans.get(&rule).expect("cached above").body;
+            match watermarks {
+                Some(w) => crate::joins::eval_part_delta_planned(
+                    body,
+                    part,
+                    db,
+                    w,
+                    use_indexes,
+                    &mut metrics,
+                ),
+                None => crate::joins::eval_part_planned(body, part, db, use_indexes, &mut metrics),
+            }
+        } else {
+            let body = crate::joins::compile_part(part, &self.db)?;
+            match watermarks {
+                Some(w) => crate::joins::eval_part_delta_planned(
+                    &body,
+                    part,
+                    &mut self.db,
+                    w,
+                    use_indexes,
+                    &mut metrics,
+                ),
+                None => crate::joins::eval_part_planned(
+                    &body,
+                    part,
+                    &mut self.db,
+                    use_indexes,
+                    &mut metrics,
+                ),
+            }
+        };
+        self.stats.rows_scanned += metrics.rows_scanned;
+        self.stats.index_probes += metrics.index_probes;
+        rows
     }
 
     /// Joins the given fragment extensions for `rule` and chases the head

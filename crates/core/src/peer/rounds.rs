@@ -384,7 +384,7 @@ impl DbPeer {
             // last answer to this requester within this session.
             let prev_sent = st.rnd.wave_subs[&key].rows_sent;
             let watermarks = st.rnd.wave_subs[&key].watermarks.clone();
-            let rows = self.eval_part_delta_local(part, &watermarks, ctx);
+            let rows = self.eval_part_delta_local(rule, part, &watermarks, ctx);
             let shipped = rows.len() as u64;
             self.stats.answers_sent += 1;
             self.stats.delta_answers_sent += 1;
@@ -407,7 +407,7 @@ impl DbPeer {
             );
             return;
         }
-        let rows = self.eval_part_local(part, ctx);
+        let rows = self.eval_part_local(rule, part, ctx);
         self.stats.answers_sent += 1;
         self.stats.rows_shipped += rows.len() as u64;
         if self.config.delta_waves {

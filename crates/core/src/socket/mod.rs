@@ -124,8 +124,8 @@ pub enum ControlReq {
     Inject {
         /// Apparent sender.
         from: u32,
-        /// The message.
-        msg: ProtocolMsg,
+        /// The message (boxed: `ProtocolMsg` dwarfs the other variants).
+        msg: Box<ProtocolMsg>,
     },
     /// Is the session `{root, epoch}` closed at this peer?
     SessionClosed {
@@ -409,7 +409,7 @@ fn handle_control(
     match req {
         ControlReq::Ping => resp_and_stop(ControlResp::Pong { node: peer.id().0 }, false),
         ControlReq::Inject { from, msg } => {
-            peer.on_message(NodeId(from), msg, ctx);
+            peer.on_message(NodeId(from), *msg, ctx);
             resp_and_stop(ControlResp::Injected, false)
         }
         ControlReq::SessionClosed { root, epoch } => resp_and_stop(
@@ -490,7 +490,10 @@ impl Controller {
 
     /// Injects a message into the served peer.
     pub fn inject(&mut self, from: u32, msg: ProtocolMsg) -> CoreResult<()> {
-        match self.request(&ControlReq::Inject { from, msg })? {
+        match self.request(&ControlReq::Inject {
+            from,
+            msg: Box::new(msg),
+        })? {
             ControlResp::Injected => Ok(()),
             other => Err(unexpected("Injected", &other)),
         }

@@ -56,6 +56,18 @@ pub struct PeerStats {
     pub stale_answers_sent: u64,
     /// Local conjunctive-query evaluations.
     pub local_evaluations: u64,
+    /// Relation rows physically read by plan-based evaluations (suffix
+    /// scans, transient-index rebuilds, candidate rows visited after an
+    /// index probe). With persistent indexes on, a 1-tuple delta wave reads
+    /// O(delta) rows regardless of relation size — this counter is how
+    /// experiment e22 observes it.
+    pub rows_scanned: u64,
+    /// Persistent-index bucket probes performed by plan-based evaluations.
+    pub index_probes: u64,
+    /// Evaluations served by a cached compiled plan (no recompilation).
+    /// Compared against `local_evaluations` this is the plan-cache hit rate;
+    /// invalidated on `AddRule`/`DeleteRule` and on crash.
+    pub plan_cache_hits: u64,
     /// Facts inserted into the local database by the update algorithm.
     pub tuples_inserted: u64,
     /// Labeled nulls minted for existential head variables.
@@ -136,6 +148,9 @@ impl PeerStats {
         self.rows_saved += other.rows_saved;
         self.stale_answers_sent += other.stale_answers_sent;
         self.local_evaluations += other.local_evaluations;
+        self.rows_scanned += other.rows_scanned;
+        self.index_probes += other.index_probes;
+        self.plan_cache_hits += other.plan_cache_hits;
         self.tuples_inserted += other.tuples_inserted;
         self.nulls_minted += other.nulls_minted;
         self.discovery_requests += other.discovery_requests;
@@ -158,7 +173,7 @@ impl fmt::Display for PeerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "q_in={} (dup={}) q_out={} a_out={} (delta={} stale={}) a_in={} rows={} saved={} evals={} ins={} nulls={} crashes={} recoveries={} resync_rows={} sessions={} peak={} closed_by={:?}",
+            "q_in={} (dup={}) q_out={} a_out={} (delta={} stale={}) a_in={} rows={} saved={} evals={} scanned={} probes={} plan_hits={} ins={} nulls={} crashes={} recoveries={} resync_rows={} sessions={} peak={} closed_by={:?}",
             self.queries_received,
             self.duplicate_queries,
             self.queries_sent,
@@ -169,6 +184,9 @@ impl fmt::Display for PeerStats {
             self.rows_shipped,
             self.rows_saved,
             self.local_evaluations,
+            self.rows_scanned,
+            self.index_probes,
+            self.plan_cache_hits,
             self.tuples_inserted,
             self.nulls_minted,
             self.crashes,

@@ -77,7 +77,7 @@ pub use catalog::{ConstCatalog, SymId, SymRemap};
 pub use database::Database;
 pub use error::{Error, Result};
 pub use fxhash::{fx_hash, FxHashMap, FxHashSet};
-pub use relation::Relation;
+pub use relation::{key_hash, Index, Relation};
 pub use schema::{ColumnType, DatabaseSchema, RelationSchema};
 pub use tuple::Tuple;
 pub use value::{NullFactory, NullId, Val, Value};

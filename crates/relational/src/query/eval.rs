@@ -10,15 +10,19 @@
 //!
 //! The evaluator works entirely on flat row buffers: intermediate bindings
 //! are one contiguous `Vec<Val>` with stride = variable count, join keys are
-//! copied `Val` words probed against `Box<[Val]>`-keyed hash indexes, and no
-//! per-row reference counting happens anywhere. The old `Value`-based
-//! evaluator survives as [`crate::legacy`] for equivalence testing and as
-//! the benchmark baseline.
+//! copied `Val` words hashed into `u64`-keyed candidate buckets (collisions
+//! resolved by comparing the key columns, which the join loop re-checks
+//! anyway), and no per-row allocation happens anywhere. The old
+//! `Value`-based evaluator survives as [`crate::legacy`] for equivalence
+//! testing and as the benchmark baseline. For cached plans and persistent
+//! indexes see [`crate::query::plan`] — this module remains the
+//! plan-per-call reference implementation.
 
 use crate::database::Database;
 use crate::error::{Error, Result};
-use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::fxhash::{fx_hash, FxHashMap};
 use crate::query::ast::{Atom, CmpOp, ConjunctiveQuery, Constraint, Term};
+use crate::relation::key_hash;
 use crate::tuple::Tuple;
 use crate::value::Val;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -182,7 +186,7 @@ pub fn evaluate_bindings_since(
     watermarks: &BTreeMap<Arc<str>, usize>,
 ) -> Result<Bindings> {
     let mut out: Option<Bindings> = None;
-    let mut seen: FxHashSet<Box<[Val]>> = FxHashSet::default();
+    let mut seen: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
     for (i, atom) in atoms.iter().enumerate() {
         if atom.qualifier.is_some() {
             return Err(Error::QualifiedAtom(atom.to_string()));
@@ -194,30 +198,49 @@ pub fn evaluate_bindings_since(
         let delta = evaluate_bindings_restricted(atoms, constraints, db, Some((i, watermark)))?;
         match &mut out {
             None => {
-                seen.extend(delta.rows().map(Box::from));
+                // The first delta is internally deduplicated already; just
+                // seed the buckets.
+                for (ri, row) in delta.rows().enumerate() {
+                    seen.entry(fx_hash(row)).or_default().push(ri as u32);
+                }
                 out = Some(delta);
             }
             Some(acc) => {
                 debug_assert_eq!(acc.vars, delta.vars);
                 for row in delta.rows() {
-                    if !seen.contains(row) {
-                        seen.insert(Box::from(row));
-                        acc.push_row(row);
-                    }
+                    push_dedup(acc, &mut seen, row);
                 }
             }
         }
     }
     match out {
         Some(b) => Ok(b),
-        // All relations unchanged: an empty table over the body's variables.
+        // All relations unchanged: an empty table over the body's variables,
+        // derived from the slot table alone — no evaluation needed.
         None => {
-            let mut empty =
-                evaluate_bindings_restricted(atoms, constraints, db, Some((0, usize::MAX)))?;
-            empty.clear();
-            Ok(empty)
+            let (vars, _) = validate_body(atoms, constraints, db)?;
+            Ok(Bindings::empty(vars))
         }
     }
+}
+
+/// Appends `row` to `out` unless already present, using `seen` as a
+/// hash-bucket membership structure over `out`'s rows (bucket entries are
+/// row indices; collisions resolved by comparing slices). Returns `true`
+/// iff the row was new. Allocation-free per accepted row beyond the flat
+/// buffer growth — no per-row `Box<[Val]>` keys.
+pub(crate) fn push_dedup(
+    out: &mut Bindings,
+    seen: &mut FxHashMap<u64, Vec<u32>>,
+    row: &[Val],
+) -> bool {
+    let bucket = seen.entry(fx_hash(row)).or_default();
+    if bucket.iter().any(|&i| out.row(i as usize) == row) {
+        return false;
+    }
+    bucket.push(out.len() as u32);
+    out.push_row(row);
+    true
 }
 
 /// Per-position action when extending a binding row by one matched tuple.
@@ -230,15 +253,18 @@ enum PosAction {
     Recheck { pos: usize, slot: usize },
 }
 
-/// Shared implementation: evaluates a body, optionally restricting one atom
-/// (by index) to the tuples at insertion positions `>= watermark`.
-fn evaluate_bindings_restricted(
+/// Validates a body against a database and returns its variable slot table:
+/// variables in first-occurrence order plus the name → slot map. Shared by
+/// this evaluator and the plan compiler ([`crate::query::plan`]).
+///
+/// Errors if an atom is peer-qualified, references an unknown relation, has
+/// the wrong arity, or if a constraint mentions a variable bound by no atom.
+#[allow(clippy::type_complexity)]
+pub(crate) fn validate_body(
     atoms: &[Atom],
     constraints: &[Constraint],
     db: &Database,
-    restrict: Option<(usize, usize)>,
-) -> Result<Bindings> {
-    // -- validation ---------------------------------------------------------
+) -> Result<(Vec<Arc<str>>, HashMap<Arc<str>, usize>)> {
     for a in atoms {
         if a.qualifier.is_some() {
             return Err(Error::QualifiedAtom(a.to_string()));
@@ -252,8 +278,6 @@ fn evaluate_bindings_restricted(
             });
         }
     }
-
-    // -- variable slots -----------------------------------------------------
     let mut vars: Vec<Arc<str>> = Vec::new();
     let mut slot_of: HashMap<Arc<str>, usize> = HashMap::new();
     for a in atoms {
@@ -273,17 +297,25 @@ fn evaluate_bindings_restricted(
             }
         }
     }
+    Ok((vars, slot_of))
+}
 
-    // -- greedy atom ordering ----------------------------------------------
-    // Repeatedly pick the atom with the most positions bound by already
-    // chosen atoms (constants count as bound); tie-break on smaller relation.
-    // A watermark-restricted atom (semi-naive delta position) is forced
-    // first: it ranges over only the delta suffix, so starting from it keeps
-    // the join cost proportional to the delta instead of the full extension.
+/// Greedy atom ordering: repeatedly pick the atom with the most positions
+/// bound by already chosen atoms (constants count as bound); tie-break on
+/// smaller relation, then stable index. A `restricted` atom (semi-naive
+/// delta position) is forced first: it ranges over only the delta suffix,
+/// so starting from it keeps the join cost proportional to the delta
+/// instead of the full extension. Shared with the plan compiler.
+pub(crate) fn greedy_order(
+    atoms: &[Atom],
+    db: &Database,
+    slot_of: &HashMap<Arc<str>, usize>,
+    restricted: Option<usize>,
+) -> Vec<usize> {
     let mut remaining: Vec<usize> = (0..atoms.len()).collect();
     let mut order: Vec<usize> = Vec::with_capacity(atoms.len());
     let mut statically_bound: HashSet<usize> = HashSet::new();
-    if let Some((restricted, _)) = restrict {
+    if let Some(restricted) = restricted {
         if restricted < atoms.len() {
             remaining.retain(|&ai| ai != restricted);
             for t in &atoms[restricted].terms {
@@ -327,6 +359,24 @@ fn evaluate_bindings_restricted(
         }
         order.push(ai);
     }
+    order
+}
+
+/// Shared implementation: evaluates a body, optionally restricting one atom
+/// (by index) to the tuples at insertion positions `>= watermark`.
+fn evaluate_bindings_restricted(
+    atoms: &[Atom],
+    constraints: &[Constraint],
+    db: &Database,
+    restrict: Option<(usize, usize)>,
+) -> Result<Bindings> {
+    let (vars, slot_of) = validate_body(atoms, constraints, db)?;
+    let order = greedy_order(
+        atoms,
+        db,
+        &slot_of,
+        restrict.map(|(restricted, _)| restricted),
+    );
 
     // -- join ----------------------------------------------------------------
     // One flat buffer of candidate bindings; unbound slots hold a harmless
@@ -376,22 +426,18 @@ fn evaluate_bindings_restricted(
             }
         }
 
-        // Hash the relation on the key positions once. A restricted atom
+        // Hash the relation on the key positions once: key hash → candidate
+        // positions (collisions resolved by re-comparing the key columns at
+        // probe time — no per-row `Box<[Val]>` keys). A restricted atom
         // (semi-naive delta position) only sees its post-watermark suffix.
         let min_pos = match restrict {
             Some((atom_idx, watermark)) if atom_idx == ai => watermark,
             _ => 0,
         };
-        let mut index: FxHashMap<Box<[Val]>, Vec<u32>> = FxHashMap::default();
+        let mut index: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         for (ri, row) in relation.iter().enumerate().skip(min_pos) {
-            key.clear();
-            key.extend(key_positions.iter().map(|&p| row[p]));
-            match index.get_mut(key.as_slice()) {
-                Some(v) => v.push(ri as u32),
-                None => {
-                    index.insert(Box::from(key.as_slice()), vec![ri as u32]);
-                }
-            }
+            let hash = key_hash(key_positions.iter().map(|&p| &row[p]));
+            index.entry(hash).or_default().push(ri as u32);
         }
 
         let mut next: Vec<Val> = Vec::new();
@@ -403,11 +449,19 @@ fn evaluate_bindings_restricted(
                 Term::Const(c) => *c,
                 Term::Var(v) => binding[slot_of[v]],
             }));
-            let Some(matches) = index.get(key.as_slice()) else {
+            let Some(matches) = index.get(&key_hash(key.iter())) else {
                 continue;
             };
             'rows: for &ri in matches {
                 let tuple = relation.row(ri as usize);
+                // Hash-collision guard: the key columns must really match.
+                if key_positions
+                    .iter()
+                    .zip(key.iter())
+                    .any(|(&p, kv)| tuple[p] != *kv)
+                {
+                    continue;
+                }
                 let start = next.len();
                 next.extend_from_slice(binding);
                 for act in &actions {
@@ -461,14 +515,11 @@ fn evaluate_bindings_restricted(
 
     // -- materialise ---------------------------------------------------------
     let mut out = Bindings::empty(vars);
-    let mut seen: FxHashSet<Box<[Val]>> = FxHashSet::default();
+    let mut seen: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
     for i in 0..nrows {
         let row = &rows[i * width..i * width + width];
         let row = &row[..nvars]; // drop the width-1 padding of a 0-var body
-        if !seen.contains(row) {
-            seen.insert(Box::from(row));
-            out.push_row(row);
-        }
+        push_dedup(&mut out, &mut seen, row);
     }
     Ok(out)
 }

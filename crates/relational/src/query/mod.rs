@@ -12,7 +12,12 @@
 pub mod ast;
 pub mod eval;
 pub mod parser;
+pub mod plan;
 
 pub use ast::{Atom, CmpOp, ConjunctiveQuery, Constraint, Term};
 pub use eval::{evaluate, evaluate_bindings, evaluate_bindings_since, evaluate_certain, Bindings};
 pub use parser::{parse_atom, parse_implication, parse_query, Implication};
+pub use plan::{
+    compile_body, evaluate_bindings_planned, evaluate_bindings_since_planned, execute_plan,
+    CompiledBody, EvalMetrics, QueryPlan,
+};

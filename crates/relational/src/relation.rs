@@ -27,6 +27,44 @@ fn row_hash(row: &[Val]) -> u64 {
     fx_hash(row)
 }
 
+/// Hashes a join key, value by value. Index maintenance (projecting a stored
+/// row onto the key columns) and probes (projecting a partial binding) must
+/// agree on this hash without materializing the projected slice, so both
+/// feed the values through one raw [`crate::fxhash::FxHasher`].
+pub fn key_hash<'a>(vals: impl IntoIterator<Item = &'a Val>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = crate::fxhash::FxHasher::default();
+    for v in vals {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A persistent hash index over a subset of columns: key hash → candidate
+/// row positions. Collisions are possible; callers must verify the key
+/// columns of each candidate against the probe values (which the join loop
+/// needs anyway for repeated-variable rechecks).
+///
+/// Built lazily by [`Relation::ensure_index`] and maintained incrementally
+/// by [`Relation::insert_row`], so repeated evaluation never rebuilds it.
+#[derive(Debug, Clone, Default)]
+pub struct Index {
+    cols: Box<[usize]>,
+    buckets: FxHashMap<u64, Vec<u32>>,
+}
+
+impl Index {
+    /// The indexed column positions, in probe order.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Candidate row positions whose key columns hash to `hash`.
+    pub fn candidates(&self, hash: u64) -> &[u32] {
+        self.buckets.get(&hash).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
 /// A relation instance.
 #[derive(Debug, Clone)]
 pub struct Relation {
@@ -42,6 +80,10 @@ pub struct Relation {
     seen: FxHashMap<u64, Vec<u32>>,
     /// Lazily built per-column indexes: column → value → row positions.
     indexes: FxHashMap<usize, FxHashMap<Val, Vec<u32>>>,
+    /// Lazily built multi-column join indexes keyed by column subset.
+    /// Maintained incrementally by [`Relation::insert_row`]; cleared on
+    /// symbol remap (key hashes go stale) and never serialized.
+    key_indexes: FxHashMap<Box<[usize]>, Index>,
 }
 
 impl Relation {
@@ -55,6 +97,7 @@ impl Relation {
             len: 0,
             seen: FxHashMap::default(),
             indexes: FxHashMap::default(),
+            key_indexes: FxHashMap::default(),
         }
     }
 
@@ -107,6 +150,10 @@ impl Relation {
         self.len += 1;
         for (col, index) in self.indexes.iter_mut() {
             index.entry(row[*col]).or_default().push(pos);
+        }
+        for idx in self.key_indexes.values_mut() {
+            let hash = key_hash(idx.cols.iter().map(|&c| &row[c]));
+            idx.buckets.entry(hash).or_default().push(pos);
         }
         true
     }
@@ -161,6 +208,40 @@ impl Relation {
         index.get(value).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Ensures a persistent multi-column index on `cols` exists, building it
+    /// from current rows on first use. Subsequent [`Relation::insert_row`]
+    /// calls maintain it incrementally. Pair with [`Relation::index`] when
+    /// rows must be read while the index is borrowed.
+    pub fn ensure_index(&mut self, cols: &[usize]) {
+        debug_assert!(cols.iter().all(|&c| c < self.arity));
+        if self.key_indexes.contains_key(cols) {
+            return;
+        }
+        let mut idx = Index {
+            cols: cols.into(),
+            buckets: FxHashMap::default(),
+        };
+        for pos in 0..self.len {
+            let row = &self.data[pos * self.arity..pos * self.arity + self.arity];
+            let hash = key_hash(cols.iter().map(|&c| &row[c]));
+            idx.buckets.entry(hash).or_default().push(pos as u32);
+        }
+        self.key_indexes.insert(cols.into(), idx);
+    }
+
+    /// The persistent index on `cols`, if [`Relation::ensure_index`] has
+    /// built it. Immutable, so candidate rows can be read while probing.
+    pub fn index(&self, cols: &[usize]) -> Option<&Index> {
+        self.key_indexes.get(cols)
+    }
+
+    /// Ensures and returns the persistent index on `cols` (convenience over
+    /// [`Relation::ensure_index`] + [`Relation::index`]).
+    pub fn index_on(&mut self, cols: &[usize]) -> &Index {
+        self.ensure_index(cols);
+        &self.key_indexes[cols]
+    }
+
     /// Every distinct [`crate::catalog::SymId`] occurring in this relation —
     /// the symbols a persisted copy must carry a dictionary for.
     pub fn syms(&self) -> impl Iterator<Item = crate::catalog::SymId> + '_ {
@@ -178,6 +259,7 @@ impl Relation {
         }
         self.rebuild_membership();
         self.indexes.clear();
+        self.key_indexes.clear();
     }
 
     /// Rebuilds the membership buckets from flat storage (deserialize,
@@ -352,6 +434,62 @@ mod tests {
         r.insert_row(&tup(1, 7));
         r.insert_row(&tup(2, 7));
         assert_eq!(r.rows_matching(1, &Val::Int(7)), &[0, 1]);
+    }
+
+    #[test]
+    fn key_index_built_lazily_and_maintained() {
+        let mut r = rel();
+        r.insert_row(&tup(1, 10));
+        r.insert_row(&tup(2, 10));
+        r.insert_row(&tup(1, 20));
+        let probe = |r: &Relation, x: i64, y: i64| -> Vec<u32> {
+            let idx = r.index(&[0, 1]).expect("index built");
+            let h = key_hash([Val::Int(x), Val::Int(y)].iter());
+            idx.candidates(h)
+                .iter()
+                .copied()
+                .filter(|&p| r.row(p as usize) == tup(x, y))
+                .collect()
+        };
+        r.ensure_index(&[0, 1]);
+        assert_eq!(probe(&r, 1, 10), &[0]);
+        assert_eq!(probe(&r, 2, 10), &[1]);
+        assert!(probe(&r, 2, 20).is_empty());
+        // Maintained incrementally by subsequent inserts.
+        r.insert_row(&tup(2, 20));
+        assert_eq!(probe(&r, 2, 20), &[3]);
+        // index_on is ensure + get.
+        assert_eq!(r.index_on(&[0, 1]).cols(), &[0, 1]);
+    }
+
+    #[test]
+    fn key_index_single_column_matches_rows_matching() {
+        let mut r = rel();
+        r.insert_row(&tup(1, 7));
+        r.insert_row(&tup(2, 7));
+        r.insert_row(&tup(1, 8));
+        r.ensure_index(&[0]);
+        let h = key_hash([Val::Int(1)].iter());
+        let via_key: Vec<u32> = r
+            .index(&[0])
+            .unwrap()
+            .candidates(h)
+            .iter()
+            .copied()
+            .filter(|&p| r.row(p as usize)[0] == Val::Int(1))
+            .collect();
+        assert_eq!(via_key, r.rows_matching(0, &Val::Int(1)));
+    }
+
+    #[test]
+    fn remap_syms_drops_key_indexes() {
+        let mut r = Relation::new(RelationSchema::new("s", vec![("x", ColumnType::Str)]));
+        let a = Val::str("key-remap-a");
+        r.insert_row(&[a]);
+        r.ensure_index(&[0]);
+        assert!(r.index(&[0]).is_some());
+        r.remap_syms(&|id| id);
+        assert!(r.index(&[0]).is_none(), "stale hashes must be dropped");
     }
 
     #[test]

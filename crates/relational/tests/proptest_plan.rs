@@ -1,0 +1,157 @@
+//! Property-based equivalence of the compiled-plan + persistent-index
+//! evaluator against the legacy per-call evaluator: full evaluation,
+//! semi-naive deltas, and index maintenance under interleaved inserts.
+
+use p2p_relational::query::ast::{Atom, CmpOp, ConjunctiveQuery, Constraint, Term};
+use p2p_relational::query::{
+    evaluate_bindings, evaluate_bindings_planned, evaluate_bindings_since,
+    evaluate_bindings_since_planned, Bindings, CompiledBody, EvalMetrics,
+};
+use p2p_relational::{Database, DatabaseSchema, Val};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A random instance: two binary relations over a small integer domain.
+#[derive(Debug, Clone)]
+struct Instance {
+    r: Vec<(i64, i64)>,
+    s: Vec<(i64, i64)>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec((0..5i64, 0..5i64), 0..12),
+        proptest::collection::vec((0..5i64, 0..5i64), 0..12),
+    )
+        .prop_map(|(r, s)| Instance { r, s })
+}
+
+fn db_of(inst: &Instance) -> Database {
+    let mut db =
+        Database::new(DatabaseSchema::parse("r(x: int, y: int). s(x: int, y: int).").unwrap());
+    for &(x, y) in &inst.r {
+        db.insert_values("r", vec![Val::Int(x), Val::Int(y)])
+            .unwrap();
+    }
+    for &(x, y) in &inst.s {
+        db.insert_values("s", vec![Val::Int(x), Val::Int(y)])
+            .unwrap();
+    }
+    db
+}
+
+/// A random body over variables X0..X3: 1–3 atoms over r/s, optional
+/// constraint restricted to bound variables (mirrors proptest_relational.rs).
+#[derive(Debug, Clone)]
+struct RandomQuery {
+    atoms: Vec<(bool, usize, usize)>,
+    constraint: Option<(usize, u8, usize)>,
+}
+
+fn random_query() -> impl Strategy<Value = RandomQuery> {
+    (
+        proptest::collection::vec((any::<bool>(), 0..4usize, 0..4usize), 1..4),
+        proptest::option::of((0..4usize, 0..6u8, 0..4usize)),
+    )
+        .prop_map(|(atoms, constraint)| {
+            let bound: Vec<usize> = atoms.iter().flat_map(|(_, a, b)| [*a, *b]).collect();
+            let constraint = constraint.filter(|(a, _, b)| bound.contains(a) && bound.contains(b));
+            RandomQuery { atoms, constraint }
+        })
+}
+
+fn var(i: usize) -> Term {
+    Term::var(format!("X{i}"))
+}
+
+fn to_cq(q: &RandomQuery) -> ConjunctiveQuery {
+    let atoms: Vec<Atom> = q
+        .atoms
+        .iter()
+        .map(|(use_r, a, b)| Atom::new(if *use_r { "r" } else { "s" }, vec![var(*a), var(*b)]))
+        .collect();
+    let constraints: Vec<Constraint> = q
+        .constraint
+        .iter()
+        .map(|(a, op, b)| Constraint {
+            lhs: var(*a),
+            op: match op {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Neq,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                _ => CmpOp::Ge,
+            },
+            rhs: var(*b),
+        })
+        .collect();
+    ConjunctiveQuery {
+        name: Arc::from("q"),
+        head: Vec::new(),
+        atoms,
+        constraints,
+    }
+}
+
+fn row_set(b: &Bindings) -> HashSet<Vec<Val>> {
+    b.rows().map(<[Val]>::to_vec).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Full evaluation: planned (indexed and rebuild paths) equals legacy.
+    #[test]
+    fn planned_matches_legacy(inst in instance(), q in random_query()) {
+        let mut db = db_of(&inst);
+        let cq = to_cq(&q);
+        let legacy = evaluate_bindings(&cq.atoms, &cq.constraints, &db).unwrap();
+        let body = CompiledBody::compile(&cq.atoms, &cq.constraints, &db).unwrap();
+        for use_indexes in [false, true] {
+            let mut m = EvalMetrics::default();
+            let planned =
+                evaluate_bindings_planned(&body.full, &mut db, use_indexes, &mut m).unwrap();
+            prop_assert_eq!(&planned.vars, &legacy.vars);
+            prop_assert_eq!(row_set(&planned), row_set(&legacy));
+        }
+    }
+
+    /// Interleaved inserts: a plan compiled once stays correct while the
+    /// database grows underneath it (persistent-index maintenance), for both
+    /// the full and the semi-naive delta entry points.
+    #[test]
+    fn plan_survives_interleaved_inserts(
+        inst in instance(),
+        q in random_query(),
+        extra in proptest::collection::vec((any::<bool>(), 0..5i64, 0..5i64), 1..8),
+    ) {
+        let mut db = db_of(&inst);
+        let cq = to_cq(&q);
+        let body = CompiledBody::compile(&cq.atoms, &cq.constraints, &db).unwrap();
+        // Warm the persistent indexes before any insert happens.
+        let mut m = EvalMetrics::default();
+        evaluate_bindings_planned(&body.full, &mut db, true, &mut m).unwrap();
+        let mut w = db.watermarks();
+        for (use_r, x, y) in extra {
+            let rel = if use_r { "r" } else { "s" };
+            db.insert_values(rel, vec![Val::Int(x), Val::Int(y)]).unwrap();
+
+            let legacy_full = evaluate_bindings(&cq.atoms, &cq.constraints, &db).unwrap();
+            let mut m = EvalMetrics::default();
+            let planned_full =
+                evaluate_bindings_planned(&body.full, &mut db, true, &mut m).unwrap();
+            prop_assert_eq!(row_set(&planned_full), row_set(&legacy_full));
+
+            let legacy_delta =
+                evaluate_bindings_since(&cq.atoms, &cq.constraints, &db, &w).unwrap();
+            let mut m = EvalMetrics::default();
+            let planned_delta =
+                evaluate_bindings_since_planned(&body, &mut db, &w, true, &mut m).unwrap();
+            prop_assert_eq!(row_set(&planned_delta), row_set(&legacy_delta));
+
+            w = db.watermarks();
+        }
+    }
+}

@@ -6,7 +6,8 @@
 //!                [--size N] [--records N] [--overlap PCT] [--seed N]
 //!                                               generate a network file
 //! p2pdb run <network.json> [--mode eager|rounds] [--discover]
-//!                [--no-delta-waves] [--query NODE QUERY] [--stats]
+//!                [--no-delta-waves] [--no-plan-cache] [--no-indexes]
+//!                [--query NODE QUERY] [--stats]
 //!                [--durable] [--churn N] [--snapshot-every K]
 //!                [--concurrent N] [--codec json|binary]
 //!                [--runtime sim|threaded|sharded] [--threads N]
@@ -212,6 +213,17 @@ fn cmd_run(args: &[String]) -> CliResult {
         // Full re-ship baseline: every wave answer carries the fragment's
         // whole current extension (delta-driven answers are the default).
         builder.config_mut().delta_waves = false;
+    }
+    if args.iter().any(|a| a == "--no-plan-cache") {
+        // Recompile the query plan on every evaluation (compiled plans
+        // cached per rule are the default) — the e22 ablation baseline.
+        builder.config_mut().plan_cache = false;
+    }
+    if args.iter().any(|a| a == "--no-indexes") {
+        // Rebuild transient join indexes over whole relations per
+        // evaluation instead of probing the persistent, incrementally
+        // maintained ones — the legacy cost model.
+        builder.config_mut().persistent_indexes = false;
     }
     if args.iter().any(|a| a == "--trace") {
         builder.config_mut().trace_capacity = 256;
